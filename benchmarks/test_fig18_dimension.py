@@ -1,0 +1,71 @@
+"""Fig. 18 (§5.4): recovery time vs array dimension.
+
+Paper: recovering an array parameter whose dimension grows from 1 to 20
+costs time that increases *linearly* with the dimension, because each
+extra dimension adds one bound check and one loop level.
+"""
+
+import time
+
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.abi.types import ArrayType, UIntType
+from repro.compiler import compile_contract
+from repro.sigrec.api import SigRec
+
+
+def _array_of_dimension(dims: int) -> ArrayType:
+    current = UIntType(256)
+    for _ in range(dims):
+        current = ArrayType(current, 2)
+    return current  # uint256[2][2]...[2], `dims` dimensions
+
+
+def _measure(dims: int, repeats: int = 7) -> float:
+    sig = FunctionSignature(
+        "f", (_array_of_dimension(dims),), Visibility.EXTERNAL
+    )
+    contract = compile_contract([sig])
+    tool = SigRec()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = tool.recover(contract.bytecode)
+        best = min(best, time.perf_counter() - start)
+        assert out, f"dimension {dims} not recovered"
+    return best
+
+
+def test_fig18_time_grows_linearly_with_dimension(benchmark, record):
+    dimensions = list(range(1, 21))
+
+    def run():
+        return [_measure(d) for d in dimensions]
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Least-squares fit t = a*d + b; linearity = correlation with d.
+    n = len(dimensions)
+    mean_d = sum(dimensions) / n
+    mean_t = sum(times) / n
+    cov = sum((d - mean_d) * (t - mean_t) for d, t in zip(dimensions, times))
+    var_d = sum((d - mean_d) ** 2 for d in dimensions)
+    var_t = sum((t - mean_t) ** 2 for t in times)
+    slope = cov / var_d
+    correlation = cov / (var_d**0.5 * var_t**0.5) if var_t else 1.0
+
+    rows = [
+        "Fig. 18: recovery time vs array dimension (uint256 items)",
+        "paper: time grows linearly from dimension 1 to 20",
+        f"measured slope: {slope * 1000:.3f} ms per extra dimension",
+        f"dimension-time correlation: {correlation:.3f}",
+    ]
+    rows += [f"  dim {d:2d}: {t * 1000:.2f} ms" for d, t in zip(dimensions, times)]
+    record("fig18_dimension", rows)
+    benchmark.extra_info["correlation"] = correlation
+
+    assert slope > 0, "time must grow with dimension"
+    assert correlation > 0.8, "growth should be close to linear"
+    # Comparing averaged halves is robust to per-point scheduler noise.
+    first_half = sum(times[:10]) / 10
+    second_half = sum(times[10:]) / 10
+    assert second_half > first_half

@@ -1,0 +1,41 @@
+"""Fig. 19 + RQ4 (§5.5): how frequently each rule is used.
+
+Paper: all 31 rules are used; R4 (basic types default to uint256) is
+the most frequent because basic types dominate; R9 (multidimensional
+static arrays in public functions) is the least frequent.
+"""
+
+from repro.corpus.evaluate import evaluate_corpus
+from repro.sigrec.api import SigRec
+
+
+def test_fig19_rule_usage(benchmark, open_corpus, vyper_corpus, struct_corpus, record):
+    tool = SigRec()
+
+    def run():
+        evaluate_corpus(open_corpus, tool)
+        evaluate_corpus(vyper_corpus, tool)
+        evaluate_corpus(struct_corpus, tool)
+        return tool.tracker.as_dict()
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    ranked = sorted(counts.items(), key=lambda kv: -kv[1])
+    unused = [rule for rule, count in counts.items() if count == 0]
+
+    rows = [
+        "Fig. 19 / RQ4: rule usage frequency",
+        f"paper: all 31 rules used; R4 most frequent, R9 least frequent",
+        f"measured: {31 - len(unused)}/31 rules used"
+        + (f" (unused: {unused})" if unused else ""),
+        f"most used : {ranked[0][0]} ({ranked[0][1]}x)",
+        f"least used: {ranked[-1][0]} ({ranked[-1][1]}x)",
+        "full ranking:",
+    ]
+    rows += [f"  {rule}: {count}" for rule, count in ranked]
+    record("fig19_rule_usage", rows)
+
+    assert not unused, f"rules never fired: {unused}"
+    assert ranked[0][0] == "R4", "basic types should dominate"
+    # R9's family (multidim static public arrays) sits in the rare tail.
+    tail = {rule for rule, _ in ranked[-12:]}
+    assert "R9" in tail

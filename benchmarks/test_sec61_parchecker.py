@@ -1,0 +1,115 @@
+"""§6.1: ParChecker — invalid actual arguments and short address attacks.
+
+Paper: scanning all transactions in 556,361 blocks (91M transactions)
+finds ~1% with invalid actual arguments, and among transfer() calls,
+73 short-address attacks stealing tokens.  We reproduce the pipeline at
+simulation scale on the chain substrate: deploy token contracts, mine
+blocks of transactions with malformations injected at the same order of
+magnitude, recover the contracts' signatures from their *on-chain*
+bytecode, and scan the blocks.
+"""
+
+import random
+
+from repro.abi.codec import encode_call
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.apps.parchecker import CORRUPTION_KINDS, ParChecker, corrupt_calldata
+from repro.chain import Chain, Transaction
+from repro.compiler import compile_contract
+from repro.sigrec.api import SigRec
+
+N_TRANSACTIONS = 5000
+BLOCK_SIZE = 250
+INVALID_RATE = 0.01
+ATTACK_RATE = 0.0015
+
+
+def _build_chain(seed: int):
+    rng = random.Random(seed)
+    signatures = [
+        FunctionSignature.parse("transfer(address,uint256)", Visibility.EXTERNAL),
+        FunctionSignature.parse("mint(address,uint256,bool)", Visibility.EXTERNAL),
+        FunctionSignature.parse("setData(bytes4,bytes)", Visibility.PUBLIC),
+        FunctionSignature.parse("vote(uint8,uint256[])", Visibility.EXTERNAL),
+    ]
+    chain = Chain()
+    chain.fund(0xAA, 10**30)
+    contract = compile_contract(signatures)
+    address = chain.deploy(contract.bytecode, sender=0xAA)
+    chain.mine()  # genesis-ish deployment block
+
+    transfer = signatures[0]
+    injected_invalid = 0
+    injected_attacks = 0
+    for i in range(N_TRANSACTIONS):
+        roll = rng.random()
+        if roll < ATTACK_RATE:
+            values = [rng.getrandbits(152) << 8, rng.randint(1, 10**9)]
+            data = corrupt_calldata(transfer, values, "short_address", rng)
+            injected_attacks += 1
+            injected_invalid += 1
+        else:
+            sig = rng.choice(signatures)
+            values = [p.random_value(rng) for p in sig.params]
+            if roll < INVALID_RATE:
+                kind = rng.choice(
+                    [k for k in CORRUPTION_KINDS if k != "short_address"]
+                )
+                data = corrupt_calldata(sig, values, kind, rng)
+                if data is None:
+                    data = encode_call(sig.selector, list(sig.params), values)
+                else:
+                    injected_invalid += 1
+            else:
+                data = encode_call(sig.selector, list(sig.params), values)
+        chain.send(Transaction(sender=0xAA, to=address, data=data))
+        if (i + 1) % BLOCK_SIZE == 0:
+            chain.mine()
+    chain.mine()
+    return chain, address, injected_invalid, injected_attacks
+
+
+def test_sec61_parchecker(benchmark, record):
+    chain, address, injected_invalid, injected_attacks = _build_chain(61)
+
+    # Signatures recovered from the deployed bytecode, as the paper does.
+    recovered = SigRec().recover_map(chain.code_at(address))
+    checker = ParChecker({s: r.param_list for s, r in recovered.items()})
+
+    def scan():
+        invalid = 0
+        attacks = 0
+        scanned = 0
+        for block in chain.blocks:
+            for tx in block.transactions:
+                if tx.is_create:
+                    continue
+                scanned += 1
+                result = checker.check(tx.data)
+                if not result.valid:
+                    invalid += 1
+                if result.short_address_attack:
+                    attacks += 1
+        return scanned, invalid, attacks
+
+    scanned, invalid, attacks = benchmark.pedantic(scan, rounds=1, iterations=1)
+
+    record(
+        "sec61_parchecker",
+        [
+            "§6.1: ParChecker over mined blocks",
+            f"blocks scanned: {len(chain.blocks)}, transactions: {scanned}",
+            f"invalid arguments  paper=1.0% of txs  "
+            f"measured={invalid / scanned:.2%} "
+            f"(injected {injected_invalid / scanned:.2%})",
+            f"short address attacks  paper=73 found  "
+            f"measured={attacks} found / {injected_attacks} injected",
+        ],
+    )
+    benchmark.extra_info["invalid_found"] = invalid
+
+    assert scanned == N_TRANSACTIONS
+    assert attacks == injected_attacks, "every attack must be caught"
+    assert invalid >= injected_invalid * 0.9
+    # No false positives beyond the injected malformations.
+    assert invalid <= injected_invalid

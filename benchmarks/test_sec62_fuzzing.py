@@ -1,0 +1,78 @@
+"""§6.2: fuzzing with recovered signatures.
+
+Paper: with SigRec's signatures, ContractFuzzer finds 23% more bugs
+and 25% more vulnerable smart contracts than ContractFuzzer− (the same
+fuzzer generating random byte sequences) over 1,000 contracts.
+"""
+
+from repro.apps.fuzzer import (
+    ContractFuzzer,
+    MutationFuzzer,
+    build_fuzz_targets,
+    build_staged_targets,
+)
+
+
+def test_sec62_typed_vs_untyped_fuzzing(benchmark, record):
+    targets = build_fuzz_targets(n_contracts=60, seed=17)
+
+    def campaign():
+        typed = ContractFuzzer(typed=True, seed=1).fuzz_campaign(targets)
+        untyped = ContractFuzzer(typed=False, seed=1).fuzz_campaign(targets)
+        return typed, untyped
+
+    typed, untyped = benchmark.pedantic(campaign, rounds=1, iterations=1)
+
+    bug_gain = typed.bug_count / untyped.bug_count - 1
+    contract_gain = (
+        len(typed.vulnerable_contracts) / len(untyped.vulnerable_contracts) - 1
+    )
+    record(
+        "sec62_fuzzing",
+        [
+            "§6.2: ContractFuzzer (typed) vs ContractFuzzer− (random bytes)",
+            f"contracts fuzzed: {len(targets)}, "
+            f"bugs planted: {sum(len(t.functions) for t in targets)}",
+            f"bugs found          typed={typed.bug_count} "
+            f"untyped={untyped.bug_count}",
+            f"vulnerable contracts typed={len(typed.vulnerable_contracts)} "
+            f"untyped={len(untyped.vulnerable_contracts)}",
+            f"more bugs with signatures     paper=+23%  measured=+{bug_gain:.0%}",
+            f"more vulnerable contracts     paper=+25%  measured=+{contract_gain:.0%}",
+        ],
+    )
+    benchmark.extra_info["bug_gain"] = bug_gain
+
+    # Shape: typed strictly wins on both axes, by tens of percent.
+    assert typed.bug_count > untyped.bug_count
+    assert len(typed.vulnerable_contracts) >= len(untyped.vulnerable_contracts)
+    assert 0.05 <= bug_gain <= 1.0
+
+
+def test_sec62_coverage_guided_mutation(benchmark, record):
+    """Extension: the paper's "strategically mutate" claim, concrete.
+
+    Staged bugs hide behind accumulating bit conditions; coverage-guided
+    typed mutation climbs them stage by stage while blind generation
+    faces the joint 2^-stages probability.
+    """
+    targets = build_staged_targets(n_contracts=20, seed=23)
+    planted = sum(len(t.functions) for t in targets)
+
+    def campaign():
+        mutation = MutationFuzzer(seed=1).fuzz_campaign(targets, 250)
+        generation = ContractFuzzer(typed=True, seed=1).fuzz_campaign(targets, 250)
+        return mutation, generation
+
+    mutation, generation = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    record(
+        "sec62_mutation",
+        [
+            "§6.2 extension: coverage-guided typed mutation vs generation",
+            f"staged bugs planted: {planted}",
+            f"typed generation finds: {generation.bug_count}",
+            f"coverage-guided mutation finds: {mutation.bug_count}",
+        ],
+    )
+    assert mutation.bug_count > generation.bug_count
+    assert mutation.bug_count >= 0.7 * planted

@@ -1,0 +1,62 @@
+"""§6.3: improving reverse engineering with recovered signatures.
+
+Paper: applying Erays+ to 53,166 open-source contracts improves every
+one of them, adding on average 5.5 types, 15 parameter names and 3.4
+num names per contract while removing 15 lines of parameter-access
+plumbing.  We reproduce the pipeline over the open-source corpus.
+"""
+
+from repro.apps.erays import Erays, EraysPlus
+from repro.sigrec.api import SigRec
+
+
+def test_sec63_erays_plus(benchmark, open_corpus, record):
+    tool = SigRec()
+    sample = open_corpus.cases[:60]
+
+    def run():
+        improved = 0
+        types_total = names_total = nums_total = removed_total = 0
+        for case in sample:
+            recovered = tool.recover(case.contract.bytecode)
+            result = EraysPlus(recovered).enhance(case.contract.bytecode)
+            if (
+                result.added_types
+                or result.added_param_names
+                or result.removed_lines
+            ):
+                improved += 1
+            types_total += result.added_types
+            names_total += result.added_param_names
+            nums_total += result.added_num_names
+            removed_total += result.removed_lines
+        n = len(sample)
+        return (
+            improved / n,
+            types_total / n,
+            names_total / n,
+            nums_total / n,
+            removed_total / n,
+        )
+
+    improved, types_avg, names_avg, nums_avg, removed_avg = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    record(
+        "sec63_erays",
+        [
+            "§6.3: Erays+ readability improvements per contract",
+            f"contracts improved      paper=100%  measured={improved:.0%}",
+            f"types added (avg)       paper=5.5   measured={types_avg:.1f}",
+            f"param names added (avg) paper=15    measured={names_avg:.1f}",
+            f"num names added (avg)   paper=3.4   measured={nums_avg:.1f}",
+            f"plumbing lines removed  paper=15    measured={removed_avg:.1f}",
+        ],
+    )
+    benchmark.extra_info["improved_ratio"] = improved
+
+    assert improved == 1.0, "Erays+ should improve every contract"
+    assert types_avg >= 1
+    assert names_avg >= types_avg  # names >= types (arrays get names too)
+    assert removed_avg >= 1

@@ -1,0 +1,37 @@
+"""Table 5 (§5.6): recovery of function signatures in Vyper contracts.
+
+Paper: SigRec recovers Vyper signatures at 97.8% while the existing
+tools — built for Solidity patterns plus database lookups — perform
+far worse on Vyper's comparison-based accessing patterns.
+"""
+
+from repro.baselines import DatabaseTool, EveemLike, build_efsd
+from repro.corpus.evaluate import evaluate_baseline, evaluate_corpus
+from repro.sigrec.api import SigRec
+
+
+def test_table5_vyper_contracts(benchmark, vyper_corpus, record):
+    # Vyper signatures are rarer in EFSD than Solidity ones.
+    db = build_efsd([vyper_corpus], coverage=0.3, seed=55)
+
+    def run():
+        sig_report = evaluate_corpus(vyper_corpus, SigRec())
+        osd = evaluate_baseline(vyper_corpus, DatabaseTool("OSD", db))
+        eveem = evaluate_baseline(vyper_corpus, EveemLike(db))
+        return sig_report, osd, eveem
+
+    sig_report, osd, eveem = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        "Table 5: Vyper contracts",
+        f"{'tool':<10} {'paper acc':>10} {'measured acc':>13}",
+        f"{'SigRec':<10} {'97.8%':>10} {sig_report.accuracy:>12.1%}",
+        f"{'OSD':<10} {'low':>10} {osd.accuracy:>12.1%}",
+        f"{'Eveem':<10} {'low':>10} {eveem.accuracy:>12.1%}",
+        f"functions: {sig_report.total}",
+    ]
+    record("table5_vyper", rows)
+
+    assert sig_report.accuracy > 0.95
+    assert sig_report.accuracy > osd.accuracy + 0.3
+    assert sig_report.accuracy > eveem.accuracy + 0.3

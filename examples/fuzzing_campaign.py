@@ -1,0 +1,41 @@
+"""Fuzzing with and without recovered signatures (paper §6.2).
+
+Builds a fleet of vulnerable contracts (each hiding INVALID-guarded
+bugs), then runs the same fuzzer twice: once generating *typed* inputs
+from SigRec-recovered signatures (ContractFuzzer) and once generating
+random byte sequences (ContractFuzzer−).
+
+Run:  python examples/fuzzing_campaign.py
+"""
+
+from repro.apps.fuzzer import ContractFuzzer, build_fuzz_targets
+
+
+def main() -> None:
+    targets = build_fuzz_targets(n_contracts=40, seed=17)
+    planted = sum(len(t.functions) for t in targets)
+    print(f"built {len(targets)} vulnerable contracts with {planted} planted bugs\n")
+
+    typed = ContractFuzzer(typed=True, seed=1).fuzz_campaign(targets)
+    untyped = ContractFuzzer(typed=False, seed=1).fuzz_campaign(targets)
+
+    print(f"{'':>24} {'ContractFuzzer':>16} {'ContractFuzzer−':>16}")
+    print(f"{'(typed inputs?)':>24} {'yes':>16} {'no':>16}")
+    print("-" * 60)
+    print(f"{'bugs found':>24} {typed.bug_count:>16} {untyped.bug_count:>16}")
+    print(f"{'vulnerable contracts':>24} {len(typed.vulnerable_contracts):>16} "
+          f"{len(untyped.vulnerable_contracts):>16}")
+    print(f"{'executions':>24} {typed.executions:>16} {untyped.executions:>16}")
+
+    if untyped.bug_count:
+        gain_bugs = 100 * (typed.bug_count / untyped.bug_count - 1)
+        gain_contracts = 100 * (
+            len(typed.vulnerable_contracts) / len(untyped.vulnerable_contracts) - 1
+        )
+        print(f"\nwith recovered signatures the fuzzer finds "
+              f"{gain_bugs:.0f}% more bugs and {gain_contracts:.0f}% more "
+              f"vulnerable contracts (paper: +23% / +25%)")
+
+
+if __name__ == "__main__":
+    main()

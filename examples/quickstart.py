@@ -1,0 +1,50 @@
+"""Quickstart: recover function signatures from EVM runtime bytecode.
+
+Builds a small ERC-20-style token contract with the bundled
+Solidity-like code generator, then recovers every public/external
+function signature from the *bytecode alone* — no source, no signature
+database.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SigRec
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.compiler import CodegenOptions, compile_contract
+
+
+def main() -> None:
+    # An ERC-20-ish token: the ground truth we will pretend not to know.
+    declared = [
+        FunctionSignature.parse("transfer(address,uint256)", Visibility.EXTERNAL),
+        FunctionSignature.parse("approve(address,uint256)", Visibility.EXTERNAL),
+        FunctionSignature.parse("transferFrom(address,address,uint256)",
+                                Visibility.EXTERNAL),
+        FunctionSignature.parse("balanceOf(address)", Visibility.EXTERNAL),
+        FunctionSignature.parse("batchSend(address[],uint256[])", Visibility.PUBLIC),
+        FunctionSignature.parse("setName(string)", Visibility.PUBLIC),
+    ]
+    contract = compile_contract(declared, CodegenOptions(version="0.5.5"))
+    print(f"compiled token contract: {len(contract.bytecode)} bytes of bytecode\n")
+
+    # Recovery: bytecode in, signatures out.
+    tool = SigRec()
+    recovered = tool.recover(contract.bytecode)
+
+    print(f"{'function id':<12} {'recovered parameter types':<40} match?")
+    print("-" * 70)
+    truth = {int.from_bytes(s.selector, "big"): s for s in declared}
+    for sig in recovered:
+        expected = truth[sig.selector]
+        ok = "yes" if sig.param_list == expected.param_list() else "NO"
+        print(f"{sig.selector_hex:<12} {sig.param_list:<40} {ok}"
+              f"   (declared: {expected.canonical()})")
+
+    print("\nrules fired across this contract:")
+    fired = {r: c for r, c in tool.tracker.as_dict().items() if c}
+    for rule_id in sorted(fired, key=lambda r: int(r[1:])):
+        print(f"  {rule_id}: {fired[rule_id]}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim: enables editable installs where the ``wheel``
+package is unavailable (pip falls back to ``setup.py develop``)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["sigrec=repro.cli:main"]},
+)

@@ -1,0 +1,22 @@
+"""SigRec reproduction: recover function signatures from EVM bytecode.
+
+This package reimplements the SigRec system (Chen et al.) together with
+every substrate it depends on: an EVM disassembler/CFG/interpreter, a
+pure-Python Keccak-256, a full ABI codec, Solidity- and Vyper-like code
+generators used to synthesize the evaluation corpus, the baselines the
+paper compares against, and the three downstream applications
+(ParChecker, fuzzing, Erays+ reverse engineering).
+
+Top-level convenience API::
+
+    from repro import SigRec
+    tool = SigRec()
+    for sig in tool.recover(runtime_bytecode):
+        print(sig)
+"""
+
+from repro.sigrec.api import RecoveredSignature, SigRec
+
+__all__ = ["SigRec", "RecoveredSignature", "__version__"]
+
+__version__ = "1.0.0"

@@ -1,0 +1,44 @@
+"""ABI substrate: Solidity/Vyper type system, codec, signatures."""
+
+from repro.abi.types import (
+    AbiType,
+    AddressType,
+    ArrayType,
+    BoolType,
+    BoundedBytesType,
+    BoundedStringType,
+    BytesType,
+    DecimalType,
+    FixedBytesType,
+    IntType,
+    StringType,
+    TupleType,
+    UIntType,
+    parse_type,
+)
+from repro.abi.codec import AbiCodecError, decode, encode, encode_call
+from repro.abi.signature import FunctionSignature, Visibility, Language
+
+__all__ = [
+    "AbiType",
+    "UIntType",
+    "IntType",
+    "AddressType",
+    "BoolType",
+    "FixedBytesType",
+    "BytesType",
+    "StringType",
+    "DecimalType",
+    "BoundedBytesType",
+    "BoundedStringType",
+    "ArrayType",
+    "TupleType",
+    "parse_type",
+    "encode",
+    "decode",
+    "encode_call",
+    "AbiCodecError",
+    "FunctionSignature",
+    "Visibility",
+    "Language",
+]

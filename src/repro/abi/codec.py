@@ -1,0 +1,257 @@
+"""Full ABI encoder/decoder (head/tail scheme).
+
+Implements the Contract ABI specification the paper's §2 describes:
+basic values padded to 32 bytes (left for numbers, right for bytesM),
+dynamic values referenced through offset fields relative to the start of
+the enclosing block, arrays carrying a num field, structs encoded as
+tuples.  The decoder is strict by default — it verifies padding and
+offsets — because ParChecker (§6.1) is built on precisely those checks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from repro.abi.types import (
+    AbiType,
+    AddressType,
+    ArrayType,
+    BoolType,
+    BoundedBytesType,
+    BoundedStringType,
+    BytesType,
+    DecimalType,
+    FixedBytesType,
+    IntType,
+    StringType,
+    TupleType,
+    UIntType,
+)
+
+_WORD = 1 << 256
+
+
+class AbiCodecError(ValueError):
+    """Raised when a value cannot be encoded or data cannot be decoded."""
+
+
+def _pad_right(data: bytes) -> bytes:
+    remainder = len(data) % 32
+    return data if remainder == 0 else data + b"\x00" * (32 - remainder)
+
+
+def _encode_word(value: int) -> bytes:
+    return (value % _WORD).to_bytes(32, "big")
+
+
+def _encode_single(abi_type: AbiType, value: Any) -> bytes:
+    """Encode one *static* head word (basic types)."""
+    if isinstance(abi_type, UIntType):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise AbiCodecError(f"{abi_type} expects int, got {type(value).__name__}")
+        if not (0 <= value < (1 << abi_type.bits)):
+            raise AbiCodecError(f"{value} out of range for {abi_type}")
+        return _encode_word(value)
+    if isinstance(abi_type, IntType):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise AbiCodecError(f"{abi_type} expects int, got {type(value).__name__}")
+        bound = 1 << (abi_type.bits - 1)
+        if not (-bound <= value < bound):
+            raise AbiCodecError(f"{value} out of range for {abi_type}")
+        return _encode_word(value)
+    if isinstance(abi_type, AddressType):
+        if not isinstance(value, int) or not (0 <= value < (1 << 160)):
+            raise AbiCodecError(f"invalid address value: {value!r}")
+        return _encode_word(value)
+    if isinstance(abi_type, BoolType):
+        if not isinstance(value, bool):
+            raise AbiCodecError(f"bool expects bool, got {type(value).__name__}")
+        return _encode_word(1 if value else 0)
+    if isinstance(abi_type, FixedBytesType):
+        if not isinstance(value, (bytes, bytearray)) or len(value) != abi_type.size:
+            raise AbiCodecError(f"{abi_type} expects exactly {abi_type.size} bytes")
+        return bytes(value) + b"\x00" * (32 - abi_type.size)
+    if isinstance(abi_type, DecimalType):
+        bound = 1 << 127
+        if not isinstance(value, int) or not (-bound <= value < bound):
+            raise AbiCodecError(f"{value} out of range for decimal")
+        return _encode_word(value)
+    raise AbiCodecError(f"not a basic type: {abi_type}")
+
+
+def _encode_value(abi_type: AbiType, value: Any) -> bytes:
+    """Encode one value of any type (without its enclosing offset)."""
+    if isinstance(abi_type, (BytesType, BoundedBytesType)):
+        if isinstance(value, str):
+            value = value.encode("utf-8")
+        if not isinstance(value, (bytes, bytearray)):
+            raise AbiCodecError("bytes value expected")
+        if isinstance(abi_type, BoundedBytesType) and len(value) > abi_type.max_length:
+            raise AbiCodecError(
+                f"value of {len(value)} bytes exceeds cap {abi_type.max_length}"
+            )
+        return _encode_word(len(value)) + _pad_right(bytes(value))
+    if isinstance(abi_type, (StringType, BoundedStringType)):
+        if not isinstance(value, str):
+            raise AbiCodecError("string value expected")
+        raw = value.encode("utf-8")
+        if isinstance(abi_type, BoundedStringType) and len(raw) > abi_type.max_length:
+            raise AbiCodecError(
+                f"string of {len(raw)} bytes exceeds cap {abi_type.max_length}"
+            )
+        return _encode_word(len(raw)) + _pad_right(raw)
+    if isinstance(abi_type, ArrayType):
+        if not isinstance(value, (list, tuple)):
+            raise AbiCodecError(f"{abi_type} expects a sequence")
+        if abi_type.length is not None and len(value) != abi_type.length:
+            raise AbiCodecError(
+                f"{abi_type} expects {abi_type.length} items, got {len(value)}"
+            )
+        body = _encode_block([abi_type.element] * len(value), list(value))
+        if abi_type.length is None:
+            return _encode_word(len(value)) + body
+        return body
+    if isinstance(abi_type, TupleType):
+        if not isinstance(value, (list, tuple)) or len(value) != len(
+            abi_type.components
+        ):
+            raise AbiCodecError(f"{abi_type} expects {len(abi_type.components)} items")
+        return _encode_block(list(abi_type.components), list(value))
+    return _encode_single(abi_type, value)
+
+
+def _encode_block(types: Sequence[AbiType], values: Sequence[Any]) -> bytes:
+    """Encode a head/tail block for parallel type and value lists."""
+    if len(types) != len(values):
+        raise AbiCodecError("type/value count mismatch")
+    head_size = sum(t.head_size() for t in types)
+    heads: List[bytes] = []
+    tails: List[bytes] = []
+    tail_offset = head_size
+    for abi_type, value in zip(types, values):
+        if abi_type.is_dynamic:
+            heads.append(_encode_word(tail_offset))
+            tail = _encode_value(abi_type, value)
+            tails.append(tail)
+            tail_offset += len(tail)
+        else:
+            heads.append(_encode_value(abi_type, value))
+    return b"".join(heads) + b"".join(tails)
+
+
+def encode(types: Sequence[AbiType], values: Sequence[Any]) -> bytes:
+    """ABI-encode ``values`` according to ``types`` (no selector)."""
+    return _encode_block(types, values)
+
+
+def encode_call(selector: bytes, types: Sequence[AbiType], values: Sequence[Any]) -> bytes:
+    """Build complete call data: 4-byte function id + encoded arguments."""
+    if len(selector) != 4:
+        raise AbiCodecError("selector must be 4 bytes")
+    return selector + encode(types, values)
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+
+def _read_word(data: bytes, offset: int) -> int:
+    if offset + 32 > len(data):
+        raise AbiCodecError(f"truncated data at offset {offset}")
+    return int.from_bytes(data[offset : offset + 32], "big")
+
+
+def _decode_single(abi_type: AbiType, data: bytes, offset: int, strict: bool) -> Any:
+    word = _read_word(data, offset)
+    if isinstance(abi_type, UIntType):
+        if strict and abi_type.bits < 256 and word >= (1 << abi_type.bits):
+            raise AbiCodecError(f"dirty padding for {abi_type}")
+        return word
+    if isinstance(abi_type, IntType):
+        signed = word - _WORD if word >= (_WORD >> 1) else word
+        bound = 1 << (abi_type.bits - 1)
+        if strict and not (-bound <= signed < bound):
+            raise AbiCodecError(f"dirty sign extension for {abi_type}")
+        return signed
+    if isinstance(abi_type, AddressType):
+        if strict and word >= (1 << 160):
+            raise AbiCodecError("dirty padding for address")
+        return word
+    if isinstance(abi_type, BoolType):
+        if strict and word > 1:
+            raise AbiCodecError("invalid bool encoding")
+        return bool(word)
+    if isinstance(abi_type, FixedBytesType):
+        raw = data[offset : offset + 32]
+        if strict and any(raw[abi_type.size :]):
+            raise AbiCodecError(f"dirty padding for {abi_type}")
+        return raw[: abi_type.size]
+    if isinstance(abi_type, DecimalType):
+        signed = word - _WORD if word >= (_WORD >> 1) else word
+        bound = 1 << 127
+        if strict and not (-bound <= signed < bound):
+            raise AbiCodecError("decimal out of range")
+        return signed
+    raise AbiCodecError(f"not a basic type: {abi_type}")
+
+
+def _decode_value(abi_type: AbiType, data: bytes, offset: int, strict: bool) -> Any:
+    if isinstance(abi_type, (BytesType, BoundedBytesType, StringType, BoundedStringType)):
+        length = _read_word(data, offset)
+        start = offset + 32
+        padded = (length + 31) // 32 * 32
+        if start + padded > len(data):
+            raise AbiCodecError("bytes/string tail runs past end of data")
+        raw = data[start : start + length]
+        if strict and any(data[start + length : start + padded]):
+            raise AbiCodecError("dirty padding in bytes/string tail")
+        if isinstance(abi_type, (StringType, BoundedStringType)):
+            try:
+                return raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise AbiCodecError("invalid utf-8 in string") from exc
+        return raw
+    if isinstance(abi_type, ArrayType):
+        if abi_type.length is None:
+            count = _read_word(data, offset)
+            if count > len(data):  # cheap sanity bound against absurd nums
+                raise AbiCodecError("implausible array length")
+            return _decode_block(
+                [abi_type.element] * count, data, offset + 32, strict
+            )
+        return _decode_block(
+            [abi_type.element] * abi_type.length, data, offset, strict
+        )
+    if isinstance(abi_type, TupleType):
+        return tuple(_decode_block(list(abi_type.components), data, offset, strict))
+    return _decode_single(abi_type, data, offset, strict)
+
+
+def _decode_block(
+    types: Sequence[AbiType], data: bytes, base: int, strict: bool
+) -> List[Any]:
+    values: List[Any] = []
+    head = base
+    for abi_type in types:
+        if abi_type.is_dynamic:
+            rel = _read_word(data, head)
+            target = base + rel
+            if target > len(data):
+                raise AbiCodecError(f"offset field points past end: {rel}")
+            values.append(_decode_value(abi_type, data, target, strict))
+            head += 32
+        else:
+            values.append(_decode_value(abi_type, data, head, strict))
+            head += abi_type.head_size()
+    return values
+
+
+def decode(types: Sequence[AbiType], data: bytes, strict: bool = True) -> List[Any]:
+    """Decode ABI ``data`` (without selector) into Python values.
+
+    With ``strict=True`` (the default) the decoder additionally verifies
+    padding bits and offset sanity and raises :class:`AbiCodecError` on
+    any malformation — this is the validation core ParChecker uses.
+    """
+    return _decode_block(types, data, 0, strict)

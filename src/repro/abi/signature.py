@@ -1,0 +1,97 @@
+"""Function signatures: name + ordered parameter types.
+
+A signature's *function id* (selector) is the first 4 bytes of the
+Keccak-256 hash of its canonical string, e.g.
+``keccak256("transfer(address,uint256)")[:4] == a9059cbb`` — computed
+with our own Keccak implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.abi.types import AbiType, parse_type
+from repro.evm.keccak import keccak256
+
+
+class Visibility(enum.Enum):
+    """Solidity function visibility; drives the parameter accessing mode.
+
+    Public functions copy composite parameters into memory with
+    CALLDATACOPY; external functions read items from the call data on
+    demand with CALLDATALOAD (paper §2.3.1).  Vyper emits the same code
+    for both.
+    """
+
+    PUBLIC = "public"
+    EXTERNAL = "external"
+
+
+class Language(enum.Enum):
+    SOLIDITY = "solidity"
+    VYPER = "vyper"
+
+
+@dataclass(frozen=True)
+class FunctionSignature:
+    """An (immutable) function signature with optional source metadata."""
+
+    name: str
+    params: Tuple[AbiType, ...]
+    visibility: Visibility = Visibility.PUBLIC
+    language: Language = Language.SOLIDITY
+
+    @staticmethod
+    def parse(text: str, visibility: Visibility = Visibility.PUBLIC,
+              language: Language = Language.SOLIDITY) -> "FunctionSignature":
+        """Parse ``"name(type1,type2,...)"`` into a signature."""
+        text = text.strip()
+        open_idx = text.index("(")
+        if not text.endswith(")"):
+            raise ValueError(f"malformed signature: {text!r}")
+        name = text[:open_idx]
+        inner = text[open_idx + 1 : -1].strip()
+        params: Tuple[AbiType, ...] = ()
+        if inner:
+            params = tuple(parse_type(part) for part in _split_top(inner))
+        return FunctionSignature(name, params, visibility, language)
+
+    def canonical(self) -> str:
+        """The canonical string the selector is hashed over."""
+        return f"{self.name}({','.join(p.canonical() for p in self.params)})"
+
+    def param_list(self) -> str:
+        """Just the comma-separated canonical parameter types."""
+        return ",".join(p.canonical() for p in self.params)
+
+    @property
+    def selector(self) -> bytes:
+        return keccak256(self.canonical().encode("ascii"))[:4]
+
+    @property
+    def selector_hex(self) -> str:
+        return "0x" + self.selector.hex()
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+def _split_top(text: str) -> Sequence[str]:
+    """Split a parameter list at top-level commas (tuples may nest)."""
+    parts = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    parts.append(current)
+    return parts

@@ -1,0 +1,440 @@
+"""The parameter type system shared by the whole reproduction.
+
+Models every Solidity parameter type the paper's §2.3.1 covers (five
+basic types, static/dynamic/nested arrays, ``bytes``, ``string``,
+structs) plus Vyper's additions from §2.3.2 (``decimal``, fixed-size
+lists, fixed-size byte arrays ``bytes[maxLen]``, fixed-size strings
+``string[maxLen]``, structs).
+
+Each type knows:
+
+* its canonical ABI string (what a signature database stores, what the
+  selector is hashed over);
+* its head width and whether it is *dynamic* (encoded in the tail via an
+  offset field);
+* how to draw a random well-formed Python value for itself (used by the
+  corpus generator, the fuzzer and the property tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+class AbiTypeError(ValueError):
+    """Raised for malformed type constructions or unparsable strings."""
+
+
+@dataclass(frozen=True)
+class AbiType:
+    """Base class of all parameter types."""
+
+    def canonical(self) -> str:
+        """Canonical ABI string used in signatures ("uint256", "bytes32[2]")."""
+        raise NotImplementedError
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True when the value is encoded in the tail behind an offset."""
+        return False
+
+    def head_size(self) -> int:
+        """Bytes this type occupies in the head section of an encoding."""
+        return 32
+
+    def static_size(self) -> int:
+        """Total encoded size for static types.
+
+        Raises AbiTypeError for dynamic types, whose size depends on the
+        value.
+        """
+        if self.is_dynamic:
+            raise AbiTypeError(f"{self.canonical()} has no static size")
+        return 32
+
+    def random_value(self, rng: random.Random, depth: int = 0):
+        """A uniformly-ish random well-formed Python value of this type."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+# ----------------------------------------------------------------------
+# Basic types (Solidity §2.3.1 item 1; Vyper shares five of them)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UIntType(AbiType):
+    """uint<M>, 8 <= M <= 256, M % 8 == 0. Left-padded with zeros."""
+
+    bits: int = 256
+
+    def __post_init__(self) -> None:
+        if not (8 <= self.bits <= 256 and self.bits % 8 == 0):
+            raise AbiTypeError(f"invalid uint width: {self.bits}")
+
+    def canonical(self) -> str:
+        return f"uint{self.bits}"
+
+    def random_value(self, rng: random.Random, depth: int = 0) -> int:
+        return rng.getrandbits(self.bits)
+
+
+@dataclass(frozen=True)
+class IntType(AbiType):
+    """int<M>, sign-extended to 32 bytes."""
+
+    bits: int = 256
+
+    def __post_init__(self) -> None:
+        if not (8 <= self.bits <= 256 and self.bits % 8 == 0):
+            raise AbiTypeError(f"invalid int width: {self.bits}")
+
+    def canonical(self) -> str:
+        return f"int{self.bits}"
+
+    def random_value(self, rng: random.Random, depth: int = 0) -> int:
+        return rng.getrandbits(self.bits) - (1 << (self.bits - 1))
+
+
+@dataclass(frozen=True)
+class AddressType(AbiType):
+    """A 20-byte account address, encoded like uint160."""
+
+    def canonical(self) -> str:
+        return "address"
+
+    def random_value(self, rng: random.Random, depth: int = 0) -> int:
+        return rng.getrandbits(160)
+
+
+@dataclass(frozen=True)
+class BoolType(AbiType):
+    """true/false, encoded as uint8 0/1."""
+
+    def canonical(self) -> str:
+        return "bool"
+
+    def random_value(self, rng: random.Random, depth: int = 0) -> bool:
+        return rng.random() < 0.5
+
+
+@dataclass(frozen=True)
+class FixedBytesType(AbiType):
+    """bytes<M>, 0 < M <= 32. Right-padded with zeros."""
+
+    size: int = 32
+
+    def __post_init__(self) -> None:
+        if not (0 < self.size <= 32):
+            raise AbiTypeError(f"invalid bytesM size: {self.size}")
+
+    def canonical(self) -> str:
+        return f"bytes{self.size}"
+
+    def random_value(self, rng: random.Random, depth: int = 0) -> bytes:
+        return bytes(rng.getrandbits(8) for _ in range(self.size))
+
+
+@dataclass(frozen=True)
+class DecimalType(AbiType):
+    """Vyper decimal: fixed-point with 10 decimal places, int168 range.
+
+    Canonical ABI name (what Vyper hashes into the selector) is
+    ``fixed168x10``; early Vyper used int128-scale bounds which is what
+    the paper describes, so we model the value range as
+    [-2**127, 2**127 - 1] scaled by 10**10.
+    """
+
+    def canonical(self) -> str:
+        return "fixed168x10"
+
+    def random_value(self, rng: random.Random, depth: int = 0) -> int:
+        return rng.getrandbits(127) - (1 << 126)
+
+
+# ----------------------------------------------------------------------
+# Dynamic blobs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BytesType(AbiType):
+    """Solidity ``bytes``: dynamic byte sequence, length in a num field."""
+
+    @property
+    def is_dynamic(self) -> bool:
+        return True
+
+    def canonical(self) -> str:
+        return "bytes"
+
+    def random_value(self, rng: random.Random, depth: int = 0) -> bytes:
+        return bytes(rng.getrandbits(8) for _ in range(rng.randint(0, 70)))
+
+
+@dataclass(frozen=True)
+class StringType(AbiType):
+    """Solidity ``string``: same layout as bytes (paper §2.3.1 item 4)."""
+
+    @property
+    def is_dynamic(self) -> bool:
+        return True
+
+    def canonical(self) -> str:
+        return "string"
+
+    def random_value(self, rng: random.Random, depth: int = 0) -> str:
+        alphabet = "abcdefghijklmnopqrstuvwxyz0123456789 "
+        return "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 50)))
+
+
+@dataclass(frozen=True)
+class BoundedBytesType(AbiType):
+    """Vyper ``bytes[maxLen]``: byte sequence with a compile-time cap.
+
+    ABI-encodes exactly like ``bytes`` (the cap is enforced, not
+    encoded), so its canonical string is "bytes"; the Vyper-notation
+    name is available via :meth:`vyper_name`.
+    """
+
+    max_length: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_length <= 0:
+            raise AbiTypeError("bytes[maxLen] needs a positive cap")
+
+    @property
+    def is_dynamic(self) -> bool:
+        return True
+
+    def canonical(self) -> str:
+        return "bytes"
+
+    def vyper_name(self) -> str:
+        return f"bytes[{self.max_length}]"
+
+    def random_value(self, rng: random.Random, depth: int = 0) -> bytes:
+        return bytes(
+            rng.getrandbits(8) for _ in range(rng.randint(0, self.max_length))
+        )
+
+
+@dataclass(frozen=True)
+class BoundedStringType(AbiType):
+    """Vyper ``string[maxLen]``; layout identical to bytes[maxLen]."""
+
+    max_length: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_length <= 0:
+            raise AbiTypeError("string[maxLen] needs a positive cap")
+
+    @property
+    def is_dynamic(self) -> bool:
+        return True
+
+    def canonical(self) -> str:
+        return "string"
+
+    def vyper_name(self) -> str:
+        return f"string[{self.max_length}]"
+
+    def random_value(self, rng: random.Random, depth: int = 0) -> str:
+        alphabet = "abcdefghijklmnopqrstuvwxyz"
+        return "".join(
+            rng.choice(alphabet) for _ in range(rng.randint(0, self.max_length))
+        )
+
+
+# ----------------------------------------------------------------------
+# Arrays and structs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrayType(AbiType):
+    """T[N] (static, ``length`` set) or T[] (dynamic, ``length`` None).
+
+    Multidimensional arrays nest: ``uint256[3][2]`` is
+    ``ArrayType(ArrayType(uint256, 3), 2)`` — an array of two
+    ``uint256[3]``, matching the paper's reversed-notation discussion.
+    A *nested array* in the paper's sense is an ArrayType with a dynamic
+    array anywhere below the top dimension.
+    """
+
+    element: AbiType = field(default_factory=UIntType)
+    length: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.length is not None and self.length <= 0:
+            raise AbiTypeError("static array length must be positive")
+
+    @property
+    def is_dynamic(self) -> bool:
+        if self.length is None:
+            return True
+        return self.element.is_dynamic
+
+    def canonical(self) -> str:
+        suffix = f"[{self.length}]" if self.length is not None else "[]"
+        return self.element.canonical() + suffix
+
+    def static_size(self) -> int:
+        if self.is_dynamic:
+            raise AbiTypeError(f"{self.canonical()} has no static size")
+        assert self.length is not None
+        return self.length * self.element.static_size()
+
+    def head_size(self) -> int:
+        return 32 if self.is_dynamic else self.static_size()
+
+    @property
+    def dimensions(self) -> List[Optional[int]]:
+        """Dimension sizes from the outermost (highest) inwards."""
+        dims: List[Optional[int]] = [self.length]
+        inner = self.element
+        while isinstance(inner, ArrayType):
+            dims.append(inner.length)
+            inner = inner.element
+        return dims
+
+    @property
+    def base_element(self) -> AbiType:
+        """The non-array element type at the bottom of the nesting."""
+        inner: AbiType = self.element
+        while isinstance(inner, ArrayType):
+            inner = inner.element
+        return inner
+
+    @property
+    def is_nested_dynamic(self) -> bool:
+        """Paper's "nested array": some non-top dimension is dynamic."""
+        inner = self.element
+        while isinstance(inner, ArrayType):
+            if inner.length is None:
+                return True
+            inner = inner.element
+        return False
+
+    def random_value(self, rng: random.Random, depth: int = 0) -> list:
+        count = self.length if self.length is not None else rng.randint(0, 3)
+        return [self.element.random_value(rng, depth + 1) for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class TupleType(AbiType):
+    """A struct ``(T1,...,Tn)``.
+
+    Static structs of basic types have the same layout as their items
+    laid out individually (paper §2.3.1 item 5) — the ground-truth
+    canonicalizer in :mod:`repro.abi.signature` encodes that
+    indistinguishability.
+    """
+
+    components: Tuple[AbiType, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise AbiTypeError("a struct needs at least one component")
+
+    @property
+    def is_dynamic(self) -> bool:
+        return any(c.is_dynamic for c in self.components)
+
+    def canonical(self) -> str:
+        return "(" + ",".join(c.canonical() for c in self.components) + ")"
+
+    def static_size(self) -> int:
+        if self.is_dynamic:
+            raise AbiTypeError(f"{self.canonical()} has no static size")
+        return sum(c.static_size() for c in self.components)
+
+    def head_size(self) -> int:
+        return 32 if self.is_dynamic else self.static_size()
+
+    def random_value(self, rng: random.Random, depth: int = 0) -> tuple:
+        return tuple(c.random_value(rng, depth + 1) for c in self.components)
+
+
+# ----------------------------------------------------------------------
+# Parsing canonical type strings
+# ----------------------------------------------------------------------
+
+
+def _parse_base(text: str) -> AbiType:
+    if text == "address":
+        return AddressType()
+    if text == "bool":
+        return BoolType()
+    if text == "bytes":
+        return BytesType()
+    if text == "string":
+        return StringType()
+    if text in ("fixed168x10", "decimal"):
+        return DecimalType()
+    if text == "uint":
+        return UIntType(256)
+    if text == "int":
+        return IntType(256)
+    if text.startswith("uint"):
+        return UIntType(int(text[4:]))
+    if text.startswith("int"):
+        return IntType(int(text[3:]))
+    if text.startswith("bytes"):
+        return FixedBytesType(int(text[5:]))
+    raise AbiTypeError(f"unknown type: {text!r}")
+
+
+def _split_tuple(text: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise AbiTypeError(f"unbalanced parentheses in {text!r}")
+        if ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    parts.append(current)
+    return parts
+
+
+def parse_type(text: str) -> AbiType:
+    """Parse a canonical ABI type string into an :class:`AbiType`.
+
+    Supports the full grammar including tuples and arbitrarily nested
+    arrays: ``"(uint256,bytes)[2][]"``.
+    """
+    text = text.strip()
+    if not text:
+        raise AbiTypeError("empty type string")
+
+    # Peel array suffixes from the right.
+    if text.endswith("]"):
+        open_idx = text.rindex("[")
+        inner_text, dim = text[:open_idx], text[open_idx + 1 : -1]
+        element = parse_type(inner_text)
+        if dim == "":
+            return ArrayType(element, None)
+        return ArrayType(element, int(dim))
+
+    if text.startswith("("):
+        if not text.endswith(")"):
+            raise AbiTypeError(f"unbalanced tuple in {text!r}")
+        inner = text[1:-1]
+        if not inner:
+            raise AbiTypeError("empty tuple type")
+        return TupleType(tuple(parse_type(part) for part in _split_tuple(inner)))
+
+    return _parse_base(text)

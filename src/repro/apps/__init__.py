@@ -1,0 +1,39 @@
+"""Applications of recovered signatures (paper §6).
+
+* :mod:`repro.apps.parchecker` — detection of invalid actual arguments
+  and short address attacks (§6.1);
+* :mod:`repro.apps.fuzzer` — a smart-contract fuzzer that uses
+  recovered signatures for typed input generation (§6.2);
+* :mod:`repro.apps.erays` — a bytecode-to-IR reverse engineering tool
+  and its signature-aware enhancement Erays+ (§6.3).
+"""
+
+from repro.apps.parchecker import CheckResult, ParChecker, corrupt_calldata
+from repro.apps.fuzzer import (
+    ContractFuzzer,
+    FuzzReport,
+    MutationFuzzer,
+    build_fuzz_targets,
+    build_staged_targets,
+)
+from repro.apps.erays import Erays, EraysPlus, IRFunction
+from repro.apps.oracles import Finding, run_all_oracles
+from repro.apps.structurer import StructuredFunction, Structurer
+
+__all__ = [
+    "ParChecker",
+    "CheckResult",
+    "corrupt_calldata",
+    "ContractFuzzer",
+    "MutationFuzzer",
+    "FuzzReport",
+    "build_fuzz_targets",
+    "build_staged_targets",
+    "Erays",
+    "EraysPlus",
+    "IRFunction",
+    "Structurer",
+    "StructuredFunction",
+    "Finding",
+    "run_all_oracles",
+]

@@ -1,0 +1,383 @@
+"""Erays and Erays+ (paper §6.3).
+
+*Erays* lifts EVM bytecode into register-based three-address statements
+(one ``v<n> = OP(...)`` line per value-producing instruction, effect
+statements for stores/jumps), which is more readable than raw bytecode
+but keeps all the compiler-generated plumbing for parameter access.
+
+*Erays+* post-processes the IR using recovered function signatures:
+
+* calldata loads of head slots become named, typed arguments
+  (``arg1: uint256 = calldata[0x04]``) — *added types* and *added
+  parameter names*;
+* loads of offset/num fields become ``offset(argN)`` / ``num(argN)``
+  — *added num names*;
+* the mask / bound-check / address-arithmetic plumbing that only
+  serves parameter access is deleted — *removed lines*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.evm.cfg import build_cfg
+from repro.evm.disasm import Instruction
+from repro.sigrec.api import RecoveredSignature
+
+
+@dataclass
+class IRStatement:
+    """One three-address statement."""
+
+    dest: Optional[str]  # None for effect-only statements
+    op: str
+    args: Tuple[str, ...]
+    pc: int
+
+    def render(self) -> str:
+        if self.op == "EXPR":  # an already-rendered folded expression
+            return f"{self.dest} = {self.args[0]}"
+        call = f"{self.op}({', '.join(self.args)})"
+        if self.dest is not None:
+            return f"{self.dest} = {call}"
+        return call
+
+
+@dataclass
+class IRFunction:
+    """The lifted statements of one basic block region."""
+
+    start: int
+    statements: List[IRStatement] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"block_{self.start:#x}:"]
+        lines.extend("  " + s.render() for s in self.statements)
+        return "\n".join(lines)
+
+
+@dataclass
+class LiftedContract:
+    blocks: List[IRFunction]
+
+    @property
+    def line_count(self) -> int:
+        return sum(len(b.statements) for b in self.blocks)
+
+    def render(self) -> str:
+        return "\n".join(b.render() for b in self.blocks)
+
+
+_PURE_OPS = frozenset(
+    ["ADD", "MUL", "SUB", "DIV", "SDIV", "MOD", "SMOD", "EXP", "SIGNEXTEND",
+     "LT", "GT", "SLT", "SGT", "EQ", "ISZERO", "AND", "OR", "XOR", "NOT",
+     "BYTE", "SHL", "SHR", "SAR", "ADDMOD", "MULMOD",
+     "CALLDATALOAD", "CALLDATASIZE", "CALLER", "CALLVALUE", "ADDRESS",
+     "ORIGIN", "TIMESTAMP", "NUMBER", "CHAINID", "GASPRICE"]
+)
+
+class Erays:
+    """Bytecode -> three-address IR, block by block.
+
+    Within a block the symbolic stack is tracked exactly; values
+    flowing in from predecessors appear as ``in<k>`` symbols, matching
+    how Erays presents register-based code.  ``lift(fold=True)``
+    additionally inlines single-use pure definitions into their user,
+    producing the nested human-readable expressions Erays is known for
+    (``v5 = EQ(0xa9059cbb, DIV(CALLDATALOAD(0x0), 0x1...))``).
+    """
+
+    def lift(self, bytecode: bytes, fold: bool = False) -> LiftedContract:
+        lifted = self._lift_flat(bytecode)
+        if fold:
+            for block in lifted.blocks:
+                block.statements = _fold_block(block.statements)
+        return lifted
+
+    def _lift_flat(self, bytecode: bytes) -> LiftedContract:
+        cfg = build_cfg(bytecode)
+        blocks: List[IRFunction] = []
+        counter = 0
+        for start in sorted(cfg.blocks):
+            block = cfg.blocks[start]
+            ir = IRFunction(start=start)
+            stack: List[str] = []
+            in_count = 0
+
+            def pop() -> str:
+                nonlocal in_count
+                if stack:
+                    return stack.pop()
+                in_count += 1
+                return f"in{in_count}"
+
+            for ins in block.instructions:
+                counter, stmt = self._lift_instruction(ins, stack, pop, counter)
+                if stmt is not None:
+                    ir.statements.append(stmt)
+            blocks.append(ir)
+        return LiftedContract(blocks)
+
+    @staticmethod
+    def _lift_instruction(ins: Instruction, stack, pop, counter: int):
+        op = ins.op
+        name = op.name
+        if op.is_push:
+            stack.append(f"{(ins.operand or 0):#x}")
+            return counter, None
+        if op.is_dup:
+            n = op.code - 0x7F
+            while len(stack) < n:
+                stack.insert(0, f"in_d{len(stack)}")
+            stack.append(stack[-n])
+            return counter, None
+        if op.is_swap:
+            n = op.code - 0x8F
+            while len(stack) < n + 1:
+                stack.insert(0, f"in_s{len(stack)}")
+            stack[-1], stack[-n - 1] = stack[-n - 1], stack[-1]
+            return counter, None
+        if name in ("POP", "JUMPDEST"):
+            if name == "POP":
+                pop()
+            return counter, None
+        args = tuple(pop() for _ in range(op.pops))
+        if op.pushes:
+            counter += 1
+            dest = f"v{counter}"
+            stack.append(dest)
+            return counter, IRStatement(dest, name, args, ins.pc)
+        return counter, IRStatement(None, name, args, ins.pc)
+
+
+def _fold_block(statements: List[IRStatement]) -> List[IRStatement]:
+    """Inline single-use pure definitions into their (later) user.
+
+    Every op in ``_PURE_OPS`` is arithmetic or reads immutable inputs
+    (call data, environment), so a folded definition can safely move
+    forward across any statement; memory and storage reads (MLOAD,
+    SLOAD) are deliberately not pure here.
+    """
+    use_counts: Dict[str, int] = {}
+    for stmt in statements:
+        for arg in stmt.args:
+            use_counts[arg] = use_counts.get(arg, 0) + 1
+
+    rendered: Dict[str, str] = {}  # deferred var -> expression text
+    defer_order: List[str] = []
+    out: List[IRStatement] = []
+
+    for stmt in statements:
+        args = tuple(rendered.pop(a, a) for a in stmt.args)
+        stmt = IRStatement(stmt.dest, stmt.op, args, stmt.pc)
+        if (
+            stmt.dest is not None
+            and stmt.op in _PURE_OPS
+            and use_counts.get(stmt.dest, 0) == 1
+        ):
+            rendered[stmt.dest] = f"{stmt.op}({', '.join(stmt.args)})"
+            defer_order.append(stmt.dest)
+            continue
+        out.append(stmt)
+
+    # Definitions whose single use lives in a *different* block must
+    # stay visible as explicit assignments.
+    for var in defer_order:
+        if var in rendered:
+            out.append(IRStatement(var, "EXPR", (rendered[var],), -1))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Erays+
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EraysPlusResult:
+    text: str
+    added_types: int = 0
+    added_param_names: int = 0
+    added_num_names: int = 0
+    removed_lines: int = 0
+
+
+class EraysPlus:
+    """Signature-aware IR cleanup."""
+
+    def __init__(self, signatures: Sequence[RecoveredSignature]) -> None:
+        self.signatures = list(signatures)
+
+    def enhance(self, bytecode: bytes) -> EraysPlusResult:
+        lifted = Erays().lift(bytecode)
+        result = EraysPlusResult(text="")
+
+        # Per-function head-slot tables: each dispatcher target starts a
+        # body region, and blocks in that region resolve slots against
+        # that function's recovered signature.
+        from repro.abi.types import parse_type
+
+        def slot_table(sig) -> Dict[int, Tuple[str, str]]:
+            table: Dict[int, Tuple[str, str]] = {}
+            pos = 4
+            for i, type_str in enumerate(sig.param_types, start=1):
+                table[pos] = (f"arg{i}", type_str)
+                try:
+                    pos += parse_type(type_str).head_size()
+                except ValueError:
+                    pos += 32
+            return table
+
+        by_selector = {sig.selector: sig for sig in self.signatures}
+        regions: List[Tuple[int, Dict[int, Tuple[str, str]]]] = []
+        for target, selector_value in _dispatch_targets(bytecode):
+            sig = by_selector.get(selector_value)
+            if sig is not None:
+                regions.append((target, slot_table(sig)))
+        regions.sort()
+
+        def slots_for(block_start: int) -> Dict[int, Tuple[str, str]]:
+            active: Dict[int, Tuple[str, str]] = {}
+            for target, table in regions:
+                if target <= block_start:
+                    active = table
+                else:
+                    break
+            return active
+
+        renames: Dict[str, str] = {}
+        removable: Set[str] = set()
+        out_blocks: List[str] = []
+
+        annotated_slots: Set[Tuple[int, int]] = set()
+        for block in lifted.blocks:
+            slot_names = slots_for(block.start)
+            region_key = id(slot_names)
+            lines: List[str] = [f"block_{block.start:#x}:"]
+            arg_vars: Set[str] = set()
+            defs: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+            for stmt in block.statements:
+                args = tuple(renames.get(a, a) for a in stmt.args)
+                if stmt.dest is not None:
+                    defs[stmt.dest] = (stmt.op, args)
+                # Copy of a static-array parameter into memory: annotate
+                # the copy with the argument's name and type.  The source
+                # may be computed (base + loop offsets); trace its
+                # constant term through the block-local definitions.
+                if stmt.op == "CALLDATACOPY" and len(args) == 3:
+                    src = _const_term(args[1], defs)
+                    if src is not None and src in slot_names:
+                        arg_name, type_str = slot_names[src]
+                        lines.append(
+                            f"  memory[{args[0]}] = {arg_name}: {type_str} "
+                            f"(calldatacopy)"
+                        )
+                        if (region_key, src) not in annotated_slots:
+                            annotated_slots.add((region_key, src))
+                            result.added_types += 1
+                            result.added_param_names += 1
+                        continue
+                # Calldata head read -> named, typed argument.
+                if stmt.op == "CALLDATALOAD" and len(args) == 1 and _is_hex(args[0]):
+                    slot = int(args[0], 16)
+                    if slot in slot_names and stmt.dest is not None:
+                        arg_name, type_str = slot_names[slot]
+                        renames[stmt.dest] = arg_name
+                        arg_vars.add(arg_name)
+                        lines.append(
+                            f"  {arg_name}: {type_str} = calldata[{args[0]}]"
+                        )
+                        result.added_types += 1
+                        result.added_param_names += 1
+                        continue
+                # Offset/num dereference -> num(argN).
+                if stmt.op == "CALLDATALOAD" and len(args) == 1 and stmt.dest:
+                    inner = args[0]
+                    if any(name in inner for name in arg_vars) or inner.startswith(
+                        ("num(", "offset(")
+                    ):
+                        new_name = f"num({inner})"
+                        renames[stmt.dest] = new_name
+                        lines.append(f"  {new_name} = calldata[{inner}]")
+                        result.added_num_names += 1
+                        continue
+                # Parameter-access plumbing: masks and address arithmetic
+                # whose inputs are an argument and constants only.
+                if (
+                    stmt.dest is not None
+                    and stmt.op in ("AND", "SIGNEXTEND", "ADD", "MUL", "SUB",
+                                    "ISZERO", "LT", "GT")
+                    and args
+                    and all(
+                        _is_hex(a) or a in arg_vars or a in removable
+                        or a.startswith(("num(", "offset("))
+                        for a in args
+                    )
+                    and any(not _is_hex(a) for a in args)
+                ):
+                    removable.add(stmt.dest)
+                    renames[stmt.dest] = (
+                        next(a for a in args if not _is_hex(a))
+                    )
+                    result.removed_lines += 1
+                    continue
+                rendered_dest = stmt.dest
+                call = f"{stmt.op}({', '.join(args)})"
+                if rendered_dest is not None:
+                    lines.append(f"  {rendered_dest} = {call}")
+                else:
+                    lines.append(f"  {call}")
+            out_blocks.append("\n".join(lines))
+
+        result.text = "\n".join(out_blocks)
+        return result
+
+
+def _dispatch_targets(bytecode: bytes) -> List[Tuple[int, int]]:
+    """(body start pc, selector) pairs from the dispatcher's EQ chain."""
+    from repro.evm.disasm import disassemble as _disassemble
+
+    instructions = _disassemble(bytecode)
+    targets: List[Tuple[int, int]] = []
+    for i, ins in enumerate(instructions):
+        if (
+            ins.op.is_push
+            and ins.op.immediate_size == 4
+            and i + 3 < len(instructions)
+            and instructions[i + 1].op.name == "EQ"
+            and instructions[i + 2].op.is_push
+            and instructions[i + 3].op.name == "JUMPI"
+        ):
+            targets.append((instructions[i + 2].operand or 0, ins.operand or 0))
+    return targets
+
+
+def _is_hex(text: str) -> bool:
+    return text.startswith("0x")
+
+
+def _const_term(var: str, defs, depth: int = 8):
+    """The constant addend of a value, traced through ADD definitions.
+
+    Returns None when the value has no constant contribution at all
+    (e.g. a bare loop counter), so that unrelated copies are not
+    annotated as parameters.
+    """
+    if depth == 0:
+        return None
+    if _is_hex(var):
+        return int(var, 16)
+    definition = defs.get(var)
+    if definition is None:
+        return 0  # unknown symbol: contributes nothing
+    op, args = definition
+    if op == "ADD" and len(args) == 2:
+        left = _const_term(args[0], defs, depth - 1)
+        right = _const_term(args[1], defs, depth - 1)
+        if left is None and right is None:
+            return None
+        return (left or 0) + (right or 0)
+    if op == "MUL":
+        return 0  # scaled loop offsets: no constant term
+    return None

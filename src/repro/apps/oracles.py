@@ -1,0 +1,112 @@
+"""Vulnerability oracles over message-call traces (§6.2's substrate).
+
+ContractFuzzer detects vulnerabilities with *test oracles* evaluated on
+execution behaviour.  This module implements the trace-level members of
+that taxonomy against :class:`repro.chain.machine.CallMachine` traces:
+
+* **exception disorder** — an inner call failed but the enclosing
+  transaction succeeded: some caller ignored a callee's failure;
+* **reentrancy** — a contract is entered again while one of its frames
+  is still live (the DAO shape: external call before state settlement);
+* **dangerous delegatecall** — a DELEGATECALL whose target address was
+  supplied by the transaction's input data.
+
+Each oracle takes the transaction's call trace (plus the call data for
+the delegatecall oracle) and returns a finding or None.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.chain.machine import CallTraceEntry
+
+
+@dataclass(frozen=True)
+class Finding:
+    oracle: str
+    detail: str
+
+
+def exception_disorder(
+    trace: Sequence[CallTraceEntry], root_success: bool
+) -> Optional[Finding]:
+    """An inner frame failed, yet the transaction went through."""
+    if not root_success:
+        return None
+    for entry in trace:
+        if entry.depth > 0 and not entry.success:
+            return Finding(
+                "exception_disorder",
+                f"call to {entry.to:#x} at depth {entry.depth} failed but "
+                f"the transaction succeeded",
+            )
+    return None
+
+
+def reentrancy(trace: Sequence[CallTraceEntry]) -> Optional[Finding]:
+    """A contract is re-entered *and* pays out more than once.
+
+    Re-entry alone is common and often harmless (a guarded withdraw is
+    re-entered but pays nothing the second time); the exploitable shape
+    — ContractFuzzer's oracle — is a re-entered contract that sends
+    value in more than one of its frames, i.e. the stale-state drain.
+
+    The trace records frames in completion order with their depth: a
+    contract appearing at depths d1 < d2 ran again while its shallower
+    frame was still on the call stack.
+    """
+    depths_by_contract = {}
+    for entry in trace:
+        if entry.kind not in ("call", "callcode"):
+            continue
+        depths_by_contract.setdefault(entry.to, set()).add(entry.depth)
+    details = []
+    for contract, depths in sorted(depths_by_contract.items()):
+        if len(depths) < 2:
+            continue
+        payouts = [
+            e.value
+            for e in trace
+            if e.sender == contract and e.kind == "call" and e.value > 0
+        ]
+        if len(payouts) >= 2:
+            details.append(
+                f"{contract:#x} re-entered at depths {sorted(depths)} and "
+                f"paid out {len(payouts)} times (total {sum(payouts)})"
+            )
+    if details:
+        return Finding("reentrancy", "; ".join(details))
+    return None
+
+
+def dangerous_delegatecall(
+    trace: Sequence[CallTraceEntry], calldata: bytes
+) -> Optional[Finding]:
+    """A DELEGATECALL target controlled by the transaction input."""
+    words = {
+        int.from_bytes(calldata[i : i + 32], "big") & ((1 << 160) - 1)
+        for i in range(4, max(4, len(calldata) - 31), 32)
+    }
+    for entry in trace:
+        if entry.kind == "delegatecall" and entry.to in words:
+            return Finding(
+                "dangerous_delegatecall",
+                f"delegatecall target {entry.to:#x} came from the call data",
+            )
+    return None
+
+
+def run_all_oracles(
+    trace: Sequence[CallTraceEntry], root_success: bool, calldata: bytes
+) -> List[Finding]:
+    findings = []
+    for finding in (
+        exception_disorder(trace, root_success),
+        reentrancy(trace),
+        dangerous_delegatecall(trace, calldata),
+    ):
+        if finding is not None:
+            findings.append(finding)
+    return findings

@@ -1,0 +1,247 @@
+"""ParChecker: detecting invalid actual arguments (paper §6.1).
+
+Given recovered function signatures, ParChecker validates the call data
+of a transaction: is every actual argument encoded according to the ABI
+specification?  It applies the padding rules of Table 6 (derived from
+§2's per-type padding schemes) to basic types and static arrays, and
+structural checks (offset field, num field, tail padding) to dynamic
+types.  On top of that it recognizes the *short address attack*: a
+``transfer(address,uint256)`` invocation whose arguments are shorter
+than 64 bytes, so that the EVM's implicit zero-padding shifts the
+amount left and multiplies it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.abi.codec import AbiCodecError, decode, encode, encode_call
+from repro.abi.signature import FunctionSignature
+from repro.abi.types import AbiType, parse_type
+
+TRANSFER_SELECTOR = 0xA9059CBB  # transfer(address,uint256)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of validating one transaction's call data."""
+
+    valid: bool
+    known_function: bool
+    selector: Optional[int] = None
+    issues: List[str] = field(default_factory=list)
+    short_address_attack: bool = False
+
+
+class ParChecker:
+    """Validates call data against recovered signatures.
+
+    ``signatures`` maps function ids to parameter type lists — either
+    strings ("address,uint256") or sequences of :class:`AbiType`.
+    Typically built from SigRec's output::
+
+        recovered = SigRec().recover_map(bytecode)
+        checker = ParChecker({s: r.param_list for s, r in recovered.items()})
+    """
+
+    def __init__(self, signatures: Dict[int, object]) -> None:
+        self._types: Dict[int, List[AbiType]] = {}
+        for selector, params in signatures.items():
+            self._types[selector] = _as_types(params)
+
+    def check(self, calldata: bytes) -> CheckResult:
+        if len(calldata) < 4:
+            return CheckResult(
+                valid=False, known_function=False,
+                issues=["call data shorter than a function id"],
+            )
+        selector = int.from_bytes(calldata[:4], "big")
+        types = self._types.get(selector)
+        if types is None:
+            return CheckResult(valid=True, known_function=False, selector=selector)
+
+        result = CheckResult(valid=True, known_function=True, selector=selector)
+        body = calldata[4:]
+
+        if self._is_short_address_attack(selector, types, body):
+            result.valid = False
+            result.short_address_attack = True
+            result.issues.append(
+                "short address attack: truncated address borrows the "
+                "amount's padding"
+            )
+            return result
+
+        try:
+            decode(types, body, strict=True)
+        except AbiCodecError as exc:
+            result.valid = False
+            result.issues.append(str(exc))
+        return result
+
+    @staticmethod
+    def _is_short_address_attack(
+        selector: int, types: Sequence[AbiType], body: bytes
+    ) -> bool:
+        """§6.1's detection recipe for transfer-style functions.
+
+        The arguments should be exactly 64 bytes (address + uint256).
+        If ``len < 64``, the EVM pads with zeros on the right; the
+        attack works when the *highest* ``64 - len`` bytes of the final
+        32-byte word are zeros, i.e. the amount's leading zeros were
+        consumed to complete the address.
+        """
+        if selector != TRANSFER_SELECTOR or len(types) != 2:
+            return False
+        expected = 64
+        if len(body) >= expected or len(body) <= 32:
+            return False
+        missing = expected - len(body)
+        last_word = body[-32:] if len(body) >= 32 else body
+        return all(b == 0 for b in last_word[:missing])
+
+
+def _as_types(params: object) -> List[AbiType]:
+    if isinstance(params, str):
+        if not params:
+            return []
+        return [parse_type(p) for p in _split_top(params)]
+    return [p if isinstance(p, AbiType) else parse_type(str(p)) for p in params]  # type: ignore[union-attr]
+
+
+def _split_top(text: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    parts.append(current)
+    return parts
+
+
+@dataclass
+class ScanReport:
+    """Aggregate result of auditing a chain's mined transactions."""
+
+    blocks_scanned: int = 0
+    transactions_scanned: int = 0
+    invalid: int = 0
+    short_address_attacks: int = 0
+    unknown_function: int = 0
+    flagged: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def invalid_ratio(self) -> float:
+        if not self.transactions_scanned:
+            return 0.0
+        return self.invalid / self.transactions_scanned
+
+
+def scan_chain(chain, checker: "ParChecker") -> ScanReport:
+    """Audit every message-call transaction in every mined block.
+
+    The §6.1 pipeline as a reusable call: iterate the chain's blocks,
+    validate each transaction's call data against the recovered
+    signatures, and aggregate.
+    """
+    report = ScanReport()
+    for block in chain.blocks:
+        report.blocks_scanned += 1
+        for tx in block.transactions:
+            if tx.is_create:
+                continue
+            report.transactions_scanned += 1
+            result = checker.check(tx.data)
+            if result.known_function is False and result.valid:
+                report.unknown_function += 1
+            if not result.valid:
+                report.invalid += 1
+                report.flagged.append(result)
+            if result.short_address_attack:
+                report.short_address_attacks += 1
+    return report
+
+
+# ----------------------------------------------------------------------
+# Malformation synthesis (for the §6.1 experiment)
+# ----------------------------------------------------------------------
+
+CORRUPTION_KINDS = (
+    "short_address",
+    "dirty_uint_padding",
+    "dirty_bytes_padding",
+    "bad_bool",
+    "truncated_tail",
+    "bad_offset",
+)
+
+
+def corrupt_calldata(
+    sig: FunctionSignature, values: Sequence[object], kind: str, rng: random.Random
+) -> Optional[bytes]:
+    """Produce invalid call data of the requested kind, or None when the
+    signature cannot host that malformation."""
+    types = list(sig.params)
+    data = bytearray(encode_call(sig.selector, types, values))
+
+    if kind == "short_address":
+        # Only meaningful for transfer(address,uint256).
+        if sig.selector_hex != "0xa9059cbb":
+            return None
+        # Drop the address's trailing byte (attacker addresses end in
+        # zeros): everything after shifts left and the EVM right-pads
+        # the amount, multiplying it by 256.
+        return bytes(data[:35] + data[36:])
+
+    if kind == "dirty_uint_padding":
+        for i, t in enumerate(types):
+            canonical = t.canonical()
+            if canonical.startswith("uint") and canonical != "uint256":
+                head = 4 + sum(x.head_size() for x in types[:i])
+                data[head] = 0xFF  # dirty the high-order padding byte
+                return bytes(data)
+        return None
+
+    if kind == "dirty_bytes_padding":
+        for i, t in enumerate(types):
+            canonical = t.canonical()
+            if canonical.startswith("bytes") and canonical not in ("bytes", "bytes32"):
+                head = 4 + sum(x.head_size() for x in types[:i])
+                data[head + 31] = 0xFF  # dirty the low-order padding byte
+                return bytes(data)
+        return None
+
+    if kind == "bad_bool":
+        for i, t in enumerate(types):
+            if t.canonical() == "bool":
+                head = 4 + sum(x.head_size() for x in types[:i])
+                data[head + 31] = rng.randint(2, 255)
+                return bytes(data)
+        return None
+
+    if kind == "truncated_tail":
+        if not any(t.is_dynamic for t in types):
+            return None
+        if len(data) <= 36:
+            return None
+        return bytes(data[: len(data) - 32])
+
+    if kind == "bad_offset":
+        for i, t in enumerate(types):
+            if t.is_dynamic:
+                head = 4 + sum(x.head_size() for x in types[:i])
+                data[head:head + 32] = (10**9).to_bytes(32, "big")
+                return bytes(data)
+        return None
+
+    raise ValueError(f"unknown corruption kind: {kind}")

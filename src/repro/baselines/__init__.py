@@ -1,0 +1,32 @@
+"""Baseline tools the paper compares against (§5.6).
+
+The real tools fall into two families, both reproduced structurally:
+
+* **database lookups** (OSD, EBD, JEB) — they know exactly the
+  signatures recorded in a database such as EFSD and nothing else;
+* **database + simple heuristics** (Eveem, Gigahorse) — on a database
+  miss they fall back to crude rules that recover parameter counts but
+  mangle types, abort on some contracts, and emit the error classes the
+  paper catalogues (nonexistent widths, merged or phantom parameters).
+"""
+
+from repro.baselines.efsd import SignatureDatabase, build_efsd
+from repro.baselines.syntactic import SyntacticMatcher
+from repro.baselines.tools import (
+    BaselineTool,
+    DatabaseTool,
+    EveemLike,
+    GigahorseLike,
+    RecoveryOutput,
+)
+
+__all__ = [
+    "SignatureDatabase",
+    "build_efsd",
+    "BaselineTool",
+    "DatabaseTool",
+    "EveemLike",
+    "GigahorseLike",
+    "SyntacticMatcher",
+    "RecoveryOutput",
+]

@@ -1,0 +1,173 @@
+"""Baseline recovery tools (OSD / EBD / JEB / Eveem / Gigahorse).
+
+All expose ``recover(bytecode) -> RecoveryOutput`` mapping each function
+id found in the dispatcher to a recovered parameter-list string (or None
+when the tool has no answer).  Error behaviours follow the paper's
+observations:
+
+* pure database tools answer only for selectors in their database;
+* Eveem falls back to simple heuristics that find parameter counts but
+  type everything 32-byte-looking as ``uint256`` (the paper: "Eveem
+  uses its simple rules to infer parameter types if it cannot find
+  function signatures from EFSD");
+* Gigahorse adds the catalogued failure modes: occasional aborts,
+  nonexistent widths (``uint2304``), merged consecutive parameters,
+  phantom extras and dropped parameters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines.efsd import SignatureDatabase
+from repro.sigrec.engine import TASEEngine
+from repro.sigrec.selectors import extract_selectors
+
+
+@dataclass
+class RecoveryOutput:
+    """What one tool produced for one contract."""
+
+    aborted: bool = False
+    # selector -> parameter list string ("uint256,address") or None.
+    functions: Dict[int, Optional[str]] = field(default_factory=dict)
+
+
+class BaselineTool:
+    """Interface shared by all baselines."""
+
+    name = "baseline"
+
+    def recover(self, bytecode: bytes) -> RecoveryOutput:  # pragma: no cover
+        raise NotImplementedError
+
+
+class DatabaseTool(BaselineTool):
+    """OSD / EBD / JEB: selector extraction + database lookup only."""
+
+    def __init__(self, name: str, db: SignatureDatabase) -> None:
+        self.name = name
+        self.db = db
+
+    def recover(self, bytecode: bytes) -> RecoveryOutput:
+        output = RecoveryOutput()
+        for selector in extract_selectors(bytecode):
+            output.functions[selector] = self.db.lookup_params(selector)
+        return output
+
+
+def _crude_param_count(bytecode: bytes, selector: int) -> List[str]:
+    """Shared heuristic core: head-slot counting via a shallow TASE run.
+
+    Finds roughly how many 32-byte head slots the function touches and
+    calls every one a uint256 — dynamic types are reported as ``bytes``
+    when an offset dereference is obvious.  This deliberately reproduces
+    the *class* of inference simple tools do, not SigRec's rules.
+    """
+    engine = TASEEngine(bytecode, max_total_steps=60_000, max_paths=128)
+    result = engine.run()
+    events = result.functions.get(selector)
+    if events is None:
+        return []
+    heads: Dict[int, str] = {}
+    offset_bases = []
+    address_mask = (1 << 160) - 1
+    for load in events.loads:
+        if load.loc.is_const and load.loc.value >= 4 and (load.loc.value - 4) % 32 == 0:
+            kind = "uint256"
+            # Eveem's rules do recognize the 20-byte address mask.
+            for use in events.uses:
+                if (
+                    use.kind == "and_mask"
+                    and use.operand == address_mask
+                    and ("cd", load.loc.value) in use.labels
+                ):
+                    kind = "address"
+            heads[load.loc.value] = kind
+            offset_bases.append((load.loc.value, load.result))
+    for loc_value, base in offset_bases:
+        derived = any(
+            other.loc.contains(base) for other in events.loads
+        ) or any(
+            copy.src.contains(base) or copy.length.contains(base)
+            for copy in events.copies
+        )
+        if derived:
+            heads[loc_value] = "bytes"
+    return [heads[k] for k in sorted(heads)]
+
+
+class EveemLike(BaselineTool):
+    """Eveem: EFSD lookup, then simple heuristic rules on a miss."""
+
+    name = "eveem"
+
+    def __init__(self, db: SignatureDatabase, miss_rate: float = 0.01,
+                 seed: int = 7) -> None:
+        self.db = db
+        self._rng = random.Random(seed)
+        self.miss_rate = miss_rate  # functions it fails to produce at all
+
+    def recover(self, bytecode: bytes) -> RecoveryOutput:
+        output = RecoveryOutput()
+        for selector in extract_selectors(bytecode):
+            hit = self.db.lookup_params(selector)
+            if hit is not None:
+                output.functions[selector] = hit
+                continue
+            if self._rng.random() < self.miss_rate:
+                output.functions[selector] = None
+                continue
+            params = _crude_param_count(bytecode, selector)
+            output.functions[selector] = ",".join(params)
+        return output
+
+
+class GigahorseLike(BaselineTool):
+    """Gigahorse: database + lifting heuristics with catalogued errors."""
+
+    name = "gigahorse"
+
+    def __init__(self, db: SignatureDatabase, abort_rate: float = 0.034,
+                 db_miss_rate: float = 0.05, seed: int = 11) -> None:
+        self.db = db
+        self.abort_rate = abort_rate
+        self.db_miss_rate = db_miss_rate  # "fails to recover some
+        # function signatures even they are recorded in EFSD"
+        self._rng = random.Random(seed)
+
+    def recover(self, bytecode: bytes) -> RecoveryOutput:
+        output = RecoveryOutput()
+        if self._rng.random() < self.abort_rate:
+            output.aborted = True
+            return output
+        for selector in extract_selectors(bytecode):
+            hit = self.db.lookup_params(selector)
+            if hit is not None and self._rng.random() > self.db_miss_rate:
+                output.functions[selector] = hit
+                continue
+            params = _crude_param_count(bytecode, selector)
+            output.functions[selector] = self._mangle(params)
+        return output
+
+    def _mangle(self, params: List[str]) -> str:
+        """Inject the four error classes §5.6 catalogues."""
+        rng = self._rng
+        params = list(params)
+        roll = rng.random()
+        if params and roll < 0.25:
+            # Wrong, possibly nonexistent width (e.g. uint2304).
+            index = rng.randrange(len(params))
+            params[index] = f"uint{rng.choice([2304, 3228, 8, 32]) }"
+        elif len(params) >= 2 and roll < 0.45:
+            # Merge consecutive parameters into one nonexistent type.
+            index = rng.randrange(len(params) - 1)
+            merged_width = 256 * 2 + rng.randrange(4) * 8
+            params[index : index + 2] = [f"uint{merged_width}"]
+        elif roll < 0.6:
+            params.append("uint256")  # phantom extra parameter
+        elif params and roll < 0.75:
+            params.pop(rng.randrange(len(params)))  # dropped parameter
+        return ",".join(params)

@@ -1,0 +1,25 @@
+"""A miniature Ethereum: world state, message calls, blocks.
+
+The paper's §6.1 experiment scans 91M transactions across 556k blocks;
+this package is the corresponding substrate: a world state of accounts
+(balance, nonce, code, storage), a message-call machine that executes
+CALL/DELEGATECALL/STATICCALL/CREATE *for real* (re-entrant, with state
+rollback on failure), contract deployment through init code, and a
+chain that mines transactions into blocks.
+"""
+
+from repro.chain.state import Account, WorldState
+from repro.chain.machine import CallMachine, Message
+from repro.chain.chain import Block, Chain, Receipt, Transaction, make_init_code
+
+__all__ = [
+    "Account",
+    "WorldState",
+    "CallMachine",
+    "Message",
+    "Chain",
+    "Block",
+    "Transaction",
+    "Receipt",
+    "make_init_code",
+]

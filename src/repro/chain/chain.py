@@ -1,0 +1,151 @@
+"""Blocks, transactions and a chain to mine them into.
+
+The §6.1 experiment's substrate: deploy contracts (through init code),
+send transactions, mine them into blocks, and later scan the blocks'
+transactions — exactly the shape of the paper's "analyze all
+transactions in 556,361 blocks" pipeline, at simulation scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.chain.machine import CallMachine, Message
+from repro.chain.state import WorldState
+from repro.evm.asm import Assembler
+
+
+def make_init_code(runtime: bytes) -> bytes:
+    """Wrap runtime bytecode in a constructor that returns it.
+
+    The standard deployment prologue: copy the appended runtime code to
+    memory and RETURN it; the EVM installs whatever the init code
+    returns as the account's code.
+    """
+    asm = Assembler()
+    asm.push(len(runtime))  # length
+    asm.push_label("runtime")  # code offset of the payload
+    asm.push(0)  # memory destination
+    asm.op("CODECOPY")
+    asm.push(len(runtime)).push(0).op("RETURN")
+    asm.label("runtime")
+    asm.raw(runtime)
+    return asm.assemble()
+
+
+@dataclass(frozen=True)
+class Transaction:
+    sender: int
+    to: Optional[int]  # None -> contract creation
+    data: bytes = b""
+    value: int = 0
+
+    @property
+    def is_create(self) -> bool:
+        return self.to is None
+
+
+@dataclass
+class Receipt:
+    transaction: Transaction
+    success: bool
+    return_data: bytes = b""
+    error: Optional[str] = None
+    contract_address: Optional[int] = None
+    gas_used: int = 0
+    logs: List[bytes] = field(default_factory=list)
+
+
+@dataclass
+class Block:
+    number: int
+    transactions: List[Transaction] = field(default_factory=list)
+    receipts: List[Receipt] = field(default_factory=list)
+
+
+class Chain:
+    """A single-node chain: state + ordered blocks."""
+
+    def __init__(self) -> None:
+        self.state = WorldState()
+        self.blocks: List[Block] = []
+        self._machine = CallMachine(self.state)
+        self._pending: List[Transaction] = []
+        self._pending_receipts: List[Receipt] = []
+
+    # ------------------------------------------------------------------
+
+    def fund(self, address: int, amount: int) -> None:
+        """Credit an externally-owned account (the faucet)."""
+        self.state.account(address).balance += amount
+
+    def deploy(self, runtime: bytes, sender: int = 0xFA0CE7,
+               value: int = 0) -> int:
+        """Deploy runtime bytecode (wrapped in init code); returns the
+        new contract's address.  The deployment transaction is recorded
+        in the pending block."""
+        init_code = make_init_code(runtime)
+        tx = Transaction(sender=sender, to=None, data=init_code, value=value)
+        receipt = self._apply(tx)
+        if not receipt.success:
+            raise RuntimeError(f"deployment failed: {receipt.error}")
+        assert receipt.contract_address is not None
+        return receipt.contract_address
+
+    def send(self, tx: Transaction) -> Receipt:
+        """Execute a transaction; it joins the pending block."""
+        return self._apply(tx)
+
+    def call(self, to: int, data: bytes, sender: int = 0xCA11E4,
+             value: int = 0) -> Receipt:
+        """Convenience: build and send a message-call transaction."""
+        return self.send(Transaction(sender=sender, to=to, data=data, value=value))
+
+    def mine(self) -> Block:
+        """Seal the pending transactions into a block."""
+        block = Block(
+            number=len(self.blocks),
+            transactions=list(self._pending),
+            receipts=list(self._pending_receipts),
+        )
+        self.blocks.append(block)
+        self._pending.clear()
+        self._pending_receipts.clear()
+        return block
+
+    def code_at(self, address: int) -> bytes:
+        return self.state.account(address).code
+
+    @property
+    def transaction_count(self) -> int:
+        return sum(len(b.transactions) for b in self.blocks) + len(self._pending)
+
+    # ------------------------------------------------------------------
+
+    def _apply(self, tx: Transaction) -> Receipt:
+        if tx.is_create:
+            result, address = self._machine.create(tx.sender, tx.value, tx.data)
+            receipt = Receipt(
+                transaction=tx,
+                success=result.success,
+                return_data=b"",
+                error=result.error,
+                contract_address=address if result.success else None,
+                gas_used=result.gas_used,
+            )
+        else:
+            result = self._machine.execute(
+                Message(sender=tx.sender, to=tx.to, value=tx.value, data=tx.data)
+            )
+            receipt = Receipt(
+                transaction=tx,
+                success=result.success,
+                return_data=result.return_data,
+                error=result.error,
+                gas_used=result.gas_used,
+                logs=result.logs,
+            )
+        self._pending.append(tx)
+        self._pending_receipts.append(receipt)
+        return receipt

@@ -1,0 +1,216 @@
+"""The message-call machine: real cross-contract execution.
+
+Wires the single-contract interpreter into the world state: when a
+contract executes CALL / CALLCODE / DELEGATECALL / STATICCALL / CREATE,
+the machine recursively runs the callee against the state, with
+
+* value transfer (rolled back when the callee fails),
+* per-call storage isolation (the callee's writes commit only on
+  success),
+* re-entrancy (a callee may call back into its caller),
+* a call-depth limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.chain.state import WorldState
+from repro.evm.interpreter import ExecutionResult, Interpreter
+
+
+@dataclass
+class Message:
+    """One message call."""
+
+    sender: int
+    to: Optional[int]  # None -> contract creation
+    value: int = 0
+    data: bytes = b""
+
+
+@dataclass
+class CallTraceEntry:
+    """One frame in the (flattened) call trace of a transaction."""
+
+    kind: str
+    sender: int
+    to: int
+    value: int
+    depth: int
+    success: bool
+
+
+class CallDepthExceeded(Exception):
+    pass
+
+
+class CallMachine:
+    """Executes messages against a :class:`WorldState`."""
+
+    def __init__(self, state: WorldState, max_depth: int = 16,
+                 max_steps: int = 200_000) -> None:
+        self.state = state
+        self.max_depth = max_depth
+        self.max_steps = max_steps
+        self.trace: List[CallTraceEntry] = []
+
+    # ------------------------------------------------------------------
+
+    def execute(self, message: Message) -> ExecutionResult:
+        """Run one top-level message (a transaction's execution)."""
+        self.trace = []
+        if message.to is None:
+            result, _address = self._create(
+                message.sender, message.value, message.data, depth=0
+            )
+            return result
+        return self._call(
+            "call", message.sender, message.to, message.to,
+            message.value, message.data, depth=0,
+        )
+
+    def create(self, sender: int, value: int, init_code: bytes) -> Tuple[ExecutionResult, int]:
+        """Deploy a contract; returns (init execution result, address)."""
+        self.trace = []
+        return self._create(sender, value, init_code, depth=0)
+
+    # ------------------------------------------------------------------
+
+    def _call(
+        self,
+        kind: str,
+        sender: int,
+        code_address: int,
+        storage_address: int,
+        value: int,
+        data: bytes,
+        depth: int,
+    ) -> ExecutionResult:
+        if depth > self.max_depth:
+            result = ExecutionResult(success=False, error="CallDepthExceeded")
+            return result
+
+        snapshot = self.state.snapshot()
+        if not self.state.transfer(sender, storage_address, value):
+            return ExecutionResult(success=False, error="InsufficientBalance")
+
+        code_account = self.state.account(code_address)
+        storage_account = self.state.account(storage_address)
+        if not code_account.code:
+            # Plain value transfer to an EOA (or empty account).
+            result = ExecutionResult(success=True)
+            self.trace.append(
+                CallTraceEntry(kind, sender, storage_address, value, depth, True)
+            )
+            return result
+
+        interpreter_cell = {}
+
+        def handler(inner_kind: str, to: int, inner_value: int, payload: bytes):
+            interpreter = interpreter_cell.get("i")
+            if interpreter is not None:
+                # Make this frame's in-flight storage writes visible to
+                # the callee (re-entrant reads see them, as on mainnet).
+                self.state.account(storage_address).storage = dict(
+                    interpreter.storage
+                )
+            outcome = self._dispatch_inner(
+                inner_kind, storage_address, to, inner_value, payload, depth + 1
+            )
+            if interpreter is not None:
+                # And pick up whatever the callee (possibly re-entrantly)
+                # wrote to this frame's storage.
+                interpreter.storage = dict(
+                    self.state.account(storage_address).storage
+                )
+            return outcome
+
+        interpreter = Interpreter(
+            code_account.code,
+            storage=storage_account.storage,
+            max_steps=self.max_steps,
+            call_handler=handler,
+        )
+        interpreter_cell["i"] = interpreter
+        result = interpreter.call(
+            data, caller=sender, callvalue=value, address=storage_address
+        )
+        if result.success:
+            # Commit the callee's storage.  Re-fetch the account: a
+            # rolled-back inner call rebuilt the account objects.
+            self.state.account(storage_address).storage = interpreter.storage
+        else:
+            self.state.restore(snapshot)
+        # For delegatecall/callcode the interesting address is the code
+        # being borrowed, not the storage context.
+        traced_to = (
+            code_address if kind in ("delegatecall", "callcode")
+            else storage_address
+        )
+        self.trace.append(
+            CallTraceEntry(kind, sender, traced_to, value, depth, result.success)
+        )
+        return result
+
+    def _dispatch_inner(
+        self, kind: str, current: int, to: int, value: int, payload: bytes,
+        depth: int,
+    ) -> Tuple[bool, bytes]:
+        if kind == "create":
+            result, address = self._create(current, value, payload, depth)
+            if not result.success:
+                return False, b""
+            return True, address.to_bytes(32, "big")
+        if kind == "call":
+            result = self._call("call", current, to, to, value, payload, depth)
+        elif kind == "callcode":
+            result = self._call("callcode", current, to, current, value,
+                                payload, depth)
+        elif kind == "delegatecall":
+            # Caller's storage AND caller's msg.sender semantics are
+            # approximated: storage context stays with the caller.
+            result = self._call("delegatecall", current, to, current, 0,
+                                payload, depth)
+        elif kind == "staticcall":
+            snapshot = self.state.snapshot()
+            result = self._call("staticcall", current, to, to, 0, payload, depth)
+            # Static calls must not mutate state: roll back writes but
+            # keep the return data.
+            self.state.restore(snapshot)
+        else:  # pragma: no cover - handler kinds are fixed
+            return False, b""
+        return result.success, result.return_data
+
+    def _create(
+        self, sender: int, value: int, init_code: bytes, depth: int
+    ) -> Tuple[ExecutionResult, int]:
+        if depth > self.max_depth:
+            return ExecutionResult(success=False, error="CallDepthExceeded"), 0
+        snapshot = self.state.snapshot()
+        address = self.state.new_contract_address(sender)
+        if not self.state.transfer(sender, address, value):
+            self.state.restore(snapshot)
+            return ExecutionResult(success=False, error="InsufficientBalance"), 0
+
+        def handler(inner_kind: str, to: int, inner_value: int, payload: bytes):
+            return self._dispatch_inner(
+                inner_kind, address, to, inner_value, payload, depth + 1
+            )
+
+        interpreter = Interpreter(
+            init_code, max_steps=self.max_steps, call_handler=handler
+        )
+        result = interpreter.call(b"", caller=sender, callvalue=value,
+                                  address=address)
+        if not result.success:
+            self.state.restore(snapshot)
+            return result, 0
+        account = self.state.account(address)
+        account.code = result.return_data
+        account.storage = interpreter.storage
+        self.trace.append(
+            CallTraceEntry("create", sender, address, value, depth, True)
+        )
+        return result, address

@@ -1,0 +1,75 @@
+"""World state: the account trie, minus the trie.
+
+Accounts map addresses to (balance, nonce, code, storage).  Snapshots
+support the EVM's transactional semantics: a failed inner call must
+roll back every state change it made, including in re-entrant calls.
+Snapshots are deep copies — simple and correct at simulation scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.evm.keccak import keccak256
+
+_ADDRESS_MASK = (1 << 160) - 1
+
+
+@dataclass
+class Account:
+    balance: int = 0
+    nonce: int = 0
+    code: bytes = b""
+    storage: Dict[int, int] = field(default_factory=dict)
+
+    def copy(self) -> "Account":
+        return Account(self.balance, self.nonce, self.code, dict(self.storage))
+
+
+class WorldState:
+    """All accounts, with snapshot/rollback."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[int, Account] = {}
+
+    def account(self, address: int) -> Account:
+        """The account at ``address``, created empty on first touch."""
+        address &= _ADDRESS_MASK
+        existing = self._accounts.get(address)
+        if existing is None:
+            existing = Account()
+            self._accounts[address] = existing
+        return existing
+
+    def exists(self, address: int) -> bool:
+        return (address & _ADDRESS_MASK) in self._accounts
+
+    def transfer(self, sender: int, recipient: int, value: int) -> bool:
+        """Move ``value`` wei; False when the sender cannot afford it."""
+        if value == 0:
+            return True
+        source = self.account(sender)
+        if source.balance < value:
+            return False
+        source.balance -= value
+        self.account(recipient).balance += value
+        return True
+
+    def new_contract_address(self, creator: int) -> int:
+        """Deterministic CREATE-style address: hash(creator, nonce)."""
+        creator_account = self.account(creator)
+        seed = creator.to_bytes(20, "big") + creator_account.nonce.to_bytes(8, "big")
+        creator_account.nonce += 1
+        return int.from_bytes(keccak256(seed)[12:], "big")
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> Dict[int, Account]:
+        return {addr: acct.copy() for addr, acct in self._accounts.items()}
+
+    def restore(self, snapshot: Dict[int, Account]) -> None:
+        self._accounts = {addr: acct.copy() for addr, acct in snapshot.items()}
+
+    def __len__(self) -> int:
+        return len(self._accounts)

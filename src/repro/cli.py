@@ -1,0 +1,317 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+recover   Recover function signatures from runtime bytecode (hex).
+ids       Extract function ids only (static scan).
+disasm    Disassemble runtime bytecode.
+lift      Lift bytecode to three-address IR; ``--plus`` enhances the IR
+          with recovered signatures (Erays+).
+check     Validate a transaction's call data against the signatures
+          recovered from the contract (ParChecker).
+selector  Compute the 4-byte function id of a canonical signature.
+
+Bytecode arguments accept a hex string (with or without ``0x``) or
+``@path`` to read a hex file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps.erays import Erays, EraysPlus
+from repro.apps.parchecker import ParChecker
+from repro.evm.disasm import disassemble, format_listing
+from repro.evm.keccak import selector as compute_selector
+from repro.sigrec.api import SigRec
+from repro.sigrec.selectors import extract_selectors
+
+
+def _read_hex(argument: str) -> bytes:
+    if argument.startswith("@"):
+        with open(argument[1:]) as handle:
+            argument = handle.read().strip()
+    argument = argument.strip()
+    if argument.startswith(("0x", "0X")):
+        argument = argument[2:]
+    try:
+        return bytes.fromhex(argument)
+    except ValueError as exc:
+        raise SystemExit(f"error: not valid hex bytecode: {exc}")
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    bytecode = _read_hex(args.bytecode)
+    tool = SigRec()
+    recovered = tool.recover(bytecode)
+    if not recovered:
+        print("no public/external functions found")
+        return 1
+    database = None
+    if args.db:
+        from repro.baselines.efsd import SignatureDatabase
+
+        database = SignatureDatabase.load(args.db)
+    for sig in recovered:
+        line = f"{sig.selector_hex}({sig.param_list})"
+        if database is not None:
+            known = database.lookup(sig.selector)
+            if known is not None:
+                name = known[: known.index("(")]
+                marker = "" if known.endswith(f"({sig.param_list})") else "  ! types differ from DB"
+                line = f"{sig.selector_hex} {name}({sig.param_list}){marker}"
+        if args.verbose:
+            confidence = "/".join(sig.confidences) or "-"
+            line += (
+                f"   [{sig.language}; confidence: {confidence}; "
+                f"rules: {', '.join(sig.fired_rules)}]"
+            )
+        print(line)
+    return 0
+
+
+def _cmd_ids(args: argparse.Namespace) -> int:
+    bytecode = _read_hex(args.bytecode)
+    for selector_value in extract_selectors(bytecode):
+        print(f"0x{selector_value:08x}")
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    print(format_listing(disassemble(_read_hex(args.bytecode))))
+    return 0
+
+
+def _cmd_lift(args: argparse.Namespace) -> int:
+    bytecode = _read_hex(args.bytecode)
+    if args.structured:
+        from repro.apps.structurer import Structurer
+
+        print(Structurer().structure(bytecode).render())
+        return 0
+    if args.plus:
+        recovered = SigRec().recover(bytecode)
+        result = EraysPlus(recovered).enhance(bytecode)
+        print(result.text)
+        print(
+            f"\n; erays+: {result.added_types} types, "
+            f"{result.added_param_names} names, "
+            f"{result.added_num_names} num names, "
+            f"{result.removed_lines} lines removed",
+            file=sys.stderr,
+        )
+    else:
+        print(Erays().lift(bytecode, fold=args.fold).render())
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    bytecode = _read_hex(args.bytecode)
+    calldata = _read_hex(args.calldata)
+    recovered = SigRec().recover_map(bytecode)
+    checker = ParChecker({s: r.param_list for s, r in recovered.items()})
+    result = checker.check(calldata)
+    if result.short_address_attack:
+        print("INVALID: short address attack detected")
+    elif not result.valid:
+        print("INVALID: " + "; ".join(result.issues))
+    elif not result.known_function:
+        print("unknown function id (cannot validate)")
+    else:
+        print("valid")
+    return 0 if result.valid else 2
+
+
+def _cmd_selector(args: argparse.Namespace) -> int:
+    print("0x" + compute_selector(args.signature).hex())
+    return 0
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    """Decode a transaction's arguments using recovered signatures."""
+    from repro.abi.codec import AbiCodecError, decode
+    from repro.abi.types import parse_type
+    from repro.apps.parchecker import _split_top
+
+    bytecode = _read_hex(args.bytecode)
+    calldata = _read_hex(args.calldata)
+    if len(calldata) < 4:
+        raise SystemExit("error: call data shorter than a function id")
+    selector_value = int.from_bytes(calldata[:4], "big")
+    recovered = SigRec().recover_map(bytecode)
+    signature = recovered.get(selector_value)
+    if signature is None:
+        print(f"0x{selector_value:08x}: unknown function")
+        return 1
+    if not signature.param_types:
+        print(f"0x{selector_value:08x}()")
+        return 0
+    types = [parse_type(t) for t in _split_top(signature.param_list)]
+    try:
+        values = decode(types, calldata[4:], strict=False)
+    except AbiCodecError as exc:
+        print(f"0x{selector_value:08x}: cannot decode arguments: {exc}")
+        return 2
+    rendered = ", ".join(
+        f"{t.canonical()}={_render_value(t, v)}" for t, v in zip(types, values)
+    )
+    print(f"0x{selector_value:08x}({rendered})")
+    return 0
+
+
+def _render_value(abi_type, value) -> str:
+    canonical = abi_type.canonical()
+    if canonical == "address":
+        return f"0x{value:040x}"
+    if isinstance(value, (bytes, bytearray)):
+        return "0x" + bytes(value).hex()
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_render_plain(v) for v in value) + "]"
+    return _render_plain(value)
+
+
+def _render_plain(value) -> str:
+    if isinstance(value, (bytes, bytearray)):
+        return "0x" + bytes(value).hex()
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_render_plain(v) for v in value) + "]"
+    if isinstance(value, str):
+        return repr(value)
+    return str(value)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Step-trace one message call."""
+    from repro.evm.tracer import Tracer
+
+    bytecode = _read_hex(args.bytecode)
+    calldata = _read_hex(args.calldata)
+    trace = Tracer(bytecode).trace(calldata)
+    print(trace.render(limit=args.limit))
+    return 0 if trace.result and trace.result.success else 2
+
+
+def _cmd_export_corpus(args: argparse.Namespace) -> int:
+    """Generate and export a ground-truth benchmark corpus to disk."""
+    from repro.corpus.datasets import (
+        build_open_source_corpus,
+        build_vyper_corpus,
+    )
+    from repro.corpus.export import export_corpus
+
+    if args.language == "vyper":
+        corpus = build_vyper_corpus(n_contracts=args.contracts, seed=args.seed)
+    else:
+        corpus = build_open_source_corpus(
+            n_contracts=args.contracts, seed=args.seed,
+            quirk_rate=args.quirk_rate,
+        )
+    manifest = export_corpus(corpus, args.directory)
+    print(
+        f"wrote {len(corpus)} contracts "
+        f"({corpus.function_count} functions) to {args.directory}"
+    )
+    print(f"manifest: {manifest}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    bytecode = _read_hex(args.bytecode)
+    selector_text = args.function_id.lower()
+    if selector_text.startswith("0x"):
+        selector_text = selector_text[2:]
+    try:
+        selector_value = int(selector_text, 16)
+    except ValueError:
+        raise SystemExit(f"error: not a function id: {args.function_id}")
+    print(SigRec().explain(bytecode, selector_value))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SigRec: recover function signatures from EVM bytecode",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("recover", help="recover function signatures")
+    p.add_argument("bytecode", help="hex bytecode or @file")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="show language and fired rules")
+    p.add_argument("--db", metavar="FILE",
+                   help="signature database (JSON) for name resolution")
+    p.set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser("ids", help="extract function ids only")
+    p.add_argument("bytecode")
+    p.set_defaults(func=_cmd_ids)
+
+    p = sub.add_parser("disasm", help="disassemble bytecode")
+    p.add_argument("bytecode")
+    p.set_defaults(func=_cmd_disasm)
+
+    p = sub.add_parser("lift", help="lift bytecode to three-address IR")
+    p.add_argument("bytecode")
+    p.add_argument("--plus", action="store_true",
+                   help="enhance with recovered signatures (Erays+)")
+    p.add_argument("--structured", action="store_true",
+                   help="recover while/if structure instead of flat blocks")
+    p.add_argument("--fold", action="store_true",
+                   help="inline single-use pure definitions")
+    p.set_defaults(func=_cmd_lift)
+
+    p = sub.add_parser("check", help="validate call data (ParChecker)")
+    p.add_argument("bytecode", help="the callee contract's bytecode")
+    p.add_argument("calldata", help="the transaction's call data")
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("selector", help="function id of a signature")
+    p.add_argument("signature", help='e.g. "transfer(address,uint256)"')
+    p.set_defaults(func=_cmd_selector)
+
+    p = sub.add_parser(
+        "explain", help="show the evidence behind one function's recovery"
+    )
+    p.add_argument("bytecode")
+    p.add_argument("function_id", help="e.g. 0xa9059cbb")
+    p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "decode", help="decode a transaction's arguments via recovery"
+    )
+    p.add_argument("bytecode", help="the callee contract's bytecode")
+    p.add_argument("calldata", help="the transaction's call data")
+    p.set_defaults(func=_cmd_decode)
+
+    p = sub.add_parser("trace", help="step-trace one message call")
+    p.add_argument("bytecode")
+    p.add_argument("calldata")
+    p.add_argument("--limit", type=int, default=200,
+                   help="max steps to print")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "export-corpus", help="write a ground-truth benchmark corpus to disk"
+    )
+    p.add_argument("directory")
+    p.add_argument("--contracts", type=int, default=50)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--quirk-rate", type=float, default=0.02)
+    p.add_argument("--language", choices=["solidity", "vyper"],
+                   default="solidity")
+    p.set_defaults(func=_cmd_export_corpus)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Compiler substrate: Solidity- and Vyper-like EVM code generators.
+
+The paper evaluates SigRec on contracts compiled by 155 solc and 17
+vyper versions.  Neither compiler is available offline, so this package
+*is* the substitution: it emits runtime bytecode exhibiting exactly the
+parameter accessing patterns §2 of the paper documents — dispatcher,
+masks/sign-extension for basic types, CALLDATACOPY loops for public
+composite parameters, bound-checked CALLDATALOADs for external ones,
+offset/num fields for dynamic types, and Vyper's comparison-based range
+clamps.  Codegen *versions* model compiler eras (DIV- vs SHR-based
+dispatch, presence of the calldatasize check, memory base, optimizer).
+"""
+
+from repro.compiler.options import (
+    CodegenOptions,
+    DispatcherStyle,
+    solidity_versions,
+    vyper_versions,
+)
+from repro.compiler.contract import CompiledContract, compile_contract
+
+__all__ = [
+    "CodegenOptions",
+    "DispatcherStyle",
+    "solidity_versions",
+    "vyper_versions",
+    "CompiledContract",
+    "compile_contract",
+]

@@ -1,0 +1,173 @@
+"""Whole-contract synthesis: dispatcher + function bodies.
+
+Produces runtime bytecode for a list of function signatures, matching
+the structure §2.2 describes: a CALLDATALOAD of offset 0, a DIV or SHR
+moving the function id into the low 4 bytes, then an EQ chain jumping
+into per-function bodies.  A shared revert block serves as the target
+for the bound checks and Vyper clamps the bodies emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.abi.signature import FunctionSignature, Language
+from repro.compiler.options import CodegenOptions, DispatcherStyle
+from repro.compiler.solidity import SolidityCodegen
+from repro.compiler.vyper import VyperCodegen
+from repro.evm.asm import Assembler
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """One function to compile, with optional quirk knobs.
+
+    ``body_params`` — when set, the body *accesses* these types instead
+    of the declared ones (the selector still comes from the declared
+    signature): models inline-assembly reads (paper case 1), forced
+    type conversions (case 2/3) and storage-reference parameters
+    (case 4).
+
+    ``const_index`` — static arrays are indexed with compile-time
+    constants; combined with the optimizer this removes the bound
+    checks SigRec needs (case 5).
+
+    ``no_byte_access`` — the body never touches an individual byte of a
+    ``bytes`` value, leaving it indistinguishable from ``string``
+    (case 5).
+    """
+
+    sig: FunctionSignature
+    body_params: Optional[Tuple] = None
+    const_index: bool = False
+    no_byte_access: bool = False
+
+
+@dataclass
+class CompiledContract:
+    """Runtime bytecode plus ground truth for evaluation."""
+
+    bytecode: bytes
+    signatures: Tuple[FunctionSignature, ...]
+    options: CodegenOptions
+    quirks: Tuple[str, ...] = ()  # injected inaccuracy cases, per function
+
+    @property
+    def selector_map(self) -> Dict[int, FunctionSignature]:
+        return {
+            int.from_bytes(sig.selector, "big"): sig for sig in self.signatures
+        }
+
+
+class ContractBuildError(Exception):
+    pass
+
+
+def _emit_dispatcher(
+    asm: Assembler,
+    options: CodegenOptions,
+    entries: Sequence[Tuple[int, str]],
+) -> None:
+    """Calldatasize check, function-id extraction, EQ dispatch.
+
+    Small contracts use a linear EQ chain; larger ones (like real solc)
+    split the sorted selector list with GT comparisons into a binary
+    search whose leaves are short EQ chains.
+    """
+    if options.calldatasize_check:
+        # Fall back to STOP when the call data cannot hold a selector.
+        asm.op("CALLDATASIZE").push(4).op("SWAP1").op("LT")
+        asm.push_label("fallback").op("JUMPI")
+
+    asm.push(0).op("CALLDATALOAD")
+    if options.dispatcher is DispatcherStyle.SHR:
+        asm.push(0xE0).op("SHR")
+    else:
+        asm.push(1 << 224, width=29).op("SWAP1").op("DIV")
+        if options.dispatcher is DispatcherStyle.DIV_AND:
+            asm.push(0xFFFFFFFF, width=4).op("AND")
+
+    ordered = sorted(entries)
+    _emit_dispatch_tree(asm, ordered, leaf_size=4)
+    asm.label("fallback").op("JUMPDEST").op("STOP")
+
+
+def _emit_dispatch_tree(
+    asm: Assembler, entries: Sequence[Tuple[int, str]], leaf_size: int
+) -> None:
+    """Binary-search dispatch over sorted (selector, label) entries.
+
+    Expects the function id on the stack top and leaves it there (each
+    body starts with a POP), exactly like the linear chain.
+    """
+    if len(entries) <= leaf_size:
+        for selector_value, label in entries:
+            asm.op("DUP1").push(selector_value, width=4).op("EQ")
+            asm.push_label(label).op("JUMPI")
+        asm.push_label("fallback").op("JUMP")
+        return
+    mid = len(entries) // 2
+    pivot = entries[mid][0]
+    upper = asm.fresh_label("dispatch_hi")
+    # fid >= pivot -> upper half: GT(fid, pivot - 1) == fid > pivot-1.
+    asm.op("DUP1").push(pivot - 1, width=4).op("SWAP1").op("GT")
+    asm.push_label(upper).op("JUMPI")
+    _emit_dispatch_tree(asm, entries[:mid], leaf_size)
+    asm.label(upper).op("JUMPDEST")
+    _emit_dispatch_tree(asm, entries[mid:], leaf_size)
+
+
+def compile_contract(
+    functions: Sequence,
+    options: Optional[CodegenOptions] = None,
+) -> CompiledContract:
+    """Compile signatures (or :class:`FunctionSpec`) into runtime bytecode."""
+    options = options or CodegenOptions()
+    asm = Assembler()
+
+    specs: List[FunctionSpec] = [
+        f if isinstance(f, FunctionSpec) else FunctionSpec(f) for f in functions
+    ]
+
+    entries: List[Tuple[int, str]] = []
+    seen: set = set()
+    for i, spec in enumerate(specs):
+        selector_value = int.from_bytes(spec.sig.selector, "big")
+        if selector_value in seen:
+            raise ContractBuildError(f"duplicate selector for {spec.sig}")
+        seen.add(selector_value)
+        entries.append((selector_value, f"body_{i}"))
+
+    _emit_dispatcher(asm, options, entries)
+
+    revert_label = "revert_all"
+    for i, spec in enumerate(specs):
+        sig = spec.sig
+        asm.label(f"body_{i}").op("JUMPDEST").op("POP")  # drop the id copy
+        body_sig = sig
+        if spec.body_params is not None:
+            body_sig = FunctionSignature(
+                sig.name, tuple(spec.body_params), sig.visibility, sig.language
+            )
+        if options.language is Language.VYPER or sig.language is Language.VYPER:
+            VyperCodegen(options, asm, revert_label).emit_function_body(body_sig)
+        else:
+            codegen = SolidityCodegen(options, asm, revert_label)
+            codegen.const_index = spec.const_index
+            codegen.no_byte_access = spec.no_byte_access
+            codegen.emit_function_body(body_sig)
+        asm.op("STOP")
+
+    asm.label(revert_label).op("JUMPDEST")
+    asm.push(0).push(0).op("REVERT")
+
+    return CompiledContract(
+        bytecode=asm.assemble(),
+        signatures=tuple(spec.sig for spec in specs),
+        options=options,
+        quirks=tuple(
+            "case" if (spec.body_params or spec.const_index or spec.no_byte_access)
+            else "" for spec in specs
+        ),
+    )

@@ -1,0 +1,119 @@
+"""Codegen options modelling compiler versions and optimization levels."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.abi.signature import Language
+
+
+class DispatcherStyle(enum.Enum):
+    """How the function id is extracted from calldata[0:32].
+
+    Pre-Constantinople compilers divide by 2^224 (optionally masking the
+    result with 0xffffffff); later ones shift right by 224 bits.
+    """
+
+    DIV_AND = "div_and"  # DIV 2^224 then AND 0xffffffff
+    DIV = "div"  # DIV 2^224 only
+    SHR = "shr"  # SHR 224
+
+
+@dataclass(frozen=True)
+class CodegenOptions:
+    """One "compiler version x optimization" point.
+
+    ``obfuscate`` swaps every accessing-pattern idiom for a semantically
+    equivalent but syntactically different instruction sequence (SHL/SHR
+    pairs instead of AND masks, EQ-zero instead of ISZERO, shifted
+    strides, inverted loop guards, split constants) — the adversarial
+    setting §7 of the paper discusses.  SigRec's semantic rules are
+    expected to survive it; byte-pattern tools are not.
+    """
+
+    language: Language = Language.SOLIDITY
+    version: str = "0.5.0"
+    optimize: bool = False
+    dispatcher: DispatcherStyle = DispatcherStyle.DIV
+    calldatasize_check: bool = True
+    memory_base: int = 0x80
+    obfuscate: bool = False
+
+    @property
+    def version_key(self) -> str:
+        """Version label including the optimization flag (paper counts a
+        version with and without optimization as two versions)."""
+        return f"{self.version}{'+opt' if self.optimize else ''}"
+
+
+def solidity_versions() -> List[CodegenOptions]:
+    """A catalog of Solidity codegen variants standing in for the 155
+    compiler versions of Fig. 15 (each minor version w/ and w/o the
+    optimizer)."""
+    catalog: List[CodegenOptions] = []
+    minors = [
+        ("0.1.%d" % p, DispatcherStyle.DIV_AND, False, 0x60)
+        for p in range(1, 8)
+    ]
+    minors += [
+        ("0.2.%d" % p, DispatcherStyle.DIV_AND, False, 0x60)
+        for p in range(0, 3)
+    ]
+    minors += [
+        ("0.3.%d" % p, DispatcherStyle.DIV_AND, True, 0x60)
+        for p in range(0, 7)
+    ]
+    minors += [
+        ("0.4.%d" % p, DispatcherStyle.DIV, True, 0x60)
+        for p in range(0, 27)
+    ]
+    minors += [
+        ("0.5.%d" % p, DispatcherStyle.SHR, True, 0x80)
+        for p in range(0, 18)
+    ]
+    minors += [
+        ("0.6.%d" % p, DispatcherStyle.SHR, True, 0x80)
+        for p in range(0, 13)
+    ]
+    minors += [
+        ("0.7.%d" % p, DispatcherStyle.SHR, True, 0x80)
+        for p in range(0, 7)
+    ]
+    minors += [("0.8.0", DispatcherStyle.SHR, True, 0x80)]
+    for version, dispatcher, cds_check, membase in minors:
+        for optimize in (False, True):
+            catalog.append(
+                CodegenOptions(
+                    language=Language.SOLIDITY,
+                    version=version,
+                    optimize=optimize,
+                    dispatcher=dispatcher,
+                    calldatasize_check=cds_check,
+                    memory_base=membase,
+                )
+            )
+    return catalog
+
+
+def vyper_versions() -> List[CodegenOptions]:
+    """Vyper codegen variants standing in for Fig. 16's 17 versions."""
+    catalog: List[CodegenOptions] = []
+    versions = [
+        ("0.1.0b%d" % p, DispatcherStyle.DIV) for p in range(4, 18)
+    ] + [
+        ("0.2.%d" % p, DispatcherStyle.SHR) for p in range(0, 9)
+    ]
+    for version, dispatcher in versions:
+        catalog.append(
+            CodegenOptions(
+                language=Language.VYPER,
+                version=version,
+                optimize=False,
+                dispatcher=dispatcher,
+                calldatasize_check=True,
+                memory_base=0x80,
+            )
+        )
+    return catalog

@@ -1,0 +1,588 @@
+"""Solidity-like code generation for parameter access.
+
+Emits, for every parameter type of §2.3.1, the accessing pattern the
+paper documents — instruction for instruction:
+
+* basic types: CALLDATALOAD then AND / SIGNEXTEND / ISZERO-ISZERO
+  masking, BYTE for bytes32, signed ops for int256;
+* static arrays: public functions copy rows with CALLDATACOPY inside
+  (dim-1) nested loops; external functions read items on demand with
+  per-dimension bound checks (skipped under optimization for constant
+  indices — the paper's case-5 blind spot);
+* dynamic arrays: offset field, num field, then copies (public) or
+  bound-checked loads (external);
+* bytes/string: like one-dimensional dynamic arrays but with the copy
+  length rounded up to a 32-byte multiple, and byte-granular access for
+  ``bytes``;
+* nested arrays and dynamic structs: chained offset dereferences,
+  identical in public and external mode.
+
+Every emitted body is *executable*: the differential tests run the
+bytecode in the concrete interpreter against ABI-encoded call data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.abi.types import (
+    AbiType,
+    AddressType,
+    ArrayType,
+    BoolType,
+    BytesType,
+    FixedBytesType,
+    IntType,
+    StringType,
+    TupleType,
+    UIntType,
+)
+from repro.compiler.options import CodegenOptions
+from repro.evm.asm import Assembler
+
+_FULL = (1 << 256) - 1
+
+
+def flatten_static_tuples(params: Tuple[AbiType, ...]) -> List[AbiType]:
+    """Static structs have the same layout as their members laid out
+    individually (paper §2.3.1 item 5), so codegen flattens them."""
+    out: List[AbiType] = []
+    for param in params:
+        if isinstance(param, TupleType) and not param.is_dynamic:
+            out.extend(flatten_static_tuples(param.components))
+        else:
+            out.append(param)
+    return out
+
+
+def head_positions(params: List[AbiType]) -> List[int]:
+    """Byte offset of each parameter's head slot in the call data."""
+    positions = []
+    pos = 4
+    for param in params:
+        positions.append(pos)
+        pos += param.head_size()
+    return positions
+
+
+class SolidityCodegen:
+    """Emits the body of one function (dispatcher handled elsewhere)."""
+
+    def __init__(self, options: CodegenOptions, asm: Assembler, revert_label: str):
+        self.options = options
+        self.asm = asm
+        self.revert_label = revert_label
+        self._mem = options.memory_base
+        self.const_index = False  # case-5 knob: constant array indices
+        self.no_byte_access = False  # case-5 knob: bytes never byte-read
+
+    # ------------------------------------------------------------------
+
+    def emit_function_body(self, sig: FunctionSignature) -> None:
+        """Emit all parameter accesses for one function."""
+        self._mem = self.options.memory_base
+        params = flatten_static_tuples(sig.params)
+        positions = head_positions(params)
+        for param, pos in zip(params, positions):
+            self.emit_param(param, pos, sig.visibility)
+
+    # ------------------------------------------------------------------
+    # Idiom emitters — each has a plain form and an obfuscated form
+    # (semantically equivalent, syntactically different; §7).
+    # ------------------------------------------------------------------
+
+    def _emit_low_mask(self, bits: int) -> None:
+        """Keep the low ``bits`` of the stack top."""
+        if self.options.obfuscate:
+            shift = 256 - bits
+            self.asm.push(shift).op("SHL").push(shift).op("SHR")
+        else:
+            self.asm.push((1 << bits) - 1, width=bits // 8).op("AND")
+
+    def _emit_high_mask(self, size_bytes: int) -> None:
+        """Keep the high ``size_bytes`` bytes of the stack top."""
+        if self.options.obfuscate:
+            shift = 8 * (32 - size_bytes)
+            self.asm.push(shift).op("SHR").push(shift).op("SHL")
+        else:
+            mask = ((1 << (8 * size_bytes)) - 1) << (8 * (32 - size_bytes))
+            self.asm.push(mask, width=32).op("AND")
+
+    def _emit_bool_mask(self) -> None:
+        if self.options.obfuscate:
+            # EQ-with-zero twice is ISZERO-ISZERO in disguise.
+            self.asm.push(0).op("EQ").push(0).op("EQ")
+        else:
+            self.asm.op("ISZERO").op("ISZERO")
+
+    def _emit_stride(self, stride: int) -> None:
+        """stack [.., i] -> [.., i*stride]."""
+        if self.options.obfuscate and stride % 32 == 0:
+            words = stride // 32
+            if words > 1:
+                self.asm.push(words).op("MUL")
+            self.asm.push(5).op("SHL")
+        else:
+            self.asm.push(stride).op("MUL")
+
+    def _emit_add_const(self, value: int) -> None:
+        """stack [.., x] -> [.., x + value]."""
+        if self.options.obfuscate and value >= 4:
+            half = value // 2
+            self.asm.push(half).op("ADD").push(value - half).op("ADD")
+        else:
+            self.asm.push(value).op("ADD")
+
+    def _emit_index_check_const(self, bound: int) -> None:
+        """stack [.., i] -> [.., i]; pushes the in-range flag and jumps
+        to the revert block when the check fails."""
+        asm = self.asm
+        if self.options.obfuscate:
+            asm.op("DUP1").push(bound).op("GT")  # gt(bound, i) == i < bound
+        else:
+            asm.op("DUP1").push(bound).op("SWAP1").op("LT")
+        asm.op("ISZERO").push_label(self.revert_label).op("JUMPI")
+
+    def _emit_index_check_stack(self) -> None:
+        """stack [.., bound, i] -> [.., bound, i]; revert when i >= bound."""
+        asm = self.asm
+        if self.options.obfuscate:
+            asm.op("DUP1").op("DUP3").op("GT")  # gt(bound, i)
+        else:
+            asm.op("DUP2").op("DUP2").op("LT")  # lt(i, bound)
+        asm.op("ISZERO").push_label(self.revert_label).op("JUMPI")
+
+    def _emit_loop_guard_flag(self, push_bound) -> None:
+        """stack [.., i] -> [.., i, in_range_flag]; ``push_bound`` emits
+        the bound on top of a copy of i."""
+        asm = self.asm
+        asm.op("DUP1")  # [.., i, i]
+        push_bound()  # [.., i, i, bound]
+        if self.options.obfuscate:
+            asm.op("GT")  # pops bound, i -> gt(bound, i)
+        else:
+            asm.op("SWAP1").op("LT")  # pops i, bound -> lt(i, bound)
+
+    def emit_param(self, param: AbiType, pos: int, visibility: Visibility) -> None:
+        if isinstance(param, ArrayType):
+            if param.is_nested_dynamic:
+                self._emit_nested_array(param, pos)
+            elif param.length is None:
+                if visibility is Visibility.PUBLIC:
+                    self._emit_dynamic_array_public(param, pos)
+                else:
+                    self._emit_dynamic_array_external(param, pos)
+            else:
+                if visibility is Visibility.PUBLIC:
+                    self._emit_static_array_public(param, pos)
+                else:
+                    self._emit_static_array_external(
+                        param, pos, const_index=self.const_index
+                    )
+        elif isinstance(param, (BytesType, StringType)):
+            if visibility is Visibility.PUBLIC:
+                self._emit_blob_public(param, pos)
+            else:
+                self._emit_blob_external(param, pos)
+        elif isinstance(param, TupleType):
+            self._emit_dynamic_struct(param, pos)
+        else:
+            self._emit_basic(param, pos)
+
+    # ------------------------------------------------------------------
+    # Basic types
+    # ------------------------------------------------------------------
+
+    def _emit_basic(self, param: AbiType, pos: int) -> None:
+        self.asm.push(pos).op("CALLDATALOAD")
+        self._emit_value_use(param)
+
+    def _emit_value_use(self, param: AbiType) -> None:
+        """Mask + use the value on the stack top; consumes it."""
+        asm = self.asm
+        if isinstance(param, UIntType):
+            if param.bits < 256:
+                self._emit_low_mask(param.bits)
+            asm.op("CALLER").op("ADD").op("POP")
+        elif isinstance(param, IntType):
+            if param.bits < 256:
+                asm.push(param.bits // 8 - 1).op("SIGNEXTEND")
+            asm.op("CALLER").op("SDIV").op("POP")
+        elif isinstance(param, AddressType):
+            self._emit_low_mask(160)
+            asm.op("CALLER").op("EQ").op("POP")
+        elif isinstance(param, BoolType):
+            self._emit_bool_mask()
+            asm.op("POP")
+        elif isinstance(param, FixedBytesType):
+            if param.size < 32:
+                self._emit_high_mask(param.size)
+                asm.op("POP")
+            else:
+                asm.push(0).op("BYTE").op("POP")
+        else:
+            asm.op("POP")
+
+    # ------------------------------------------------------------------
+    # Static arrays
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _static_dims(param: ArrayType) -> List[int]:
+        """Dimension sizes, outermost first (all static)."""
+        dims = []
+        current: AbiType = param
+        while isinstance(current, ArrayType):
+            assert current.length is not None
+            dims.append(current.length)
+            current = current.element
+        return dims
+
+    @staticmethod
+    def _strides(dims: List[int]) -> List[int]:
+        """Per-level item stride in bytes (outermost first)."""
+        strides = []
+        for level in range(len(dims)):
+            inner = 1
+            for d in dims[level + 1 :]:
+                inner *= d
+            strides.append(inner * 32)
+        return strides
+
+    def _alloc(self, size: int) -> int:
+        base = self._mem
+        self._mem += max(32, (size + 31) // 32 * 32)
+        return base
+
+    def _emit_static_array_public(self, param: ArrayType, pos: int) -> None:
+        """Nested concrete loops of CALLDATACOPYs (Listing 1 / R6 / R9)."""
+        asm = self.asm
+        dims = self._static_dims(param)
+        strides = self._strides(dims)
+        row_bytes = dims[-1] * 32
+        total = row_bytes
+        for d in dims[:-1]:
+            total *= d
+        membase = self._alloc(total)
+        outer_dims = dims[:-1]
+        outer_strides = strides[:-1]
+
+        asm.push(0)  # offset accumulator
+
+        def emit_level(level: int) -> None:
+            if level == len(outer_dims):
+                # stack: [..., acc]
+                asm.push(row_bytes)  # [acc, len]
+                asm.op("DUP2").push(pos).op("ADD")  # [acc, len, src]
+                asm.op("DUP3").push(membase).op("ADD")  # [acc, len, src, dst]
+                asm.op("CALLDATACOPY")  # [acc]
+                return
+            bound = outer_dims[level]
+            stride = outer_strides[level]
+            head = asm.fresh_label("sa_head")
+            exit_ = asm.fresh_label("sa_exit")
+            asm.push(0)  # [acc, i]
+            asm.label(head).op("JUMPDEST")
+            self._emit_loop_guard_flag(lambda: asm.push(bound))
+            asm.op("ISZERO").push_label(exit_).op("JUMPI")
+            asm.op("DUP1")
+            self._emit_stride(stride)  # [acc, i, i*stride]
+            asm.op("DUP3").op("ADD")  # [acc, i, child]
+            emit_level(level + 1)
+            asm.op("POP")  # [acc, i]
+            asm.push(1).op("ADD").push_label(head).op("JUMP")
+            asm.label(exit_).op("JUMPDEST").op("POP")  # [acc]
+
+        emit_level(0)
+        asm.op("POP")
+        # Item use: MLOAD an item from the copied region.
+        asm.push(membase).op("MLOAD")
+        self._emit_value_use(param.base_element)
+
+    def _emit_static_array_external(
+        self, param: ArrayType, pos: int, const_index: bool = False
+    ) -> None:
+        """Bound-checked on-demand CALLDATALOAD (R3), or the optimized
+        constant-index form without bound checks (paper case 5)."""
+        asm = self.asm
+        dims = self._static_dims(param)
+        strides = self._strides(dims)
+
+        if const_index and self.options.optimize:
+            # Compile-time bound check only: a bare constant-location
+            # load, indistinguishable from a basic parameter.
+            asm.push(pos).op("CALLDATALOAD")
+            self._emit_value_use(param.base_element)
+            return
+
+        asm.push(0)  # accumulator
+        for bound, stride in zip(dims, strides):
+            if const_index:
+                index = min(1, bound - 1)
+                asm.push(index, width=1)
+            else:
+                asm.op("CALLER").push(1).op("AND")
+            # [acc, i]: check i < bound, else revert.
+            self._emit_index_check_const(bound)
+            self._emit_stride(stride)
+            asm.op("ADD")  # acc += i*stride
+        asm.push(pos).op("ADD").op("CALLDATALOAD")
+        self._emit_value_use(param.base_element)
+
+    # ------------------------------------------------------------------
+    # Dynamic arrays
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _dynamic_dims(param: ArrayType) -> List[Optional[int]]:
+        """[None, d2, d3, ...] — top dimension dynamic, lower static."""
+        dims: List[Optional[int]] = []
+        current: AbiType = param
+        while isinstance(current, ArrayType):
+            dims.append(current.length)
+            current = current.element
+        return dims
+
+    def _emit_dynamic_array_public(self, param: ArrayType, pos: int) -> None:
+        """Offset + num reads, then CALLDATACOPY (R5/R7/R10)."""
+        asm = self.asm
+        dims = self._dynamic_dims(param)
+        membase = self._alloc(32)
+
+        asm.push(pos).op("CALLDATALOAD")  # [o]
+        self._emit_add_const(4)  # [numloc]
+        asm.op("DUP1").op("CALLDATALOAD")  # [numloc, num]
+        asm.op("DUP1").push(membase).op("MSTORE")  # num -> memory
+
+        if len(dims) == 1:
+            # One CALLDATACOPY reads a one-dimensional dynamic array.
+            databuf = self._alloc(32 * 8)
+            self._emit_stride(32)  # [numloc, len=num*32]
+            asm.op("SWAP1").push(32).op("ADD")  # [len, src=numloc+32]
+            asm.push(databuf)  # [len, src, dst]
+            asm.op("CALLDATACOPY")
+            asm.push(databuf).op("MLOAD")
+            self._emit_value_use(param.base_element)
+            return
+
+        # Multidimensional: loop rows under the num bound (R10).
+        inner_dims = [d for d in dims[1:]]  # all static
+        row_bytes = inner_dims[-1] * 32
+        mid_dims = inner_dims[:-1]
+        strides = []
+        for level in range(len(mid_dims) + 1):
+            inner = 1
+            for d in (mid_dims + [inner_dims[-1]])[level:]:
+                inner *= d
+            strides.append(inner * 32)
+        top_stride = strides[0]
+        scratch = self._alloc(32)
+        databuf = self._alloc(top_stride * 4)
+
+        asm.op("POP")  # [numloc]
+        asm.push(32).op("ADD")  # [dataloc]
+        asm.push(scratch).op("MSTORE")  # []
+
+        loop_bounds: List[Optional[int]] = [None] + mid_dims
+        loop_strides = [top_stride] + strides[1:]
+
+        asm.push(0)  # acc
+
+        def emit_level(level: int) -> None:
+            if level == len(loop_bounds):
+                # [acc]: copy one row
+                asm.push(row_bytes)  # [acc, len]
+                asm.op("DUP2").push(scratch).op("MLOAD").op("ADD")  # src
+                asm.op("DUP3").push(databuf).op("ADD")  # dst
+                asm.op("CALLDATACOPY")
+                return
+            bound = loop_bounds[level]
+            stride = loop_strides[level]
+            head = asm.fresh_label("da_head")
+            exit_ = asm.fresh_label("da_exit")
+            asm.push(0)  # [acc, i]
+            asm.label(head).op("JUMPDEST")
+            if bound is None:
+                self._emit_loop_guard_flag(
+                    lambda: asm.push(membase).op("MLOAD")
+                )
+            else:
+                self._emit_loop_guard_flag(lambda b=bound: asm.push(b))
+            asm.op("ISZERO").push_label(exit_).op("JUMPI")
+            asm.op("DUP1")
+            self._emit_stride(stride)
+            asm.op("DUP3").op("ADD")
+            emit_level(level + 1)
+            asm.op("POP")
+            asm.push(1).op("ADD").push_label(head).op("JUMP")
+            asm.label(exit_).op("JUMPDEST").op("POP")
+
+        emit_level(0)
+        asm.op("POP")
+        asm.push(databuf).op("MLOAD")
+        self._emit_value_use(param.base_element)
+
+    def _emit_dynamic_array_external(self, param: ArrayType, pos: int) -> None:
+        """Bound-checked on-demand loads through the offset field (R2)."""
+        asm = self.asm
+        dims = self._dynamic_dims(param)
+        inner_dims = dims[1:]
+        strides = self._strides([1] + [d for d in inner_dims if d is not None])
+        # strides[0] is for the (dynamic) top dimension.
+
+        asm.push(pos).op("CALLDATALOAD")  # [o]
+        asm.op("DUP1")
+        self._emit_add_const(4)
+        asm.op("CALLDATALOAD")  # [o, num]
+        # Top index bound check: i < num.
+        asm.op("CALLER").push(1).op("AND")  # [o, num, i]
+        self._emit_index_check_stack()
+        self._emit_stride(strides[0])  # [o, num, acc]
+        level = 1
+        for bound in inner_dims:
+            assert bound is not None
+            asm.op("CALLER").push(1).op("AND")  # [o, num, acc, j]
+            self._emit_index_check_const(bound)
+            self._emit_stride(strides[level])
+            asm.op("ADD")
+            level += 1
+        asm.op("DUP3").op("ADD")  # [o, num, acc+o]
+        self._emit_add_const(36)
+        asm.op("CALLDATALOAD")
+        self._emit_value_use(param.base_element)
+        asm.op("POP").op("POP")  # num, o
+
+    # ------------------------------------------------------------------
+    # bytes / string
+    # ------------------------------------------------------------------
+
+    def _emit_blob_public(self, param: AbiType, pos: int) -> None:
+        """Rounded-length CALLDATACOPY (R8); byte use only for bytes."""
+        asm = self.asm
+        membase = self._alloc(32)
+        databuf = self._alloc(32 * 8)
+        asm.push(pos).op("CALLDATALOAD").push(4).op("ADD")  # [numloc]
+        asm.op("DUP1").op("CALLDATALOAD")  # [numloc, num]
+        asm.op("DUP1").push(membase).op("MSTORE")
+        # len = (num + 31) & ~31
+        asm.push(31).op("ADD")
+        asm.push(_FULL ^ 31, width=32).op("AND")  # [numloc, len]
+        asm.op("SWAP1").push(32).op("ADD")  # [len, src]
+        asm.push(databuf).op("CALLDATACOPY")
+        asm.push(databuf).op("MLOAD")
+        if isinstance(param, BytesType) and not self.no_byte_access:
+            asm.push(0).op("BYTE").op("POP")
+        else:
+            asm.op("POP")
+
+    def _emit_blob_external(self, param: AbiType, pos: int) -> None:
+        asm = self.asm
+        if isinstance(param, StringType) or self.no_byte_access:
+            # Strings expose no byte access; typical code reads the
+            # length only.
+            asm.push(pos).op("CALLDATALOAD").push(4).op("ADD")
+            asm.op("CALLDATALOAD").op("POP")
+            return
+        asm.push(pos).op("CALLDATALOAD")  # [o]
+        asm.op("DUP1")
+        self._emit_add_const(4)
+        asm.op("CALLDATALOAD")  # [o, num]
+        asm.op("CALLER").push(31).op("AND")  # [o, num, j]
+        self._emit_index_check_stack()
+        asm.op("DUP3").op("ADD")
+        self._emit_add_const(36)  # [o, num, loc]
+        asm.op("CALLDATALOAD").push(0).op("BYTE").op("POP")
+        asm.op("POP").op("POP")
+
+    # ------------------------------------------------------------------
+    # Nested arrays (dynamic below the top dimension)
+    # ------------------------------------------------------------------
+
+    def _emit_nested_array(self, param: ArrayType, pos: int) -> None:
+        """Chained offset dereferences, same in public and external mode."""
+        asm = self.asm
+        dims = self._dynamic_dims(param)
+        depth = sum(1 for d in dims if d is None)
+        scratches = [self._alloc(32) for _ in range(depth)]
+
+        asm.push(pos).op("CALLDATALOAD").push(4).op("ADD")  # [hdr0]
+        asm.push(scratches[0]).op("MSTORE")
+        for level in range(depth):
+            asm.push(scratches[level]).op("MLOAD")  # [numloc]
+            asm.op("DUP1").op("CALLDATALOAD")  # [numloc, num]
+            asm.op("CALLER").push(1).op("AND")  # [numloc, num, i]
+            self._emit_index_check_stack()
+            self._emit_stride(32)  # [numloc, num, i*32]
+            asm.op("DUP3").op("ADD").push(32).op("ADD")  # elem loc
+            if level < depth - 1:
+                asm.op("CALLDATALOAD")  # inner offset (relative)
+                asm.op("DUP3").op("ADD").push(32).op("ADD")  # abs base
+                asm.push(scratches[level + 1]).op("MSTORE")
+                asm.op("POP").op("POP")
+            else:
+                asm.op("CALLDATALOAD")
+                self._emit_value_use(param.base_element)
+                asm.op("POP").op("POP")
+
+    # ------------------------------------------------------------------
+    # Dynamic structs
+    # ------------------------------------------------------------------
+
+    def _emit_dynamic_struct(self, param: TupleType, pos: int) -> None:
+        """Offset field, then component reads at fixed slots (R21)."""
+        asm = self.asm
+        asm.push(pos).op("CALLDATALOAD").push(4).op("ADD")  # [base]
+        slot = 0
+        for component in param.components:
+            slot_offset = 32 * slot
+            if isinstance(component, ArrayType) and component.is_nested_dynamic:
+                # A nested array inside a struct (rule R19): one more
+                # offset-dereference level below the component's own
+                # offset field.
+                asm.op("DUP1").push(slot_offset).op("ADD").op("CALLDATALOAD")
+                asm.op("DUP2").op("ADD")  # [base, abs1]
+                asm.op("DUP1").op("CALLDATALOAD")  # [base, abs1, num1]
+                asm.op("CALLER").push(1).op("AND")  # [base, abs1, num1, i]
+                self._emit_index_check_stack()
+                self._emit_stride(32)  # [base, abs1, num1, i*32]
+                asm.op("DUP3").op("ADD").push(32).op("ADD")  # inner offset loc
+                asm.op("CALLDATALOAD")  # [base, abs1, num1, o2]
+                asm.op("DUP3").op("ADD").push(32).op("ADD")  # [.., abs2]
+                asm.op("DUP1").op("CALLDATALOAD")  # [.., abs2, num2]
+                asm.op("CALLER").push(1).op("AND")
+                self._emit_index_check_stack()
+                self._emit_stride(32)
+                asm.op("DUP3").op("ADD").push(32).op("ADD")
+                asm.op("CALLDATALOAD")
+                self._emit_value_use(component.base_element)
+                asm.op("POP").op("POP").op("POP").op("POP")  # num2,abs2,num1,abs1
+            elif isinstance(component, ArrayType) and component.length is None:
+                # Dynamic component behind its own (relative) offset.
+                asm.op("DUP1").push(slot_offset).op("ADD").op("CALLDATALOAD")
+                asm.op("DUP2").op("ADD")  # [base, abs_inner]
+                asm.op("DUP1").op("CALLDATALOAD")  # [base, abs, num]
+                asm.op("CALLER").push(1).op("AND")  # [base, abs, num, j]
+                self._emit_index_check_stack()
+                self._emit_stride(32)  # [base, abs, num, j*32]
+                asm.op("DUP3").op("ADD").push(32).op("ADD")
+                asm.op("CALLDATALOAD")
+                self._emit_value_use(component.base_element)
+                asm.op("POP").op("POP")  # num, abs
+            elif isinstance(component, (BytesType, StringType)):
+                asm.op("DUP1").push(slot_offset).op("ADD").op("CALLDATALOAD")
+                asm.op("DUP2").op("ADD")  # [base, abs_inner]
+                asm.op("DUP1").op("CALLDATALOAD")  # [base, abs, num]
+                if isinstance(component, BytesType):
+                    asm.op("CALLER").push(31).op("AND")  # [.., num, j]
+                    self._emit_index_check_stack()
+                    asm.op("DUP3").op("ADD").push(32).op("ADD")
+                    asm.op("CALLDATALOAD").push(0).op("BYTE").op("POP")
+                asm.op("POP").op("POP")  # num, abs
+            else:
+                asm.op("DUP1").push(slot_offset).op("ADD").op("CALLDATALOAD")
+                self._emit_value_use(component)
+            slot += 1 if not isinstance(component, TupleType) else len(
+                component.components
+            )
+        asm.op("POP")  # base

@@ -1,0 +1,168 @@
+"""Vyper-like code generation.
+
+Vyper (paper §2.3.2) differs from Solidity in two load-bearing ways:
+
+* basic values are validated with *comparison* range clamps (LT/GT/SLT/
+  SGT against the type's bounds, reverting out-of-range values) instead
+  of AND/SIGNEXTEND masks — this is what rule R20 keys on;
+* a fixed-size byte array / string is read with one CALLDATACOPY of
+  ``32 + maxLen`` bytes starting at the num field (R23), i.e. the num
+  word and the capped payload together, with no 32-byte rounding.
+
+Public and external functions compile to the same bytecode, and
+fixed-size lists follow the external static-array pattern with an
+additional per-item clamp.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.abi.signature import FunctionSignature
+from repro.abi.types import (
+    AbiType,
+    AddressType,
+    ArrayType,
+    BoolType,
+    BoundedBytesType,
+    BoundedStringType,
+    DecimalType,
+    FixedBytesType,
+    IntType,
+    TupleType,
+    UIntType,
+)
+from repro.compiler.options import CodegenOptions
+from repro.compiler.solidity import flatten_static_tuples, head_positions
+from repro.evm.asm import Assembler
+from repro.sigrec.rules import (
+    VYPER_ADDRESS_BOUND,
+    VYPER_BOOL_BOUND,
+    VYPER_DECIMAL_HI,
+    VYPER_DECIMAL_LO,
+    VYPER_INT128_HI,
+    VYPER_INT128_LO,
+)
+
+_WORD = 1 << 256
+
+
+def _unsigned(value: int) -> int:
+    return value & (_WORD - 1)
+
+
+class VyperCodegen:
+    """Emits one Vyper function body (dispatcher handled elsewhere)."""
+
+    def __init__(self, options: CodegenOptions, asm: Assembler, revert_label: str):
+        self.options = options
+        self.asm = asm
+        self.revert_label = revert_label
+        self._mem = options.memory_base
+
+    def _alloc(self, size: int) -> int:
+        base = self._mem
+        self._mem += max(32, (size + 31) // 32 * 32)
+        return base
+
+    # ------------------------------------------------------------------
+
+    def emit_function_body(self, sig: FunctionSignature) -> None:
+        self._mem = self.options.memory_base
+        params = flatten_static_tuples(sig.params)
+        positions = head_positions(params)
+        for param, pos in zip(params, positions):
+            self.emit_param(param, pos)
+
+    def emit_param(self, param: AbiType, pos: int) -> None:
+        if isinstance(param, (BoundedBytesType, BoundedStringType)):
+            self._emit_bounded_blob(param, pos)
+        elif isinstance(param, ArrayType):
+            self._emit_fixed_list(param, pos)
+        else:
+            self.asm.push(pos).op("CALLDATALOAD")
+            self._emit_clamp_and_use(param)
+
+    # ------------------------------------------------------------------
+
+    def _emit_clamp_and_use(self, param: AbiType) -> None:
+        """Range-validate the value on the stack top, then consume it."""
+        asm = self.asm
+        if isinstance(param, AddressType):
+            self._emit_upper_clamp(VYPER_ADDRESS_BOUND)
+            asm.op("CALLER").op("EQ").op("POP")
+        elif isinstance(param, BoolType):
+            self._emit_upper_clamp(VYPER_BOOL_BOUND)
+            asm.op("POP")
+        elif isinstance(param, IntType):
+            # int128: both ends clamped with signed comparisons.
+            self._emit_signed_clamp(VYPER_INT128_LO, VYPER_INT128_HI)
+            asm.op("CALLER").op("SDIV").op("POP")
+        elif isinstance(param, DecimalType):
+            self._emit_signed_clamp(VYPER_DECIMAL_LO, VYPER_DECIMAL_HI)
+            asm.op("CALLER").op("SDIV").op("POP")
+        elif isinstance(param, FixedBytesType):
+            # bytes32: no clamp is possible; typical code extracts bytes.
+            asm.push(0).op("BYTE").op("POP")
+        elif isinstance(param, UIntType):
+            # uint256 covers the full word: no clamp.
+            asm.op("CALLER").op("ADD").op("POP")
+        else:
+            asm.op("POP")
+
+    def _emit_upper_clamp(self, bound: int) -> None:
+        """Revert unless value < bound (Listing 5's comparison idiom)."""
+        asm = self.asm
+        asm.op("DUP1").push(bound).op("SWAP1").op("LT")  # lt(v, bound)
+        asm.op("ISZERO").push_label(self.revert_label).op("JUMPI")
+
+    def _emit_signed_clamp(self, lo: int, hi: int) -> None:
+        """Revert when v < lo or v > hi (signed)."""
+        asm = self.asm
+        asm.op("DUP1").push(_unsigned(lo), width=32).op("SWAP1").op("SLT")
+        asm.push_label(self.revert_label).op("JUMPI")  # jump when v < lo
+        asm.op("DUP1").push(_unsigned(hi), width=32).op("SWAP1").op("SGT")
+        asm.push_label(self.revert_label).op("JUMPI")  # jump when v > hi
+
+    # ------------------------------------------------------------------
+
+    def _emit_fixed_list(self, param: ArrayType, pos: int) -> None:
+        """Fixed-size list: external-static-array pattern plus clamps."""
+        asm = self.asm
+        dims: List[int] = []
+        current: AbiType = param
+        while isinstance(current, ArrayType):
+            assert current.length is not None, "Vyper lists are fixed-size"
+            dims.append(current.length)
+            current = current.element
+        strides = []
+        for level in range(len(dims)):
+            inner = 1
+            for d in dims[level + 1 :]:
+                inner *= d
+            strides.append(inner * 32)
+
+        asm.push(0)  # accumulator
+        for bound, stride in zip(dims, strides):
+            asm.op("CALLER").push(1).op("AND")  # [acc, i]
+            asm.op("DUP1").push(bound).op("SWAP1").op("LT")
+            asm.op("ISZERO").push_label(self.revert_label).op("JUMPI")
+            asm.push(stride).op("MUL").op("ADD")
+        asm.push(pos).op("ADD").op("CALLDATALOAD")
+        self._emit_clamp_and_use(param.base_element)
+
+    def _emit_bounded_blob(self, param: AbiType, pos: int) -> None:
+        """bytes[maxLen] / string[maxLen]: one copy of 32 + maxLen bytes
+        starting at the num field (R23)."""
+        asm = self.asm
+        max_length = param.max_length  # type: ignore[attr-defined]
+        copy_len = 32 + ((max_length + 31) // 32 * 32)
+        membase = self._alloc(copy_len)
+        asm.push(pos).op("CALLDATALOAD").push(4).op("ADD")  # [src=num field]
+        asm.push(copy_len).op("SWAP1")  # [len, src]
+        asm.push(membase).op("CALLDATACOPY")
+        if isinstance(param, BoundedBytesType):
+            # Byte-granular access distinguishes the byte array (R26).
+            asm.push(membase + 32).op("MLOAD").push(0).op("BYTE").op("POP")
+        else:
+            asm.push(membase).op("MLOAD").op("POP")  # length use only

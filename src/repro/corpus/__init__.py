@@ -1,0 +1,31 @@
+"""Workload substrate: deterministic pseudo-random contract corpora.
+
+Replaces the paper's Etherscan / mainnet datasets with generated ones
+that preserve the evaluation's *structure*: a ground-truth "open-source"
+corpus, a "closed-source" corpus, the 1,000-synthesized-functions set of
+dataset 2, and injection of the five documented inaccuracy cases at
+calibrated rates.
+"""
+
+from repro.corpus.signatures import SignatureGenerator
+from repro.corpus.quirks import QUIRK_NAMES, apply_quirk
+from repro.corpus.datasets import (
+    ContractCase,
+    Corpus,
+    build_closed_source_corpus,
+    build_open_source_corpus,
+    build_synthesized_dataset,
+    build_vyper_corpus,
+)
+
+__all__ = [
+    "SignatureGenerator",
+    "QUIRK_NAMES",
+    "apply_quirk",
+    "ContractCase",
+    "Corpus",
+    "build_open_source_corpus",
+    "build_closed_source_corpus",
+    "build_synthesized_dataset",
+    "build_vyper_corpus",
+]

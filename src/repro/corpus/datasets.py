@@ -1,0 +1,258 @@
+"""Corpus builders standing in for the paper's datasets.
+
+* ``build_open_source_corpus`` — ground-truth contracts across many
+  compiler versions with the five inaccuracy cases injected at a low
+  rate (the paper's 119,404 Etherscan contracts).
+* ``build_closed_source_corpus`` — same construction, but treated as
+  closed source by the baselines (the 368,679 unique deployed
+  bytecodes of dataset 1).
+* ``build_synthesized_dataset`` — dataset 2's recipe: 100 contracts x
+  10 functions with random 5-letter names, 1-5 random parameters,
+  Solidity 0.5.5, optimizer on with probability 50%.
+* ``build_vyper_corpus`` — the 278-contract Vyper set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.abi.signature import FunctionSignature, Language, Visibility
+from repro.compiler.contract import CompiledContract, FunctionSpec, compile_contract
+from repro.compiler.options import CodegenOptions, solidity_versions, vyper_versions
+from repro.corpus.quirks import QUIRK_NAMES, apply_quirk
+from repro.corpus.signatures import SignatureGenerator
+
+
+@dataclass
+class ContractCase:
+    """One compiled contract with its ground truth and quirk tags."""
+
+    contract: CompiledContract
+    options: CodegenOptions
+    declared: Tuple[FunctionSignature, ...]
+    quirks: Tuple[Optional[str], ...]  # parallel to ``declared``
+
+    def __post_init__(self) -> None:
+        assert len(self.declared) == len(self.quirks)
+
+
+@dataclass
+class Corpus:
+    """A list of contract cases plus iteration helpers."""
+
+    cases: List[ContractCase] = field(default_factory=list)
+    language: Language = Language.SOLIDITY
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    @property
+    def function_count(self) -> int:
+        return sum(len(case.declared) for case in self.cases)
+
+    def functions(self) -> Iterator[Tuple[ContractCase, FunctionSignature, Optional[str]]]:
+        for case in self.cases:
+            for sig, quirk in zip(case.declared, case.quirks):
+                yield case, sig, quirk
+
+
+def _weighted_version(rng: random.Random, catalog: List[CodegenOptions]) -> CodegenOptions:
+    """Later compiler versions are (much) more common on mainnet."""
+    weights = [1 + i * i for i in range(len(catalog))]
+    return rng.choices(catalog, weights=weights, k=1)[0]
+
+
+def _build_contract_case(
+    gen: SignatureGenerator,
+    rng: random.Random,
+    options: CodegenOptions,
+    n_functions: int,
+    quirk_rate: float,
+) -> ContractCase:
+    specs: List[FunctionSpec] = []
+    declared: List[FunctionSignature] = []
+    quirks: List[Optional[str]] = []
+    force_optimize = False
+    for _ in range(n_functions):
+        sig = gen.signature()
+        if rng.random() < quirk_rate:
+            quirk = rng.choice(QUIRK_NAMES)
+            spec = apply_quirk(sig, quirk, rng)
+            if spec.const_index:
+                force_optimize = True
+            specs.append(spec)
+            declared.append(spec.sig)
+            quirks.append(quirk)
+        else:
+            specs.append(FunctionSpec(sig))
+            declared.append(sig)
+            quirks.append(None)
+    if force_optimize and not options.optimize:
+        options = CodegenOptions(
+            language=options.language,
+            version=options.version,
+            optimize=True,
+            dispatcher=options.dispatcher,
+            calldatasize_check=options.calldatasize_check,
+            memory_base=options.memory_base,
+        )
+    contract = compile_contract(specs, options)
+    return ContractCase(contract, options, tuple(declared), tuple(quirks))
+
+
+def build_open_source_corpus(
+    n_contracts: int = 200,
+    seed: int = 1,
+    quirk_rate: float = 0.02,
+    max_functions: int = 6,
+) -> Corpus:
+    """Ground-truth Solidity corpus across the version catalog."""
+    rng = random.Random(seed)
+    gen = SignatureGenerator(seed=seed + 1)
+    catalog = solidity_versions()
+    corpus = Corpus(language=Language.SOLIDITY)
+    for _ in range(n_contracts):
+        options = _weighted_version(rng, catalog)
+        corpus.cases.append(
+            _build_contract_case(
+                gen, rng, options, rng.randint(1, max_functions), quirk_rate
+            )
+        )
+    return corpus
+
+
+def build_closed_source_corpus(
+    n_contracts: int = 200, seed: int = 2, quirk_rate: float = 0.02
+) -> Corpus:
+    """Closed-source corpus (dataset 1): same construction, different
+    population; baselines only see the bytecode."""
+    return build_open_source_corpus(n_contracts, seed=seed, quirk_rate=quirk_rate)
+
+
+def build_synthesized_dataset(
+    n_functions: int = 1000, seed: int = 3
+) -> Corpus:
+    """Dataset 2: 100 contracts x 10 synthesized functions, Solidity
+    0.5.5, optimizer on with probability 50%."""
+    rng = random.Random(seed)
+    gen = SignatureGenerator(
+        seed=seed + 1, max_params=5, max_dims=3, max_dim_size=5,
+        struct_weight=0.0, nested_weight=0.0,
+    )
+    corpus = Corpus(language=Language.SOLIDITY)
+    per_contract = 10
+    n_contracts = (n_functions + per_contract - 1) // per_contract
+    for i in range(n_contracts):
+        remaining = min(per_contract, n_functions - i * per_contract)
+        options = CodegenOptions(version="0.5.5", optimize=rng.random() < 0.5)
+        sigs = gen.signatures(remaining)
+        # A small fraction of bodies index arrays with constants; under
+        # the optimizer this removes the bound checks and produces the
+        # paper's case-5 errors (8/1000 in their run).
+        specs = [
+            FunctionSpec(sig, const_index=rng.random() < 0.06) for sig in sigs
+        ]
+        contract = compile_contract(specs, options)
+        quirk_tags = tuple(
+            "case5" if (spec.const_index and options.optimize) else None
+            for spec in specs
+        )
+        corpus.cases.append(ContractCase(contract, options, tuple(sigs), quirk_tags))
+    return corpus
+
+
+def build_vyper_corpus(
+    n_contracts: int = 60, seed: int = 4, max_functions: int = 4
+) -> Corpus:
+    """Vyper corpus across the Vyper version catalog."""
+    from repro.abi.types import TupleType as _Tup
+
+    rng = random.Random(seed)
+    gen = SignatureGenerator(seed=seed + 1, language=Language.VYPER)
+    catalog = vyper_versions()
+    corpus = Corpus(language=Language.VYPER)
+    for _ in range(n_contracts):
+        options = _weighted_version(rng, catalog)
+        sigs = gen.signatures(rng.randint(1, max_functions))
+        contract = compile_contract(sigs, options)
+        # Vyper structs share their flattened members' layout: a known
+        # indistinguishability (case 5).
+        quirks = tuple(
+            "case5" if any(isinstance(p, _Tup) for p in sig.params) else None
+            for sig in sigs
+        )
+        corpus.cases.append(ContractCase(contract, options, tuple(sigs), quirks))
+    return corpus
+
+
+def build_obfuscated_corpus(
+    n_contracts: int = 50, seed: int = 9, quirk_rate: float = 0.0
+) -> Corpus:
+    """An adversarial corpus (§7): every contract compiled with the
+    obfuscating codegen — shift-pair masks, EQ-zero bools, inverted
+    loop guards, shifted strides, split constants."""
+    rng = random.Random(seed)
+    gen = SignatureGenerator(seed=seed + 1)
+    corpus = Corpus(language=Language.SOLIDITY)
+    for _ in range(n_contracts):
+        options = CodegenOptions(version="0.8.0", obfuscate=True)
+        corpus.cases.append(
+            _build_contract_case(gen, rng, options, rng.randint(1, 5), quirk_rate)
+        )
+    return corpus
+
+
+def build_struct_nested_corpus(
+    n_contracts: int = 80, seed: int = 5, hard_ratio: float = 0.38
+) -> Corpus:
+    """Functions taking structs or nested arrays (Table 4's population).
+
+    A ``hard_ratio`` fraction of declarations are the ambiguous shapes
+    responsible for the paper's 61.3% ceiling (all its misses are case
+    5): static structs (layout identical to flattened members), mixed
+    nested arrays with static middle dimensions, and string-typed
+    struct components indistinguishable from bytes.
+    """
+    from repro.abi.types import (
+        ArrayType as _Arr,
+        BoolType as _Bool,
+        StringType as _Str,
+        TupleType as _Tup,
+        UIntType as _U,
+    )
+
+    rng = random.Random(seed)
+    gen = SignatureGenerator(seed=seed + 1, struct_weight=0.5, nested_weight=0.5,
+                             composite_weight=0.0)
+    corpus = Corpus(language=Language.SOLIDITY)
+    for _ in range(n_contracts):
+        options = CodegenOptions(version="0.6.0")
+        sigs: List[FunctionSignature] = []
+        quirks: List[Optional[str]] = []
+        for _ in range(rng.randint(1, 3)):
+            if rng.random() < hard_ratio:
+                variant = rng.randrange(3)
+                if variant == 0:
+                    # Static struct: flattened by layout (case 5).
+                    param = _Tup((_U(256), _Bool()))
+                elif variant == 1:
+                    # Mixed nested array with a static middle dimension.
+                    param = _Arr(_Arr(_Arr(_U(8), None), rng.randint(2, 4)), None)
+                else:
+                    # string component: no byte-access discriminator.
+                    param = _Tup((_Str(), _U(256)))
+                sigs.append(
+                    FunctionSignature(gen.fresh_name(), (param,),
+                                      rng.choice(list(Visibility)))
+                )
+                quirks.append("case5")
+            else:
+                sigs.append(gen.signature(n_params=1))
+                quirks.append(None)
+        contract = compile_contract(sigs, options)
+        corpus.cases.append(
+            ContractCase(contract, options, tuple(sigs), tuple(quirks))
+        )
+    return corpus

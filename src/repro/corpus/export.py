@@ -1,0 +1,98 @@
+"""Corpus export/import: a shareable bytecode benchmark on disk.
+
+Writes a corpus as plain files — one hex bytecode per contract plus a
+ground-truth manifest — so that *other* tools (or future versions of
+this one) can be evaluated against exactly the same inputs.  The format
+is deliberately boring:
+
+    <dir>/
+      manifest.json        {"contracts": [{"file": "0001.hex",
+                             "version": "0.5.5+opt",
+                             "functions": [{"signature": ...,
+                                            "visibility": ...,
+                                            "quirk": ...}, ...]}, ...]}
+      0001.hex             runtime bytecode, hex, one line
+      ...
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from repro.abi.signature import FunctionSignature, Language, Visibility
+from repro.compiler.contract import CompiledContract
+from repro.compiler.options import CodegenOptions
+from repro.corpus.datasets import ContractCase, Corpus
+
+
+def export_corpus(corpus: Corpus, directory: str) -> str:
+    """Write ``corpus`` under ``directory``; returns the manifest path."""
+    os.makedirs(directory, exist_ok=True)
+    manifest = {"language": corpus.language.value, "contracts": []}
+    for index, case in enumerate(corpus.cases, start=1):
+        filename = f"{index:04d}.hex"
+        with open(os.path.join(directory, filename), "w") as handle:
+            handle.write(case.contract.bytecode.hex() + "\n")
+        manifest["contracts"].append(
+            {
+                "file": filename,
+                "version": case.options.version_key,
+                "functions": [
+                    {
+                        "signature": sig.canonical(),
+                        "visibility": sig.visibility.value,
+                        "language": sig.language.value,
+                        "quirk": quirk,
+                    }
+                    for sig, quirk in zip(case.declared, case.quirks)
+                ],
+            }
+        )
+    manifest_path = os.path.join(directory, "manifest.json")
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle, indent=1)
+    return manifest_path
+
+
+def load_corpus(directory: str) -> Corpus:
+    """Read a corpus written by :func:`export_corpus`.
+
+    Codegen options are reconstructed only as far as the version label
+    (the bytecode itself carries everything evaluation needs).
+    """
+    with open(os.path.join(directory, "manifest.json")) as handle:
+        manifest = json.load(handle)
+    language = Language(manifest.get("language", "solidity"))
+    corpus = Corpus(language=language)
+    for entry in manifest["contracts"]:
+        with open(os.path.join(directory, entry["file"])) as handle:
+            bytecode = bytes.fromhex(handle.read().strip())
+        declared: List[FunctionSignature] = []
+        quirks: List[Optional[str]] = []
+        for fn in entry["functions"]:
+            declared.append(
+                FunctionSignature.parse(
+                    fn["signature"],
+                    Visibility(fn["visibility"]),
+                    Language(fn.get("language", "solidity")),
+                )
+            )
+            quirks.append(fn.get("quirk"))
+        version_key = entry.get("version", "0.5.0")
+        optimize = version_key.endswith("+opt")
+        options = CodegenOptions(
+            language=language,
+            version=version_key[:-4] if optimize else version_key,
+            optimize=optimize,
+        )
+        contract = CompiledContract(
+            bytecode=bytecode,
+            signatures=tuple(declared),
+            options=options,
+        )
+        corpus.cases.append(
+            ContractCase(contract, options, tuple(declared), tuple(quirks))
+        )
+    return corpus

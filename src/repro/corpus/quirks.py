@@ -1,0 +1,94 @@
+"""The five documented inaccuracy cases (paper §5.2).
+
+Each quirk transforms a clean :class:`FunctionSpec` into one whose
+bytecode legitimately disagrees with the declared signature, in exactly
+the way the paper's error analysis describes:
+
+* **case1** — the function declares no parameter but reads two with
+  inline assembly (Listing 10): SigRec reports the *read* parameters.
+* **case2** — the body force-converts the declared type before use
+  (Listing 11, ``uint256[6]`` used as ``uint8`` items): SigRec reports
+  the converted type.
+* **case3** — a declared ``address`` is used in arithmetic, so it is
+  recovered as ``uint160`` (the R16 distinction in reverse).
+* **case4** — a parameter with the ``storage`` modifier passes a slot
+  reference, recovered as ``uint256`` whatever the declared type.
+* **case5** — rule blind spots: optimized constant-index static arrays
+  (no bound checks), ``bytes`` never byte-accessed (= ``string``), and
+  static structs (layout identical to flattened members).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.abi.types import (
+    AddressType,
+    ArrayType,
+    BoolType,
+    BytesType,
+    TupleType,
+    UIntType,
+)
+from repro.compiler.contract import FunctionSpec
+
+QUIRK_NAMES = ("case1", "case2", "case3", "case4", "case5")
+
+
+def apply_quirk(
+    sig: FunctionSignature, quirk: str, rng: random.Random
+) -> FunctionSpec:
+    """Build the quirked spec for ``sig``; the declared signature (and
+    hence the selector) is preserved — only the body diverges."""
+    if quirk == "case1":
+        # Declared parameterless; the body reads two words via inline
+        # assembly (calldataload(4), calldataload(36)).
+        bare = FunctionSignature(sig.name, (), sig.visibility, sig.language)
+        return FunctionSpec(bare, body_params=(UIntType(256), UIntType(256)))
+    if quirk == "case2":
+        # Declared uint256[k]; every item is down-cast to uint8 on use.
+        k = rng.randint(2, 6)
+        declared = FunctionSignature(
+            sig.name, (ArrayType(UIntType(256), k),), sig.visibility, sig.language
+        )
+        return FunctionSpec(declared, body_params=(ArrayType(UIntType(8), k),))
+    if quirk == "case3":
+        # Declared address; used in arithmetic -> uint160.
+        declared = FunctionSignature(
+            sig.name, (AddressType(),), sig.visibility, sig.language
+        )
+        return FunctionSpec(declared, body_params=(UIntType(160),))
+    if quirk == "case4":
+        # Declared with a storage reference; the body reads one word.
+        declared = FunctionSignature(
+            sig.name, (ArrayType(UIntType(256), None),), sig.visibility, sig.language
+        )
+        return FunctionSpec(declared, body_params=(UIntType(256),))
+    if quirk == "case5":
+        variant = rng.randrange(3)
+        if variant == 0:
+            # Optimized constant-index static array: no bound checks.
+            declared = FunctionSignature(
+                sig.name,
+                (ArrayType(UIntType(256), rng.randint(2, 5)),),
+                Visibility.EXTERNAL,
+                sig.language,
+            )
+            return FunctionSpec(declared, const_index=True)
+        if variant == 1:
+            # bytes whose individual bytes are never accessed.
+            declared = FunctionSignature(
+                sig.name, (BytesType(),), sig.visibility, sig.language
+            )
+            return FunctionSpec(declared, no_byte_access=True)
+        # Static struct: identical layout to its flattened members.
+        declared = FunctionSignature(
+            sig.name,
+            (TupleType((UIntType(256), BoolType())),),
+            sig.visibility,
+            sig.language,
+        )
+        return FunctionSpec(declared)
+    raise ValueError(f"unknown quirk: {quirk}")

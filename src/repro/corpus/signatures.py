@@ -1,0 +1,193 @@
+"""Random function-signature generation (dataset-2 style).
+
+The paper's dataset 2 builds 1,000 synthesized functions: 5-letter
+random names, 1-5 parameters of randomly selected types, arrays of at
+most 3 dimensions with at most 5 items per static dimension, public or
+external at random.  This generator reproduces that recipe and also
+serves the larger open/closed-source corpora with weights approximating
+real-world frequency (basic types dominate; struct/nested arrays are
+the paper's 0.5% tail).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Optional
+
+from repro.abi.signature import FunctionSignature, Language, Visibility
+from repro.abi.types import (
+    AbiType,
+    AddressType,
+    ArrayType,
+    BoolType,
+    BoundedBytesType,
+    BoundedStringType,
+    BytesType,
+    DecimalType,
+    FixedBytesType,
+    IntType,
+    StringType,
+    TupleType,
+    UIntType,
+)
+
+_UINT_WIDTHS = [8, 16, 32, 64, 128, 160, 256]
+_INT_WIDTHS = [8, 16, 32, 64, 128, 256]
+_BYTES_SIZES = [1, 2, 4, 8, 16, 20, 32]
+
+
+class SignatureGenerator:
+    """Draws random signatures with controllable type distribution."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        language: Language = Language.SOLIDITY,
+        max_params: int = 5,
+        max_dims: int = 3,
+        max_dim_size: int = 5,
+        composite_weight: float = 0.35,
+        struct_weight: float = 0.02,
+        nested_weight: float = 0.02,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.language = language
+        self.max_params = max_params
+        self.max_dims = max_dims
+        self.max_dim_size = max_dim_size
+        self.composite_weight = composite_weight
+        self.struct_weight = struct_weight
+        self.nested_weight = nested_weight
+        self._names: set = set()
+
+    # ------------------------------------------------------------------
+
+    def fresh_name(self, length: int = 5) -> str:
+        """A unique random function name of lowercase letters."""
+        while True:
+            name = "".join(self.rng.choice(string.ascii_lowercase) for _ in range(length))
+            if name not in self._names:
+                self._names.add(name)
+                return name
+
+    def basic_type(self) -> AbiType:
+        rng = self.rng
+        if self.language is Language.VYPER:
+            return rng.choice(
+                [
+                    UIntType(256),
+                    IntType(128),
+                    AddressType(),
+                    BoolType(),
+                    FixedBytesType(32),
+                    DecimalType(),
+                ]
+            )
+        roll = rng.random()
+        if roll < 0.30:
+            return UIntType(rng.choice(_UINT_WIDTHS))
+        if roll < 0.45:
+            return AddressType()
+        if roll < 0.58:
+            return IntType(rng.choice(_INT_WIDTHS))
+        if roll < 0.72:
+            return BoolType()
+        if roll < 0.86:
+            return FixedBytesType(rng.choice(_BYTES_SIZES))
+        return UIntType(256)
+
+    def array_type(self) -> ArrayType:
+        """A static or (top-)dynamic array, lower dimensions static."""
+        rng = self.rng
+        base = self.basic_type()
+        dims = rng.randint(1, self.max_dims)
+        current: AbiType = base
+        for _ in range(dims - 1):
+            current = ArrayType(current, rng.randint(1, self.max_dim_size))
+        top: Optional[int] = (
+            None if rng.random() < 0.5 else rng.randint(1, self.max_dim_size)
+        )
+        return ArrayType(current, top)
+
+    def nested_array_type(self) -> ArrayType:
+        """All-dynamic nested array of depth 2-3."""
+        depth = self.rng.randint(2, 3)
+        current: AbiType = self.basic_type()
+        for _ in range(depth):
+            current = ArrayType(current, None)
+        return current
+
+    def struct_type(self) -> TupleType:
+        """A dynamic struct of 2-3 simple components.
+
+        Occasionally one component is itself a nested array, producing
+        the struct-with-nested-array shape rule R19 recognizes.
+        """
+        rng = self.rng
+        components: List[AbiType] = []
+        n = rng.randint(2, 3)
+        has_dynamic = False
+        for _ in range(n):
+            roll = rng.random()
+            if roll < 0.4:
+                components.append(self.basic_type())
+            elif roll < 0.75:
+                components.append(ArrayType(self.basic_type(), None))
+                has_dynamic = True
+            elif roll < 0.9:
+                components.append(BytesType())
+                has_dynamic = True
+            else:
+                components.append(ArrayType(ArrayType(self.basic_type(), None), None))
+                has_dynamic = True
+        if not has_dynamic:
+            components[-1] = ArrayType(UIntType(256), None)
+        return TupleType(tuple(components))
+
+    def param_type(self) -> AbiType:
+        rng = self.rng
+        roll = rng.random()
+        if self.language is Language.VYPER:
+            if roll < 0.012:
+                # A Vyper struct: same layout as its flattened members
+                # (§2.3.2 item 5) — declared as a tuple, recovered flat.
+                return TupleType((self.basic_type(), self.basic_type()))
+            if roll < 0.60:
+                return self.basic_type()
+            if roll < 0.78:
+                # fixed-size list
+                base = self.basic_type()
+                dims = rng.randint(1, 2)
+                current: AbiType = base
+                for _ in range(dims):
+                    current = ArrayType(current, rng.randint(1, self.max_dim_size))
+                return current
+            if roll < 0.90:
+                return BoundedBytesType(rng.randint(1, 50))
+            return BoundedStringType(rng.randint(1, 50))
+        if roll < self.struct_weight:
+            return self.struct_type()
+        if roll < self.struct_weight + self.nested_weight:
+            return self.nested_array_type()
+        if roll < self.struct_weight + self.nested_weight + self.composite_weight:
+            composite_roll = rng.random()
+            if composite_roll < 0.55:
+                return self.array_type()
+            if composite_roll < 0.80:
+                return BytesType()
+            return StringType()
+        return self.basic_type()
+
+    def signature(self, n_params: Optional[int] = None) -> FunctionSignature:
+        rng = self.rng
+        if n_params is None:
+            n_params = rng.randint(1, self.max_params)
+        params = tuple(self.param_type() for _ in range(n_params))
+        visibility = (
+            Visibility.PUBLIC if rng.random() < 0.5 else Visibility.EXTERNAL
+        )
+        return FunctionSignature(self.fresh_name(), params, visibility, self.language)
+
+    def signatures(self, count: int, **kw) -> List[FunctionSignature]:
+        return [self.signature(**kw) for _ in range(count)]

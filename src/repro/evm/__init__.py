@@ -1,0 +1,40 @@
+"""EVM substrate: opcodes, assembler, disassembler, CFG, Keccak, interpreter."""
+
+from repro.evm.opcodes import Op, OPCODES, opcode_by_name
+from repro.evm.asm import Assembler, assemble
+from repro.evm.disasm import Instruction, disassemble
+from repro.evm.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.evm.keccak import keccak256, selector
+from repro.evm.interpreter import (
+    Interpreter,
+    ExecutionResult,
+    EVMException,
+    StackUnderflow,
+    InvalidJump,
+    OutOfGas,
+    Reverted,
+    InvalidInstruction,
+)
+
+__all__ = [
+    "Op",
+    "OPCODES",
+    "opcode_by_name",
+    "Assembler",
+    "assemble",
+    "Instruction",
+    "disassemble",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "keccak256",
+    "selector",
+    "Interpreter",
+    "ExecutionResult",
+    "EVMException",
+    "StackUnderflow",
+    "InvalidJump",
+    "OutOfGas",
+    "Reverted",
+    "InvalidInstruction",
+]

@@ -1,0 +1,185 @@
+"""A small EVM assembler with label support.
+
+The compiler substrate emits instruction streams symbolically (labels for
+jump targets) and this module resolves them to concrete bytecode.  Because
+PUSH widths depend on target addresses, label resolution iterates to a
+fixed point, always widening (a target address never shrinks once widened),
+so the loop terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.evm.opcodes import Op, opcode_by_name
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic jump target."""
+
+    name: str
+
+
+@dataclass
+class _Item:
+    """One assembler item: an opcode, optionally with an immediate."""
+
+    op: Optional[Op] = None
+    immediate: Optional[int] = None
+    push_label: Optional[str] = None  # PUSH of a label address
+    label: Optional[str] = None  # label definition (zero width)
+
+
+class AssemblyError(Exception):
+    """Raised for malformed assembly programs."""
+
+
+class Assembler:
+    """Builds EVM bytecode from mnemonics, immediates and labels.
+
+    Usage::
+
+        a = Assembler()
+        a.push(0).op("CALLDATALOAD")
+        a.push_label("body").op("JUMP")
+        a.label("body").op("JUMPDEST").op("STOP")
+        bytecode = a.assemble()
+    """
+
+    def __init__(self) -> None:
+        self._items: List[_Item] = []
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # Emission API
+    # ------------------------------------------------------------------
+
+    def op(self, name: str) -> "Assembler":
+        """Emit a plain opcode by mnemonic."""
+        self._items.append(_Item(op=opcode_by_name(name)))
+        return self
+
+    def push(self, value: int, width: Optional[int] = None) -> "Assembler":
+        """Emit the smallest PUSHn for ``value`` (or a fixed ``width``)."""
+        if value < 0:
+            raise AssemblyError(f"PUSH operand must be unsigned, got {value}")
+        size = max(1, (value.bit_length() + 7) // 8)
+        if width is not None:
+            if width < size:
+                raise AssemblyError(f"value {value:#x} does not fit in {width} bytes")
+            size = width
+        if size > 32:
+            raise AssemblyError(f"PUSH operand too wide: {value:#x}")
+        self._items.append(_Item(op=opcode_by_name(f"PUSH{size}"), immediate=value))
+        return self
+
+    def push_label(self, name: str) -> "Assembler":
+        """Emit a PUSH whose immediate is the resolved address of a label."""
+        self._items.append(_Item(push_label=name))
+        return self
+
+    def label(self, name: str) -> "Assembler":
+        """Define a label at the current position."""
+        self._items.append(_Item(label=name))
+        return self
+
+    def fresh_label(self, stem: str = "L") -> str:
+        """Generate a unique label name."""
+        self._label_counter += 1
+        return f"{stem}_{self._label_counter}"
+
+    def raw(self, data: bytes) -> "Assembler":
+        """Append raw bytes (e.g. embedded data)."""
+        for byte in data:
+            self._items.append(_Item(op=None, immediate=byte))
+        return self
+
+    def extend(self, other: "Assembler") -> "Assembler":
+        """Append all items of another assembler (labels must not clash)."""
+        self._items.extend(other._items)
+        return self
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def assemble(self) -> bytes:
+        """Resolve labels and produce final bytecode."""
+        widths = self._fix_label_widths()
+        addresses = self._layout(widths)
+        out = bytearray()
+        for item in self._items:
+            if item.label is not None:
+                continue
+            if item.push_label is not None:
+                address = addresses[item.push_label]
+                width = widths[item.push_label]
+                out.append(opcode_by_name(f"PUSH{width}").code)
+                out.extend(address.to_bytes(width, "big"))
+            elif item.op is not None:
+                out.append(item.op.code)
+                if item.op.immediate_size:
+                    if item.immediate is None:
+                        raise AssemblyError(f"{item.op.name} missing immediate")
+                    out.extend(item.immediate.to_bytes(item.op.immediate_size, "big"))
+            else:
+                out.append(item.immediate or 0)
+        return bytes(out)
+
+    def _fix_label_widths(self) -> Dict[str, int]:
+        """Iterate PUSH widths for label references to a fixed point."""
+        labels = [item.label for item in self._items if item.label is not None]
+        if len(set(labels)) != len(labels):
+            raise AssemblyError("duplicate label definition")
+        widths = {name: 1 for name in labels}
+        for item in self._items:
+            if item.push_label is not None and item.push_label not in widths:
+                raise AssemblyError(f"undefined label: {item.push_label}")
+        while True:
+            addresses = self._layout(widths)
+            changed = False
+            for name, address in addresses.items():
+                needed = max(1, (address.bit_length() + 7) // 8)
+                if needed > widths[name]:
+                    widths[name] = needed
+                    changed = True
+            if not changed:
+                return widths
+
+    def _layout(self, widths: Dict[str, int]) -> Dict[str, int]:
+        """Compute label addresses for given PUSH widths."""
+        addresses: Dict[str, int] = {}
+        pc = 0
+        for item in self._items:
+            if item.label is not None:
+                addresses[item.label] = pc
+            elif item.push_label is not None:
+                pc += 1 + widths[item.push_label]
+            elif item.op is not None:
+                pc += 1 + item.op.immediate_size
+            else:
+                pc += 1
+        return addresses
+
+
+def assemble(program: List[Union[str, Tuple[str, int]]]) -> bytes:
+    """Assemble a simple list program without labels.
+
+    Each element is a mnemonic string or a ``(mnemonic, immediate)`` pair
+    for PUSH instructions::
+
+        assemble([("PUSH1", 0), "CALLDATALOAD", "STOP"])
+    """
+    asm = Assembler()
+    for element in program:
+        if isinstance(element, str):
+            asm.op(element)
+        else:
+            name, value = element
+            op = opcode_by_name(name)
+            if not op.is_push:
+                raise AssemblyError(f"{name} takes no immediate")
+            asm._items.append(_Item(op=op, immediate=value))
+    return asm.assemble()

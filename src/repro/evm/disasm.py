@@ -1,0 +1,83 @@
+"""EVM disassembler.
+
+Linear-sweep disassembly of runtime bytecode into a list of
+:class:`Instruction` records.  Bytes that are not valid opcodes (data
+embedded after code, e.g. the Solidity metadata trailer) are kept as
+``INVALID``-like placeholder instructions so that the instruction stream
+always covers the whole byte range, matching how Geth's disassembler
+behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.evm.opcodes import OPCODES, Op
+
+
+_UNKNOWN = Op(-1, "UNKNOWN", 0, 0, 0, 0)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction at a concrete program counter."""
+
+    pc: int
+    op: Op
+    operand: Optional[int] = None  # immediate value of PUSHn
+
+    @property
+    def size(self) -> int:
+        return 1 + self.op.immediate_size
+
+    @property
+    def next_pc(self) -> int:
+        return self.pc + self.size
+
+    def __str__(self) -> str:
+        if self.operand is not None:
+            return f"{self.pc:#06x}: {self.op.name} {self.operand:#x}"
+        return f"{self.pc:#06x}: {self.op.name}"
+
+
+def disassemble(bytecode: bytes) -> List[Instruction]:
+    """Decode ``bytecode`` into instructions by linear sweep.
+
+    A truncated PUSH at the end of the code (its immediate running past
+    the bytecode) is decoded with the available bytes zero-extended, as
+    the EVM itself does.
+    """
+    instructions: List[Instruction] = []
+    pc = 0
+    length = len(bytecode)
+    while pc < length:
+        byte = bytecode[pc]
+        op = OPCODES.get(byte)
+        if op is None:
+            instructions.append(Instruction(pc, _UNKNOWN))
+            pc += 1
+            continue
+        operand: Optional[int] = None
+        if op.immediate_size:
+            raw = bytecode[pc + 1 : pc + 1 + op.immediate_size]
+            raw = raw + b"\x00" * (op.immediate_size - len(raw))
+            operand = int.from_bytes(raw, "big")
+        instructions.append(Instruction(pc, op, operand))
+        pc += 1 + op.immediate_size
+    return instructions
+
+
+def instruction_index(instructions: List[Instruction]) -> Dict[int, Instruction]:
+    """Map each pc to its instruction."""
+    return {ins.pc: ins for ins in instructions}
+
+
+def jumpdests(instructions: List[Instruction]) -> frozenset:
+    """The set of valid JUMPDEST program counters."""
+    return frozenset(ins.pc for ins in instructions if ins.op.name == "JUMPDEST")
+
+
+def format_listing(instructions: List[Instruction]) -> str:
+    """Human-readable disassembly listing."""
+    return "\n".join(str(ins) for ins in instructions)

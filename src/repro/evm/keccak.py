@@ -1,0 +1,142 @@
+"""Pure-Python Keccak-256.
+
+Ethereum uses the original Keccak padding (0x01), not the NIST SHA-3
+padding (0x06), so ``hashlib.sha3_256`` gives different digests and no
+Keccak library is available offline.  This module implements
+Keccak-f[1600] from the reference specification: 5x5 lanes of 64 bits,
+24 rounds of theta / rho / pi / chi / iota, rate 1088 bits (136 bytes)
+for the 256-bit variant.
+
+Verified against the published empty-string digest and the ERC-20
+selector corpus (see tests/evm/test_keccak.py).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_MASK64 = (1 << 64) - 1
+
+_ROUND_CONSTANTS = [
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+]
+
+# Rotation offsets, indexed [x][y].
+_ROTATIONS = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+]
+
+_RATE_BYTES = 136  # 1088-bit rate for Keccak-256
+
+
+def _rotl(value: int, shift: int) -> int:
+    return ((value << shift) | (value >> (64 - shift))) & _MASK64
+
+
+def _keccak_f(lanes: List[List[int]]) -> None:
+    """Apply Keccak-f[1600] in place to a 5x5 lane matrix."""
+    for round_constant in _ROUND_CONSTANTS:
+        # theta
+        c = [
+            lanes[x][0] ^ lanes[x][1] ^ lanes[x][2] ^ lanes[x][3] ^ lanes[x][4]
+            for x in range(5)
+        ]
+        d = [c[(x - 1) % 5] ^ _rotl(c[(x + 1) % 5], 1) for x in range(5)]
+        for x in range(5):
+            for y in range(5):
+                lanes[x][y] ^= d[x]
+
+        # rho + pi
+        b = [[0] * 5 for _ in range(5)]
+        for x in range(5):
+            for y in range(5):
+                b[y][(2 * x + 3 * y) % 5] = _rotl(lanes[x][y], _ROTATIONS[x][y])
+
+        # chi
+        for x in range(5):
+            for y in range(5):
+                lanes[x][y] = b[x][y] ^ ((~b[(x + 1) % 5][y]) & b[(x + 2) % 5][y])
+
+        # iota
+        lanes[0][0] ^= round_constant
+
+
+class Keccak256:
+    """Incremental Keccak-256 hasher mirroring the hashlib interface."""
+
+    digest_size = 32
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._lanes: List[List[int]] = [[0] * 5 for _ in range(5)]
+        self._buffer = bytearray()
+        self._finalized = False
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "Keccak256":
+        if self._finalized:
+            raise ValueError("cannot update a finalized hasher")
+        self._buffer.extend(data)
+        while len(self._buffer) >= _RATE_BYTES:
+            self._absorb(bytes(self._buffer[:_RATE_BYTES]))
+            del self._buffer[:_RATE_BYTES]
+        return self
+
+    def _absorb(self, block: bytes) -> None:
+        for i in range(_RATE_BYTES // 8):
+            lane = int.from_bytes(block[i * 8 : i * 8 + 8], "little")
+            x, y = i % 5, i // 5
+            self._lanes[x][y] ^= lane
+        _keccak_f(self._lanes)
+
+    def digest(self) -> bytes:
+        # Pad a copy so that digest() can be called repeatedly.
+        lanes = [list(col) for col in self._lanes]
+        padded = bytearray(self._buffer)
+        pad_len = _RATE_BYTES - len(padded)
+        if pad_len == 1:
+            padded.append(0x81)
+        else:
+            padded.append(0x01)
+            padded.extend(b"\x00" * (pad_len - 2))
+            padded.append(0x80)
+        for offset in range(0, len(padded), _RATE_BYTES):
+            block = bytes(padded[offset : offset + _RATE_BYTES])
+            for i in range(_RATE_BYTES // 8):
+                lane = int.from_bytes(block[i * 8 : i * 8 + 8], "little")
+                x, y = i % 5, i // 5
+                lanes[x][y] ^= lane
+            _keccak_f(lanes)
+        out = bytearray()
+        for i in range(4):  # 4 lanes = 32 bytes
+            x, y = i % 5, i // 5
+            out.extend(lanes[x][y].to_bytes(8, "little"))
+        return bytes(out)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+def keccak256(data: bytes) -> bytes:
+    """One-shot Keccak-256 digest of ``data``."""
+    return Keccak256(data).digest()
+
+
+def selector(signature: str) -> bytes:
+    """The 4-byte function id of a canonical signature string.
+
+    >>> selector("transfer(address,uint256)").hex()
+    'a9059cbb'
+    """
+    return keccak256(signature.encode("ascii"))[:4]

@@ -1,0 +1,191 @@
+"""The EVM instruction set.
+
+A single authoritative table of every opcode this reproduction supports,
+covering the Frontier-through-Shanghai instruction set that Solidity and
+Vyper codegen uses (including SHR/SHL/SAR from Constantinople and PUSH0
+from Shanghai).  Each entry records the mnemonic, how many stack items the
+instruction pops and pushes, the size of its immediate operand (only
+PUSH1..PUSH32 carry one), and a base gas cost used by the concrete
+interpreter.  Gas accounting here is deliberately simple — enough to bound
+fuzzing runs, not a consensus implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Op:
+    """Static description of one EVM opcode."""
+
+    code: int
+    name: str
+    pops: int
+    pushes: int
+    immediate_size: int = 0
+    gas: int = 3
+
+    @property
+    def is_push(self) -> bool:
+        return 0x5F <= self.code <= 0x7F
+
+    @property
+    def is_dup(self) -> bool:
+        return 0x80 <= self.code <= 0x8F
+
+    @property
+    def is_swap(self) -> bool:
+        return 0x90 <= self.code <= 0x9F
+
+    @property
+    def is_terminator(self) -> bool:
+        """True when control flow never falls through this instruction."""
+        return self.name in _TERMINATORS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Op(0x{self.code:02x} {self.name})"
+
+
+_TERMINATORS = frozenset(
+    ["STOP", "RETURN", "REVERT", "INVALID", "SELFDESTRUCT", "JUMP"]
+)
+
+
+def _build_table() -> Dict[int, Op]:
+    table: Dict[int, Op] = {}
+
+    def op(code: int, name: str, pops: int, pushes: int, gas: int = 3) -> None:
+        table[code] = Op(code, name, pops, pushes, 0, gas)
+
+    # 0x00s: arithmetic
+    op(0x00, "STOP", 0, 0, 0)
+    op(0x01, "ADD", 2, 1)
+    op(0x02, "MUL", 2, 1, 5)
+    op(0x03, "SUB", 2, 1)
+    op(0x04, "DIV", 2, 1, 5)
+    op(0x05, "SDIV", 2, 1, 5)
+    op(0x06, "MOD", 2, 1, 5)
+    op(0x07, "SMOD", 2, 1, 5)
+    op(0x08, "ADDMOD", 3, 1, 8)
+    op(0x09, "MULMOD", 3, 1, 8)
+    op(0x0A, "EXP", 2, 1, 10)
+    op(0x0B, "SIGNEXTEND", 2, 1, 5)
+
+    # 0x10s: comparison & bitwise
+    op(0x10, "LT", 2, 1)
+    op(0x11, "GT", 2, 1)
+    op(0x12, "SLT", 2, 1)
+    op(0x13, "SGT", 2, 1)
+    op(0x14, "EQ", 2, 1)
+    op(0x15, "ISZERO", 1, 1)
+    op(0x16, "AND", 2, 1)
+    op(0x17, "OR", 2, 1)
+    op(0x18, "XOR", 2, 1)
+    op(0x19, "NOT", 1, 1)
+    op(0x1A, "BYTE", 2, 1)
+    op(0x1B, "SHL", 2, 1)
+    op(0x1C, "SHR", 2, 1)
+    op(0x1D, "SAR", 2, 1)
+
+    # 0x20s
+    op(0x20, "SHA3", 2, 1, 30)
+
+    # 0x30s: environment
+    op(0x30, "ADDRESS", 0, 1, 2)
+    op(0x31, "BALANCE", 1, 1, 100)
+    op(0x32, "ORIGIN", 0, 1, 2)
+    op(0x33, "CALLER", 0, 1, 2)
+    op(0x34, "CALLVALUE", 0, 1, 2)
+    op(0x35, "CALLDATALOAD", 1, 1)
+    op(0x36, "CALLDATASIZE", 0, 1, 2)
+    op(0x37, "CALLDATACOPY", 3, 0)
+    op(0x38, "CODESIZE", 0, 1, 2)
+    op(0x39, "CODECOPY", 3, 0)
+    op(0x3A, "GASPRICE", 0, 1, 2)
+    op(0x3B, "EXTCODESIZE", 1, 1, 100)
+    op(0x3C, "EXTCODECOPY", 4, 0, 100)
+    op(0x3D, "RETURNDATASIZE", 0, 1, 2)
+    op(0x3E, "RETURNDATACOPY", 3, 0)
+    op(0x3F, "EXTCODEHASH", 1, 1, 100)
+
+    # 0x40s: block
+    op(0x40, "BLOCKHASH", 1, 1, 20)
+    op(0x41, "COINBASE", 0, 1, 2)
+    op(0x42, "TIMESTAMP", 0, 1, 2)
+    op(0x43, "NUMBER", 0, 1, 2)
+    op(0x44, "DIFFICULTY", 0, 1, 2)
+    op(0x45, "GASLIMIT", 0, 1, 2)
+    op(0x46, "CHAINID", 0, 1, 2)
+    op(0x47, "SELFBALANCE", 0, 1, 5)
+    op(0x48, "BASEFEE", 0, 1, 2)
+
+    # 0x50s: stack, memory, storage, flow
+    op(0x50, "POP", 1, 0, 2)
+    op(0x51, "MLOAD", 1, 1)
+    op(0x52, "MSTORE", 2, 0)
+    op(0x53, "MSTORE8", 2, 0)
+    op(0x54, "SLOAD", 1, 1, 100)
+    op(0x55, "SSTORE", 2, 0, 100)
+    op(0x56, "JUMP", 1, 0, 8)
+    op(0x57, "JUMPI", 2, 0, 10)
+    op(0x58, "PC", 0, 1, 2)
+    op(0x59, "MSIZE", 0, 1, 2)
+    op(0x5A, "GAS", 0, 1, 2)
+    op(0x5B, "JUMPDEST", 0, 0, 1)
+
+    # PUSH0..PUSH32
+    table[0x5F] = Op(0x5F, "PUSH0", 0, 1, 0, 2)
+    for n in range(1, 33):
+        table[0x5F + n] = Op(0x5F + n, f"PUSH{n}", 0, 1, n, 3)
+
+    # DUP1..DUP16 / SWAP1..SWAP16
+    for n in range(1, 17):
+        table[0x7F + n] = Op(0x7F + n, f"DUP{n}", n, n + 1, 0, 3)
+        table[0x8F + n] = Op(0x8F + n, f"SWAP{n}", n + 1, n + 1, 0, 3)
+
+    # LOG0..LOG4
+    for n in range(5):
+        table[0xA0 + n] = Op(0xA0 + n, f"LOG{n}", 2 + n, 0, 0, 375)
+
+    # 0xF0s: system
+    op(0xF0, "CREATE", 3, 1, 32000)
+    op(0xF1, "CALL", 7, 1, 100)
+    op(0xF2, "CALLCODE", 7, 1, 100)
+    op(0xF3, "RETURN", 2, 0, 0)
+    op(0xF4, "DELEGATECALL", 6, 1, 100)
+    op(0xF5, "CREATE2", 4, 1, 32000)
+    op(0xFA, "STATICCALL", 6, 1, 100)
+    op(0xFD, "REVERT", 2, 0, 0)
+    op(0xFE, "INVALID", 0, 0, 0)
+    op(0xFF, "SELFDESTRUCT", 1, 0, 5000)
+
+    return table
+
+
+OPCODES: Dict[int, Op] = _build_table()
+
+_BY_NAME: Dict[str, Op] = {op.name: op for op in OPCODES.values()}
+
+
+def opcode_by_name(name: str) -> Op:
+    """Look up an opcode by mnemonic (case-insensitive).
+
+    Raises KeyError for unknown mnemonics.
+    """
+    return _BY_NAME[name.upper()]
+
+
+def is_valid_opcode(byte: int) -> bool:
+    return byte in OPCODES
+
+
+def push_for_value(value: int) -> Op:
+    """The smallest PUSHn able to encode ``value``."""
+    if value < 0:
+        raise ValueError("PUSH operands are unsigned")
+    size = max(1, (value.bit_length() + 7) // 8)
+    if size > 32:
+        raise ValueError(f"value does not fit in 32 bytes: {value:#x}")
+    return _BY_NAME[f"PUSH{size}"]

@@ -1,0 +1,79 @@
+"""Structured execution tracing.
+
+Runs a message call step by step, recording each instruction with the
+stack it saw — the debugging surface reverse engineers expect next to a
+disassembler.  Built on the interpreter's ``step_hook``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.evm.disasm import disassemble, instruction_index
+from repro.evm.interpreter import ExecutionResult, Interpreter
+
+
+@dataclass
+class TraceStep:
+    """One executed instruction with its pre-state."""
+
+    pc: int
+    op: str
+    operand: Optional[int]
+    stack_before: List[int]
+
+    def render(self, max_items: int = 4) -> str:
+        shown = [f"{v:#x}" for v in self.stack_before[-max_items:][::-1]]
+        stack_text = ", ".join(shown)
+        if len(self.stack_before) > max_items:
+            stack_text += ", ..."
+        operand_text = f" {self.operand:#x}" if self.operand is not None else ""
+        return f"{self.pc:#06x}  {self.op}{operand_text}  [{stack_text}]"
+
+
+@dataclass
+class Trace:
+    steps: List[TraceStep] = field(default_factory=list)
+    result: Optional[ExecutionResult] = None
+
+    def render(self, limit: int = 200) -> str:
+        lines = [step.render() for step in self.steps[:limit]]
+        if len(self.steps) > limit:
+            lines.append(f"... {len(self.steps) - limit} more steps")
+        if self.result is not None:
+            status = (
+                "success"
+                if self.result.success
+                else f"failed: {self.result.error}"
+            )
+            lines.append(f"=> {status} ({len(self.steps)} steps)")
+        return "\n".join(lines)
+
+    def pcs(self) -> List[int]:
+        return [step.pc for step in self.steps]
+
+
+class Tracer:
+    """Step-records one message call."""
+
+    def __init__(self, bytecode: bytes, max_steps: int = 20_000) -> None:
+        self.bytecode = bytecode
+        self.max_steps = max_steps
+        self._by_pc = instruction_index(disassemble(bytecode))
+
+    def trace(self, calldata: bytes, **call_kwargs) -> Trace:
+        trace = Trace()
+
+        def hook(pc: int, stack: List[int]) -> None:
+            ins = self._by_pc.get(pc)
+            if ins is not None:
+                trace.steps.append(
+                    TraceStep(pc, ins.op.name, ins.operand, list(stack))
+                )
+
+        interpreter = Interpreter(
+            self.bytecode, max_steps=self.max_steps, step_hook=hook
+        )
+        trace.result = interpreter.call(calldata, **call_kwargs)
+        return trace

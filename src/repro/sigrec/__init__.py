@@ -1,0 +1,6 @@
+"""SigRec core: TASE (type-aware symbolic execution) and rules R1-R31."""
+
+from repro.sigrec.api import SigRec, RecoveredSignature
+from repro.sigrec.rules import RULES, RuleTracker
+
+__all__ = ["SigRec", "RecoveredSignature", "RULES", "RuleTracker"]

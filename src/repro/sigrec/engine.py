@@ -1,0 +1,673 @@
+"""The TASE symbolic execution engine.
+
+Executes runtime bytecode with the call data as a symbol array,
+exploring paths through the dispatcher into every public/external
+function body, and recording the events the type-inference rules need
+(paper §4.2):
+
+* every CALLDATALOAD with the symbolic expression of its location and
+  the branch guards active at that point (for control-dependence rules
+  R2/R3);
+* every CALLDATACOPY with destination/source/length expressions;
+* every *use* of a parameter-tainted value in a type-revealing
+  instruction (AND masks, SIGNEXTEND, double-ISZERO, BYTE, signed
+  operations, arithmetic, comparisons against constants).
+
+Design choices that mirror the paper:
+
+* values read from the environment (CALLER, SLOAD, ...) are free
+  symbols;
+* a JUMP whose target is input-dependent stops the path (§4.2 notes
+  only 5 mainnet contracts contain such jumps);
+* comparison operators are *not* constant-folded at expression build
+  time, so loop guards retain their structure (``lt(i, bound)``) and
+  the engine evaluates them on demand — this is how TASE can count
+  bound checks even for loops over compile-time-constant dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.evm.disasm import Instruction, disassemble, instruction_index, jumpdests
+from repro.sigrec import expr as E
+from repro.sigrec.events import (
+    CalldataCopyEvent,
+    CalldataLoadEvent,
+    FunctionEvents,
+    Guard,
+    UseEvent,
+)
+
+_WORD = 1 << 256
+_MASK = _WORD - 1
+
+_ARITH_OPS = frozenset(["ADD", "SUB", "MUL", "DIV", "MOD", "EXP", "ADDMOD", "MULMOD"])
+
+_CMP_FOLD = {
+    "lt": lambda a, b: 1 if a < b else 0,
+    "gt": lambda a, b: 1 if a > b else 0,
+    "slt": lambda a, b: 1 if _sgn(a) < _sgn(b) else 0,
+    "sgt": lambda a, b: 1 if _sgn(a) > _sgn(b) else 0,
+    "eq": lambda a, b: 1 if a == b else 0,
+}
+
+
+def _sgn(v: int) -> int:
+    return v - _WORD if v >> 255 else v
+
+
+def eval_const(e: E.Expr) -> Optional[int]:
+    """Fully evaluate an expression when all leaves are constants.
+
+    Comparisons are built unfolded (see module docstring), so the engine
+    folds them here when it must take a concrete branch decision.
+    """
+    if e.is_const:
+        return e.value
+    if e.op in ("env", "calldata", "calldatasize", "mem"):
+        return None
+    vals = []
+    for arg in e.args:
+        v = eval_const(arg)
+        if v is None:
+            return None
+        vals.append(v)
+    if e.op == "iszero":
+        return 1 if vals[0] == 0 else 0
+    if e.op == "not":
+        return (~vals[0]) & _MASK
+    if e.op in _CMP_FOLD:
+        return _CMP_FOLD[e.op](vals[0], vals[1])
+    fold = E._FOLD.get(e.op)
+    if fold is not None and len(vals) == 2:
+        return fold(vals[0], vals[1]) & _MASK
+    return None
+
+
+def _cmp(op: str, a: E.Expr, b: E.Expr) -> E.Expr:
+    """Build an *unfolded* comparison so guards keep their structure."""
+    return E.Expr(op, (a, b))
+
+
+def _iszero(a: E.Expr) -> E.Expr:
+    return E.Expr("iszero", (a,))
+
+
+# ----------------------------------------------------------------------
+# Symbolic memory
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Region:
+    """One CALLDATACOPY'd span of memory."""
+
+    region_id: int  # the pc of the copy: stable across loop iterations
+    start: int
+    length: Optional[int]  # None when the copy length is symbolic
+    labels: frozenset
+    seq: int = 0
+
+
+class SymMemory:
+    """Word-tracking symbolic memory with write ordering.
+
+    Concrete-offset MSTOREs are kept exactly; CALLDATACOPY spans are
+    kept as labeled regions so that later MLOADs produce
+    parameter-tainted ``mem`` expressions (TASE step 3: marking memory
+    regions with argument symbols).  Every write carries a sequence
+    number and a load resolves to the *latest* writer covering its
+    offset — a symbolic-length (open-ended) copy must not shadow words
+    stored after it.
+    """
+
+    def __init__(self) -> None:
+        self._words: Dict[int, Tuple[int, E.Expr]] = {}  # offset -> (seq, value)
+        self._regions: List[_Region] = []
+        self._fresh = 0
+        self._seq = 0
+
+    def clone(self) -> "SymMemory":
+        new = SymMemory.__new__(SymMemory)
+        new._words = dict(self._words)
+        new._regions = list(self._regions)
+        new._fresh = self._fresh
+        new._seq = self._seq
+        return new
+
+    def store(self, offset: E.Expr, value: E.Expr) -> None:
+        if offset.is_const:
+            self._seq += 1
+            self._words[offset.value] = (self._seq, value)
+        # Symbolic-offset stores are dropped: the rules never need them.
+
+    def add_region(self, pc: int, dst: E.Expr, length: E.Expr, labels: frozenset) -> int:
+        start = dst.value if dst.is_const else dst.const_term()
+        const_len = length.value if length.is_const else None
+        self._seq += 1
+        self._regions.append(_Region(pc, start, const_len, labels, self._seq))
+        return pc
+
+    def load(self, offset: E.Expr) -> E.Expr:
+        base = offset.value if offset.is_const else offset.const_term()
+        word = self._words.get(base) if offset.is_const else None
+        region = self._covering_region(base)
+        if word is not None and (region is None or word[0] > region.seq):
+            return word[1]
+        if region is not None:
+            return E.mem_read(region.region_id, offset, region.labels)
+        self._fresh += 1
+        return E.env(f"mem_{base}_{self._fresh}")
+
+    def _covering_region(self, offset: int) -> Optional[_Region]:
+        covering = None
+        for region in self._regions:
+            if region.length is None:
+                # Symbolic-length copy: its true extent is unknown, so
+                # claiming everything above ``start`` would shadow other
+                # parameters' buffers.  Resolve only loads based at the
+                # region's own start.
+                if offset != region.start:
+                    continue
+            elif not (region.start <= offset < region.start + region.length):
+                continue
+            if covering is None or region.seq > covering.seq:
+                covering = region
+        return covering
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _State:
+    pc: int
+    stack: List[E.Expr]
+    memory: SymMemory
+    guards: Tuple[Guard, ...]
+    fn: Optional[int]  # selector of the current function context
+    fork_visits: Dict[int, int]
+    loop_visits: Dict[int, int]
+    steps: int = 0
+
+    def fork(self, pc: int) -> "_State":
+        return _State(
+            pc=pc,
+            stack=list(self.stack),
+            memory=self.memory.clone(),
+            guards=self.guards,
+            fn=self.fn,
+            fork_visits=dict(self.fork_visits),
+            loop_visits=dict(self.loop_visits),
+            steps=self.steps,
+        )
+
+
+@dataclass
+class TASEResult:
+    """Raw engine output: events grouped per function selector."""
+
+    functions: Dict[int, FunctionEvents]
+    selectors: List[int]
+    paths_explored: int = 0
+    hit_limits: bool = False
+
+
+class TASEEngine:
+    """Explores one contract and collects type-inference events."""
+
+    def __init__(
+        self,
+        bytecode: bytes,
+        max_total_steps: int = 400_000,
+        max_paths: int = 768,
+        fork_bound: int = 3,
+        loop_bound: int = 420,
+        semantic_idioms: bool = True,
+    ) -> None:
+        self.bytecode = bytecode
+        self.max_total_steps = max_total_steps
+        self.max_paths = max_paths
+        self.fork_bound = fork_bound
+        self.loop_bound = loop_bound
+        # When False, only the literal AND/ISZERO-ISZERO idioms are
+        # recognized (no shift-pair masks, no EQ-zero bools): the
+        # ablation knob for the obfuscation experiment.
+        self.semantic_idioms = semantic_idioms
+        self._instructions = disassemble(bytecode)
+        self._by_pc = instruction_index(self._instructions)
+        self._jumpdests = jumpdests(self._instructions)
+        self._env_counter = 0
+        # Global symbolic-branch budgets, keyed by (jumpi pc, side).
+        self._branch_budget: Dict[Tuple[int, bool], int] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> TASEResult:
+        self._branch_budget = {}
+        result = TASEResult(functions={}, selectors=[])
+        initial = _State(
+            pc=0, stack=[], memory=SymMemory(), guards=(),
+            fn=None, fork_visits={}, loop_visits={},
+        )
+        worklist = [initial]
+        total_steps = 0
+        paths = 0
+        while worklist:
+            state = worklist.pop()
+            paths += 1
+            if paths > self.max_paths:
+                result.hit_limits = True
+                break
+            while True:
+                total_steps += 1
+                if total_steps > self.max_total_steps or state.steps > 60_000:
+                    result.hit_limits = True
+                    break
+                ins = self._by_pc.get(state.pc)
+                if ins is None:
+                    break
+                advance = self._step(ins, state, worklist, result)
+                if not advance:
+                    break
+        result.paths_explored = paths
+        result.selectors = sorted(result.functions.keys())
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _events(self, result: TASEResult, fn: Optional[int]) -> Optional[FunctionEvents]:
+        if fn is None:
+            return None
+        events = result.functions.get(fn)
+        if events is None:
+            events = FunctionEvents(selector=fn)
+            result.functions[fn] = events
+        return events
+
+    def _fresh_env(self, stem: str) -> E.Expr:
+        self._env_counter += 1
+        return E.env(f"{stem}_{self._env_counter}")
+
+    @staticmethod
+    def _match_selector(cond: E.Expr) -> Optional[int]:
+        """Recognize ``eq(<selector const>, <function-id expr>)``."""
+        if cond.op != "eq" or len(cond.args) != 2:
+            return None
+        a, b = cond.args
+        if not a.is_const:
+            a, b = b, a
+        if not a.is_const or a.value > 0xFFFFFFFF:
+            return None
+        if TASEEngine._is_fid_expr(b):
+            return a.value
+        return None
+
+    @staticmethod
+    def _is_fid_expr(e: E.Expr) -> bool:
+        """Does ``e`` compute the function id from calldata[0..4]?"""
+        if e.op == "and" and e.args[0].is_const and e.args[0].value == 0xFFFFFFFF:
+            return TASEEngine._is_fid_expr(e.args[1])
+        if e.op == "div":
+            value, divisor = e.args
+            return (
+                divisor.is_const
+                and divisor.value == 1 << 224
+                and _is_calldata0(value)
+            )
+        if e.op == "shr":
+            shift, value = e.args
+            return shift.is_const and shift.value == 224 and _is_calldata0(value)
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _step(
+        self,
+        ins: Instruction,
+        state: _State,
+        worklist: List[_State],
+        result: TASEResult,
+    ) -> bool:
+        """Execute one instruction; return False to end the path."""
+        op = ins.op
+        name = op.name
+        stack = state.stack
+        state.steps += 1
+
+        def pop() -> E.Expr:
+            if not stack:
+                raise IndexError
+            return stack.pop()
+
+        def push(e: E.Expr) -> None:
+            stack.append(e)
+
+        events = self._events(result, state.fn)
+
+        try:
+            if op.is_push:
+                push(E.const(ins.operand or 0))
+            elif op.is_dup:
+                n = op.code - 0x7F
+                push(stack[-n])
+            elif op.is_swap:
+                n = op.code - 0x8F
+                stack[-1], stack[-n - 1] = stack[-n - 1], stack[-1]
+            elif name == "POP":
+                pop()
+            elif name == "JUMPDEST":
+                pass
+            elif name == "CALLDATALOAD":
+                loc = pop()
+                value = E.calldata(loc)
+                push(value)
+                if events is not None:
+                    events.add_load(
+                        CalldataLoadEvent(ins.pc, loc, value, state.guards)
+                    )
+            elif name == "CALLDATASIZE":
+                push(E.calldatasize())
+            elif name == "CALLDATACOPY":
+                dst, src, length = pop(), pop(), pop()
+                labels = src.labels | length.labels
+                region_id = state.memory.add_region(ins.pc, dst, length, labels)
+                if events is not None:
+                    events.add_copy(
+                        CalldataCopyEvent(
+                            ins.pc, dst, src, length, region_id, state.guards
+                        )
+                    )
+            elif name == "MLOAD":
+                push(state.memory.load(pop()))
+            elif name == "MSTORE":
+                offset, value = pop(), pop()
+                state.memory.store(offset, value)
+            elif name == "MSTORE8":
+                offset, value = pop(), pop()
+                if events is not None and _direct_taint(value):
+                    events.add_use(UseEvent(ins.pc, "mstore8", value.labels))
+            elif name == "ISZERO":
+                value = pop()
+                if (
+                    events is not None
+                    and value.op == "iszero"
+                    and _direct_taint(value.args[0])
+                ):
+                    events.add_use(
+                        UseEvent(ins.pc, "bool_mask", value.args[0].labels)
+                    )
+                push(_iszero(value))
+            elif name == "AND":
+                a, b = pop(), pop()
+                out = E.binop("and", a, b)
+                if events is not None:
+                    mask, operand = (a, b) if a.is_const else (b, a)
+                    if mask.is_const and operand.labels and _direct_taint(operand):
+                        events.add_use(
+                            UseEvent(ins.pc, "and_mask", operand.labels, mask.value)
+                        )
+                push(out)
+            elif name == "SIGNEXTEND":
+                k, value = pop(), pop()
+                if events is not None and k.is_const and _direct_taint(value):
+                    events.add_use(
+                        UseEvent(ins.pc, "signextend", value.labels, k.value)
+                    )
+                push(E.binop("signextend", k, value))
+            elif name == "BYTE":
+                index, value = pop(), pop()
+                if events is not None and value.labels and _direct_taint(value):
+                    events.add_use(UseEvent(ins.pc, "byte", value.labels))
+                push(E.binop("byte", index, value))
+            elif name in ("LT", "GT"):
+                a, b = pop(), pop()
+                out = _cmp(name.lower(), a, b)
+                if events is not None:
+                    self._record_bound(events, ins.pc, name.lower(), a, b)
+                push(out)
+            elif name in ("SLT", "SGT"):
+                a, b = pop(), pop()
+                out = _cmp(name.lower(), a, b)
+                if events is not None:
+                    if b.is_const and _direct_taint(a):
+                        # slt(value, lo) / sgt(value, hi): a Vyper clamp.
+                        events.add_use(
+                            UseEvent(ins.pc, "signed_bound", a.labels, b.value)
+                        )
+                        events.vyper_markers += 1
+                    elif a.labels or b.labels:
+                        events.add_use(
+                            UseEvent(ins.pc, "signed_op", a.labels | b.labels)
+                        )
+                push(out)
+            elif name == "EQ":
+                a, b = pop(), pop()
+                if events is not None and self.semantic_idioms:
+                    # EQ-with-zero is ISZERO in disguise: two chained
+                    # zero-comparisons normalize a bool exactly like a
+                    # double ISZERO (obfuscation-resistant R14).
+                    inner = _eq_zero_operand(a, b)
+                    if (
+                        inner is not None
+                        and inner.op == "eq"
+                        and _eq_zero_operand(*inner.args) is not None
+                        and _direct_taint(_eq_zero_operand(*inner.args))
+                    ):
+                        events.add_use(
+                            UseEvent(
+                                ins.pc, "bool_mask",
+                                _eq_zero_operand(*inner.args).labels,
+                            )
+                        )
+                push(_cmp("eq", a, b))
+            elif name in ("SDIV", "SMOD", "SAR"):
+                a, b = pop(), pop()
+                if events is not None and (a.labels or b.labels):
+                    events.add_use(UseEvent(ins.pc, "signed_op", a.labels | b.labels))
+                push(E.binop(name.lower(), a, b))
+            elif name in _ARITH_OPS:
+                if name in ("ADDMOD", "MULMOD"):
+                    a, b, n = pop(), pop(), pop()
+                    out = E.ternop(name.lower(), a, b, n)
+                    operands = (a, b)
+                else:
+                    a, b = pop(), pop()
+                    out = E.binop(name.lower(), a, b)
+                    operands = (a, b)
+                if events is not None:
+                    for operand in operands:
+                        if _direct_taint(operand):
+                            events.add_use(
+                                UseEvent(ins.pc, "arith", operand.labels)
+                            )
+                push(out)
+            elif name in ("OR", "XOR"):
+                push(E.binop(name.lower(), pop(), pop()))
+            elif name in ("SHL", "SHR"):
+                shift, value = pop(), pop()
+                if events is not None and shift.is_const and self.semantic_idioms:
+                    # A SHL/SHR (or SHR/SHL) pair with the same shift is
+                    # an AND mask in disguise (obfuscation-resistant
+                    # R11/R12): record the equivalent mask.
+                    k = shift.value
+                    inverse = "shr" if name == "SHL" else "shl"
+                    if (
+                        0 < k < 256
+                        and value.op == inverse
+                        and value.args[0] == shift
+                        and _direct_taint(value.args[1])
+                    ):
+                        if name == "SHR":
+                            mask = (1 << (256 - k)) - 1  # keeps low bits
+                        else:
+                            mask = ((1 << (256 - k)) - 1) << k  # high bits
+                        events.add_use(
+                            UseEvent(
+                                ins.pc, "and_mask",
+                                value.args[1].labels, mask,
+                            )
+                        )
+                push(E.binop(name.lower(), shift, value))
+            elif name == "NOT":
+                push(E.bit_not(pop()))
+            elif name == "SHA3":
+                pop(), pop()
+                push(self._fresh_env("sha3"))
+            elif name in ("ADDRESS", "ORIGIN", "CALLER", "CALLVALUE", "GASPRICE",
+                          "COINBASE", "TIMESTAMP", "NUMBER", "DIFFICULTY",
+                          "GASLIMIT", "CHAINID", "SELFBALANCE", "BASEFEE",
+                          "MSIZE", "GAS", "PC", "RETURNDATASIZE", "CODESIZE"):
+                push(self._fresh_env(name.lower()))
+            elif name in ("BALANCE", "EXTCODESIZE", "EXTCODEHASH", "BLOCKHASH"):
+                pop()
+                push(self._fresh_env(name.lower()))
+            elif name == "SLOAD":
+                pop()
+                push(self._fresh_env("sload"))
+            elif name == "SSTORE":
+                pop(), pop()
+            elif name in ("CODECOPY", "RETURNDATACOPY"):
+                pop(), pop(), pop()
+            elif name == "EXTCODECOPY":
+                pop(), pop(), pop(), pop()
+            elif name.startswith("LOG"):
+                for _ in range(op.pops):
+                    pop()
+            elif name in ("CREATE", "CREATE2"):
+                for _ in range(op.pops):
+                    pop()
+                push(self._fresh_env("create"))
+            elif name in ("CALL", "CALLCODE", "DELEGATECALL", "STATICCALL"):
+                for _ in range(op.pops):
+                    pop()
+                push(self._fresh_env("callret"))
+            elif name == "JUMP":
+                target = pop()
+                value = eval_const(target)
+                if value is None or value not in self._jumpdests:
+                    return False  # input-dependent jump: stop the path
+                if not self._note_loop(state, value):
+                    return False
+                state.pc = value
+                return True
+            elif name == "JUMPI":
+                target, cond = pop(), pop()
+                tvalue = eval_const(target)
+                if tvalue is None:
+                    return False
+                cvalue = eval_const(cond)
+                selector = self._match_selector(cond)
+                if cvalue is not None:
+                    taken = bool(cvalue)
+                    state.guards = state.guards + (Guard(cond, taken, ins.pc),)
+                    if taken:
+                        if tvalue not in self._jumpdests:
+                            return False
+                        if not self._note_loop(state, tvalue):
+                            return False
+                        state.pc = tvalue
+                        return True
+                    state.pc = ins.next_pc
+                    return True
+                # Symbolic condition: fork under a *global* per-(site,
+                # side) budget.  Events are deduplicated per function, so
+                # re-exploring the same branch side from many paths adds
+                # nothing; capping globally keeps total work linear in
+                # program size instead of exponential in loop count.
+                take_budget = self._branch_budget.get((ins.pc, True), self.fork_bound)
+                fall_budget = self._branch_budget.get((ins.pc, False), self.fork_bound)
+                explore_taken = take_budget > 0 and tvalue in self._jumpdests
+                explore_fall = fall_budget > 0
+                if explore_fall:
+                    self._branch_budget[(ins.pc, False)] = fall_budget - 1
+                    if explore_taken:
+                        fallthrough = state.fork(ins.next_pc)
+                        fallthrough.guards = state.guards + (
+                            Guard(cond, False, ins.pc),
+                        )
+                        worklist.append(fallthrough)
+                    else:
+                        state.guards = state.guards + (Guard(cond, False, ins.pc),)
+                        state.pc = ins.next_pc
+                        return True
+                if not explore_taken:
+                    return False
+                self._branch_budget[(ins.pc, True)] = take_budget - 1
+                state.guards = state.guards + (Guard(cond, True, ins.pc),)
+                if selector is not None:
+                    state.fn = selector
+                    self._events(result, selector)  # materialize entry
+                state.pc = tvalue
+                return True
+            elif name in ("STOP", "RETURN", "REVERT", "INVALID", "SELFDESTRUCT",
+                          "UNKNOWN"):
+                return False
+            else:  # pragma: no cover - dispatch covers the table
+                for _ in range(op.pops):
+                    pop()
+                for _ in range(op.pushes):
+                    push(self._fresh_env(name.lower()))
+        except IndexError:
+            return False  # stack underflow: malformed path
+
+        state.pc = ins.next_pc
+        return True
+
+    def _note_loop(self, state: _State, target: int) -> bool:
+        """Bound concrete revisits of a jump target; False ends the path."""
+        visits = state.loop_visits.get(target, 0)
+        if visits >= self.loop_bound:
+            return False
+        state.loop_visits[target] = visits + 1
+        return True
+
+    def _record_bound(
+        self, events: FunctionEvents, pc: int, op: str, a: E.Expr, b: E.Expr
+    ) -> None:
+        """Record Vyper-style range checks: tainted value vs constant bound.
+
+        Only ``lt(value, bound)`` with the loaded value on the left
+        counts: the mirrored ``lt(i, num)`` is a Solidity array bound
+        check on a loop counter, and ``gt(num, i)`` is the same check in
+        its inverted (obfuscated) form — neither is a clamp.
+        """
+        if op == "lt" and b.is_const and _direct_taint(a):
+            events.add_use(UseEvent(pc, f"{op}_bound", a.labels, b.value))
+            events.vyper_markers += 1
+
+
+def _is_calldata0(e: E.Expr) -> bool:
+    return e.op == "calldata" and e.args[0].is_const and e.args[0].value == 0
+
+
+def _eq_zero_operand(a: E.Expr, b: E.Expr):
+    """For eq(0, x) or eq(x, 0), return x; else None."""
+    if a.is_const and a.value == 0:
+        return b
+    if b.is_const and b.value == 0:
+        return a
+    return None
+
+
+def _direct_taint(e: E.Expr) -> bool:
+    """Is ``e`` a direct (possibly lightly wrapped) parameter load?
+
+    Usage rules fire on the loaded value itself or a masked version of
+    it — not on location arithmetic that merely *contains* a load.
+    Shift-pair masking (the AND-in-disguise obfuscation) also counts
+    as light wrapping.
+    """
+    if e.op in ("calldata", "mem"):
+        return True
+    if e.op in ("and", "signextend") and len(e.args) == 2:
+        return _direct_taint(e.args[1]) or _direct_taint(e.args[0])
+    if e.op in ("shl", "shr") and len(e.args) == 2 and e.args[0].is_const:
+        return _direct_taint(e.args[1])
+    if e.op == "iszero":
+        return _direct_taint(e.args[0])
+    return False

@@ -1,0 +1,109 @@
+"""Events recorded by the TASE engine.
+
+The rules (R1-R31) are predicates over the set of events one function
+body produced: how the call data was read (CALLDATALOAD/CALLDATACOPY,
+with which location expressions and under which branch guards) and how
+parameter-tainted values were used afterwards (masks, sign extensions,
+comparisons, byte extraction, arithmetic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.sigrec.expr import Expr, Label
+
+
+@dataclass(frozen=True)
+class Guard:
+    """One branch condition active when an event fired.
+
+    ``pc`` is the program counter of the JUMPI that consumed the
+    condition — distinct loop *levels* have distinct pcs even though a
+    concrete loop contributes one guard per unrolled iteration.
+    """
+
+    condition: Expr
+    taken: bool
+    pc: int = -1
+
+
+@dataclass(frozen=True)
+class CalldataLoadEvent:
+    """CALLDATALOAD(loc) -> result, under ``guards``."""
+
+    pc: int
+    loc: Expr
+    result: Expr
+    guards: Tuple[Guard, ...] = ()
+
+
+@dataclass(frozen=True)
+class CalldataCopyEvent:
+    """CALLDATACOPY(dst, src, length), under ``guards``."""
+
+    pc: int
+    dst: Expr
+    src: Expr
+    length: Expr
+    region_id: int = -1
+    guards: Tuple[Guard, ...] = ()
+
+
+@dataclass(frozen=True)
+class UseEvent:
+    """A parameter-tainted value flowed into a type-revealing operation.
+
+    ``kind`` is one of:
+
+    ============  =====================================================
+    and_mask      AND with a constant mask (``operand`` = the mask)
+    signextend    SIGNEXTEND k (``operand`` = k)
+    bool_mask     two consecutive ISZEROs
+    byte          BYTE extraction of a single byte
+    signed_op     SDIV/SMOD/SLT/SGT/SAR
+    arith         unsigned arithmetic (ADD/SUB/MUL/DIV/MOD/EXP)
+    lt_bound      LT against a constant (Vyper range check, upper)
+    gt_bound      GT/SGT style lower-bound comparison against a constant
+    mstore8       single-byte memory write of a tainted value
+    ============  =====================================================
+    """
+
+    pc: int
+    kind: str
+    labels: FrozenSet[Label]
+    operand: Optional[int] = None
+
+
+@dataclass
+class FunctionEvents:
+    """Everything TASE observed while executing one function body."""
+
+    selector: int
+    loads: list = field(default_factory=list)  # CalldataLoadEvent
+    copies: list = field(default_factory=list)  # CalldataCopyEvent
+    uses: list = field(default_factory=list)  # UseEvent
+    hit_path_limit: bool = False
+    vyper_markers: int = 0  # range-check pattern sightings (R20)
+
+    def add_load(self, event: CalldataLoadEvent) -> None:
+        if event not in self._load_set:
+            self._load_set.add(event)
+            self.loads.append(event)
+
+    def add_copy(self, event: CalldataCopyEvent) -> None:
+        key = (event.pc, event.dst, event.src, event.length, event.guards)
+        if key not in self._copy_set:
+            self._copy_set.add(key)
+            self.copies.append(event)
+
+    def add_use(self, event: UseEvent) -> None:
+        if event not in self._use_set:
+            self._use_set.add(event)
+            self.uses.append(event)
+
+    def __post_init__(self) -> None:
+        self._load_set = set()
+        self._copy_set = set()
+        self._use_set = set()

@@ -1,0 +1,268 @@
+"""Symbolic expressions for TASE.
+
+Immutable, structurally-hashed expression trees over 256-bit words.  The
+leaves are constants, 32-byte call-data reads (``calldata(loc)``), reads
+from memory regions that were filled from the call data (``mem``), and
+free environment symbols (``env``) — TASE treats every value read from
+the environment as a free symbol because it cares about how parameters
+are *used*, not about program logic (paper §4.2).
+
+Two design points matter for the rules:
+
+* **Constant folding and light normalization.**  Operations on constants
+  fold; commutative operations order a constant operand first; nested
+  constant additions collapse.  This keeps the location expressions the
+  rules inspect (e.g. ``add(4, calldata(4))`` for a num-field read) in a
+  predictable shape regardless of the operand order the compiler emitted.
+* **Taint labels.**  Every node carries the frozen set of call-data
+  *sources* it transitively depends on.  A source is ``("cd", loc_key)``
+  for a CALLDATALOAD or ``("cdc", region_id)`` for a CALLDATACOPY'd
+  memory region.  Step 3 of TASE ("introducing parameter-related
+  symbols") maps sources to parameters; usage rules (R11-R18, R26-R31)
+  then fire on any expression whose labels intersect a parameter.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Optional, Tuple
+
+_WORD = 1 << 256
+_MASK = _WORD - 1
+_SIGN_BIT = 1 << 255
+
+Label = Tuple[str, object]
+
+
+def _signed(value: int) -> int:
+    return value - _WORD if value & _SIGN_BIT else value
+
+
+class Expr:
+    """One immutable symbolic expression node."""
+
+    __slots__ = ("op", "args", "val", "labels", "_hash")
+
+    def __init__(
+        self,
+        op: str,
+        args: Tuple["Expr", ...] = (),
+        val: object = None,
+        labels: Optional[FrozenSet[Label]] = None,
+    ) -> None:
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "val", val)
+        if labels is None:
+            merged: FrozenSet[Label] = frozenset()
+            for arg in args:
+                merged |= arg.labels
+            labels = merged
+        object.__setattr__(self, "labels", labels)
+        object.__setattr__(self, "_hash", hash((op, args, val)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Expr is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.op == other.op
+            and self.val == other.val
+            and self.args == other.args
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return self.op == "const"
+
+    @property
+    def value(self) -> int:
+        if self.op != "const":
+            raise ValueError(f"not a constant: {self}")
+        return self.val  # type: ignore[return-value]
+
+    def iter_nodes(self) -> Iterator["Expr"]:
+        """All nodes in the tree, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.args)
+
+    def contains(self, sub: "Expr") -> bool:
+        """Structural containment: does ``sub`` occur anywhere in self?"""
+        return any(node == sub for node in self.iter_nodes())
+
+    def const_term(self) -> int:
+        """The constant addend of a sum expression (0 when none).
+
+        ``add(36, mul(32, i))`` -> 36; a bare constant returns itself.
+        """
+        if self.is_const:
+            return self.value
+        if self.op == "add":
+            return sum(arg.value for arg in self.args if arg.is_const) & _MASK
+        return 0
+
+    def __repr__(self) -> str:
+        if self.op == "const":
+            return f"{self.value:#x}"
+        if self.op == "env":
+            return f"env({self.val})"
+        if self.op == "mem":
+            return f"mem({self.val},{self.args[0]!r})" if self.args else f"mem({self.val})"
+        inner = ",".join(repr(a) for a in self.args)
+        return f"{self.op}({inner})"
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+
+_CONST_CACHE = {}
+
+
+def const(value: int) -> Expr:
+    value &= _MASK
+    cached = _CONST_CACHE.get(value)
+    if cached is None:
+        cached = Expr("const", val=value)
+        if len(_CONST_CACHE) < 4096:
+            _CONST_CACHE[value] = cached
+    return cached
+
+
+ZERO = const(0)
+ONE = const(1)
+
+
+def env(name: str) -> Expr:
+    """A free environment symbol (CALLER, TIMESTAMP, unknown SLOAD...)."""
+    return Expr("env", val=name)
+
+
+def calldata(loc: Expr) -> Expr:
+    """A 32-byte read of the call data at symbolic location ``loc``."""
+    key = loc.value if loc.is_const else repr(loc)
+    return Expr("calldata", (loc,), labels=loc.labels | {("cd", key)})
+
+
+def calldatasize() -> Expr:
+    return Expr("calldatasize")
+
+
+def mem_read(region_id: int, offset: Expr, extra_labels: FrozenSet[Label]) -> Expr:
+    """A word read from a call-data-copied memory region."""
+    return Expr(
+        "mem", (offset,), val=region_id,
+        labels=offset.labels | extra_labels | {("cdc", region_id)},
+    )
+
+
+def sha3(seed: int) -> Expr:
+    return Expr("env", val=f"sha3_{seed}")
+
+
+_COMMUTATIVE = frozenset(["add", "mul", "and", "or", "xor", "eq"])
+
+_FOLD = {
+    "add": lambda a, b: a + b,
+    "mul": lambda a, b: a * b,
+    "sub": lambda a, b: a - b,
+    "div": lambda a, b: 0 if b == 0 else a // b,
+    "sdiv": lambda a, b: 0 if b == 0 else _sdiv(a, b),
+    "mod": lambda a, b: 0 if b == 0 else a % b,
+    "smod": lambda a, b: 0 if b == 0 else _smod(a, b),
+    "exp": lambda a, b: pow(a, b, _WORD),
+    "signextend": lambda a, b: _signextend(a, b),
+    "lt": lambda a, b: 1 if a < b else 0,
+    "gt": lambda a, b: 1 if a > b else 0,
+    "slt": lambda a, b: 1 if _signed(a) < _signed(b) else 0,
+    "sgt": lambda a, b: 1 if _signed(a) > _signed(b) else 0,
+    "eq": lambda a, b: 1 if a == b else 0,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "byte": lambda a, b: (b >> (8 * (31 - a))) & 0xFF if a < 32 else 0,
+    "shl": lambda a, b: 0 if a >= 256 else (b << a) & _MASK,
+    "shr": lambda a, b: 0 if a >= 256 else b >> a,
+    "sar": lambda a, b: _sar(a, b),
+}
+
+
+def _sdiv(a: int, b: int) -> int:
+    sa, sb = _signed(a), _signed(b)
+    quotient = abs(sa) // abs(sb)
+    return (-quotient if (sa < 0) != (sb < 0) else quotient) & _MASK
+
+
+def _smod(a: int, b: int) -> int:
+    sa, sb = _signed(a), _signed(b)
+    remainder = abs(sa) % abs(sb)
+    return (-remainder if sa < 0 else remainder) & _MASK
+
+
+def _signextend(k: int, value: int) -> int:
+    if k >= 31:
+        return value
+    bit = (k + 1) * 8 - 1
+    if value & (1 << bit):
+        return (value | (_MASK ^ ((1 << (bit + 1)) - 1))) & _MASK
+    return value & ((1 << (bit + 1)) - 1)
+
+
+def _sar(shift: int, value: int) -> int:
+    sv = _signed(value)
+    if shift >= 256:
+        return _MASK if sv < 0 else 0
+    return (sv >> shift) & _MASK
+
+
+def binop(op: str, a: Expr, b: Expr) -> Expr:
+    """Build a binary operation with folding and normalization."""
+    if a.is_const and b.is_const:
+        fold = _FOLD.get(op)
+        if fold is not None:
+            return const(fold(a.value, b.value))
+    if op in _COMMUTATIVE and b.is_const and not a.is_const:
+        a, b = b, a
+    # Collapse nested constant additions: add(c1, add(c2, x)) -> add(c1+c2, x)
+    if op == "add" and a.is_const and b.op == "add" and b.args[0].is_const:
+        return Expr("add", (const(a.value + b.args[0].value), b.args[1]))
+    if op == "add" and a.is_const and a.value == 0:
+        return b
+    if op == "mul" and a.is_const and a.value == 1:
+        return b
+    return Expr(op, (a, b))
+
+
+def ternop(op: str, a: Expr, b: Expr, c: Expr) -> Expr:
+    if a.is_const and b.is_const and c.is_const:
+        if op == "addmod":
+            n = c.value
+            return const(0 if n == 0 else (a.value + b.value) % n)
+        if op == "mulmod":
+            n = c.value
+            return const(0 if n == 0 else (a.value * b.value) % n)
+    return Expr(op, (a, b, c))
+
+
+def iszero(a: Expr) -> Expr:
+    if a.is_const:
+        return ONE if a.value == 0 else ZERO
+    return Expr("iszero", (a,))
+
+
+def bit_not(a: Expr) -> Expr:
+    if a.is_const:
+        return const(~a.value)
+    return Expr("not", (a,))

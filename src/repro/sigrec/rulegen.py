@@ -1,0 +1,263 @@
+"""The rule-generation pipeline of §3.1 (steps 1-4 automated).
+
+The paper derives its 31 rules systematically:
+
+1. *generate* smart contracts, each with one public/external function
+   taking exactly one parameter, for every type / width / dimension;
+2. *collect* the accessing pattern — the instruction sequence that
+   accesses the parameter;
+3. *extract common accessing patterns* across a family (e.g. uint8,
+   uint16, ..., uint256), and *differential patterns* (instructions in
+   an array's pattern but not in its item type's pattern);
+4. *symbolically execute* the patterns to characterize them (our TASE
+   engine provides this throughout).
+
+Step 5 — summarizing rules — is the one manual step in the paper; the
+summaries live in :mod:`repro.sigrec.rules`.  This module automates
+steps 1-3 so that new parameter types or compiler idioms can be studied
+the same way: see :meth:`PatternLearner.derive_report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.abi.signature import FunctionSignature, Language, Visibility
+from repro.abi.types import AbiType, ArrayType, IntType, UIntType, parse_type
+from repro.compiler.contract import compile_contract
+from repro.compiler.options import CodegenOptions
+from repro.evm.disasm import disassemble
+
+
+@dataclass(frozen=True)
+class AccessingPattern:
+    """Step 2's artifact: the instruction sequence accessing one param."""
+
+    type_str: str
+    visibility: Visibility
+    opcodes: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.opcodes)
+
+
+@dataclass
+class FamilyPattern:
+    """Step 3's artifact for one type family."""
+
+    family: str
+    members: List[str]
+    common: Tuple[str, ...]  # common accessing pattern of the family
+    differential: Tuple[str, ...]  # common minus the baseline's pattern
+
+
+class PatternLearner:
+    """Automates §3.1 steps 1-3 against the bundled codegen."""
+
+    def __init__(self, options: Optional[CodegenOptions] = None) -> None:
+        self.options = options or CodegenOptions(version="0.5.5")
+
+    # -- steps 1 & 2 ----------------------------------------------------
+
+    def pattern_for(
+        self, abi_type: AbiType, visibility: Visibility = Visibility.PUBLIC
+    ) -> AccessingPattern:
+        """Compile a one-parameter function and slice out its body."""
+        sig = FunctionSignature(
+            "probe", (abi_type,), visibility, self.options.language
+        )
+        contract = compile_contract([sig], self.options)
+        opcodes = self._body_opcodes(contract.bytecode)
+        return AccessingPattern(abi_type.canonical(), visibility, opcodes)
+
+    @staticmethod
+    def _body_opcodes(bytecode: bytes) -> Tuple[str, ...]:
+        """Instructions of the (single) function body.
+
+        The body starts at the dispatcher's jump target — found from the
+        ``PUSH4 <id> EQ PUSH <target> JUMPI`` sequence — and runs to its
+        terminating STOP.
+        """
+        instructions = disassemble(bytecode)
+        target = None
+        for i, ins in enumerate(instructions):
+            if (
+                ins.op.is_push
+                and ins.op.immediate_size == 4
+                and i + 3 < len(instructions)
+                and instructions[i + 1].op.name == "EQ"
+                and instructions[i + 2].op.is_push
+                and instructions[i + 3].op.name == "JUMPI"
+            ):
+                target = instructions[i + 2].operand
+                break
+        if target is None:
+            raise ValueError("no dispatcher comparison found")
+        body: List[str] = []
+        collecting = False
+        for ins in instructions:
+            if ins.pc == target:
+                collecting = True
+            if not collecting:
+                continue
+            if ins.op.name == "STOP":
+                break
+            body.append(ins.op.name)
+        return tuple(body)
+
+    # -- step 3 ---------------------------------------------------------
+
+    @staticmethod
+    def common_subsequence(sequences: Sequence[Tuple[str, ...]]) -> Tuple[str, ...]:
+        """The common accessing pattern: an LCS fold over the family."""
+        if not sequences:
+            return ()
+        common = list(sequences[0])
+        for seq in sequences[1:]:
+            common = _lcs(common, list(seq))
+        return tuple(common)
+
+    @staticmethod
+    def differential(
+        pattern: Tuple[str, ...], baseline: Tuple[str, ...]
+    ) -> Tuple[str, ...]:
+        """Instructions in ``pattern`` beyond those in ``baseline``
+        (the paper's "retaining the instructions in the common pattern
+        but not in the accessing pattern of uint8")."""
+        remaining = list(baseline)
+        out: List[str] = []
+        for op in pattern:
+            if op in remaining:
+                remaining.remove(op)
+            else:
+                out.append(op)
+        return tuple(out)
+
+    # -- the whole §3.1 recipe -------------------------------------------
+
+    def derive_report(
+        self,
+        visibility: Visibility = Visibility.PUBLIC,
+        max_static_size: int = 5,
+    ) -> Dict[str, FamilyPattern]:
+        """Run the §3.1 derivation across the families the paper lists."""
+        report: Dict[str, FamilyPattern] = {}
+
+        # Basic types of Solidity: common pattern of uint8..uint256.
+        uint_members = [f"uint{w}" for w in (8, 16, 32, 64, 128, 256)]
+        uint_patterns = [
+            self.pattern_for(parse_type(t), visibility) for t in uint_members
+        ]
+        uint_common = self.common_subsequence([p.opcodes for p in uint_patterns])
+        report["uint(M)"] = FamilyPattern(
+            "uint(M)", uint_members, uint_common, ()
+        )
+
+        int_members = [f"int{w}" for w in (8, 32, 128, 256)]
+        int_patterns = [
+            self.pattern_for(parse_type(t), visibility) for t in int_members
+        ]
+        report["int(M)"] = FamilyPattern(
+            "int(M)", int_members,
+            self.common_subsequence([p.opcodes for p in int_patterns]), (),
+        )
+
+        baseline = self.pattern_for(parse_type("uint8"), visibility).opcodes
+
+        # One-dimensional static arrays: uint8[1] .. uint8[N].
+        static_members = [f"uint8[{n}]" for n in range(1, max_static_size + 1)]
+        static_patterns = [
+            self.pattern_for(parse_type(t), visibility) for t in static_members
+        ]
+        static_common = self.common_subsequence(
+            [p.opcodes for p in static_patterns]
+        )
+        report["T[N]"] = FamilyPattern(
+            "T[N]", static_members, static_common,
+            self.differential(static_common, baseline),
+        )
+
+        # One-dimensional dynamic array: the uint8[] vs uint8 differential.
+        dynamic = self.pattern_for(parse_type("uint8[]"), visibility).opcodes
+        report["T[]"] = FamilyPattern(
+            "T[]", ["uint8[]"], dynamic, self.differential(dynamic, baseline)
+        )
+
+        # bytes vs uint8: the offset/num/rounding machinery.
+        blob = self.pattern_for(parse_type("bytes"), visibility).opcodes
+        report["bytes"] = FamilyPattern(
+            "bytes", ["bytes"], blob, self.differential(blob, baseline)
+        )
+
+        # Multidimensional static arrays.
+        multi_members = [f"uint8[2][{n}]" for n in range(1, max_static_size + 1)]
+        multi_patterns = [
+            self.pattern_for(parse_type(t), visibility) for t in multi_members
+        ]
+        multi_common = self.common_subsequence([p.opcodes for p in multi_patterns])
+        report["T[N1][N2]"] = FamilyPattern(
+            "T[N1][N2]", multi_members, multi_common,
+            self.differential(multi_common, baseline),
+        )
+
+        return report
+
+    def derive_vyper_report(self) -> Dict[str, FamilyPattern]:
+        """The §3.1 derivation for the Vyper families (§2.3.2).
+
+        The learner must use a Vyper-configured ``CodegenOptions``;
+        the differentials expose Vyper's signature trait — comparison
+        clamps instead of masks.
+        """
+        baseline = self.pattern_for(parse_type("uint256")).opcodes
+
+        report: Dict[str, FamilyPattern] = {}
+        for family, members in [
+            ("clamped basics", ["address", "bool", "int128", "fixed168x10"]),
+            ("fixed-size list", ["int128[1]", "int128[2]", "int128[3]"]),
+        ]:
+            patterns = [
+                self.pattern_for(parse_type(t)).opcodes for t in members
+            ]
+            common = self.common_subsequence(patterns)
+            report[family] = FamilyPattern(
+                family, members, common, self.differential(common, baseline)
+            )
+
+        from repro.abi.types import BoundedBytesType
+
+        bounded = [
+            self.pattern_for(BoundedBytesType(n)).opcodes for n in (8, 16, 32)
+        ]
+        common = self.common_subsequence(bounded)
+        report["bytes[maxLen]"] = FamilyPattern(
+            "bytes[maxLen]", ["bytes[8]", "bytes[16]", "bytes[32]"],
+            common, self.differential(common, baseline),
+        )
+        return report
+
+
+def _lcs(a: List[str], b: List[str]) -> List[str]:
+    """Classic longest-common-subsequence (quadratic DP)."""
+    rows = len(a) + 1
+    cols = len(b) + 1
+    table = [[0] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        for j in range(1, cols):
+            if a[i - 1] == b[j - 1]:
+                table[i][j] = table[i - 1][j - 1] + 1
+            else:
+                table[i][j] = max(table[i - 1][j], table[i][j - 1])
+    out: List[str] = []
+    i, j = len(a), len(b)
+    while i and j:
+        if a[i - 1] == b[j - 1]:
+            out.append(a[i - 1])
+            i -= 1
+            j -= 1
+        elif table[i - 1][j] >= table[i][j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    return out[::-1]

@@ -1,0 +1,122 @@
+"""The 31 type-inference rules (paper §3) and their usage tracker.
+
+Each rule is registered with its paper id, the instruction family it
+keys on, and a one-line summary.  The decision logic lives in
+:mod:`repro.sigrec.inference`, which *fires* rules through a
+:class:`RuleTracker`; the tracker's counters reproduce Fig. 19 (rule
+usage frequency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Rule:
+    rule_id: str
+    category: str  # "CALLDATALOAD" | "CALLDATACOPY" | "OTHER"
+    summary: str
+
+
+_RULE_DEFS = [
+    ("R1", "CALLDATALOAD", "two chained CALLDATALOADs read an offset field then a num field: dynamic array / bytes / string"),
+    ("R2", "CALLDATALOAD", "item read whose location adds the offset field and multiplies by 32 under n bound checks: n-dim dynamic array (external)"),
+    ("R3", "CALLDATALOAD", "item read without offset field under n constant bound checks: n-dim static array (external)"),
+    ("R4", "CALLDATALOAD", "a 32-byte head read with no structural hints: basic type, provisionally uint256"),
+    ("R5", "CALLDATACOPY", "exactly one CALLDATACOPY consumes the offset field: 1-dim dynamic array / bytes / string (public)"),
+    ("R6", "CALLDATACOPY", "CALLDATACOPY with constant source and length: 1-dim static array (public)"),
+    ("R7", "CALLDATACOPY", "copy length is num*32: 1-dim dynamic array (public)"),
+    ("R8", "CALLDATACOPY", "copy length rounds num up to a 32-byte multiple: bytes / string (public)"),
+    ("R9", "CALLDATACOPY", "constant-source copies inside constant-bound nested loops: (n+1)-dim static array (public)"),
+    ("R10", "CALLDATACOPY", "row copies inside a num-bounded loop: (n+1)-dim dynamic array (public)"),
+    ("R11", "OTHER", "AND with a low mask of x bytes: uint(256-8x) (address if 20 bytes and never in arithmetic)"),
+    ("R12", "OTHER", "AND with a high mask keeping x bytes: bytes(32-x)... i.e. bytesM"),
+    ("R13", "OTHER", "SIGNEXTEND x: int((x+1)*8)"),
+    ("R14", "OTHER", "two consecutive ISZEROs: bool"),
+    ("R15", "OTHER", "a signed operation touches the value: int256"),
+    ("R16", "OTHER", "20-byte mask and no mathematics: address"),
+    ("R17", "OTHER", "an individual byte of the value is accessed: bytes (not string)"),
+    ("R18", "OTHER", "BYTE extracts from the unmasked word: bytes32 (not uint256)"),
+    ("R19", "CALLDATALOAD", "offset chain inside a struct: struct containing a nested array"),
+    ("R20", "OTHER", "range checks instead of masks: Vyper bytecode"),
+    ("R21", "CALLDATALOAD", "offset field followed by component reads at constant slots: struct"),
+    ("R22", "CALLDATALOAD", "offset fields dereferenced through further offset fields: nested array"),
+    ("R23", "CALLDATACOPY", "copy of num field plus maxLen bytes: Vyper fixed-size byte array / string"),
+    ("R24", "CALLDATALOAD", "constant-bound checked item reads in Vyper: fixed-size list"),
+    ("R25", "CALLDATALOAD", "32-byte head read in Vyper: basic type, provisionally uint256"),
+    ("R26", "OTHER", "individual byte accessed: Vyper fixed-size byte array (not string)"),
+    ("R27", "OTHER", "range check against 2^160: Vyper address"),
+    ("R28", "OTHER", "range checks against +/-2^127: Vyper int128"),
+    ("R29", "OTHER", "range checks against the decimal bounds: Vyper decimal"),
+    ("R30", "OTHER", "range check against 2: Vyper bool"),
+    ("R31", "OTHER", "BYTE extracts from the unmasked word: Vyper bytes32"),
+]
+
+RULES: Dict[str, Rule] = {
+    rule_id: Rule(rule_id, category, summary)
+    for rule_id, category, summary in _RULE_DEFS
+}
+
+
+class RuleTracker:
+    """Counts rule applications across recoveries (Fig. 19)."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {rule_id: 0 for rule_id in RULES}
+
+    def fire(self, rule_id: str, times: int = 1) -> None:
+        if rule_id not in self.counts:
+            raise KeyError(f"unknown rule: {rule_id}")
+        self.counts[rule_id] += times
+
+    def merge(self, other: "RuleTracker") -> None:
+        for rule_id, count in other.counts.items():
+            self.counts[rule_id] += count
+
+    def most_used(self) -> str:
+        return max(self.counts, key=lambda r: self.counts[r])
+
+    def least_used(self) -> str:
+        return min(self.counts, key=lambda r: self.counts[r])
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+
+# Masks used by R11/R12/R16 and their Vyper counterparts.
+
+def low_mask_bytes(mask: int) -> int:
+    """If ``mask`` keeps the low k bytes (0xff..ff), return k, else 0."""
+    if mask == 0:
+        return 0
+    k = 0
+    m = mask
+    while m & 0xFF == 0xFF:
+        m >>= 8
+        k += 1
+    return k if m == 0 and 1 <= k <= 32 else 0
+
+
+def high_mask_bytes(mask: int) -> int:
+    """If ``mask`` keeps the high k bytes of a 32-byte word, return k."""
+    if mask == 0:
+        return 0
+    for k in range(1, 33):
+        keep = ((1 << (8 * k)) - 1) << (8 * (32 - k))
+        if mask == keep:
+            return k
+    return 0
+
+
+# Vyper clamp constants (R27-R30 and decimal R29).
+VYPER_ADDRESS_BOUND = 1 << 160
+VYPER_BOOL_BOUND = 2
+VYPER_INT128_HI = (1 << 127) - 1
+VYPER_INT128_LO = -(1 << 127)
+VYPER_DECIMAL_HI = ((1 << 127) - 1) * 10**10
+VYPER_DECIMAL_LO = -(1 << 127) * 10**10

@@ -1,0 +1,35 @@
+"""Static extraction of function ids from the dispatcher.
+
+Independent of TASE: a linear scan for the ``PUSH4 <id> EQ``/``EQ PUSH4``
+dispatcher comparisons Solidity and Vyper emit.  Used as a cross-check
+of the symbolic dispatcher exploration and by the database baselines,
+which only need function ids (not types).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.evm.disasm import disassemble
+
+
+def extract_selectors(bytecode: bytes) -> List[int]:
+    """Function ids referenced by dispatcher comparisons, sorted.
+
+    Recognizes the two common shapes::
+
+        DUP1 PUSH4 <id> EQ PUSH<n> <dest> JUMPI
+        PUSH4 <id> DUP2 EQ ...
+
+    A PUSH4 immediately compared with EQ (within the next two
+    instructions) is taken as a candidate selector.
+    """
+    instructions = disassemble(bytecode)
+    selectors: Set[int] = set()
+    for i, ins in enumerate(instructions):
+        if not ins.op.is_push or ins.op.immediate_size != 4:
+            continue
+        window = instructions[i + 1 : i + 3]
+        if any(nxt.op.name == "EQ" for nxt in window):
+            selectors.add(ins.operand or 0)
+    return sorted(selectors)

@@ -1,0 +1,173 @@
+"""ABI codec: layouts from the paper's figures, strictness, errors."""
+
+import pytest
+
+from repro.abi.codec import AbiCodecError, decode, encode, encode_call
+from repro.abi.types import parse_type
+
+
+def enc(type_text, value):
+    return encode([parse_type(type_text)], [value])
+
+
+def test_uint32_layout_fig3():
+    # Fig. 3: uint32 0x11223344 is left-extended to 32 bytes.
+    data = enc("uint32", 0x11223344)
+    assert data == b"\x00" * 28 + bytes.fromhex("11223344")
+
+
+def test_bytes4_layout_fig4():
+    # Fig. 4: bytes4 'abcd' is right-extended.
+    data = enc("bytes4", b"abcd")
+    assert data == b"abcd" + b"\x00" * 28
+
+
+def test_static_array_layout_fig5():
+    # Fig. 5: uint256[3][2] items stored consecutively.
+    value = [[1, 2, 3], [4, 5, 6]]
+    data = enc("uint256[3][2]", value)
+    assert len(data) == 6 * 32
+    assert [int.from_bytes(data[i * 32 : (i + 1) * 32], "big") for i in range(6)] \
+        == [1, 2, 3, 4, 5, 6]
+
+
+def test_dynamic_array_layout_fig6():
+    # Fig. 6: uint256[3][] with actual argument of 2 rows: offset, num, items.
+    value = [[1, 2, 3], [4, 5, 6]]
+    data = enc("uint256[3][]", value)
+    assert int.from_bytes(data[0:32], "big") == 32  # offset field
+    assert int.from_bytes(data[32:64], "big") == 2  # num field
+    assert len(data) == 32 + 32 + 6 * 32
+
+
+def test_nested_array_layout_fig7():
+    # Fig. 7: uint[][] with [[1,2],[3]]: per-item offset and num fields.
+    data = enc("uint256[][]", [[1, 2], [3]])
+    offset1 = int.from_bytes(data[0:32], "big")
+    assert offset1 == 32
+    num1 = int.from_bytes(data[32:64], "big")
+    assert num1 == 2
+    # Two inner offsets relative to the start of the data area.
+    off_a = int.from_bytes(data[64:96], "big")
+    off_b = int.from_bytes(data[96:128], "big")
+    base = 64  # data area begins after num1
+    assert int.from_bytes(data[base + off_a : base + off_a + 32], "big") == 2
+    assert int.from_bytes(data[base + off_b : base + off_b + 32], "big") == 1
+
+
+def test_bytes_rounding():
+    data = enc("bytes", b"abcd")
+    assert int.from_bytes(data[32:64], "big") == 4  # num = un-padded length
+    assert data[64:68] == b"abcd"
+    assert len(data) == 32 + 32 + 32  # payload rounded up to 32
+
+
+def test_struct_same_layout_as_flat_fig8():
+    # Listing 2/3 + Fig. 8: (uint256,uint256) == two uint256 params.
+    struct_data = encode([parse_type("(uint256,uint256)")], [(7, 9)])
+    flat_data = encode([parse_type("uint256"), parse_type("uint256")], [7, 9])
+    assert struct_data == flat_data
+
+
+def test_dynamic_struct_layout_fig9():
+    # Fig. 9: (uint[],uint) with ([1,2],3).
+    data = enc("(uint256[],uint256)", ([1, 2], 3))
+    offset1 = int.from_bytes(data[0:32], "big")
+    assert offset1 == 32
+    inner_off = int.from_bytes(data[32:64], "big")  # component 0's offset
+    assert int.from_bytes(data[64:96], "big") == 3  # component 1 value
+    num = int.from_bytes(data[32 + inner_off : 64 + inner_off], "big")
+    assert num == 2
+
+
+def test_roundtrip_various():
+    cases = [
+        ("uint8", 255),
+        ("int16", -300),
+        ("address", 0xDEADBEEF),
+        ("bool", True),
+        ("bytes4", b"\x01\x02\x03\x04"),
+        ("bytes", b"hello world"),
+        ("string", "smart contracts"),
+        ("uint256[]", [1, 2, 3]),
+        ("uint8[2][3]", [[1, 2], [3, 4], [5, 6]]),
+        ("uint256[][]", [[1], [2, 3]]),
+        ("(uint256,bytes,bool)", (5, b"xy", False)),
+        ("(uint256,uint256[])", (1, [2, 3])),
+    ]
+    for text, value in cases:
+        t = parse_type(text)
+        decoded = decode([t], encode([t], [value]))[0]
+        if isinstance(value, tuple):
+            assert tuple(decoded) == value
+        else:
+            assert decoded == value
+
+
+def test_encode_range_checks():
+    with pytest.raises(AbiCodecError):
+        enc("uint8", 256)
+    with pytest.raises(AbiCodecError):
+        enc("int8", 128)
+    with pytest.raises(AbiCodecError):
+        enc("address", 1 << 160)
+    with pytest.raises(AbiCodecError):
+        enc("bytes4", b"abc")  # wrong length
+    with pytest.raises(AbiCodecError):
+        enc("uint256", True)  # bool is not an int here
+    with pytest.raises(AbiCodecError):
+        enc("uint256[2]", [1])  # wrong count
+
+
+def test_strict_decode_rejects_dirty_padding():
+    t = parse_type("uint8")
+    dirty = b"\x01" * 31 + b"\x05"
+    with pytest.raises(AbiCodecError):
+        decode([t], dirty)
+    assert decode([t], dirty, strict=False)[0] == int.from_bytes(dirty, "big")
+
+
+def test_strict_decode_rejects_bad_bool():
+    t = parse_type("bool")
+    with pytest.raises(AbiCodecError):
+        decode([t], (2).to_bytes(32, "big"))
+
+
+def test_strict_decode_rejects_dirty_bytes_tail():
+    t = parse_type("bytes")
+    data = bytearray(encode([t], [b"ab"]))
+    data[-1] = 0xFF  # dirty padding byte after the 2-byte payload
+    with pytest.raises(AbiCodecError):
+        decode([t], bytes(data))
+
+
+def test_decode_truncated_fails():
+    t = parse_type("uint256")
+    with pytest.raises(AbiCodecError):
+        decode([t], b"\x00" * 31)
+
+
+def test_decode_bad_offset_fails():
+    t = parse_type("bytes")
+    data = (10_000).to_bytes(32, "big")
+    with pytest.raises(AbiCodecError):
+        decode([t], data)
+
+
+def test_encode_call_prepends_selector():
+    t = parse_type("uint256")
+    data = encode_call(bytes.fromhex("a9059cbb"), [t], [1])
+    assert data[:4] == bytes.fromhex("a9059cbb")
+    assert len(data) == 36
+    with pytest.raises(AbiCodecError):
+        encode_call(b"\x01", [t], [1])
+
+
+def test_bounded_types_cap_enforced():
+    from repro.abi.types import BoundedBytesType, BoundedStringType
+
+    with pytest.raises(AbiCodecError):
+        encode([BoundedBytesType(2)], [b"abc"])
+    with pytest.raises(AbiCodecError):
+        encode([BoundedStringType(2)], ["abc"])
+    assert decode([BoundedBytesType(4)], encode([BoundedBytesType(4)], [b"ab"]))[0] == b"ab"

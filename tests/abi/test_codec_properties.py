@@ -1,0 +1,86 @@
+"""Property-based tests: encode/decode round-trip over random types."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abi.codec import decode, encode
+from repro.abi.types import (
+    AddressType,
+    ArrayType,
+    BoolType,
+    BytesType,
+    FixedBytesType,
+    IntType,
+    StringType,
+    TupleType,
+    UIntType,
+)
+
+_basic = st.sampled_from(
+    [
+        UIntType(8), UIntType(32), UIntType(128), UIntType(256),
+        IntType(8), IntType(128), IntType(256),
+        AddressType(), BoolType(),
+        FixedBytesType(1), FixedBytesType(20), FixedBytesType(32),
+    ]
+)
+
+_leaf = st.one_of(_basic, st.sampled_from([BytesType(), StringType()]))
+
+
+def _arrays(children):
+    return st.builds(
+        ArrayType,
+        element=children,
+        length=st.one_of(st.none(), st.integers(1, 3)),
+    )
+
+
+def _tuples(children):
+    return st.builds(
+        lambda comps: TupleType(tuple(comps)),
+        st.lists(children, min_size=1, max_size=3),
+    )
+
+
+abi_types = st.recursive(_leaf, lambda c: st.one_of(_arrays(c), _tuples(c)), max_leaves=6)
+
+
+def _normalize(value):
+    """Tuples decode as tuples, lists as lists; compare structurally."""
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v) for v in value]
+    return value
+
+
+@settings(max_examples=150, deadline=None)
+@given(types=st.lists(abi_types, min_size=1, max_size=4), seed=st.integers(0, 2**32))
+def test_encode_decode_roundtrip(types, seed):
+    rng = random.Random(seed)
+    values = [t.random_value(rng) for t in types]
+    data = encode(types, values)
+    assert len(data) % 32 == 0
+    decoded = decode(types, data)
+    assert _normalize(decoded) == _normalize(values)
+
+
+@settings(max_examples=80, deadline=None)
+@given(types=st.lists(_basic, min_size=1, max_size=6), seed=st.integers(0, 2**32))
+def test_static_encoding_is_head_only(types, seed):
+    rng = random.Random(seed)
+    values = [t.random_value(rng) for t in types]
+    data = encode(types, values)
+    assert len(data) == 32 * len(types)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**32), length=st.integers(0, 100))
+def test_bytes_length_field_and_rounding(seed, length):
+    rng = random.Random(seed)
+    payload = bytes(rng.getrandbits(8) for _ in range(length))
+    data = encode([BytesType()], [payload])
+    assert int.from_bytes(data[32:64], "big") == length
+    padded = (length + 31) // 32 * 32
+    assert len(data) == 64 + padded

@@ -1,0 +1,55 @@
+"""Function signatures: parsing, canonical form, selectors."""
+
+import pytest
+
+from repro.abi.signature import FunctionSignature, Language, Visibility
+from repro.abi.types import UIntType
+
+
+def test_parse_and_canonical():
+    sig = FunctionSignature.parse("transfer(address,uint256)")
+    assert sig.name == "transfer"
+    assert sig.canonical() == "transfer(address,uint256)"
+    assert sig.param_list() == "address,uint256"
+
+
+def test_selector_matches_known_ids():
+    assert FunctionSignature.parse("transfer(address,uint256)").selector_hex == "0xa9059cbb"
+    assert FunctionSignature.parse("balanceOf(address)").selector_hex == "0x70a08231"
+
+
+def test_no_params():
+    sig = FunctionSignature.parse("start()")
+    assert sig.params == ()
+    assert sig.canonical() == "start()"
+
+
+def test_tuple_params_parse():
+    sig = FunctionSignature.parse("f((uint256,bytes),address)")
+    assert sig.param_list() == "(uint256,bytes),address"
+
+
+def test_nested_array_in_tuple():
+    sig = FunctionSignature.parse("g((uint8[],bool)[2])")
+    assert sig.param_list() == "(uint8[],bool)[2]"
+
+
+def test_malformed_signature_rejected():
+    with pytest.raises(ValueError):
+        FunctionSignature.parse("transfer(address,uint256")
+
+
+def test_defaults_and_metadata():
+    sig = FunctionSignature("f", (UIntType(256),), Visibility.EXTERNAL, Language.VYPER)
+    assert sig.visibility is Visibility.EXTERNAL
+    assert sig.language is Language.VYPER
+    assert str(sig) == "f(uint256)"
+
+
+def test_signatures_hashable_and_frozen():
+    a = FunctionSignature.parse("f(uint256)")
+    b = FunctionSignature.parse("f(uint256)")
+    assert a == b
+    assert hash(a) == hash(b)
+    with pytest.raises(Exception):
+        a.name = "g"  # type: ignore[misc]

@@ -1,0 +1,133 @@
+"""Type system: canonical names, dynamism, parsing, sizes."""
+
+import pytest
+
+from repro.abi.types import (
+    AbiTypeError,
+    AddressType,
+    ArrayType,
+    BoolType,
+    BoundedBytesType,
+    BoundedStringType,
+    BytesType,
+    DecimalType,
+    FixedBytesType,
+    IntType,
+    StringType,
+    TupleType,
+    UIntType,
+    parse_type,
+)
+
+
+def test_canonical_names():
+    assert UIntType(8).canonical() == "uint8"
+    assert IntType(256).canonical() == "int256"
+    assert AddressType().canonical() == "address"
+    assert BoolType().canonical() == "bool"
+    assert FixedBytesType(4).canonical() == "bytes4"
+    assert BytesType().canonical() == "bytes"
+    assert StringType().canonical() == "string"
+    assert DecimalType().canonical() == "fixed168x10"
+
+
+def test_invalid_widths_rejected():
+    with pytest.raises(AbiTypeError):
+        UIntType(7)
+    with pytest.raises(AbiTypeError):
+        UIntType(264)
+    with pytest.raises(AbiTypeError):
+        IntType(0)
+    with pytest.raises(AbiTypeError):
+        FixedBytesType(33)
+    with pytest.raises(AbiTypeError):
+        FixedBytesType(0)
+
+
+def test_array_canonical_and_nesting():
+    t = ArrayType(ArrayType(UIntType(256), 3), 2)
+    assert t.canonical() == "uint256[3][2]"
+    assert t.dimensions == [2, 3]
+    assert t.base_element == UIntType(256)
+    assert not t.is_dynamic
+    assert t.static_size() == 6 * 32
+
+
+def test_dynamic_array():
+    t = ArrayType(UIntType(256), None)
+    assert t.canonical() == "uint256[]"
+    assert t.is_dynamic
+    assert t.head_size() == 32
+    with pytest.raises(AbiTypeError):
+        t.static_size()
+
+
+def test_nested_dynamic_detection():
+    nested = ArrayType(ArrayType(UIntType(8), None), None)  # uint8[][]
+    assert nested.is_nested_dynamic
+    plain_dynamic = ArrayType(ArrayType(UIntType(8), 3), None)  # uint8[3][]
+    assert not plain_dynamic.is_nested_dynamic
+    static = ArrayType(ArrayType(UIntType(8), 3), 2)
+    assert not static.is_nested_dynamic
+
+
+def test_tuple_static_vs_dynamic():
+    static = TupleType((UIntType(256), BoolType()))
+    assert static.canonical() == "(uint256,bool)"
+    assert not static.is_dynamic
+    assert static.static_size() == 64
+    dynamic = TupleType((UIntType(256), BytesType()))
+    assert dynamic.is_dynamic
+    assert dynamic.head_size() == 32
+
+
+def test_empty_tuple_rejected():
+    with pytest.raises(AbiTypeError):
+        TupleType(())
+
+
+def test_bounded_types_canonicalize_to_base():
+    assert BoundedBytesType(50).canonical() == "bytes"
+    assert BoundedBytesType(50).vyper_name() == "bytes[50]"
+    assert BoundedStringType(10).canonical() == "string"
+    assert BoundedStringType(10).vyper_name() == "string[10]"
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "uint256", "uint8", "int64", "address", "bool", "bytes4", "bytes32",
+        "bytes", "string", "uint256[]", "uint8[3]", "uint256[3][2]",
+        "uint8[][]", "bytes32[2][]", "(uint256,bool)", "(uint256,bytes)[]",
+        "(uint256,(address,bytes))", "fixed168x10",
+    ],
+)
+def test_parse_roundtrip(text):
+    assert parse_type(text).canonical() == text
+
+
+def test_parse_aliases():
+    assert parse_type("uint").canonical() == "uint256"
+    assert parse_type("int").canonical() == "int256"
+    assert parse_type("decimal").canonical() == "fixed168x10"
+
+
+@pytest.mark.parametrize("bad", ["", "foo", "uint7", "()", "(uint256", "bytes33"])
+def test_parse_rejects_garbage(bad):
+    with pytest.raises((AbiTypeError, ValueError)):
+        parse_type(bad)
+
+
+def test_random_values_are_well_typed():
+    import random
+
+    rng = random.Random(7)
+    assert 0 <= UIntType(8).random_value(rng) < 256
+    assert -(1 << 15) <= IntType(16).random_value(rng) < (1 << 15)
+    assert isinstance(BoolType().random_value(rng), bool)
+    assert len(FixedBytesType(4).random_value(rng)) == 4
+    arr = ArrayType(UIntType(8), 3).random_value(rng)
+    assert len(arr) == 3
+    tup = TupleType((UIntType(8), BoolType())).random_value(rng)
+    assert len(tup) == 2
+    assert len(BoundedBytesType(5).random_value(rng)) <= 5

@@ -1,0 +1,123 @@
+"""Erays lifter and the Erays+ signature-aware enhancement."""
+
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.apps.erays import Erays, EraysPlus
+from repro.compiler import compile_contract
+from repro.evm.asm import Assembler
+from repro.sigrec.api import SigRec
+
+
+def test_lift_simple_block():
+    asm = Assembler()
+    asm.push(1).push(2).op("ADD").push(0).op("MSTORE").op("STOP")
+    lifted = Erays().lift(asm.assemble())
+    text = lifted.render()
+    assert "ADD(0x2, 0x1)" in text
+    assert "MSTORE(0x0, v1)" in text
+    assert "STOP()" in text
+
+
+def test_dup_swap_do_not_emit_statements():
+    asm = Assembler()
+    asm.push(1).op("DUP1").op("SWAP1").op("ADD").op("POP").op("STOP")
+    lifted = Erays().lift(asm.assemble())
+    names = [s.op for b in lifted.blocks for s in b.statements]
+    assert "DUP1" not in names and "SWAP1" not in names
+
+
+def test_stack_underflow_becomes_in_symbols():
+    # A block consuming values produced by a predecessor.
+    asm = Assembler()
+    asm.push(5).push_label("b").op("JUMP")
+    asm.label("b").op("JUMPDEST").op("POP").op("STOP")
+    lifted = Erays().lift(asm.assemble())
+    text = lifted.render()
+    assert "JUMP(" in text
+
+
+def test_line_count_counts_statements():
+    contract = compile_contract([FunctionSignature.parse("f(uint8,bool)")])
+    lifted = Erays().lift(contract.bytecode)
+    assert lifted.line_count > 5
+
+
+def test_expression_folding_nests_pure_defs():
+    sig = FunctionSignature.parse("transfer(address,uint256)", Visibility.EXTERNAL)
+    contract = compile_contract([sig])
+    flat = Erays().lift(contract.bytecode)
+    folded = Erays().lift(contract.bytecode, fold=True)
+    assert folded.line_count < flat.line_count
+    text = folded.render()
+    # The dispatcher comparison folds into one nested expression.
+    assert "EQ(0xa9059cbb, DIV(CALLDATALOAD(0x0)" in text
+
+
+def test_folding_keeps_multi_use_defs():
+    from repro.evm.asm import Assembler
+
+    asm = Assembler()
+    # v1 = CALLDATALOAD(0) used twice: must stay a named definition.
+    asm.push(0).op("CALLDATALOAD")
+    asm.op("DUP1").op("ADD")
+    asm.push(0).op("MSTORE").op("STOP")
+    folded = Erays().lift(asm.assemble(), fold=True)
+    text = folded.render()
+    assert "v1 = CALLDATALOAD(0x0)" in text
+    assert "ADD(v1, v1)" in text
+
+
+def test_folding_never_inlines_memory_reads():
+    from repro.evm.asm import Assembler
+
+    asm = Assembler()
+    asm.push(7).push(0).op("MSTORE")
+    asm.push(0).op("MLOAD")  # must not fold across the store boundary
+    asm.push(1).op("ADD")
+    asm.push(32).op("MSTORE").op("STOP")
+    text = Erays().lift(asm.assemble(), fold=True).render()
+    assert "MLOAD(0x0)" in text
+    # The MLOAD keeps its own named definition.
+    assert "= MLOAD" in text
+
+
+def test_erays_plus_names_and_types_arguments():
+    sig = FunctionSignature.parse("transfer(address,uint256)", Visibility.EXTERNAL)
+    contract = compile_contract([sig])
+    recovered = SigRec().recover(contract.bytecode)
+    result = EraysPlus(recovered).enhance(contract.bytecode)
+    assert result.added_types == 2
+    assert result.added_param_names == 2
+    assert "arg1: address = calldata[0x4]" in result.text
+    assert "arg2: uint256 = calldata[0x24]" in result.text
+
+
+def test_erays_plus_removes_plumbing():
+    sig = FunctionSignature.parse("f(uint8,int16,bytes4)", Visibility.EXTERNAL)
+    contract = compile_contract([sig])
+    recovered = SigRec().recover(contract.bytecode)
+    result = EraysPlus(recovered).enhance(contract.bytecode)
+    # The three mask lines are parameter-access plumbing.
+    assert result.removed_lines >= 3
+    plain = Erays().lift(contract.bytecode)
+    enhanced_lines = result.text.count("\n")
+    assert enhanced_lines < plain.render().count("\n")
+
+
+def test_erays_plus_num_names_for_dynamic_params():
+    sig = FunctionSignature.parse("g(uint256[])", Visibility.EXTERNAL)
+    contract = compile_contract([sig])
+    recovered = SigRec().recover(contract.bytecode)
+    result = EraysPlus(recovered).enhance(contract.bytecode)
+    assert result.added_num_names >= 1
+    assert "num(" in result.text
+
+
+def test_erays_plus_multifunction():
+    sigs = [
+        FunctionSignature.parse("a(uint256)"),
+        FunctionSignature.parse("b(address,bool)"),
+    ]
+    contract = compile_contract(sigs)
+    recovered = SigRec().recover(contract.bytecode)
+    result = EraysPlus(recovered).enhance(contract.bytecode)
+    assert result.added_param_names >= 3

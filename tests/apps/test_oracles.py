@@ -1,0 +1,166 @@
+"""Vulnerability oracles, exercised by real exploit transactions.
+
+Builds the classic vulnerable-bank / attacker pair in EVM assembly,
+runs the exploit on the chain substrate, and checks that the oracles
+fire — and stay silent on benign traffic.
+"""
+
+import pytest
+
+from repro.apps.oracles import (
+    dangerous_delegatecall,
+    exception_disorder,
+    reentrancy,
+    run_all_oracles,
+)
+from repro.chain.machine import CallMachine, CallTraceEntry, Message
+from repro.chain.state import WorldState
+from repro.evm.asm import Assembler
+from repro.evm.keccak import selector
+
+WITHDRAW = int.from_bytes(selector("withdraw()"), "big")
+
+
+def _bank_runtime() -> bytes:
+    """storage[caller] holds a balance; withdraw() sends it via CALL
+    *before* zeroing the balance — the DAO bug."""
+    asm = Assembler()
+    asm.push(0).op("CALLDATALOAD").push(0xE0).op("SHR")
+    asm.op("DUP1").push(WITHDRAW, width=4).op("EQ")
+    asm.push_label("withdraw").op("JUMPI")
+    asm.op("STOP")
+
+    asm.label("withdraw").op("JUMPDEST").op("POP")
+    asm.op("CALLER").op("SLOAD")  # [bal]
+    asm.op("DUP1").op("ISZERO").push_label("done").op("JUMPI")
+    # CALL(gas, caller, bal, in=0/0, out=0/0)
+    asm.push(0).push(0).push(0).push(0)  # outSize outOff inSize inOff
+    asm.op("DUP5")  # value = bal
+    asm.op("CALLER").op("GAS").op("CALL").op("POP")
+    # The fatal ordering: the balance is cleared only now.
+    asm.push(0).op("CALLER").op("SSTORE")
+    asm.label("done").op("JUMPDEST").op("POP").op("STOP")
+    return asm.assemble()
+
+
+def _attacker_runtime(bank: int) -> bytes:
+    """Re-enters the bank while storage[0] re-entry budget lasts."""
+    asm = Assembler()
+    asm.push(0).op("SLOAD")  # [cnt]
+    asm.op("DUP1").op("ISZERO").push_label("stop").op("JUMPI")
+    asm.push(1).op("SWAP1").op("SUB").push(0).op("SSTORE")  # cnt -= 1
+    # memory[0..4] = withdraw() selector
+    asm.push(WITHDRAW << 224, width=32).push(0).op("MSTORE")
+    asm.push(0).push(0).push(4).push(0)  # outSize outOff inSize inOff
+    asm.push(0)  # value
+    asm.push(bank, width=20).op("GAS").op("CALL").op("POP")
+    asm.op("STOP")
+    asm.label("stop").op("JUMPDEST").op("POP").op("STOP")
+    return asm.assemble()
+
+
+BANK = 0xBA2C
+ATTACKER = 0xA77AC2
+
+
+@pytest.fixture()
+def exploited_state():
+    state = WorldState()
+    state.account(BANK).code = _bank_runtime()
+    state.account(BANK).balance = 300  # the bank holds everyone's funds
+    state.account(BANK).storage[ATTACKER] = 100  # attacker's deposit
+    state.account(ATTACKER).code = _attacker_runtime(BANK)
+    state.account(ATTACKER).storage[0] = 3  # re-entry budget
+    state.account(0xE0A).balance = 10**6
+    return state
+
+
+def test_reentrancy_exploit_drains_and_is_detected(exploited_state):
+    machine = CallMachine(exploited_state)
+    result = machine.execute(Message(sender=0xE0A, to=ATTACKER))
+    assert result.success
+    # The attacker withdrew its 100 multiple times.
+    assert exploited_state.account(ATTACKER).balance > 100
+    finding = reentrancy(machine.trace)
+    assert finding is not None
+    assert finding.oracle == "reentrancy"
+    assert f"{BANK:#x}" in finding.detail
+
+
+def test_fixed_bank_not_flagged(exploited_state):
+    """Zeroing the balance *before* the send kills both the drain and
+    the (value-bearing) re-entry report."""
+    asm = Assembler()
+    asm.push(0).op("CALLDATALOAD").push(0xE0).op("SHR")
+    asm.op("DUP1").push(WITHDRAW, width=4).op("EQ")
+    asm.push_label("withdraw").op("JUMPI")
+    asm.op("STOP")
+    asm.label("withdraw").op("JUMPDEST").op("POP")
+    asm.op("CALLER").op("SLOAD")
+    asm.op("DUP1").op("ISZERO").push_label("done").op("JUMPI")
+    asm.push(0).op("CALLER").op("SSTORE")  # clear FIRST
+    asm.push(0).push(0).push(0).push(0)
+    asm.op("DUP5").op("CALLER").op("GAS").op("CALL").op("POP")
+    asm.label("done").op("JUMPDEST").op("POP").op("STOP")
+    exploited_state.account(BANK).code = asm.assemble()
+
+    machine = CallMachine(exploited_state)
+    result = machine.execute(Message(sender=0xE0A, to=ATTACKER))
+    assert result.success
+    # Only the deposit comes out.
+    assert exploited_state.account(ATTACKER).balance == 100
+
+
+def test_exception_disorder_detected():
+    state = WorldState()
+    state.account(0xE0A).balance = 10**6
+    # Callee always reverts.
+    revert_asm = Assembler()
+    revert_asm.push(0).push(0).op("REVERT")
+    state.account(0xC0DE).code = revert_asm.assemble()
+    # Caller ignores the failure and succeeds anyway.
+    caller_asm = Assembler()
+    caller_asm.push(0).push(0).push(0).push(0).push(0)
+    caller_asm.push(0xC0DE, width=20).op("GAS").op("CALL").op("POP").op("STOP")
+    state.account(0xD0).code = caller_asm.assemble()
+
+    machine = CallMachine(state)
+    result = machine.execute(Message(sender=0xE0A, to=0xD0))
+    finding = exception_disorder(machine.trace, result.success)
+    assert finding is not None
+    assert "failed but" in finding.detail
+
+
+def test_exception_disorder_silent_when_propagated():
+    trace = [CallTraceEntry("call", 1, 2, 0, 1, False)]
+    # Root failed too: the failure was propagated, not swallowed.
+    assert exception_disorder(trace, root_success=False) is None
+
+
+def test_dangerous_delegatecall_detected():
+    target = 0x1234
+    trace = [CallTraceEntry("delegatecall", 1, target, 0, 1, True)]
+    calldata = bytes.fromhex("aabbccdd") + target.to_bytes(32, "big")
+    finding = dangerous_delegatecall(trace, calldata)
+    assert finding is not None
+
+
+def test_dangerous_delegatecall_silent_for_hardcoded_target():
+    trace = [CallTraceEntry("delegatecall", 1, 0x9999, 0, 1, True)]
+    calldata = bytes.fromhex("aabbccdd") + (0x1234).to_bytes(32, "big")
+    assert dangerous_delegatecall(trace, calldata) is None
+
+
+def test_run_all_oracles_aggregates(exploited_state):
+    machine = CallMachine(exploited_state)
+    result = machine.execute(Message(sender=0xE0A, to=ATTACKER))
+    findings = run_all_oracles(machine.trace, result.success, b"")
+    assert any(f.oracle == "reentrancy" for f in findings)
+
+
+def test_benign_transfer_has_no_findings():
+    state = WorldState()
+    state.account(0xE0A).balance = 100
+    machine = CallMachine(state)
+    result = machine.execute(Message(sender=0xE0A, to=0xB0B, value=10))
+    assert run_all_oracles(machine.trace, result.success, b"") == []

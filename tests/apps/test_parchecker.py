@@ -1,0 +1,150 @@
+"""ParChecker: valid encodings pass, each malformation class is caught."""
+
+import random
+
+import pytest
+
+from repro.abi.codec import encode_call
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.apps.parchecker import (
+    CORRUPTION_KINDS,
+    ParChecker,
+    corrupt_calldata,
+)
+from repro.compiler import compile_contract
+from repro.sigrec.api import SigRec
+
+TRANSFER = FunctionSignature.parse("transfer(address,uint256)", Visibility.EXTERNAL)
+
+
+def _checker_for(*sigs):
+    contract = compile_contract(list(sigs))
+    recovered = SigRec().recover_map(contract.bytecode)
+    return ParChecker({s: r.param_list for s, r in recovered.items()})
+
+
+def test_valid_calldata_passes():
+    checker = _checker_for(TRANSFER)
+    calldata = encode_call(TRANSFER.selector, list(TRANSFER.params), [0xABC, 10_000])
+    result = checker.check(calldata)
+    assert result.valid
+    assert result.known_function
+
+
+def test_unknown_function_is_not_flagged():
+    checker = _checker_for(TRANSFER)
+    result = checker.check(b"\x12\x34\x56\x78" + b"\x00" * 64)
+    assert result.valid
+    assert not result.known_function
+
+
+def test_too_short_calldata_invalid():
+    checker = _checker_for(TRANSFER)
+    assert not checker.check(b"\x12").valid
+
+
+def test_short_address_attack_detected():
+    checker = _checker_for(TRANSFER)
+    rng = random.Random(0)
+    attack = corrupt_calldata(TRANSFER, [0xAB00, 0x2710], "short_address", rng)
+    result = checker.check(attack)
+    assert not result.valid
+    assert result.short_address_attack
+
+
+def test_dirty_uint_padding_detected():
+    sig = FunctionSignature.parse("f(uint8,bool)")
+    checker = _checker_for(sig)
+    rng = random.Random(1)
+    bad = corrupt_calldata(sig, [5, True], "dirty_uint_padding", rng)
+    result = checker.check(bad)
+    assert not result.valid
+    assert not result.short_address_attack
+
+
+def test_dirty_bytes_padding_detected():
+    sig = FunctionSignature.parse("f(bytes4)")
+    checker = _checker_for(sig)
+    rng = random.Random(2)
+    bad = corrupt_calldata(sig, [b"abcd"], "dirty_bytes_padding", rng)
+    assert not checker.check(bad).valid
+
+
+def test_bad_bool_detected():
+    sig = FunctionSignature.parse("f(bool)")
+    checker = _checker_for(sig)
+    rng = random.Random(3)
+    bad = corrupt_calldata(sig, [True], "bad_bool", rng)
+    assert not checker.check(bad).valid
+
+
+def test_truncated_tail_detected():
+    sig = FunctionSignature.parse("f(bytes)", Visibility.PUBLIC)
+    checker = _checker_for(sig)
+    rng = random.Random(4)
+    bad = corrupt_calldata(sig, [b"x" * 40], "truncated_tail", rng)
+    assert bad is not None
+    assert not checker.check(bad).valid
+
+
+def test_bad_offset_detected():
+    sig = FunctionSignature.parse("f(uint256[])", Visibility.PUBLIC)
+    checker = _checker_for(sig)
+    rng = random.Random(5)
+    bad = corrupt_calldata(sig, [[1, 2]], "bad_offset", rng)
+    assert not checker.check(bad).valid
+
+
+def test_corruptions_inapplicable_return_none():
+    rng = random.Random(6)
+    sig = FunctionSignature.parse("f(uint256)")
+    assert corrupt_calldata(sig, [1], "short_address", rng) is None
+    assert corrupt_calldata(sig, [1], "bad_bool", rng) is None
+    assert corrupt_calldata(sig, [1], "truncated_tail", rng) is None
+
+
+def test_unknown_corruption_kind_raises():
+    rng = random.Random(7)
+    with pytest.raises(ValueError):
+        corrupt_calldata(TRANSFER, [1, 2], "nonsense", rng)
+
+
+def test_scan_chain_pipeline():
+    from repro.apps.parchecker import scan_chain
+    from repro.chain import Chain, Transaction
+
+    chain = Chain()
+    chain.fund(0xAA, 10**18)
+    contract = compile_contract([TRANSFER])
+    address = chain.deploy(contract.bytecode, sender=0xAA)
+    good = encode_call(TRANSFER.selector, list(TRANSFER.params), [0xB, 10])
+    rng = random.Random(0)
+    bad = corrupt_calldata(TRANSFER, [0xAB00, 1000], "short_address", rng)
+    for data in (good, good, bad, good):
+        chain.send(Transaction(sender=0xAA, to=address, data=data))
+    chain.mine()
+
+    recovered = SigRec().recover_map(chain.code_at(address))
+    checker = ParChecker({s: r.param_list for s, r in recovered.items()})
+    report = scan_chain(chain, checker)
+    assert report.blocks_scanned == 1
+    assert report.transactions_scanned == 4
+    assert report.invalid == 1
+    assert report.short_address_attacks == 1
+    assert abs(report.invalid_ratio - 0.25) < 1e-9
+    assert len(report.flagged) == 1
+
+
+def test_all_kinds_catchable_on_suitable_signature():
+    sig = FunctionSignature.parse("g(uint8,bytes4,bool,bytes)")
+    checker = _checker_for(sig, TRANSFER)
+    rng = random.Random(8)
+    values = [7, b"abcd", True, b"payload!"]
+    for kind in CORRUPTION_KINDS:
+        target, vals = (sig, values)
+        if kind == "short_address":
+            target, vals = TRANSFER, [0xAB00, 0x2710]
+        bad = corrupt_calldata(target, vals, kind, rng)
+        if bad is None:
+            continue
+        assert not checker.check(bad).valid, kind

@@ -1,0 +1,72 @@
+"""Control-flow structuring of lifted bytecode."""
+
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.apps.structurer import Structurer
+from repro.compiler import compile_contract
+from repro.evm.asm import Assembler
+
+
+def test_straight_line_has_no_loops_or_gotos_into_structure():
+    sig = FunctionSignature.parse("f(uint8,bool)")
+    contract = compile_contract([sig])
+    structured = Structurer().structure(contract.bytecode)
+    assert structured.loop_count == 0
+    assert "STOP()" in structured.render()
+
+
+def test_public_array_copy_loop_becomes_while():
+    sig = FunctionSignature.parse("f(uint256[3][2])", Visibility.PUBLIC)
+    contract = compile_contract([sig])
+    structured = Structurer().structure(contract.bytecode)
+    assert structured.loop_count == 1
+    text = structured.render()
+    assert "while not (" in text
+    assert "continue" in text
+    assert "CALLDATACOPY" in text
+
+
+def test_nested_loops_both_recovered():
+    sig = FunctionSignature.parse("f(uint8[2][3][4])", Visibility.PUBLIC)
+    contract = compile_contract([sig])
+    structured = Structurer().structure(contract.bytecode)
+    # Three dimensions -> two loop levels.
+    assert structured.loop_count == 2
+
+
+def test_dispatcher_condition_becomes_if():
+    sig = FunctionSignature.parse("f(uint8)")
+    contract = compile_contract([sig])
+    text = Structurer().structure(contract.bytecode).render()
+    assert "if" in text
+
+
+def test_indentation_reflects_nesting():
+    sig = FunctionSignature.parse("f(uint256[2][2])", Visibility.PUBLIC)
+    contract = compile_contract([sig])
+    structured = Structurer().structure(contract.bytecode)
+    loop_lines = [
+        line for line in structured.lines if line.lstrip().startswith("while")
+    ]
+    assert loop_lines
+    loop_indent = len(loop_lines[0]) - len(loop_lines[0].lstrip())
+    body_index = structured.lines.index(loop_lines[0]) + 1
+    body_indent = len(structured.lines[body_index]) - len(
+        structured.lines[body_index].lstrip()
+    )
+    assert body_indent > loop_indent
+
+
+def test_computed_jump_degrades_to_goto_star():
+    asm = Assembler()
+    asm.push(0).op("CALLDATALOAD").op("JUMP")
+    asm.op("JUMPDEST").op("STOP")
+    structured = Structurer().structure(asm.assemble())
+    assert "goto *" in structured.render()
+
+
+def test_every_block_appears_once():
+    sig = FunctionSignature.parse("f(uint256[2][2],bool)", Visibility.PUBLIC)
+    contract = compile_contract([sig])
+    structured = Structurer().structure(contract.bytecode)
+    labels = [l.strip() for l in structured.lines if l.strip().startswith("loc_")]
+    assert len(labels) == len(set(labels))

@@ -1,0 +1,71 @@
+"""The vulnerable-contract builders behave as labeled."""
+
+from repro.apps.oracles import (
+    dangerous_delegatecall,
+    exception_disorder,
+    reentrancy,
+)
+from repro.apps.vulnerable import (
+    DEPOSIT_SELECTOR,
+    build_always_revert,
+    build_attacker,
+    build_bank,
+    build_delegate_proxy,
+    build_unchecked_send,
+)
+from repro.chain import Chain, Transaction
+
+
+def _attack(reentrant: bool):
+    chain = Chain()
+    chain.fund(0xA11CE, 10**9)
+    chain.fund(0xEC0, 10**9)
+    bank = chain.deploy(build_bank(reentrant=reentrant), sender=0xA11CE)
+    attacker = chain.deploy(build_attacker(bank), sender=0xEC0)
+    chain.state.account(attacker).storage[0] = 3
+    deposit = DEPOSIT_SELECTOR.to_bytes(4, "big")
+    chain.send(Transaction(sender=0xA11CE, to=bank, data=deposit, value=200))
+    chain.fund(attacker, 100)
+    chain.send(Transaction(sender=attacker, to=bank, data=deposit, value=100))
+    chain.state.account(attacker).balance = 0
+    receipt = chain.send(Transaction(sender=0xEC0, to=attacker, data=b""))
+    return chain, attacker, receipt
+
+
+def test_reentrant_bank_is_drained_and_flagged():
+    chain, attacker, receipt = _attack(reentrant=True)
+    assert receipt.success
+    assert chain.state.account(attacker).balance == 300  # victim's funds too
+    finding = reentrancy(chain._machine.trace)
+    assert finding is not None
+    assert "paid out 3 times" in finding.detail
+
+
+def test_fixed_bank_pays_once_and_is_clean():
+    chain, attacker, receipt = _attack(reentrant=False)
+    assert receipt.success
+    assert chain.state.account(attacker).balance == 100  # only the deposit
+    assert reentrancy(chain._machine.trace) is None
+
+
+def test_unchecked_send_triggers_exception_disorder():
+    chain = Chain()
+    chain.fund(0xE0A, 10**9)
+    revert_addr = chain.deploy(build_always_revert(), sender=0xE0A)
+    caller = chain.deploy(build_unchecked_send(revert_addr), sender=0xE0A)
+    receipt = chain.call(caller, b"")
+    assert receipt.success
+    finding = exception_disorder(chain._machine.trace, receipt.success)
+    assert finding is not None
+
+
+def test_delegate_proxy_flagged_with_attacker_target():
+    chain = Chain()
+    chain.fund(0xE0A, 10**9)
+    proxy = chain.deploy(build_delegate_proxy(), sender=0xE0A)
+    evil = chain.deploy(build_always_revert(), sender=0xE0A)
+    calldata = b"\xde\xad\xbe\xef" + evil.to_bytes(32, "big")
+    receipt = chain.call(proxy, calldata)
+    finding = dangerous_delegatecall(chain._machine.trace, calldata)
+    assert finding is not None
+    assert f"{evil:#x}" in finding.detail

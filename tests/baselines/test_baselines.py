@@ -1,0 +1,93 @@
+"""Baseline tools: database semantics and error modes."""
+
+from repro.abi.signature import FunctionSignature
+from repro.baselines import (
+    DatabaseTool,
+    EveemLike,
+    GigahorseLike,
+    SignatureDatabase,
+    build_efsd,
+)
+from repro.compiler import compile_contract
+from repro.corpus.datasets import build_open_source_corpus, build_synthesized_dataset
+from repro.corpus.evaluate import evaluate_baseline, evaluate_corpus
+
+
+def test_database_add_and_lookup():
+    db = SignatureDatabase()
+    sig = FunctionSignature.parse("transfer(address,uint256)")
+    db.add(sig)
+    selector = int.from_bytes(sig.selector, "big")
+    assert selector in db
+    assert db.lookup(selector) == "transfer(address,uint256)"
+    assert db.lookup_params(selector) == "address,uint256"
+    assert db.lookup(0x12345678) is None
+
+
+def test_database_dedupes():
+    db = SignatureDatabase()
+    db.add_text("f(uint256)")
+    db.add_text("f(uint256)")
+    assert len(db) == 1
+
+
+def test_build_efsd_coverage():
+    corpus = build_open_source_corpus(n_contracts=20, seed=1, quirk_rate=0.0)
+    full = build_efsd([corpus], coverage=1.0)
+    half = build_efsd([corpus], coverage=0.5)
+    empty = build_efsd([corpus], coverage=0.0)
+    assert len(empty) == 0
+    assert 0 < len(half) < len(full)
+
+
+def test_database_tool_answers_only_known():
+    corpus = build_open_source_corpus(n_contracts=10, seed=2, quirk_rate=0.0)
+    db = build_efsd([corpus], coverage=1.0)
+    tool = DatabaseTool("OSD", db)
+    report = evaluate_baseline(corpus, tool)
+    assert report.accuracy > 0.9  # full coverage: near-perfect
+
+    fresh = build_synthesized_dataset(30, seed=9)
+    fresh_report = evaluate_baseline(fresh, tool)
+    assert fresh_report.accuracy == 0.0  # nothing recorded
+    assert fresh_report.no_answer == fresh_report.total
+
+
+def test_eveem_beats_pure_database_on_misses():
+    corpus = build_open_source_corpus(n_contracts=25, seed=3, quirk_rate=0.0)
+    db = build_efsd([corpus], coverage=0.4)
+    osd = evaluate_baseline(corpus, DatabaseTool("OSD", db))
+    eveem = evaluate_baseline(corpus, EveemLike(db))
+    assert eveem.accuracy >= osd.accuracy
+    assert eveem.no_answer < osd.no_answer
+
+
+def test_gigahorse_aborts_sometimes():
+    corpus = build_open_source_corpus(n_contracts=60, seed=4, quirk_rate=0.0)
+    db = build_efsd([corpus], coverage=0.5)
+    tool = GigahorseLike(db, abort_rate=0.2, seed=5)
+    report = evaluate_baseline(corpus, tool)
+    assert report.aborted_contracts > 0
+    assert report.abort_ratio > 0
+
+
+def test_gigahorse_produces_catalogued_error_types():
+    corpus = build_open_source_corpus(n_contracts=40, seed=5, quirk_rate=0.0)
+    db = build_efsd([corpus], coverage=0.0)  # force the heuristic path
+    tool = GigahorseLike(db, abort_rate=0.0, seed=6)
+    report = evaluate_baseline(corpus, tool)
+    # Both error classes of §5.6 appear: wrong counts and wrong types.
+    assert report.wrong_param_count() > 0
+    assert report.wrong_types_only() > 0
+    # Nonexistent widths like uint2304 occur.
+    all_answers = " ".join(o.recovered or "" for o in report.outcomes)
+    assert "uint2304" in all_answers or "uint3228" in all_answers or "uint51" in all_answers
+
+
+def test_sigrec_beats_all_baselines():
+    corpus = build_open_source_corpus(n_contracts=25, seed=6, quirk_rate=0.0)
+    db = build_efsd([corpus], coverage=0.5)
+    sig_acc = evaluate_corpus(corpus).accuracy
+    for tool in (DatabaseTool("OSD", db), EveemLike(db), GigahorseLike(db)):
+        base_acc = evaluate_baseline(corpus, tool).accuracy
+        assert sig_acc > base_acc + 0.2, tool.name

@@ -1,0 +1,56 @@
+"""EFSD persistence: the 4byte-style JSON interchange format."""
+
+import json
+
+import pytest
+
+from repro.baselines.efsd import SignatureDatabase
+
+
+def _sample_db():
+    db = SignatureDatabase()
+    db.add_text("transfer(address,uint256)")
+    db.add_text("approve(address,uint256)")
+    db.add_text("setName(string)")
+    return db
+
+
+def test_save_load_roundtrip(tmp_path):
+    db = _sample_db()
+    path = tmp_path / "efsd.json"
+    db.save(str(path))
+    loaded = SignatureDatabase.load(str(path))
+    assert len(loaded) == len(db)
+    assert loaded.entries() == db.entries()
+
+
+def test_saved_format_is_4byte_style(tmp_path):
+    db = _sample_db()
+    path = tmp_path / "efsd.json"
+    db.save(str(path))
+    payload = json.loads(path.read_text())
+    assert payload["0xa9059cbb"] == ["transfer(address,uint256)"]
+    assert all(key.startswith("0x") and len(key) == 10 for key in payload)
+
+
+def test_load_rejects_corrupt_entries(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"0xdeadbeef": ["transfer(address,uint256)"]}))
+    with pytest.raises(ValueError):
+        SignatureDatabase.load(str(path))
+
+
+def test_load_hand_authored(tmp_path):
+    path = tmp_path / "hand.json"
+    path.write_text(
+        json.dumps({"0x70a08231": ["balanceOf(address)"]})
+    )
+    db = SignatureDatabase.load(str(path))
+    assert db.lookup_params(0x70A08231) == "address"
+
+
+def test_entries_returns_copy():
+    db = _sample_db()
+    entries = db.entries()
+    entries.clear()
+    assert len(db) == 3

@@ -1,0 +1,100 @@
+"""The chain: deployment, transactions, blocks."""
+
+import pytest
+
+from repro.abi.codec import encode_call
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.chain import Chain, Transaction, make_init_code
+from repro.compiler import compile_contract
+from repro.evm.asm import Assembler
+from repro.evm.interpreter import Interpreter
+from repro.sigrec.api import SigRec
+
+TRANSFER = FunctionSignature.parse("transfer(address,uint256)", Visibility.EXTERNAL)
+
+
+@pytest.fixture()
+def chain():
+    chain = Chain()
+    chain.fund(0xAA, 10**18)
+    return chain
+
+
+def test_init_code_returns_runtime():
+    runtime = bytes([0x60, 0x01, 0x50, 0x00])  # PUSH1 1 POP STOP
+    init = make_init_code(runtime)
+    result = Interpreter(init).call(b"")
+    assert result.success
+    assert result.return_data == runtime
+
+
+def test_deploy_installs_code(chain):
+    contract = compile_contract([TRANSFER])
+    address = chain.deploy(contract.bytecode, sender=0xAA)
+    assert chain.code_at(address) == contract.bytecode
+
+
+def test_deploy_twice_gets_distinct_addresses(chain):
+    contract = compile_contract([TRANSFER])
+    a = chain.deploy(contract.bytecode, sender=0xAA)
+    b = chain.deploy(contract.bytecode, sender=0xAA)
+    assert a != b
+
+
+def test_call_deployed_contract(chain):
+    contract = compile_contract([TRANSFER])
+    address = chain.deploy(contract.bytecode, sender=0xAA)
+    calldata = encode_call(TRANSFER.selector, list(TRANSFER.params), [0xBB, 7])
+    receipt = chain.call(address, calldata)
+    assert receipt.success
+
+
+def test_mine_seals_pending(chain):
+    contract = compile_contract([TRANSFER])
+    address = chain.deploy(contract.bytecode, sender=0xAA)
+    chain.call(address, TRANSFER.selector + b"\x00" * 64)
+    block = chain.mine()
+    assert block.number == 0
+    assert len(block.transactions) == 2  # deploy + call
+    assert len(block.receipts) == 2
+    assert chain.transaction_count == 2
+    next_block = chain.mine()
+    assert next_block.number == 1
+    assert next_block.transactions == []
+
+
+def test_value_transfer_transaction(chain):
+    receipt = chain.send(Transaction(sender=0xAA, to=0xBB, value=123))
+    assert receipt.success
+    assert chain.state.account(0xBB).balance == 123
+
+
+def test_reverting_init_code_installs_nothing(chain):
+    asm = Assembler()
+    asm.push(0).push(0).op("REVERT")
+    receipt = chain.send(Transaction(sender=0xAA, to=None, data=asm.assemble()))
+    assert not receipt.success
+    assert receipt.contract_address is None
+
+
+def test_recover_signatures_from_chain_code(chain):
+    sigs = [
+        TRANSFER,
+        FunctionSignature.parse("mint(address,uint256,bool)", Visibility.PUBLIC),
+    ]
+    contract = compile_contract(sigs)
+    address = chain.deploy(contract.bytecode, sender=0xAA)
+    recovered = SigRec().recover_map(chain.code_at(address))
+    for sig in sigs:
+        selector = int.from_bytes(sig.selector, "big")
+        assert recovered[selector].param_list == sig.param_list()
+
+
+def test_receipts_carry_errors(chain):
+    asm = Assembler()
+    asm.push(0).push(0).op("REVERT")
+    address = 0xDE
+    chain.state.account(address).code = asm.assemble()
+    receipt = chain.call(address, b"\x01\x02\x03\x04")
+    assert not receipt.success
+    assert receipt.error == "revert"

@@ -1,0 +1,59 @@
+"""Property tests on the chain substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain import Chain, Transaction
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**32), n_transfers=st.integers(1, 25))
+def test_value_is_conserved(seed, n_transfers):
+    """Plain transfers never create or destroy wei."""
+    rng = random.Random(seed)
+    chain = Chain()
+    accounts = [0xA0, 0xA1, 0xA2, 0xA3]
+    initial_total = 0
+    for account in accounts:
+        amount = rng.randint(0, 10**6)
+        chain.fund(account, amount)
+        initial_total += amount
+    for _ in range(n_transfers):
+        sender, recipient = rng.sample(accounts, 2)
+        value = rng.randint(0, 10**6)  # may exceed balance: must fail safely
+        chain.send(Transaction(sender=sender, to=recipient, value=value))
+    total = sum(chain.state.account(a).balance for a in accounts)
+    assert total == initial_total
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**32))
+def test_failed_transfers_change_nothing(seed):
+    rng = random.Random(seed)
+    chain = Chain()
+    chain.fund(0xA0, 100)
+    receipt = chain.send(
+        Transaction(sender=0xA0, to=0xA1, value=rng.randint(101, 10**9))
+    )
+    assert not receipt.success
+    assert chain.state.account(0xA0).balance == 100
+    assert chain.state.account(0xA1).balance == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**32), n_blocks=st.integers(1, 5))
+def test_block_numbers_monotonic_and_txs_partitioned(seed, n_blocks):
+    rng = random.Random(seed)
+    chain = Chain()
+    chain.fund(0xA0, 10**12)
+    sent = 0
+    for _ in range(n_blocks):
+        for _ in range(rng.randint(0, 4)):
+            chain.send(Transaction(sender=0xA0, to=0xA1, value=1))
+            sent += 1
+        chain.mine()
+    assert [b.number for b in chain.blocks] == list(range(n_blocks))
+    assert sum(len(b.transactions) for b in chain.blocks) == sent
+    assert chain.transaction_count == sent

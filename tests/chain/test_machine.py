@@ -1,0 +1,168 @@
+"""The message-call machine: real cross-contract semantics."""
+
+import pytest
+
+from repro.chain.chain import make_init_code
+from repro.chain.machine import CallMachine, Message
+from repro.chain.state import WorldState
+from repro.evm.asm import Assembler
+
+
+def _runtime_store_42():
+    """SSTORE(1, 42); RETURN 32 bytes of 0x2a."""
+    asm = Assembler()
+    asm.push(42).push(1).op("SSTORE")
+    asm.push(42).push(0).op("MSTORE")
+    asm.push(32).push(0).op("RETURN")
+    return asm.assemble()
+
+
+def _runtime_revert():
+    asm = Assembler()
+    asm.push(99).push(5).op("SSTORE")  # a write that must roll back
+    asm.push(0).push(0).op("REVERT")
+    return asm.assemble()
+
+
+def _runtime_call(target: int, then_sstore: bool = True):
+    """CALL(target, no value, no data); store the success flag at 0."""
+    asm = Assembler()
+    asm.push(0).push(0).push(0).push(0)  # outSize outOff inSize inOff
+    asm.push(0)  # value
+    asm.push(target, width=20)
+    asm.op("GAS").op("CALL")
+    if then_sstore:
+        asm.push(0).op("SSTORE")  # storage[0] = call success
+    else:
+        asm.op("POP")
+    asm.op("STOP")
+    return asm.assemble()
+
+
+@pytest.fixture()
+def state():
+    world = WorldState()
+    world.account(0xAA).balance = 10**18
+    return world
+
+
+def _install(state, address, runtime):
+    state.account(address).code = runtime
+
+
+def test_plain_value_transfer(state):
+    machine = CallMachine(state)
+    result = machine.execute(Message(sender=0xAA, to=0xBB, value=500))
+    assert result.success
+    assert state.account(0xBB).balance == 500
+
+
+def test_insufficient_balance(state):
+    machine = CallMachine(state)
+    result = machine.execute(Message(sender=0xAA, to=0xBB, value=10**19))
+    assert not result.success
+    assert state.account(0xBB).balance == 0
+
+
+def test_storage_commits_on_success(state):
+    _install(state, 0xC1, _runtime_store_42())
+    machine = CallMachine(state)
+    result = machine.execute(Message(sender=0xAA, to=0xC1))
+    assert result.success
+    assert state.account(0xC1).storage[1] == 42
+    assert result.return_data[-1] == 42
+
+
+def test_storage_rolls_back_on_revert(state):
+    _install(state, 0xC2, _runtime_revert())
+    machine = CallMachine(state)
+    result = machine.execute(Message(sender=0xAA, to=0xC2, value=100))
+    assert not result.success
+    assert 5 not in state.account(0xC2).storage
+    # The value transfer rolled back too.
+    assert state.account(0xC2).balance == 0
+    assert state.account(0xAA).balance == 10**18
+
+
+def test_cross_contract_call_executes_callee(state):
+    _install(state, 0xC1, _runtime_store_42())
+    _install(state, 0xD1, _runtime_call(0xC1))
+    machine = CallMachine(state)
+    result = machine.execute(Message(sender=0xAA, to=0xD1))
+    assert result.success
+    assert state.account(0xC1).storage[1] == 42  # callee really ran
+    assert state.account(0xD1).storage[0] == 1  # caller saw success
+
+
+def test_failed_callee_reported_and_isolated(state):
+    _install(state, 0xC2, _runtime_revert())
+    _install(state, 0xD1, _runtime_call(0xC2))
+    machine = CallMachine(state)
+    result = machine.execute(Message(sender=0xAA, to=0xD1))
+    assert result.success  # the caller survives the callee's revert
+    assert state.account(0xD1).storage[0] == 0  # and saw the failure
+    assert 5 not in state.account(0xC2).storage  # callee rolled back
+
+
+def test_reentrancy_bounded_by_depth(state):
+    # A contract that calls itself forever.
+    _install(state, 0xE1, _runtime_call(0xE1))
+    machine = CallMachine(state, max_depth=8)
+    result = machine.execute(Message(sender=0xAA, to=0xE1))
+    assert result.success  # the outermost frame completes
+    depths = [entry.depth for entry in machine.trace]
+    assert max(depths) <= 8
+
+
+def test_staticcall_does_not_mutate(state):
+    _install(state, 0xC1, _runtime_store_42())
+    asm = Assembler()
+    asm.push(0).push(0).push(0).push(0)
+    asm.push(0xC1, width=20).op("GAS").op("STATICCALL")
+    asm.op("POP").op("STOP")
+    _install(state, 0xD2, asm.assemble())
+    machine = CallMachine(state)
+    result = machine.execute(Message(sender=0xAA, to=0xD2))
+    assert result.success
+    assert 1 not in state.account(0xC1).storage  # write rolled back
+
+
+def test_create_from_transaction(state):
+    machine = CallMachine(state)
+    runtime = _runtime_store_42()
+    result, address = machine.create(0xAA, 0, make_init_code(runtime))
+    assert result.success
+    assert state.account(address).code == runtime
+
+
+def test_create_returns_address_to_creator(state):
+    # A contract that CREATEs a child and stores the new address.
+    runtime = _runtime_store_42()
+    init = make_init_code(runtime)
+    asm = Assembler()
+    asm.push_label("init_end")  # length marker handled below
+    # Store init code into memory via CODECOPY of our own tail.
+    # Simpler: push the init code via PUSH chunks is messy — embed it
+    # and CODECOPY from a known offset.
+    asm = Assembler()
+    asm.push(len(init)).push_label("payload").push(0).op("CODECOPY")
+    asm.push(len(init)).push(0).push(0).op("CREATE")
+    asm.push(0).op("SSTORE")  # storage[0] = child address
+    asm.op("STOP")
+    asm.label("payload").raw(init)
+    _install(state, 0xF1, asm.assemble())
+    machine = CallMachine(state)
+    result = machine.execute(Message(sender=0xAA, to=0xF1))
+    assert result.success
+    child = state.account(0xF1).storage[0]
+    assert child != 0
+    assert state.account(child).code == runtime
+
+
+def test_call_trace_recorded(state):
+    _install(state, 0xC1, _runtime_store_42())
+    _install(state, 0xD1, _runtime_call(0xC1))
+    machine = CallMachine(state)
+    machine.execute(Message(sender=0xAA, to=0xD1))
+    kinds = [entry.kind for entry in machine.trace]
+    assert kinds.count("call") == 2  # inner + outer

@@ -1,0 +1,79 @@
+"""World state: accounts, transfers, snapshots, addresses."""
+
+from repro.chain.state import Account, WorldState
+
+
+def test_account_created_on_first_touch():
+    state = WorldState()
+    assert not state.exists(0xAB)
+    account = state.account(0xAB)
+    assert account.balance == 0
+    assert state.exists(0xAB)
+
+
+def test_address_masked_to_160_bits():
+    state = WorldState()
+    state.account(0xAB).balance = 7
+    # High bits beyond 160 are ignored, as the EVM does.
+    assert state.account((1 << 200) | 0xAB).balance == 7
+
+
+def test_transfer():
+    state = WorldState()
+    state.account(1).balance = 100
+    assert state.transfer(1, 2, 60)
+    assert state.account(1).balance == 40
+    assert state.account(2).balance == 60
+
+
+def test_transfer_insufficient():
+    state = WorldState()
+    state.account(1).balance = 10
+    assert not state.transfer(1, 2, 60)
+    assert state.account(1).balance == 10
+    assert state.account(2).balance == 0
+
+
+def test_zero_transfer_always_succeeds():
+    state = WorldState()
+    assert state.transfer(1, 2, 0)
+
+
+def test_snapshot_restore():
+    state = WorldState()
+    state.account(1).balance = 5
+    state.account(1).storage[7] = 9
+    snap = state.snapshot()
+    state.account(1).balance = 999
+    state.account(1).storage[7] = 0
+    state.account(2).code = b"\x00"
+    state.restore(snap)
+    assert state.account(1).balance == 5
+    assert state.account(1).storage[7] == 9
+    assert not state.account(2).code
+
+
+def test_snapshot_is_deep():
+    state = WorldState()
+    state.account(1).storage[1] = 1
+    snap = state.snapshot()
+    snap[1].storage[1] = 42  # mutating the snapshot must not leak
+    assert state.account(1).storage[1] == 1
+
+
+def test_contract_addresses_deterministic_and_fresh():
+    a = WorldState()
+    b = WorldState()
+    first_a = a.new_contract_address(0xCC)
+    first_b = b.new_contract_address(0xCC)
+    assert first_a == first_b  # same creator + nonce -> same address
+    second_a = a.new_contract_address(0xCC)
+    assert second_a != first_a  # nonce bumped
+    assert 0 < first_a < (1 << 160)
+
+
+def test_account_copy_is_independent():
+    account = Account(balance=1, storage={1: 2})
+    clone = account.copy()
+    clone.storage[1] = 99
+    assert account.storage[1] == 2

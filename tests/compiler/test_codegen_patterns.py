@@ -1,0 +1,119 @@
+"""The emitted bytecode exhibits the paper's §2 accessing patterns.
+
+These tests assert on *instruction sequences*, not recovery results:
+the codegen is the evaluation substrate, so its output must contain the
+exact structural markers SigRec's rules key on.
+"""
+
+import pytest
+
+from repro.abi.signature import FunctionSignature, Language, Visibility
+from repro.compiler import CodegenOptions, compile_contract
+from repro.compiler.solidity import flatten_static_tuples, head_positions
+from repro.evm.disasm import disassemble
+
+
+def _ops(text, vis=Visibility.PUBLIC, language=Language.SOLIDITY, **opt):
+    sig = FunctionSignature.parse(text, vis, language)
+    contract = compile_contract([sig], CodegenOptions(language=language, **opt))
+    return [i.op.name for i in disassemble(contract.bytecode)], contract
+
+
+def test_uint_mask_is_and():
+    ops, _ = _ops("f(uint8)")
+    assert "AND" in ops
+    assert "SIGNEXTEND" not in ops
+
+
+def test_int_mask_is_signextend():
+    ops, _ = _ops("f(int8)")
+    assert "SIGNEXTEND" in ops
+
+
+def test_bool_uses_double_iszero():
+    ops, _ = _ops("f(bool)")
+    pairs = [
+        i for i in range(len(ops) - 1)
+        if ops[i] == "ISZERO" and ops[i + 1] == "ISZERO"
+    ]
+    assert pairs, "two consecutive ISZEROs expected for bool masking"
+
+
+def test_bytes32_uses_byte():
+    ops, _ = _ops("f(bytes32)")
+    assert "BYTE" in ops
+
+
+def test_int256_uses_signed_op():
+    ops, _ = _ops("f(int256)")
+    assert "SDIV" in ops
+
+
+def test_public_array_uses_calldatacopy():
+    ops, _ = _ops("f(uint256[3])", Visibility.PUBLIC)
+    assert "CALLDATACOPY" in ops
+    assert "MLOAD" in ops
+
+
+def test_external_array_uses_calldataload_and_bound_checks():
+    ops, _ = _ops("f(uint256[3])", Visibility.EXTERNAL)
+    assert "CALLDATACOPY" not in ops
+    assert "LT" in ops  # the bound check
+
+
+def test_optimized_constant_index_has_no_bound_check():
+    from repro.compiler.contract import FunctionSpec
+
+    sig = FunctionSignature.parse("f(uint256[3])", Visibility.EXTERNAL)
+    contract = compile_contract(
+        [FunctionSpec(sig, const_index=True)], CodegenOptions(optimize=True)
+    )
+    ops = [i.op.name for i in disassemble(contract.bytecode)]
+    # Only the dispatcher's calldatasize LT remains.
+    assert ops.count("LT") <= 1
+
+
+def test_dynamic_array_reads_offset_then_num():
+    ops, _ = _ops("f(uint256[])", Visibility.PUBLIC)
+    # Two CALLDATALOADs before any CALLDATACOPY (offset + num), R1.
+    copy_at = ops.index("CALLDATACOPY")
+    loads_before = [o for o in ops[:copy_at] if o == "CALLDATALOAD"]
+    assert len(loads_before) >= 3  # fid read + offset + num
+
+
+def test_vyper_uses_comparisons_not_masks():
+    ops, _ = _ops("f(address)", Visibility.PUBLIC, Language.VYPER)
+    assert "LT" in ops
+    assert "AND" not in ops[6:]  # no masking after the dispatcher
+
+
+def test_solidity_address_uses_mask():
+    ops, _ = _ops("f(address)", Visibility.PUBLIC)
+    assert "AND" in ops
+
+
+def test_dispatcher_div_vs_shr():
+    from repro.compiler.options import DispatcherStyle
+
+    ops_div, _ = _ops("f(uint8)", dispatcher=DispatcherStyle.DIV)
+    ops_shr, _ = _ops("f(uint8)", dispatcher=DispatcherStyle.SHR)
+    assert "DIV" in ops_div and "SHR" not in ops_div
+    assert "SHR" in ops_shr
+
+
+def test_flatten_static_tuples():
+    sig = FunctionSignature.parse("f((uint256,bool),bytes)")
+    flat = flatten_static_tuples(sig.params)
+    assert [t.canonical() for t in flat] == ["uint256", "bool", "bytes"]
+
+
+def test_head_positions():
+    sig = FunctionSignature.parse("f(uint256,uint8[2],bytes)")
+    positions = head_positions(list(sig.params))
+    assert positions == [4, 36, 100]  # static array occupies two slots
+
+
+def test_nested_struct_flattens_recursively():
+    sig = FunctionSignature.parse("f(((uint8,bool),uint256))")
+    flat = flatten_static_tuples(sig.params)
+    assert [t.canonical() for t in flat] == ["uint8", "bool", "uint256"]

@@ -1,0 +1,117 @@
+"""Contract assembly: dispatcher, bodies, executability."""
+
+import random
+
+import pytest
+
+from repro.abi.codec import encode_call
+from repro.abi.signature import FunctionSignature, Language, Visibility
+from repro.compiler import CodegenOptions, compile_contract
+from repro.compiler.contract import ContractBuildError, FunctionSpec
+from repro.compiler.options import DispatcherStyle
+from repro.evm.interpreter import Interpreter
+
+
+def test_duplicate_selectors_rejected():
+    sig = FunctionSignature.parse("f(uint256)")
+    with pytest.raises(ContractBuildError):
+        compile_contract([sig, sig])
+
+
+def test_selector_map():
+    sigs = [FunctionSignature.parse("a()"), FunctionSignature.parse("b(uint8)")]
+    contract = compile_contract(sigs)
+    assert set(contract.selector_map) == {
+        int.from_bytes(s.selector, "big") for s in sigs
+    }
+
+
+@pytest.mark.parametrize("style", list(DispatcherStyle))
+def test_dispatch_executes_correct_body(style):
+    sigs = [
+        FunctionSignature.parse("a(uint256)", Visibility.EXTERNAL),
+        FunctionSignature.parse("b(bool)", Visibility.EXTERNAL),
+    ]
+    contract = compile_contract(sigs, CodegenOptions(dispatcher=style))
+    interp = Interpreter(contract.bytecode)
+    result = interp.call(encode_call(sigs[0].selector, list(sigs[0].params), [7]))
+    assert result.success
+    result = interp.call(encode_call(sigs[1].selector, list(sigs[1].params), [True]))
+    assert result.success
+
+
+def test_unknown_selector_falls_back_to_stop():
+    contract = compile_contract([FunctionSignature.parse("a(uint256)")])
+    result = Interpreter(contract.bytecode).call(b"\xde\xad\xbe\xef" + b"\x00" * 32)
+    assert result.success  # fallback STOP
+
+
+def test_short_calldata_hits_fallback():
+    contract = compile_contract([FunctionSignature.parse("a(uint256)")])
+    result = Interpreter(contract.bytecode).call(b"\x01\x02")
+    assert result.success
+
+
+def test_without_calldatasize_check():
+    contract = compile_contract(
+        [FunctionSignature.parse("a(uint256)")],
+        CodegenOptions(calldatasize_check=False),
+    )
+    result = Interpreter(contract.bytecode).call(b"")
+    assert result.success
+
+
+@pytest.mark.parametrize(
+    "text,values",
+    [
+        ("f(uint8,int16,bool)", [200, -5, True]),
+        ("f(address,bytes4)", [0xABC, b"\x01\x02\x03\x04"]),
+        ("f(uint256[2][2])", [[[1, 2], [3, 4]]]),
+        ("f(uint256[])", [[1, 2, 3]]),
+        ("f(bytes)", [b"hello"]),
+        ("f(string)", ["hi there"]),
+        ("f(uint8[][])", [[[1], [2, 3]]]),
+        ("f((uint256,uint256[]))", [(5, [6, 7])]),
+    ],
+)
+@pytest.mark.parametrize("vis", [Visibility.PUBLIC, Visibility.EXTERNAL])
+def test_bodies_execute_on_wellformed_calldata(text, values, vis):
+    """Differential check: generated bodies actually run in the EVM."""
+    sig = FunctionSignature.parse(text, vis)
+    contract = compile_contract([sig])
+    calldata = encode_call(sig.selector, list(sig.params), values)
+    result = Interpreter(contract.bytecode).call(calldata)
+    # Bound-checked bodies may legitimately revert when the random env
+    # index exceeds a short array; anything else must succeed.
+    assert result.success or result.error == "revert"
+
+
+def test_vyper_clamp_reverts_out_of_range():
+    sig = FunctionSignature.parse("f(bool)", Visibility.PUBLIC, Language.VYPER)
+    contract = compile_contract([sig], CodegenOptions(language=Language.VYPER))
+    # bool encoded as 2: out of Vyper's clamp range -> revert.
+    bad = sig.selector + (2).to_bytes(32, "big")
+    result = Interpreter(contract.bytecode).call(bad)
+    assert not result.success
+    good = sig.selector + (1).to_bytes(32, "big")
+    assert Interpreter(contract.bytecode).call(good).success
+
+
+def test_function_spec_body_override():
+    # Declared parameterless, body reads two words (quirk case 1).
+    sig = FunctionSignature.parse("start()")
+    from repro.abi.types import UIntType
+
+    spec = FunctionSpec(sig, body_params=(UIntType(256), UIntType(256)))
+    contract = compile_contract([spec])
+    assert contract.quirks[0] == "case"
+    result = Interpreter(contract.bytecode).call(sig.selector + b"\x00" * 64)
+    assert result.success
+
+
+def test_quirk_flags_recorded():
+    sig = FunctionSignature.parse("g(uint256[3])", Visibility.EXTERNAL)
+    contract = compile_contract([FunctionSpec(sig, const_index=True)])
+    assert contract.quirks == ("case",)
+    plain = compile_contract([sig])
+    assert plain.quirks == ("",)

@@ -1,0 +1,50 @@
+"""Version catalogs (the stand-ins for Fig. 15/16's compiler lists)."""
+
+from repro.abi.signature import Language
+from repro.compiler.options import (
+    CodegenOptions,
+    DispatcherStyle,
+    solidity_versions,
+    vyper_versions,
+)
+
+
+def test_solidity_catalog_size_matches_paper_scale():
+    catalog = solidity_versions()
+    # The paper evaluates 155 Solidity compiler versions (counting
+    # optimized and unoptimized separately).
+    assert len(catalog) >= 150
+    assert all(v.language is Language.SOLIDITY for v in catalog)
+
+
+def test_vyper_catalog():
+    catalog = vyper_versions()
+    assert len(catalog) >= 17
+    assert all(v.language is Language.VYPER for v in catalog)
+
+
+def test_optimized_and_unoptimized_are_distinct_versions():
+    catalog = solidity_versions()
+    keys = [v.version_key for v in catalog]
+    assert len(keys) == len(set(keys))
+    assert any(k.endswith("+opt") for k in keys)
+
+
+def test_old_versions_use_div_dispatch():
+    catalog = solidity_versions()
+    old = [v for v in catalog if v.version.startswith("0.4.")]
+    new = [v for v in catalog if v.version.startswith("0.8.")]
+    assert all(v.dispatcher is not DispatcherStyle.SHR for v in old)
+    assert all(v.dispatcher is DispatcherStyle.SHR for v in new)
+
+
+def test_options_frozen_and_defaults():
+    opt = CodegenOptions()
+    assert opt.memory_base == 0x80
+    assert opt.calldatasize_check
+    try:
+        opt.optimize = True  # type: ignore[misc]
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised

@@ -1,0 +1,119 @@
+"""Vyper codegen: §2.3.2's comparison-based patterns, executable."""
+
+import pytest
+
+from repro.abi.codec import encode_call
+from repro.abi.signature import FunctionSignature, Language, Visibility
+from repro.abi.types import BoundedBytesType, BoundedStringType, DecimalType
+from repro.compiler import CodegenOptions, compile_contract
+from repro.evm.disasm import disassemble
+from repro.evm.interpreter import Interpreter
+
+VY = CodegenOptions(language=Language.VYPER)
+
+
+def _compile(text_or_sig, vis=Visibility.PUBLIC):
+    if isinstance(text_or_sig, str):
+        sig = FunctionSignature.parse(text_or_sig, vis, Language.VYPER)
+    else:
+        sig = text_or_sig
+    return sig, compile_contract([sig], VY)
+
+
+def test_address_clamp_is_lt_comparison():
+    _, contract = _compile("f(address)")
+    ops = [i.op.name for i in disassemble(contract.bytecode)]
+    assert "LT" in ops
+    assert "AND" not in ops[8:]  # no mask after the dispatcher
+
+
+def test_int128_clamp_uses_signed_comparisons():
+    _, contract = _compile("f(int128)")
+    ops = [i.op.name for i in disassemble(contract.bytecode)]
+    assert "SLT" in ops and "SGT" in ops
+    assert "SIGNEXTEND" not in ops
+
+
+def test_decimal_clamp_bounds_differ_from_int128():
+    from repro.sigrec.rules import VYPER_DECIMAL_HI, VYPER_INT128_HI
+
+    _, dec = _compile("f(fixed168x10)")
+    _, i128 = _compile("f(int128)")
+    dec_consts = {i.operand for i in disassemble(dec.bytecode) if i.operand}
+    i128_consts = {i.operand for i in disassemble(i128.bytecode) if i.operand}
+    assert VYPER_DECIMAL_HI in dec_consts
+    assert VYPER_INT128_HI in i128_consts
+    assert VYPER_DECIMAL_HI not in i128_consts
+
+
+@pytest.mark.parametrize(
+    "text,good,bad",
+    [
+        ("f(bool)", [True], (2).to_bytes(32, "big")),
+        ("f(address)", [123], (1 << 200).to_bytes(32, "big")),
+        ("f(int128)", [-5], (1 << 200).to_bytes(32, "big")),
+    ],
+)
+def test_clamps_enforce_ranges_at_runtime(text, good, bad):
+    sig, contract = _compile(text)
+    interp = Interpreter(contract.bytecode)
+    ok = interp.call(encode_call(sig.selector, list(sig.params), good))
+    assert ok.success
+    out_of_range = interp.call(sig.selector + bad)
+    assert not out_of_range.success
+
+
+def test_fixed_list_items_are_clamped():
+    sig, contract = _compile("f(bool[3])")
+    interp = Interpreter(contract.bytecode)
+    good = encode_call(sig.selector, list(sig.params), [[True, False, True]])
+    assert interp.call(good).success
+    # A 2 in the list violates the per-item clamp (when that item is the
+    # one the body reads, which the env-derived index may or may not
+    # select — so only assert the good case strictly).
+
+
+def test_bounded_bytes_copies_num_plus_payload():
+    sig = FunctionSignature("f", (BoundedBytesType(20),), Visibility.PUBLIC,
+                            Language.VYPER)
+    _, contract = _compile(sig)
+    ops = [i.op.name for i in disassemble(contract.bytecode)]
+    assert "CALLDATACOPY" in ops
+    # No rounding mask: the copy length is a compile-time constant.
+    interp = Interpreter(contract.bytecode)
+    good = encode_call(sig.selector, [BoundedBytesType(20)], [b"hello"])
+    assert interp.call(good).success
+
+
+def test_bounded_string_reads_length_only():
+    sig = FunctionSignature("f", (BoundedStringType(10),), Visibility.PUBLIC,
+                            Language.VYPER)
+    _, contract = _compile(sig)
+    ops = [i.op.name for i in disassemble(contract.bytecode)]
+    assert "BYTE" not in ops  # strings expose no byte access
+
+
+def test_public_and_external_identical_bytecode():
+    pub = compile_contract(
+        [FunctionSignature.parse("f(address,bool)", Visibility.PUBLIC,
+                                 Language.VYPER)], VY
+    )
+    ext = compile_contract(
+        [FunctionSignature.parse("f(address,bool)", Visibility.EXTERNAL,
+                                 Language.VYPER)], VY
+    )
+    # Vyper generates the same bytecode for both modes (§2.3.2).
+    assert pub.bytecode == ext.bytecode
+
+
+def test_vyper_struct_flattens():
+    sig = FunctionSignature.parse("f((uint256,bool))", Visibility.PUBLIC,
+                                  Language.VYPER)
+    flat = FunctionSignature.parse("g(uint256,bool)", Visibility.PUBLIC,
+                                   Language.VYPER)
+    struct_contract = compile_contract([sig], VY)
+    flat_contract = compile_contract([flat], VY)
+    # Identical body layouts: only the dispatcher's selector differs.
+    struct_ops = [i.op.name for i in disassemble(struct_contract.bytecode)]
+    flat_ops = [i.op.name for i in disassemble(flat_contract.bytecode)]
+    assert struct_ops == flat_ops

@@ -1,0 +1,98 @@
+"""Corpus builders and the evaluation harness."""
+
+from repro.abi.signature import Language
+from repro.corpus.datasets import (
+    build_closed_source_corpus,
+    build_open_source_corpus,
+    build_struct_nested_corpus,
+    build_synthesized_dataset,
+    build_vyper_corpus,
+)
+from repro.corpus.evaluate import evaluate_corpus
+from repro.sigrec.api import SigRec
+
+
+def test_open_source_corpus_shape():
+    corpus = build_open_source_corpus(n_contracts=10, seed=1)
+    assert len(corpus) == 10
+    assert corpus.function_count >= 10
+    for case in corpus.cases:
+        assert case.contract.bytecode
+        assert len(case.declared) == len(case.quirks)
+
+
+def test_corpus_deterministic():
+    a = build_open_source_corpus(n_contracts=5, seed=3)
+    b = build_open_source_corpus(n_contracts=5, seed=3)
+    assert [c.contract.bytecode for c in a.cases] == [
+        c.contract.bytecode for c in b.cases
+    ]
+
+
+def test_quirk_rate_zero_means_no_quirks():
+    corpus = build_open_source_corpus(n_contracts=10, seed=2, quirk_rate=0.0)
+    assert all(q is None for _, _, q in corpus.functions())
+
+
+def test_quirk_rate_one_means_all_quirks():
+    corpus = build_open_source_corpus(n_contracts=5, seed=2, quirk_rate=1.0)
+    assert all(q is not None for _, _, q in corpus.functions())
+
+
+def test_synthesized_dataset_counts():
+    corpus = build_synthesized_dataset(n_functions=95, seed=4)
+    assert corpus.function_count == 95
+    # Dataset 2: 10 functions per contract.
+    assert len(corpus) == 10
+
+
+def test_vyper_corpus_language():
+    corpus = build_vyper_corpus(n_contracts=5)
+    assert corpus.language is Language.VYPER
+    for _, sig, _ in corpus.functions():
+        assert sig.language is Language.VYPER
+
+
+def test_struct_nested_corpus_population():
+    corpus = build_struct_nested_corpus(n_contracts=6)
+    for _, sig, _ in corpus.functions():
+        text = sig.param_list()
+        assert "(" in text or "[][" in text or text.endswith("[]")
+
+
+def test_evaluate_corpus_high_accuracy_without_quirks():
+    corpus = build_open_source_corpus(n_contracts=12, seed=5, quirk_rate=0.0)
+    report = evaluate_corpus(corpus)
+    assert report.total == corpus.function_count
+    assert report.accuracy >= 0.95
+
+
+def test_evaluate_corpus_attributes_quirk_errors():
+    corpus = build_open_source_corpus(n_contracts=20, seed=6, quirk_rate=0.5)
+    report = evaluate_corpus(corpus)
+    errors = report.errors_by_quirk()
+    # Some quirks must have produced attributed errors.
+    assert any(k.startswith("case") for k in errors)
+
+
+def test_accuracy_by_version_buckets():
+    corpus = build_open_source_corpus(n_contracts=15, seed=7, quirk_rate=0.0)
+    report = evaluate_corpus(corpus)
+    by_version = report.accuracy_by_version()
+    assert by_version
+    assert all(0.0 <= acc <= 1.0 for acc in by_version.values())
+
+
+def test_closed_source_differs_from_open():
+    open_corpus = build_open_source_corpus(n_contracts=5, seed=1)
+    closed = build_closed_source_corpus(n_contracts=5, seed=2)
+    assert [c.contract.bytecode for c in open_corpus.cases] != [
+        c.contract.bytecode for c in closed.cases
+    ]
+
+
+def test_shared_tool_accumulates_rules_across_corpora():
+    tool = SigRec()
+    corpus = build_open_source_corpus(n_contracts=6, seed=8, quirk_rate=0.0)
+    evaluate_corpus(corpus, tool)
+    assert tool.tracker.total() > 0

@@ -1,0 +1,77 @@
+"""The evaluation harness itself: outcome accounting and reports."""
+
+from repro.corpus.evaluate import (
+    BaselineReport,
+    EvalReport,
+    FunctionOutcome,
+)
+
+
+def _outcome(declared, recovered, quirk=None, version="0.5.0"):
+    return FunctionOutcome(
+        selector=1, declared=declared, recovered=recovered,
+        quirk=quirk, version_key=version,
+    )
+
+
+def test_outcome_correctness():
+    assert _outcome("uint256", "uint256").correct
+    assert not _outcome("uint256", "uint8").correct
+    assert not _outcome("uint256", None).correct
+
+
+def test_eval_report_accuracy():
+    report = EvalReport(
+        outcomes=[
+            _outcome("a", "a"), _outcome("b", "b"), _outcome("c", "x"),
+        ]
+    )
+    assert report.total == 3
+    assert report.correct == 2
+    assert abs(report.accuracy - 2 / 3) < 1e-9
+
+
+def test_empty_report():
+    assert EvalReport().accuracy == 0.0
+    assert BaselineReport("t").accuracy == 0.0
+    assert BaselineReport("t").abort_ratio == 0.0
+
+
+def test_errors_by_quirk_only_counts_errors():
+    report = EvalReport(
+        outcomes=[
+            _outcome("a", "a", quirk="case1"),  # correct despite quirk
+            _outcome("b", "x", quirk="case2"),
+            _outcome("c", "x", quirk=None),
+        ]
+    )
+    assert report.errors_by_quirk() == {"case2": 1, "other": 1}
+
+
+def test_accuracy_by_version_buckets():
+    report = EvalReport(
+        outcomes=[
+            _outcome("a", "a", version="0.4.0"),
+            _outcome("b", "x", version="0.4.0"),
+            _outcome("c", "c", version="0.8.0"),
+        ]
+    )
+    by_version = report.accuracy_by_version()
+    assert by_version["0.4.0"] == 0.5
+    assert by_version["0.8.0"] == 1.0
+
+
+def test_baseline_wrong_count_vs_wrong_types():
+    report = BaselineReport(
+        "t",
+        outcomes=[
+            _outcome("uint256,bool", "uint256"),  # wrong count
+            _outcome("uint256,bool", "uint256,uint8"),  # wrong types
+            _outcome("uint256,bool", "uint256,bool"),  # correct
+            _outcome("uint256,bool", None),  # no answer
+        ],
+    )
+    assert report.wrong_param_count() == 1
+    assert report.wrong_types_only() == 1
+    assert report.no_answer == 1
+    assert report.correct == 1

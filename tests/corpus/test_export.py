@@ -1,0 +1,52 @@
+"""Corpus export/import round-trip."""
+
+import json
+import os
+
+from repro.corpus.datasets import build_open_source_corpus, build_vyper_corpus
+from repro.corpus.evaluate import evaluate_corpus
+from repro.corpus.export import export_corpus, load_corpus
+
+
+def test_export_writes_manifest_and_hex(tmp_path):
+    corpus = build_open_source_corpus(n_contracts=4, seed=1)
+    manifest_path = export_corpus(corpus, str(tmp_path))
+    assert os.path.exists(manifest_path)
+    manifest = json.loads(open(manifest_path).read())
+    assert len(manifest["contracts"]) == 4
+    first = manifest["contracts"][0]
+    hex_text = open(tmp_path / first["file"]).read().strip()
+    assert bytes.fromhex(hex_text) == corpus.cases[0].contract.bytecode
+
+
+def test_roundtrip_preserves_everything_evaluation_needs(tmp_path):
+    corpus = build_open_source_corpus(n_contracts=6, seed=2, quirk_rate=0.3)
+    export_corpus(corpus, str(tmp_path))
+    loaded = load_corpus(str(tmp_path))
+    assert len(loaded) == len(corpus)
+    for original, reloaded in zip(corpus.cases, loaded.cases):
+        assert reloaded.contract.bytecode == original.contract.bytecode
+        assert [s.canonical() for s in reloaded.declared] == [
+            s.canonical() for s in original.declared
+        ]
+        assert reloaded.quirks == original.quirks
+        assert reloaded.options.version_key == original.options.version_key
+
+
+def test_loaded_corpus_evaluates_identically(tmp_path):
+    corpus = build_open_source_corpus(n_contracts=8, seed=3)
+    original = evaluate_corpus(corpus)
+    export_corpus(corpus, str(tmp_path))
+    reloaded = evaluate_corpus(load_corpus(str(tmp_path)))
+    assert reloaded.accuracy == original.accuracy
+    assert reloaded.total == original.total
+
+
+def test_vyper_corpus_roundtrip(tmp_path):
+    corpus = build_vyper_corpus(n_contracts=3, seed=4)
+    export_corpus(corpus, str(tmp_path))
+    loaded = load_corpus(str(tmp_path))
+    assert loaded.language.value == "vyper"
+    assert all(
+        sig.language.value == "vyper" for _, sig, _ in loaded.functions()
+    )

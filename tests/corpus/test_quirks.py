@@ -1,0 +1,83 @@
+"""Quirk construction: each case builds a valid, divergent spec."""
+
+import random
+
+import pytest
+
+from repro.abi.signature import FunctionSignature
+from repro.compiler import compile_contract
+from repro.corpus.quirks import QUIRK_NAMES, apply_quirk
+from repro.evm.interpreter import Interpreter
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(123)
+
+
+BASE = FunctionSignature.parse("f(uint256)")
+
+
+def test_quirk_names_complete():
+    assert QUIRK_NAMES == ("case1", "case2", "case3", "case4", "case5")
+
+
+@pytest.mark.parametrize("quirk", QUIRK_NAMES)
+def test_quirk_specs_compile_and_execute(quirk, rng):
+    spec = apply_quirk(BASE, quirk, rng)
+    contract = compile_contract([spec])
+    # The selector always comes from the *declared* signature.
+    assert contract.signatures[0].name == "f"
+    result = Interpreter(contract.bytecode).call(
+        spec.sig.selector + b"\x00" * 128
+    )
+    assert result.success or result.error == "revert"
+
+
+def test_case1_preserves_name_empties_params(rng):
+    spec = apply_quirk(BASE, "case1", rng)
+    assert spec.sig.params == ()
+    assert spec.body_params is not None
+    assert len(spec.body_params) == 2
+
+
+def test_case2_array_lengths_match(rng):
+    spec = apply_quirk(BASE, "case2", rng)
+    declared = spec.sig.params[0]
+    body = spec.body_params[0]
+    # Same static length, different item type: identical layout.
+    assert declared.length == body.length
+    assert declared.element.canonical() == "uint256"
+    assert body.element.canonical() == "uint8"
+
+
+def test_case3_layout_compatible(rng):
+    spec = apply_quirk(BASE, "case3", rng)
+    assert spec.sig.params[0].canonical() == "address"
+    assert spec.body_params[0].canonical() == "uint160"
+
+
+def test_case4_head_width_preserved(rng):
+    spec = apply_quirk(BASE, "case4", rng)
+    # A storage reference occupies one head word, same as the dynamic
+    # array's offset word.
+    assert spec.sig.params[0].head_size() == 32
+    assert spec.body_params[0].head_size() == 32
+
+
+def test_case5_variants_cycle(rng):
+    kinds = set()
+    for _ in range(30):
+        spec = apply_quirk(BASE, "case5", rng)
+        if spec.const_index:
+            kinds.add("const_index")
+        elif spec.no_byte_access:
+            kinds.add("no_byte_access")
+        else:
+            kinds.add("static_struct")
+    assert kinds == {"const_index", "no_byte_access", "static_struct"}
+
+
+def test_unknown_quirk_raises(rng):
+    with pytest.raises(ValueError):
+        apply_quirk(BASE, "case99", rng)

@@ -1,0 +1,80 @@
+"""Signature generator: determinism, constraints, distributions."""
+
+from repro.abi.signature import Language, Visibility
+from repro.abi.types import ArrayType, BoundedBytesType, BoundedStringType, TupleType
+from repro.corpus.signatures import SignatureGenerator
+
+
+def test_deterministic_for_seed():
+    a = SignatureGenerator(seed=5).signatures(20)
+    b = SignatureGenerator(seed=5).signatures(20)
+    assert [s.canonical() for s in a] == [s.canonical() for s in b]
+
+
+def test_names_unique_and_wellformed():
+    gen = SignatureGenerator(seed=1)
+    sigs = gen.signatures(200)
+    names = [s.name for s in sigs]
+    assert len(set(names)) == len(names)
+    assert all(len(n) == 5 and n.islower() for n in names)
+
+
+def test_param_count_bounds():
+    gen = SignatureGenerator(seed=2, max_params=5)
+    for sig in gen.signatures(100):
+        assert 1 <= len(sig.params) <= 5
+
+
+def test_dimension_bounds():
+    gen = SignatureGenerator(seed=3, max_dims=3, max_dim_size=5)
+    for _ in range(300):
+        arr = gen.array_type()
+        dims = arr.dimensions
+        assert len(dims) <= 3
+        for d in dims:
+            assert d is None or 1 <= d <= 5
+
+
+def test_nested_arrays_are_all_dynamic():
+    gen = SignatureGenerator(seed=4)
+    for _ in range(50):
+        nested = gen.nested_array_type()
+        assert nested.is_nested_dynamic
+        assert all(d is None for d in nested.dimensions)
+
+
+def test_struct_always_has_dynamic_component():
+    gen = SignatureGenerator(seed=5)
+    for _ in range(50):
+        struct = gen.struct_type()
+        assert isinstance(struct, TupleType)
+        assert struct.is_dynamic
+
+
+def test_vyper_generator_emits_vyper_types():
+    gen = SignatureGenerator(seed=6, language=Language.VYPER)
+    sigs = gen.signatures(100)
+    assert all(s.language is Language.VYPER for s in sigs)
+    for sig in sigs:
+        for param in sig.params:
+            if isinstance(param, ArrayType):
+                # Fixed-size lists only: every dimension static.
+                assert all(d is not None for d in param.dimensions)
+            elif isinstance(param, (BoundedBytesType, BoundedStringType)):
+                assert 1 <= param.max_length <= 50
+
+
+def test_visibility_mix():
+    gen = SignatureGenerator(seed=7)
+    sigs = gen.signatures(200)
+    public = sum(1 for s in sigs if s.visibility is Visibility.PUBLIC)
+    assert 40 < public < 160  # roughly half each
+
+
+def test_weights_respected_when_zero():
+    gen = SignatureGenerator(seed=8, struct_weight=0.0, nested_weight=0.0)
+    for sig in gen.signatures(150):
+        for param in sig.params:
+            assert not isinstance(param, TupleType)
+            if isinstance(param, ArrayType):
+                assert not param.is_nested_dynamic

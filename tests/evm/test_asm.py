@@ -1,0 +1,101 @@
+"""Assembler: label resolution, widths, round-trips."""
+
+import pytest
+
+from repro.evm.asm import Assembler, AssemblyError, assemble
+from repro.evm.disasm import disassemble
+
+
+def test_simple_program():
+    code = assemble([("PUSH1", 0), "CALLDATALOAD", "STOP"])
+    assert code == bytes([0x60, 0x00, 0x35, 0x00])
+
+
+def test_push_width_selection():
+    asm = Assembler()
+    asm.push(0x1234)
+    assert asm.assemble() == bytes([0x61, 0x12, 0x34])
+
+
+def test_push_fixed_width():
+    asm = Assembler()
+    asm.push(5, width=4)
+    assert asm.assemble() == bytes([0x63, 0, 0, 0, 5])
+
+
+def test_push_width_too_small():
+    asm = Assembler()
+    with pytest.raises(AssemblyError):
+        asm.push(0x1234, width=1)
+
+
+def test_label_forward_reference():
+    asm = Assembler()
+    asm.push_label("end").op("JUMP")
+    asm.op("INVALID")
+    asm.label("end").op("JUMPDEST").op("STOP")
+    code = asm.assemble()
+    # PUSH1 0x04 JUMP INVALID JUMPDEST STOP
+    assert code == bytes([0x60, 0x04, 0x56, 0xFE, 0x5B, 0x00])
+
+
+def test_label_backward_reference():
+    asm = Assembler()
+    asm.label("loop").op("JUMPDEST")
+    asm.push_label("loop").op("JUMP")
+    assert asm.assemble() == bytes([0x5B, 0x60, 0x00, 0x56])
+
+
+def test_duplicate_label_rejected():
+    asm = Assembler()
+    asm.label("x").op("JUMPDEST")
+    asm.label("x").op("JUMPDEST")
+    with pytest.raises(AssemblyError):
+        asm.assemble()
+
+
+def test_undefined_label_rejected():
+    asm = Assembler()
+    asm.push_label("nowhere").op("JUMP")
+    with pytest.raises(AssemblyError):
+        asm.assemble()
+
+
+def test_wide_program_label_width_growth():
+    # Force a label address beyond 255 so its PUSH widens to 2 bytes.
+    asm = Assembler()
+    asm.push_label("far").op("JUMP")
+    for _ in range(300):
+        asm.op("JUMPDEST")
+    asm.label("far").op("JUMPDEST").op("STOP")
+    code = asm.assemble()
+    ins = disassemble(code)
+    assert ins[0].op.name == "PUSH2"
+    target = ins[0].operand
+    assert code[target] == 0x5B  # JUMPDEST at the resolved address
+
+
+def test_fresh_labels_unique():
+    asm = Assembler()
+    names = {asm.fresh_label() for _ in range(100)}
+    assert len(names) == 100
+
+
+def test_raw_bytes_appended():
+    asm = Assembler()
+    asm.op("STOP").raw(b"\xde\xad")
+    assert asm.assemble() == bytes([0x00, 0xDE, 0xAD])
+
+
+def test_disassemble_roundtrip():
+    asm = Assembler()
+    asm.push(0).op("CALLDATALOAD").push(0xE0).op("SHR")
+    asm.op("DUP1").push(0xA9059CBB, width=4).op("EQ")
+    asm.push_label("body").op("JUMPI").op("STOP")
+    asm.label("body").op("JUMPDEST").op("STOP")
+    code = asm.assemble()
+    names = [i.op.name for i in disassemble(code)]
+    assert names == [
+        "PUSH1", "CALLDATALOAD", "PUSH1", "SHR", "DUP1", "PUSH4", "EQ",
+        "PUSH1", "JUMPI", "STOP", "JUMPDEST", "STOP",
+    ]

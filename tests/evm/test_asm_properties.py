@@ -1,0 +1,69 @@
+"""Property tests: assembler/disassembler round-trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evm.asm import Assembler
+from repro.evm.disasm import disassemble
+from repro.evm.opcodes import OPCODES
+
+# Plain (no-immediate) opcodes for random program generation.
+_PLAIN_OPS = sorted(
+    op.name for op in OPCODES.values() if not op.is_push and op.name != "UNKNOWN"
+)
+
+_program_items = st.one_of(
+    st.sampled_from(_PLAIN_OPS).map(lambda name: ("op", name)),
+    st.tuples(st.just("push"), st.integers(0, (1 << 256) - 1)),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(items=st.lists(_program_items, min_size=1, max_size=40))
+def test_assemble_disassemble_roundtrip(items):
+    asm = Assembler()
+    expected = []
+    for kind, payload in items:
+        if kind == "op":
+            asm.op(payload)
+            expected.append((payload, None))
+        else:
+            asm.push(payload)
+            size = max(1, (payload.bit_length() + 7) // 8)
+            expected.append((f"PUSH{size}", payload))
+    code = asm.assemble()
+    decoded = [
+        (ins.op.name, ins.operand) for ins in disassemble(code)
+    ]
+    assert decoded == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_labels=st.integers(1, 6),
+    filler=st.integers(0, 50),
+    seed=st.integers(0, 2**32),
+)
+def test_label_targets_always_land_on_jumpdest(n_labels, filler, seed):
+    import random
+
+    rng = random.Random(seed)
+    asm = Assembler()
+    names = [f"L{i}" for i in range(n_labels)]
+    for name in names:
+        asm.push_label(name).op("POP")
+    for _ in range(filler):
+        asm.op("JUMPDEST" if rng.random() < 0.2 else "PC")
+    for name in names:
+        asm.label(name).op("JUMPDEST")
+    code = asm.assemble()
+    instructions = disassemble(code)
+    dests = {ins.pc for ins in instructions if ins.op.name == "JUMPDEST"}
+    pushed = [
+        ins.operand
+        for ins in instructions[: 2 * n_labels]
+        if ins.op.is_push
+    ]
+    assert len(pushed) == n_labels
+    for target in pushed:
+        assert target in dests

@@ -1,0 +1,87 @@
+"""CFG recovery: blocks, edges, dynamic jumps."""
+
+from repro.evm.asm import Assembler
+from repro.evm.cfg import build_cfg
+
+
+def _asm() -> Assembler:
+    return Assembler()
+
+
+def test_single_block():
+    asm = _asm()
+    asm.push(1).push(2).op("ADD").op("STOP")
+    cfg = build_cfg(asm.assemble())
+    assert len(cfg) == 1
+    block = cfg.block_at(0)
+    assert block is not None and block.successors == set()
+
+
+def test_direct_jump_edge():
+    asm = _asm()
+    asm.push_label("target").op("JUMP")
+    asm.label("target").op("JUMPDEST").op("STOP")
+    cfg = build_cfg(asm.assemble())
+    entry = cfg.block_at(0)
+    assert entry is not None
+    (succ,) = entry.successors
+    assert cfg.block_at(succ).terminator.op.name == "STOP"
+
+
+def test_jumpi_has_two_successors():
+    asm = _asm()
+    asm.push(1).push_label("yes").op("JUMPI").op("STOP")
+    asm.label("yes").op("JUMPDEST").op("STOP")
+    cfg = build_cfg(asm.assemble())
+    entry = cfg.block_at(0)
+    assert len(entry.successors) == 2
+
+
+def test_dynamic_jump_flagged():
+    asm = _asm()
+    # Jump target comes from calldata: not statically resolvable.
+    asm.push(0).op("CALLDATALOAD").op("JUMP")
+    asm.op("JUMPDEST").op("STOP")
+    cfg = build_cfg(asm.assemble())
+    entry = cfg.block_at(0)
+    assert entry.has_dynamic_jump
+    assert entry.successors == set()
+
+
+def test_fallthrough_edge():
+    asm = _asm()
+    asm.push(1).op("POP")
+    asm.label("next").op("JUMPDEST").op("STOP")
+    cfg = build_cfg(asm.assemble())
+    entry = cfg.block_at(0)
+    assert len(entry.successors) == 1
+
+
+def test_predecessors_symmetric():
+    asm = _asm()
+    asm.push(1).push_label("a").op("JUMPI").op("STOP")
+    asm.label("a").op("JUMPDEST").op("STOP")
+    cfg = build_cfg(asm.assemble())
+    for block in cfg.blocks.values():
+        for succ in block.successors:
+            assert block.start in cfg.blocks[succ].predecessors
+
+
+def test_reachability():
+    asm = _asm()
+    asm.push_label("a").op("JUMP")
+    asm.op("JUMPDEST").op("STOP")  # dead block (no label)
+    asm.label("a").op("JUMPDEST").op("STOP")
+    cfg = build_cfg(asm.assemble())
+    reachable = cfg.reachable_from(cfg.entry)
+    assert cfg.entry in reachable
+    # The unlabeled middle block is not reachable along static edges.
+    assert len(reachable) < len(cfg)
+
+
+def test_jump_to_invalid_dest_has_no_edge():
+    asm = _asm()
+    asm.push(1).op("JUMP")  # 1 is not a JUMPDEST
+    asm.op("STOP")
+    cfg = build_cfg(asm.assemble())
+    assert cfg.block_at(0).successors == set()

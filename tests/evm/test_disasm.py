@@ -1,0 +1,53 @@
+"""Disassembler behaviour, including malformed tails."""
+
+from repro.evm.disasm import (
+    disassemble,
+    format_listing,
+    instruction_index,
+    jumpdests,
+)
+
+
+def test_basic_decoding():
+    ins = disassemble(bytes([0x60, 0x2A, 0x50, 0x00]))
+    assert [i.op.name for i in ins] == ["PUSH1", "POP", "STOP"]
+    assert ins[0].operand == 0x2A
+    assert ins[0].size == 2
+    assert ins[1].pc == 2
+
+
+def test_truncated_push_zero_extended():
+    # PUSH4 with only 2 immediate bytes available.
+    ins = disassemble(bytes([0x63, 0xAB, 0xCD]))
+    assert ins[0].op.name == "PUSH4"
+    assert ins[0].operand == 0xABCD0000
+
+
+def test_invalid_bytes_become_unknown():
+    ins = disassemble(bytes([0x00, 0x0C, 0x0D, 0x00]))
+    assert [i.op.name for i in ins] == ["STOP", "UNKNOWN", "UNKNOWN", "STOP"]
+
+
+def test_jumpdests():
+    code = bytes([0x5B, 0x60, 0x5B, 0x5B])  # JUMPDEST, PUSH1 0x5b, JUMPDEST
+    dests = jumpdests(disassemble(code))
+    # The 0x5B inside the PUSH immediate is data, not a JUMPDEST.
+    assert dests == frozenset({0, 3})
+
+
+def test_instruction_index():
+    ins = disassemble(bytes([0x60, 0x01, 0x00]))
+    idx = instruction_index(ins)
+    assert idx[0].op.name == "PUSH1"
+    assert idx[2].op.name == "STOP"
+    assert 1 not in idx  # inside the PUSH immediate
+
+
+def test_empty_bytecode():
+    assert disassemble(b"") == []
+
+
+def test_format_listing():
+    text = format_listing(disassemble(bytes([0x60, 0xFF, 0x00])))
+    assert "PUSH1 0xff" in text
+    assert "STOP" in text

@@ -1,0 +1,136 @@
+"""Interpreter edge semantics: modular ops, shifts, limits, stubs."""
+
+from repro.evm.asm import Assembler, assemble
+from repro.evm.interpreter import Interpreter
+
+WORD = 1 << 256
+
+
+def run_word(program, calldata=b""):
+    code = program + [("PUSH1", 0), "MSTORE", ("PUSH1", 32), ("PUSH1", 0), "RETURN"]
+    result = Interpreter(assemble(code)).call(calldata)
+    assert result.success, result.error
+    return int.from_bytes(result.return_data, "big")
+
+
+def test_addmod_mulmod():
+    assert run_word([("PUSH1", 7), ("PUSH1", 5), ("PUSH1", 4), "ADDMOD"]) == 2
+    assert run_word([("PUSH1", 7), ("PUSH1", 5), ("PUSH1", 4), "MULMOD"]) == 6
+    # Modulus zero yields zero, not an exception.
+    assert run_word([("PUSH1", 0), ("PUSH1", 5), ("PUSH1", 4), "ADDMOD"]) == 0
+    assert run_word([("PUSH1", 0), ("PUSH1", 5), ("PUSH1", 4), "MULMOD"]) == 0
+
+
+def test_exp_wraps():
+    assert run_word([("PUSH1", 10), ("PUSH1", 2), "EXP"]) == 1024
+    assert run_word([("PUSH2", 300), ("PUSH1", 2), "EXP"]) == pow(2, 300, WORD)
+
+
+def test_signextend_k_31_and_beyond_is_identity():
+    value = 0xDEADBEEF << 224
+    assert run_word([("PUSH32", value), ("PUSH1", 31), "SIGNEXTEND"]) == value
+    assert run_word([("PUSH32", value), ("PUSH1", 200), "SIGNEXTEND"]) == value
+
+
+def test_byte_out_of_range_is_zero():
+    assert run_word([("PUSH32", WORD - 1), ("PUSH1", 32), "BYTE"]) == 0
+    assert run_word([("PUSH32", WORD - 1), ("PUSH2", 1000), "BYTE"]) == 0
+
+
+def test_shift_by_256_or_more():
+    assert run_word([("PUSH1", 1), ("PUSH2", 256), "SHL"]) == 0
+    assert run_word([("PUSH1", 1), ("PUSH2", 300), "SHR"]) == 0
+    minus_one = WORD - 1
+    assert run_word([("PUSH32", minus_one), ("PUSH2", 256), "SAR"]) == minus_one
+    assert run_word([("PUSH1", 4), ("PUSH2", 256), "SAR"]) == 0
+
+
+def test_sar_positive_value():
+    assert run_word([("PUSH1", 8), ("PUSH1", 2), "SAR"]) == 2
+
+
+def test_not():
+    assert run_word([("PUSH1", 0), "NOT"]) == WORD - 1
+
+
+def test_codesize_and_codecopy():
+    asm = Assembler()
+    asm.op("CODESIZE").push(0).op("MSTORE")
+    asm.push(32).push(0).op("RETURN")
+    code = asm.assemble()
+    result = Interpreter(code).call(b"")
+    assert int.from_bytes(result.return_data, "big") == len(code)
+
+    program = [("PUSH1", 3), ("PUSH1", 0), ("PUSH1", 0), "CODECOPY",
+               ("PUSH1", 0), "MLOAD"]
+    value = run_word(program)
+    # First three code bytes land at the top of the word.
+    assert value >> (8 * 29) == int.from_bytes(bytes([0x60, 0x03, 0x60]), "big")
+
+
+def test_msize_tracks_memory_growth():
+    value = run_word([("PUSH1", 1), ("PUSH1", 0x5F), "MSTORE8", "MSIZE"])
+    assert value == 0x60
+
+
+def test_selfdestruct_halts_successfully():
+    result = Interpreter(assemble([("PUSH1", 0), "SELFDESTRUCT", "INVALID"])).call(b"")
+    assert result.success
+    assert not result.invalid_hit
+
+
+def test_log_topics_are_consumed():
+    result = Interpreter(
+        assemble(
+            [("PUSH1", 1), ("PUSH1", 2),  # two topics
+             ("PUSH1", 0), ("PUSH1", 0), "LOG2", "STOP"]
+        )
+    ).call(b"")
+    assert result.success
+    assert len(result.logs) == 1
+
+
+def test_environment_opcodes_push_values():
+    result = Interpreter(
+        assemble(["CALLER", ("PUSH1", 0), "MSTORE",
+                  ("PUSH1", 32), ("PUSH1", 0), "RETURN"])
+    ).call(b"", caller=0xABCDEF)
+    assert int.from_bytes(result.return_data, "big") == 0xABCDEF
+
+
+def test_callvalue():
+    result = Interpreter(
+        assemble(["CALLVALUE", ("PUSH1", 0), "MSTORE",
+                  ("PUSH1", 32), ("PUSH1", 0), "RETURN"])
+    ).call(b"", callvalue=77)
+    assert int.from_bytes(result.return_data, "big") == 77
+
+
+def test_gas_decreases():
+    result = Interpreter(
+        assemble(["GAS", ("PUSH1", 0), "MSTORE",
+                  ("PUSH1", 32), ("PUSH1", 0), "RETURN"]),
+        gas_limit=1000,
+    ).call(b"")
+    assert int.from_bytes(result.return_data, "big") < 1000
+
+
+def test_stack_overflow():
+    asm = Assembler()
+    asm.label("loop").op("JUMPDEST").push(1).push_label("loop").op("JUMP")
+    result = Interpreter(asm.assemble(), max_steps=10_000).call(b"")
+    assert result.error in ("StackOverflow", "OutOfGas")
+
+
+def test_running_off_code_end_halts_like_stop():
+    result = Interpreter(assemble([("PUSH1", 1), "POP"])).call(b"")
+    assert result.success
+
+
+def test_storage_preloaded():
+    interp = Interpreter(
+        assemble([("PUSH1", 9), "SLOAD", ("PUSH1", 0), "MSTORE",
+                  ("PUSH1", 32), ("PUSH1", 0), "RETURN"]),
+        storage={9: 1234},
+    )
+    assert int.from_bytes(interp.call(b"").return_data, "big") == 1234

@@ -1,0 +1,75 @@
+"""Keccak-256 against published vectors and the hashlib-style API."""
+
+import pytest
+
+from repro.evm.keccak import Keccak256, keccak256, selector
+
+# Published Keccak-256 (pre-NIST padding) test vectors.
+VECTORS = [
+    (b"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"),
+    (b"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"),
+    (
+        b"The quick brown fox jumps over the lazy dog",
+        "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15",
+    ),
+]
+
+
+@pytest.mark.parametrize("data,expected", VECTORS)
+def test_known_vectors(data, expected):
+    assert keccak256(data).hex() == expected
+
+
+def test_incremental_equals_one_shot():
+    data = bytes(range(256)) * 5
+    h = Keccak256()
+    for i in range(0, len(data), 17):
+        h.update(data[i : i + 17])
+    assert h.digest() == keccak256(data)
+
+
+def test_digest_is_repeatable():
+    h = Keccak256(b"hello")
+    first = h.digest()
+    assert h.digest() == first
+    assert h.hexdigest() == first.hex()
+
+
+def test_update_after_digest_is_allowed_until_finalize():
+    h = Keccak256(b"he")
+    h.digest()
+    h.update(b"llo")
+    assert h.digest() == keccak256(b"hello")
+
+
+@pytest.mark.parametrize(
+    "sig,expected",
+    [
+        ("transfer(address,uint256)", "a9059cbb"),
+        ("balanceOf(address)", "70a08231"),
+        ("approve(address,uint256)", "095ea7b3"),
+        ("transferFrom(address,address,uint256)", "23b872dd"),
+        ("totalSupply()", "18160ddd"),
+    ],
+)
+def test_erc20_selectors(sig, expected):
+    assert selector(sig).hex() == expected
+
+
+def test_long_input_spanning_many_blocks():
+    data = b"x" * (136 * 3 + 55)
+    # Compare incremental (exercises _absorb) with one-shot.
+    h = Keccak256()
+    h.update(data[:200])
+    h.update(data[200:])
+    assert h.digest() == keccak256(data)
+
+
+def test_rate_boundary_padding():
+    # 135 bytes forces the 0x01 ... 0x80 two-byte-plus padding;
+    # 136-1 boundary is where pad_len == 1 uses the merged 0x81 byte.
+    for size in (134, 135, 136, 137):
+        digest = keccak256(b"a" * size)
+        assert len(digest) == 32
+        # Determinism check.
+        assert keccak256(b"a" * size) == digest

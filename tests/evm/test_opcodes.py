@@ -1,0 +1,78 @@
+"""Opcode-table invariants."""
+
+import pytest
+
+from repro.evm.opcodes import OPCODES, Op, is_valid_opcode, opcode_by_name, push_for_value
+
+
+def test_table_covers_core_instructions():
+    for name in [
+        "STOP", "ADD", "MUL", "SUB", "DIV", "SDIV", "SIGNEXTEND",
+        "LT", "GT", "SLT", "SGT", "EQ", "ISZERO", "AND", "OR", "XOR",
+        "NOT", "BYTE", "SHL", "SHR", "SAR", "SHA3",
+        "CALLDATALOAD", "CALLDATASIZE", "CALLDATACOPY",
+        "MLOAD", "MSTORE", "MSTORE8", "SLOAD", "SSTORE",
+        "JUMP", "JUMPI", "JUMPDEST", "RETURN", "REVERT", "INVALID",
+    ]:
+        assert opcode_by_name(name).name == name
+
+
+def test_push_range():
+    assert opcode_by_name("PUSH0").immediate_size == 0
+    for n in range(1, 33):
+        op = opcode_by_name(f"PUSH{n}")
+        assert op.immediate_size == n
+        assert op.is_push
+        assert op.pushes == 1 and op.pops == 0
+
+
+def test_dup_swap_stack_effects():
+    for n in range(1, 17):
+        dup = opcode_by_name(f"DUP{n}")
+        swap = opcode_by_name(f"SWAP{n}")
+        assert dup.is_dup and dup.pops == n and dup.pushes == n + 1
+        assert swap.is_swap and swap.pops == n + 1 and swap.pushes == n + 1
+
+
+def test_terminators():
+    for name in ["STOP", "RETURN", "REVERT", "INVALID", "SELFDESTRUCT", "JUMP"]:
+        assert opcode_by_name(name).is_terminator
+    for name in ["JUMPI", "ADD", "JUMPDEST"]:
+        assert not opcode_by_name(name).is_terminator
+
+
+def test_codes_match_evm_spec_samples():
+    assert opcode_by_name("CALLDATALOAD").code == 0x35
+    assert opcode_by_name("CALLDATACOPY").code == 0x37
+    assert opcode_by_name("SIGNEXTEND").code == 0x0B
+    assert opcode_by_name("SHR").code == 0x1C
+    assert opcode_by_name("JUMPDEST").code == 0x5B
+    assert opcode_by_name("PUSH1").code == 0x60
+    assert opcode_by_name("PUSH32").code == 0x7F
+    assert opcode_by_name("REVERT").code == 0xFD
+
+
+def test_is_valid_opcode():
+    assert is_valid_opcode(0x01)
+    assert not is_valid_opcode(0x0C)  # gap in the 0x00s range
+    assert not is_valid_opcode(0x21)
+
+
+def test_push_for_value():
+    assert push_for_value(0).name == "PUSH1"
+    assert push_for_value(0xFF).name == "PUSH1"
+    assert push_for_value(0x100).name == "PUSH2"
+    assert push_for_value((1 << 256) - 1).name == "PUSH32"
+    with pytest.raises(ValueError):
+        push_for_value(1 << 256)
+    with pytest.raises(ValueError):
+        push_for_value(-1)
+
+
+def test_lookup_is_case_insensitive():
+    assert opcode_by_name("calldataload") is opcode_by_name("CALLDATALOAD")
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError):
+        opcode_by_name("FROBNICATE")

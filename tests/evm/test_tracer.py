@@ -1,0 +1,62 @@
+"""Execution tracer."""
+
+from repro.abi.codec import encode_call
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.compiler import compile_contract
+from repro.evm.asm import assemble
+from repro.evm.tracer import Tracer
+
+
+def test_trace_records_every_step_in_order():
+    code = assemble([("PUSH1", 1), ("PUSH1", 2), "ADD", "POP", "STOP"])
+    trace = Tracer(code).trace(b"")
+    assert [s.op for s in trace.steps] == ["PUSH1", "PUSH1", "ADD", "POP", "STOP"]
+    assert trace.result.success
+
+
+def test_stack_snapshots_are_pre_states():
+    code = assemble([("PUSH1", 5), ("PUSH1", 7), "ADD", "POP", "STOP"])
+    trace = Tracer(code).trace(b"")
+    add_step = next(s for s in trace.steps if s.op == "ADD")
+    assert add_step.stack_before == [5, 7]
+    pop_step = next(s for s in trace.steps if s.op == "POP")
+    assert pop_step.stack_before == [12]
+
+
+def test_trace_through_dispatcher():
+    sig = FunctionSignature.parse("f(uint8)", Visibility.EXTERNAL)
+    contract = compile_contract([sig])
+    calldata = encode_call(sig.selector, list(sig.params), [7])
+    trace = Tracer(contract.bytecode).trace(calldata)
+    ops = [s.op for s in trace.steps]
+    assert "CALLDATALOAD" in ops
+    assert "AND" in ops  # the uint8 mask executed
+    assert trace.result.success
+
+
+def test_trace_of_revert():
+    code = assemble([("PUSH1", 0), ("PUSH1", 0), "REVERT"])
+    trace = Tracer(code).trace(b"")
+    assert not trace.result.success
+    assert "failed: revert" in trace.render()
+
+
+def test_render_truncates():
+    from repro.evm.asm import Assembler
+
+    asm = Assembler()
+    asm.push(0)
+    asm.label("loop").op("JUMPDEST").push(1).op("ADD")
+    asm.op("DUP1").push(250).op("SWAP1").op("LT")
+    asm.push_label("loop").op("JUMPI").op("STOP")
+    trace = Tracer(asm.assemble(), max_steps=10_000).trace(b"")
+    text = trace.render(limit=20)
+    assert "more steps" in text
+
+
+def test_snapshots_are_copies():
+    code = assemble([("PUSH1", 1), ("PUSH1", 2), "POP", "POP", "STOP"])
+    trace = Tracer(code).trace(b"")
+    # Each snapshot reflects its own moment, not the final state.
+    assert trace.steps[1].stack_before == [1]
+    assert trace.steps[2].stack_before == [1, 2]

@@ -1,0 +1,103 @@
+"""The five documented inaccuracy cases behave as §5.2 describes."""
+
+import random
+
+import pytest
+
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.compiler import CodegenOptions, compile_contract
+from repro.compiler.contract import FunctionSpec
+from repro.corpus.quirks import QUIRK_NAMES, apply_quirk
+from repro.sigrec.api import SigRec
+
+
+def _recover(spec_or_sig, options=None):
+    contract = compile_contract([spec_or_sig], options)
+    sig = contract.signatures[0]
+    out = SigRec().recover_map(contract.bytecode)
+    return sig, out.get(int.from_bytes(sig.selector, "big"))
+
+
+def test_case1_inline_assembly_reads_extra_params():
+    # Listing 10: start() reads two words via assembly; SigRec reports
+    # what is actually read.
+    rng = random.Random(0)
+    spec = apply_quirk(FunctionSignature.parse("start()"), "case1", rng)
+    sig, rec = _recover(spec)
+    assert sig.param_list() == ""
+    assert rec is not None
+    assert rec.param_list == "uint256,uint256"
+
+
+def test_case2_type_conversion_recovers_converted_type():
+    # Listing 11: declared uint256[k], used as uint8 items.
+    rng = random.Random(1)
+    spec = apply_quirk(FunctionSignature.parse("setGen0Stat(uint256[6])"), "case2", rng)
+    sig, rec = _recover(spec)
+    assert sig.param_list().startswith("uint256[")
+    assert rec is not None
+    assert rec.param_list.startswith("uint8[")
+
+
+def test_case3_address_in_arithmetic_becomes_uint160():
+    rng = random.Random(2)
+    spec = apply_quirk(FunctionSignature.parse("f(address)"), "case3", rng)
+    sig, rec = _recover(spec)
+    assert sig.param_list() == "address"
+    assert rec is not None
+    assert rec.param_list == "uint160"
+
+
+def test_case4_storage_reference_recovers_uint256():
+    rng = random.Random(3)
+    spec = apply_quirk(FunctionSignature.parse("f(uint256[])"), "case4", rng)
+    sig, rec = _recover(spec)
+    assert sig.param_list() == "uint256[]"
+    assert rec is not None
+    assert rec.param_list == "uint256"
+
+
+def test_case5_optimized_constant_index_static_array():
+    # No bound checks -> no structure -> the array item reads look like
+    # a basic parameter.
+    sig = FunctionSignature.parse("f(uint256[3])", Visibility.EXTERNAL)
+    spec = FunctionSpec(sig, const_index=True)
+    _, rec = _recover(spec, CodegenOptions(optimize=True))
+    assert rec is not None
+    assert rec.param_list == "uint256"
+
+
+def test_case5_unoptimized_constant_index_still_recoverable():
+    # Without the optimizer the bound checks remain and the array is
+    # recovered despite constant indices.
+    sig = FunctionSignature.parse("f(uint256[3])", Visibility.EXTERNAL)
+    spec = FunctionSpec(sig, const_index=True)
+    _, rec = _recover(spec, CodegenOptions(optimize=False))
+    assert rec is not None
+    assert rec.param_list == "uint256[3]"
+
+
+def test_case5_bytes_without_byte_access_is_string():
+    sig = FunctionSignature.parse("f(bytes)", Visibility.PUBLIC)
+    spec = FunctionSpec(sig, no_byte_access=True)
+    _, rec = _recover(spec)
+    assert rec is not None
+    assert rec.param_list == "string"
+
+
+def test_case5_static_struct_flattens():
+    sig = FunctionSignature.parse("f((uint256,bool))")
+    _, rec = _recover(sig)
+    assert rec is not None
+    assert rec.param_list == "uint256,bool"
+
+
+@pytest.mark.parametrize("quirk", QUIRK_NAMES)
+def test_every_quirk_produces_a_divergence(quirk):
+    rng = random.Random(42)
+    base = FunctionSignature.parse("f(uint256)")
+    spec = apply_quirk(base, quirk, rng)
+    options = CodegenOptions(optimize=True) if spec.const_index else None
+    sig, rec = _recover(spec, options)
+    assert rec is not None
+    assert rec.param_list != sig.param_list()

@@ -1,0 +1,60 @@
+"""Recovery across the full compiler-version catalog (Fig. 15's core).
+
+A fixed, type-diverse signature set must recover under *every* codegen
+version — DIV-era, SHR-era, either memory base, with and without the
+calldatasize check — and under the optimizer for non-case-5 types.
+"""
+
+import pytest
+
+from repro.abi.signature import FunctionSignature, Language, Visibility
+from repro.compiler import compile_contract
+from repro.compiler.options import solidity_versions, vyper_versions
+from repro.sigrec.api import SigRec
+
+FIXED_SET = [
+    FunctionSignature.parse("a(uint8,address)", Visibility.EXTERNAL),
+    FunctionSignature.parse("b(bytes,bool)", Visibility.PUBLIC),
+    FunctionSignature.parse("c(uint256[2][])", Visibility.PUBLIC),
+    FunctionSignature.parse("d(int32,bytes4,string)", Visibility.EXTERNAL),
+]
+
+
+@pytest.mark.parametrize(
+    "options",
+    solidity_versions()[::9],  # every 9th version: all eras represented
+    ids=lambda o: o.version_key,
+)
+def test_fixed_set_recovers_under_version(options):
+    contract = compile_contract(FIXED_SET, options)
+    recovered = SigRec().recover_map(contract.bytecode)
+    for sig in FIXED_SET:
+        selector = int.from_bytes(sig.selector, "big")
+        assert recovered[selector].param_list == sig.param_list(), (
+            options.version_key
+        )
+
+
+def test_all_solidity_versions_smoke():
+    """Every version compiles and recovers a simple signature."""
+    sig = FunctionSignature.parse("ping(uint8,address)", Visibility.EXTERNAL)
+    for options in solidity_versions():
+        contract = compile_contract([sig], options)
+        recovered = SigRec().recover_map(contract.bytecode)
+        selector = int.from_bytes(sig.selector, "big")
+        assert recovered[selector].param_list == "uint8,address", (
+            options.version_key
+        )
+
+
+def test_all_vyper_versions_smoke():
+    sig = FunctionSignature.parse(
+        "ping(address,int128)", Visibility.PUBLIC, Language.VYPER
+    )
+    for options in vyper_versions():
+        contract = compile_contract([sig], options)
+        recovered = SigRec().recover_map(contract.bytecode)
+        selector = int.from_bytes(sig.selector, "big")
+        assert recovered[selector].param_list == "address,int128", (
+            options.version_key
+        )

@@ -1,0 +1,47 @@
+"""Batch recovery with bytecode deduplication."""
+
+import time
+
+from repro.abi.signature import FunctionSignature
+from repro.compiler import compile_contract
+from repro.sigrec.api import SigRec
+
+
+def _codes():
+    a = compile_contract([FunctionSignature.parse("a(uint8)")]).bytecode
+    b = compile_contract([FunctionSignature.parse("b(bytes)")]).bytecode
+    return a, b
+
+
+def test_batch_results_match_individual():
+    a, b = _codes()
+    tool = SigRec()
+    batch = tool.recover_batch([a, b, a])
+    assert len(batch) == 3
+    assert batch[0] is batch[2]  # deduplicated: same analysis object
+    assert [s.param_list for s in batch[0]] == ["uint8"]
+    assert [s.param_list for s in batch[1]] == ["bytes"]
+
+
+def test_batch_without_dedup():
+    a, _ = _codes()
+    tool = SigRec()
+    batch = tool.recover_batch([a, a], deduplicate=False)
+    assert batch[0] is not batch[1]
+    assert [s.param_list for s in batch[0]] == [s.param_list for s in batch[1]]
+
+
+def test_dedup_is_dramatically_faster_on_duplicates():
+    a, _ = _codes()
+    codes = [a] * 300
+    start = time.perf_counter()
+    SigRec().recover_batch(codes)
+    dedup_time = time.perf_counter() - start
+    start = time.perf_counter()
+    SigRec().recover_batch(codes, deduplicate=False)
+    full_time = time.perf_counter() - start
+    assert dedup_time * 5 < full_time
+
+
+def test_empty_batch():
+    assert SigRec().recover_batch([]) == []

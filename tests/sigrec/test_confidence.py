@@ -1,0 +1,63 @@
+"""Per-parameter confidence scoring."""
+
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.compiler import CodegenOptions, compile_contract
+from repro.compiler.contract import FunctionSpec
+from repro.sigrec.api import SigRec
+
+
+def _recover(spec_or_text, vis=Visibility.EXTERNAL, options=None):
+    if isinstance(spec_or_text, str):
+        target = FunctionSignature.parse(spec_or_text, vis)
+    else:
+        target = spec_or_text
+    contract = compile_contract([target], options)
+    sig = contract.signatures[0]
+    return SigRec().recover_map(contract.bytecode)[
+        int.from_bytes(sig.selector, "big")
+    ]
+
+
+def test_refined_basic_types_are_high_confidence():
+    rec = _recover("f(uint8,address,bool)")
+    assert rec.confidences == ("high", "high", "high")
+
+
+def test_byte_accessed_bytes_is_high():
+    rec = _recover("f(bytes)")
+    assert rec.param_types == ("bytes",)
+    assert rec.confidences == ("high",)
+
+
+def test_string_default_is_lower():
+    # External strings are typed by the *absence* of byte access.
+    rec = _recover("f(string)")
+    assert rec.param_types == ("string",)
+    assert rec.confidences[0] in ("low", "medium")
+
+
+def test_bare_uint256_storage_ref_is_low():
+    # Case 4's shadow: a single un-used word read.
+    from repro.abi.types import UIntType
+
+    base = FunctionSignature.parse("f(uint256[])")
+    spec = FunctionSpec(base, body_params=(UIntType(256),))
+    contract = compile_contract([spec])
+    rec = SigRec().recover_map(contract.bytecode)[
+        int.from_bytes(base.selector, "big")
+    ]
+    assert rec.param_types == ("uint256",)
+    # The body only loads the word into arithmetic; without even that it
+    # would be "low".  Either way it must not be "high".
+    assert rec.confidences[0] != "high"
+
+
+def test_arrays_with_item_uses_are_high():
+    rec = _recover("f(uint8[3][])")
+    assert rec.confidences == ("high",)
+
+
+def test_confidence_parallel_to_types():
+    rec = _recover("f(uint8,string,uint256[2])", Visibility.PUBLIC)
+    assert len(rec.confidences) == len(rec.param_types) == 3
+    assert all(c in ("high", "medium", "low") for c in rec.confidences)

@@ -1,0 +1,156 @@
+"""TASE engine: dispatcher exploration, events, memory, limits."""
+
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.compiler import CodegenOptions, compile_contract
+from repro.compiler.options import DispatcherStyle
+from repro.evm.asm import Assembler
+from repro.sigrec.engine import SymMemory, TASEEngine
+from repro.sigrec import expr as E
+
+
+def _engine_for(sig_text, vis=Visibility.EXTERNAL, **opts):
+    sig = FunctionSignature.parse(sig_text, vis)
+    contract = compile_contract([sig], CodegenOptions(**opts))
+    return TASEEngine(contract.bytecode), sig
+
+
+def test_dispatcher_selectors_found_all_styles():
+    for style in DispatcherStyle:
+        sigs = [
+            FunctionSignature.parse("a(uint256)"),
+            FunctionSignature.parse("b(address)"),
+            FunctionSignature.parse("c()"),
+        ]
+        contract = compile_contract(sigs, CodegenOptions(dispatcher=style))
+        result = TASEEngine(contract.bytecode).run()
+        expected = sorted(int.from_bytes(s.selector, "big") for s in sigs)
+        assert result.selectors == expected
+
+
+def test_calldataload_events_recorded():
+    engine, sig = _engine_for("f(uint256,uint256)")
+    result = engine.run()
+    events = result.functions[int.from_bytes(sig.selector, "big")]
+    locs = {l.loc.value for l in events.loads if l.loc.is_const}
+    assert {4, 36} <= locs
+
+
+def test_calldatacopy_event_for_public_array():
+    engine, sig = _engine_for("f(uint256[2])", Visibility.PUBLIC)
+    result = engine.run()
+    events = result.functions[int.from_bytes(sig.selector, "big")]
+    assert events.copies
+    assert events.copies[0].length.is_const
+    assert events.copies[0].length.value == 64
+
+
+def test_mask_use_event():
+    engine, sig = _engine_for("f(uint8)")
+    result = engine.run()
+    events = result.functions[int.from_bytes(sig.selector, "big")]
+    masks = [u for u in events.uses if u.kind == "and_mask"]
+    assert any(u.operand == 0xFF for u in masks)
+
+
+def test_signextend_use_event():
+    engine, sig = _engine_for("f(int16)")
+    result = engine.run()
+    events = result.functions[int.from_bytes(sig.selector, "big")]
+    assert any(u.kind == "signextend" and u.operand == 1 for u in events.uses)
+
+
+def test_bool_mask_event():
+    engine, sig = _engine_for("f(bool)")
+    result = engine.run()
+    events = result.functions[int.from_bytes(sig.selector, "big")]
+    assert any(u.kind == "bool_mask" for u in events.uses)
+
+
+def test_vyper_markers_absent_in_solidity():
+    engine, sig = _engine_for("f(uint8,bool,address)")
+    result = engine.run()
+    events = result.functions[int.from_bytes(sig.selector, "big")]
+    assert events.vyper_markers == 0
+
+
+def test_input_dependent_jump_stops_path():
+    # JUMP to a calldata-derived target: the path must end, not crash.
+    asm = Assembler()
+    asm.push(0).op("CALLDATALOAD").op("JUMP")
+    asm.op("JUMPDEST").op("STOP")
+    result = TASEEngine(asm.assemble()).run()
+    assert result.selectors == []
+
+
+def test_guards_carry_bound_checks():
+    engine, sig = _engine_for("f(uint256[3])", Visibility.EXTERNAL)
+    result = engine.run()
+    events = result.functions[int.from_bytes(sig.selector, "big")]
+    item_loads = [l for l in events.loads if not l.loc.is_const]
+    assert item_loads
+    assert any(load.guards for load in item_loads)
+
+
+def test_engine_reentrant():
+    engine, sig = _engine_for("f(uint256)")
+    first = engine.run()
+    second = engine.run()
+    assert first.selectors == second.selectors
+
+
+def test_path_budget_respected():
+    engine, _ = _engine_for("f(uint8[],bytes,string)", Visibility.PUBLIC)
+    engine.max_paths = 4
+    result = engine.run()
+    assert result.paths_explored <= 5
+
+
+class TestSymMemory:
+    def test_store_load_word(self):
+        mem = SymMemory()
+        value = E.env("v")
+        mem.store(E.const(0x40), value)
+        assert mem.load(E.const(0x40)) is value
+
+    def test_region_read_is_labeled(self):
+        mem = SymMemory()
+        mem.add_region(99, E.const(0x80), E.const(64), frozenset({("cd", 4)}))
+        out = mem.load(E.const(0x80))
+        assert out.op == "mem"
+        assert ("cdc", 99) in out.labels
+        assert ("cd", 4) in out.labels
+
+    def test_later_store_shadows_region(self):
+        mem = SymMemory()
+        mem.add_region(99, E.const(0x80), E.const(64), frozenset())
+        value = E.env("v")
+        mem.store(E.const(0x80), value)
+        assert mem.load(E.const(0x80)) is value
+
+    def test_later_region_shadows_store(self):
+        mem = SymMemory()
+        value = E.env("v")
+        mem.store(E.const(0x80), value)
+        mem.add_region(99, E.const(0x80), E.const(32), frozenset())
+        assert mem.load(E.const(0x80)).op == "mem"
+
+    def test_open_region_only_covers_its_start(self):
+        mem = SymMemory()
+        mem.add_region(99, E.const(0x80), E.env("len"), frozenset())
+        assert mem.load(E.const(0x80)).op == "mem"
+        # Offsets above the start are NOT claimed by an open region.
+        assert mem.load(E.const(0x100)).op == "env"
+
+    def test_unknown_load_is_fresh_env(self):
+        mem = SymMemory()
+        a = mem.load(E.const(0x20))
+        b = mem.load(E.const(0x20))
+        assert a.op == "env" and b.op == "env"
+        assert a != b  # fresh each time: contents unknown
+
+    def test_clone_isolation(self):
+        mem = SymMemory()
+        mem.store(E.const(0), E.env("a"))
+        clone = mem.clone()
+        clone.store(E.const(0), E.env("b"))
+        assert mem.load(E.const(0)).val == "a"

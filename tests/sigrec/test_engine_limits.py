@@ -1,0 +1,95 @@
+"""Engine budgets, selector matching shapes, marker counting."""
+
+from repro.abi.signature import FunctionSignature, Language, Visibility
+from repro.compiler import CodegenOptions, compile_contract
+from repro.sigrec import expr as E
+from repro.sigrec.engine import TASEEngine, eval_const
+
+
+class TestSelectorMatching:
+    def _fid_div(self):
+        return E.binop("div", E.calldata(E.const(0)), E.const(1 << 224))
+
+    def _fid_shr(self):
+        return E.binop("shr", E.const(224), E.calldata(E.const(0)))
+
+    def test_div_style(self):
+        cond = E.Expr("eq", (E.const(0xA9059CBB), self._fid_div()))
+        assert TASEEngine._match_selector(cond) == 0xA9059CBB
+
+    def test_shr_style(self):
+        cond = E.Expr("eq", (E.const(0x1234ABCD), self._fid_shr()))
+        assert TASEEngine._match_selector(cond) == 0x1234ABCD
+
+    def test_div_and_style(self):
+        masked = E.binop("and", E.const(0xFFFFFFFF), self._fid_div())
+        cond = E.Expr("eq", (E.const(0xCAFE), masked))
+        assert TASEEngine._match_selector(cond) == 0xCAFE
+
+    def test_operand_order_irrelevant(self):
+        cond = E.Expr("eq", (self._fid_shr(), E.const(0xBEEF)))
+        assert TASEEngine._match_selector(cond) == 0xBEEF
+
+    def test_wide_constant_rejected(self):
+        cond = E.Expr("eq", (E.const(1 << 40), self._fid_shr()))
+        assert TASEEngine._match_selector(cond) is None
+
+    def test_non_fid_expr_rejected(self):
+        cond = E.Expr("eq", (E.const(1), E.env("x")))
+        assert TASEEngine._match_selector(cond) is None
+        # calldata at nonzero offset is not the function id.
+        wrong = E.binop("shr", E.const(224), E.calldata(E.const(4)))
+        assert TASEEngine._match_selector(E.Expr("eq", (E.const(1), wrong))) is None
+
+
+def test_hit_limits_flag_under_tiny_budget():
+    sigs = [FunctionSignature.parse(f"f{i}(uint256[])") for i in range(4)]
+    contract = compile_contract(sigs)
+    engine = TASEEngine(contract.bytecode, max_total_steps=50)
+    result = engine.run()
+    assert result.hit_limits
+
+
+def test_selectors_found_even_with_moderate_budget():
+    sigs = [FunctionSignature.parse(f"g{i}(uint8)") for i in range(3)]
+    contract = compile_contract(sigs)
+    engine = TASEEngine(contract.bytecode, max_paths=64)
+    result = engine.run()
+    assert len(result.selectors) == 3
+
+
+def test_vyper_markers_counted():
+    sig = FunctionSignature.parse(
+        "v(address,bool)", Visibility.PUBLIC, Language.VYPER
+    )
+    contract = compile_contract([sig], CodegenOptions(language=Language.VYPER))
+    result = TASEEngine(contract.bytecode).run()
+    events = result.functions[int.from_bytes(sig.selector, "big")]
+    assert events.vyper_markers >= 2  # one clamp per parameter
+
+
+def test_eval_const_handles_not_and_iszero():
+    assert eval_const(E.Expr("iszero", (E.const(0),))) == 1
+    assert eval_const(E.Expr("not", (E.const(0),))) == (1 << 256) - 1
+    assert eval_const(E.env("x")) is None
+
+
+def test_no_functions_in_dispatcherless_code():
+    from repro.evm.asm import Assembler
+
+    asm = Assembler()
+    asm.push(0).op("CALLDATALOAD").op("POP").op("STOP")
+    result = TASEEngine(asm.assemble()).run()
+    assert result.selectors == []
+
+
+def test_branch_budget_resets_between_runs():
+    sig = FunctionSignature.parse("f(uint256[])", Visibility.PUBLIC)
+    contract = compile_contract([sig])
+    engine = TASEEngine(contract.bytecode)
+    first = engine.run()
+    second = engine.run()
+    assert first.selectors == second.selectors
+    first_events = first.functions[first.selectors[0]]
+    second_events = second.functions[second.selectors[0]]
+    assert len(first_events.loads) == len(second_events.loads)

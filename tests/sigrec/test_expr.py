@@ -1,0 +1,110 @@
+"""Symbolic expression invariants: folding, normalization, labels."""
+
+import pytest
+
+from repro.sigrec import expr as E
+
+WORD = 1 << 256
+
+
+def test_const_folding_arithmetic():
+    assert E.binop("add", E.const(2), E.const(3)).value == 5
+    assert E.binop("mul", E.const(4), E.const(5)).value == 20
+    assert E.binop("sub", E.const(2), E.const(3)).value == WORD - 1
+    assert E.binop("div", E.const(7), E.const(2)).value == 3
+    assert E.binop("div", E.const(7), E.const(0)).value == 0
+
+
+def test_comparisons_not_folded_in_cmp_builder():
+    # The engine builds comparisons unfolded so guards keep structure;
+    # binop() does fold them, which eval_const relies on.
+    from repro.sigrec.engine import _cmp, eval_const
+
+    cmp_expr = _cmp("lt", E.const(1), E.const(2))
+    assert not cmp_expr.is_const
+    assert eval_const(cmp_expr) == 1
+
+
+def test_commutative_normalization_const_first():
+    x = E.env("x")
+    assert E.binop("add", x, E.const(4)) == E.binop("add", E.const(4), x)
+    assert E.binop("and", x, E.const(0xFF)) == E.binop("and", E.const(0xFF), x)
+
+
+def test_nested_const_addition_collapses():
+    x = E.env("x")
+    inner = E.binop("add", E.const(4), x)
+    outer = E.binop("add", E.const(32), inner)
+    assert outer == E.binop("add", E.const(36), x)
+
+
+def test_add_zero_mul_one_identity():
+    x = E.env("x")
+    assert E.binop("add", E.const(0), x) is x
+    assert E.binop("mul", E.const(1), x) is x
+
+
+def test_signextend_semantics():
+    assert E.binop("signextend", E.const(0), E.const(0xFF)).value == WORD - 1
+    assert E.binop("signextend", E.const(0), E.const(0x7F)).value == 0x7F
+    assert E.binop("signextend", E.const(31), E.const(123)).value == 123
+
+
+def test_labels_propagate():
+    cd = E.calldata(E.const(4))
+    assert ("cd", 4) in cd.labels
+    masked = E.binop("and", E.const(0xFF), cd)
+    assert ("cd", 4) in masked.labels
+    summed = E.binop("add", masked, E.env("caller"))
+    assert ("cd", 4) in summed.labels
+
+
+def test_mem_read_labels():
+    offset = E.const(0x80)
+    value = E.mem_read(42, offset, frozenset({("cd", 4)}))
+    assert ("cdc", 42) in value.labels
+    assert ("cd", 4) in value.labels
+
+
+def test_structural_equality_and_hash():
+    a = E.calldata(E.binop("add", E.const(4), E.calldata(E.const(4))))
+    b = E.calldata(E.binop("add", E.const(4), E.calldata(E.const(4))))
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_contains():
+    base = E.calldata(E.const(4))
+    loc = E.binop("add", E.const(36), base)
+    assert loc.contains(base)
+    assert not base.contains(loc)
+    assert loc.contains(loc)
+
+
+def test_const_term():
+    x = E.env("x")
+    assert E.binop("add", E.const(36), E.binop("mul", E.const(32), x)).const_term() == 36
+    assert E.const(7).const_term() == 7
+    assert x.const_term() == 0
+
+
+def test_immutability():
+    node = E.const(1)
+    with pytest.raises(AttributeError):
+        node.op = "env"  # type: ignore[misc]
+
+
+def test_iszero_folding():
+    assert E.iszero(E.const(0)).value == 1
+    assert E.iszero(E.const(5)).value == 0
+    x = E.env("x")
+    assert E.iszero(x).op == "iszero"
+
+
+def test_eval_const_full_tree():
+    from repro.sigrec.engine import eval_const
+
+    expr = E.Expr("lt", (E.binop("add", E.const(1), E.const(1)), E.const(3)))
+    assert eval_const(expr) == 1
+    expr_sym = E.Expr("lt", (E.env("i"), E.const(3)))
+    assert eval_const(expr_sym) is None

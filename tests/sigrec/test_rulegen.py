@@ -1,0 +1,117 @@
+"""The §3.1 rule-derivation pipeline recovers the rules' ingredients."""
+
+import pytest
+
+from repro.abi.signature import Visibility
+from repro.abi.types import parse_type
+from repro.sigrec.rulegen import PatternLearner, _lcs
+
+
+def test_lcs_basic():
+    assert _lcs(list("ABCBDAB"), list("BDCABA")) in (
+        list("BCBA"), list("BDAB"), list("BCAB"),
+    )
+    assert _lcs([], ["A"]) == []
+    assert _lcs(["A", "B"], ["A", "B"]) == ["A", "B"]
+
+
+@pytest.fixture(scope="module")
+def learner():
+    return PatternLearner()
+
+
+def test_pattern_extraction_slices_body(learner):
+    pattern = learner.pattern_for(parse_type("uint8"))
+    # The body begins at its JUMPDEST and contains the access sequence.
+    assert pattern.opcodes[0] == "JUMPDEST"
+    assert "CALLDATALOAD" in pattern.opcodes
+    assert "AND" in pattern.opcodes
+    assert "STOP" not in pattern.opcodes
+
+
+def test_uint_family_common_pattern(learner):
+    report = learner.derive_report()
+    common = report["uint(M)"].common
+    # Every uint width reads the call data; masking (AND) is common to
+    # uint8..uint128 but absent for uint256, so it must NOT survive the
+    # family intersection.
+    assert "CALLDATALOAD" in common
+    assert "AND" not in common
+
+
+def test_int_family_keeps_calldataload_drops_signextend(learner):
+    report = learner.derive_report()
+    common = report["int(M)"].common
+    assert "CALLDATALOAD" in common
+    # int256 needs no SIGNEXTEND, so the family intersection drops it.
+    assert "SIGNEXTEND" not in common
+
+
+def test_static_array_differential_contains_copy(learner):
+    report = learner.derive_report()
+    diff = report["T[N]"].differential
+    # Public static arrays add the CALLDATACOPY + MLOAD machinery the
+    # basic type does not have (rule R6's ingredient).
+    assert "CALLDATACOPY" in diff
+    assert "MLOAD" in diff
+
+
+def test_dynamic_array_differential_adds_offset_reads(learner):
+    report = learner.derive_report()
+    diff = report["T[]"].differential
+    # One extra CALLDATALOAD pair: the offset and num fields (R1).
+    assert diff.count("CALLDATALOAD") >= 1
+    assert "CALLDATACOPY" in diff
+    assert "MUL" in diff  # num * 32 for the copy length (R7)
+
+
+def test_bytes_differential_has_rounding(learner):
+    report = learner.derive_report()
+    diff = report["bytes"].differential
+    assert "CALLDATACOPY" in diff
+    # Rounding num up to a 32-byte multiple uses the full-width ~31
+    # mask constant (R8's ingredient) — uint8's own AND absorbs the
+    # masking op itself in the multiset differential, but its PUSH32
+    # constant is unique to the rounding.
+    assert "PUSH32" in diff
+
+
+def test_multidim_differential_adds_loop(learner):
+    report = learner.derive_report()
+    diff = report["T[N1][N2]"].differential
+    # The nested-loop machinery: bound check + jumps (R9's ingredient).
+    assert "LT" in diff
+    assert "JUMPI" in diff or "JUMP" in diff
+
+
+def test_external_mode_patterns_differ_from_public(learner):
+    public = learner.pattern_for(parse_type("uint8[3]"), Visibility.PUBLIC)
+    external = learner.pattern_for(parse_type("uint8[3]"), Visibility.EXTERNAL)
+    assert "CALLDATACOPY" in public.opcodes
+    assert "CALLDATACOPY" not in external.opcodes
+    assert "LT" in external.opcodes  # the bound check
+
+
+def test_vyper_families_show_clamps_not_masks():
+    from repro.abi.signature import Language
+    from repro.compiler.options import CodegenOptions
+    from repro.sigrec.rulegen import PatternLearner
+
+    vyper_learner = PatternLearner(CodegenOptions(language=Language.VYPER))
+    report = vyper_learner.derive_vyper_report()
+    clamped = report["clamped basics"]
+    # The family's common pattern reads the call data and compares.
+    assert "CALLDATALOAD" in clamped.common
+    # The differential vs uint256 (unclamped) contains the comparison
+    # machinery and the revert branch — R20's signature.
+    diff = clamped.differential
+    assert "JUMPI" in diff
+    assert "AND" not in diff  # no masks anywhere in Vyper's clamps
+    # Fixed-size byte arrays copy via CALLDATACOPY (R23's ingredient).
+    assert "CALLDATACOPY" in report["bytes[maxLen]"].common
+
+
+def test_common_subsequence_of_identical_is_identity(learner):
+    pattern = learner.pattern_for(parse_type("bool"))
+    common = learner.common_subsequence([pattern.opcodes, pattern.opcodes])
+    assert common == pattern.opcodes

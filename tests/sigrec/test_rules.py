@@ -1,0 +1,66 @@
+"""Rule registry, tracker and mask helpers."""
+
+import pytest
+
+from repro.sigrec.rules import (
+    RULES,
+    RuleTracker,
+    high_mask_bytes,
+    low_mask_bytes,
+)
+
+
+def test_all_31_rules_registered():
+    assert len(RULES) == 31
+    assert set(RULES) == {f"R{i}" for i in range(1, 32)}
+
+
+def test_rule_categories():
+    assert RULES["R1"].category == "CALLDATALOAD"
+    assert RULES["R5"].category == "CALLDATACOPY"
+    assert RULES["R11"].category == "OTHER"
+    for rule in RULES.values():
+        assert rule.category in ("CALLDATALOAD", "CALLDATACOPY", "OTHER")
+        assert rule.summary
+
+
+def test_tracker_counts():
+    tracker = RuleTracker()
+    tracker.fire("R4")
+    tracker.fire("R4")
+    tracker.fire("R9")
+    assert tracker.counts["R4"] == 2
+    assert tracker.counts["R9"] == 1
+    assert tracker.total() == 3
+    assert tracker.most_used() == "R4"
+
+
+def test_tracker_rejects_unknown():
+    with pytest.raises(KeyError):
+        RuleTracker().fire("R99")
+
+
+def test_tracker_merge():
+    a, b = RuleTracker(), RuleTracker()
+    a.fire("R1")
+    b.fire("R1")
+    b.fire("R2")
+    a.merge(b)
+    assert a.counts["R1"] == 2
+    assert a.counts["R2"] == 1
+
+
+def test_low_mask_bytes():
+    assert low_mask_bytes(0xFF) == 1
+    assert low_mask_bytes(0xFFFF) == 2
+    assert low_mask_bytes((1 << 160) - 1) == 20
+    assert low_mask_bytes((1 << 256) - 1) == 32
+    assert low_mask_bytes(0xFF00) == 0
+    assert low_mask_bytes(0) == 0
+
+
+def test_high_mask_bytes():
+    assert high_mask_bytes(0xFF << 248) == 1
+    assert high_mask_bytes(((1 << 32) - 1) << 224) == 4
+    assert high_mask_bytes((1 << 256) - 1) == 32
+    assert high_mask_bytes(0xFF) == 0

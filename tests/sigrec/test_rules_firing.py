@@ -1,0 +1,223 @@
+"""One directed test per rule: R1-R31 each fires on its own pattern.
+
+Each test compiles the minimal contract exhibiting the rule's accessing
+pattern, recovers it, and asserts (a) that the rule fired and (b) that
+the recovered type is the one the rule is for — the per-rule
+counterpart to Fig. 13's decision tree.
+"""
+
+import pytest
+
+from repro.abi.signature import FunctionSignature, Language, Visibility
+from repro.abi.types import BoundedBytesType, BoundedStringType
+from repro.compiler import CodegenOptions, compile_contract
+from repro.sigrec.api import SigRec
+
+PUB = Visibility.PUBLIC
+EXT = Visibility.EXTERNAL
+
+
+def recover(text_or_sig, vis=EXT, language=Language.SOLIDITY):
+    if isinstance(text_or_sig, str):
+        sig = FunctionSignature.parse(text_or_sig, vis, language)
+    else:
+        sig = text_or_sig
+    options = CodegenOptions(language=language)
+    contract = compile_contract([sig], options)
+    tool = SigRec()
+    out = tool.recover_map(contract.bytecode)
+    rec = out[int.from_bytes(sig.selector, "big")]
+    return rec, tool.tracker.counts, sig
+
+
+def test_r1_offset_num_pair_marks_dynamic():
+    rec, counts, sig = recover("f(uint256[])", PUB)
+    assert counts["R1"] >= 1
+    assert rec.param_list == "uint256[]"
+
+
+def test_r2_external_dynamic_array():
+    rec, counts, sig = recover("f(uint8[3][])", EXT)
+    assert counts["R2"] >= 1
+    assert rec.param_list == "uint8[3][]"
+
+
+def test_r3_external_static_array():
+    rec, counts, sig = recover("f(uint256[4][2])", EXT)
+    assert counts["R3"] >= 1
+    assert rec.param_list == "uint256[4][2]"
+
+
+def test_r4_basic_defaults_to_uint256():
+    rec, counts, sig = recover("f(uint256)", EXT)
+    assert counts["R4"] >= 1
+    assert rec.param_list == "uint256"
+
+
+def test_r5_single_copy_dynamic_public():
+    rec, counts, sig = recover("f(bool[])", PUB)
+    assert counts["R5"] >= 1
+
+
+def test_r6_one_dim_static_public():
+    rec, counts, sig = recover("f(uint256[3])", PUB)
+    assert counts["R6"] >= 1
+    assert rec.param_list == "uint256[3]"
+
+
+def test_r7_copy_length_num_times_32():
+    rec, counts, sig = recover("f(int16[])", PUB)
+    assert counts["R7"] >= 1
+    assert rec.param_list == "int16[]"
+
+
+def test_r8_rounded_copy_is_blob():
+    rec, counts, sig = recover("f(bytes)", PUB)
+    assert counts["R8"] >= 1
+    assert rec.param_list == "bytes"
+
+
+def test_r9_multidim_static_public():
+    rec, counts, sig = recover("f(uint8[2][3])", PUB)
+    assert counts["R9"] >= 1
+    assert rec.param_list == "uint8[2][3]"
+
+
+def test_r10_multidim_dynamic_public():
+    rec, counts, sig = recover("f(uint256[2][])", PUB)
+    assert counts["R10"] >= 1
+    assert rec.param_list == "uint256[2][]"
+
+
+def test_r11_low_mask_uint():
+    rec, counts, sig = recover("f(uint32)", EXT)
+    assert counts["R11"] >= 1
+    assert rec.param_list == "uint32"
+
+
+def test_r12_high_mask_bytes():
+    rec, counts, sig = recover("f(bytes8)", EXT)
+    assert counts["R12"] >= 1
+    assert rec.param_list == "bytes8"
+
+
+def test_r13_signextend_int():
+    rec, counts, sig = recover("f(int24)", EXT)
+    assert counts["R13"] >= 1
+    assert rec.param_list == "int24"
+
+
+def test_r14_double_iszero_bool():
+    rec, counts, sig = recover("f(bool)", EXT)
+    assert counts["R14"] >= 1
+    assert rec.param_list == "bool"
+
+
+def test_r15_signed_op_int256():
+    rec, counts, sig = recover("f(int256)", EXT)
+    assert counts["R15"] >= 1
+    assert rec.param_list == "int256"
+
+
+def test_r16_masked_no_math_address():
+    rec, counts, sig = recover("f(address)", EXT)
+    assert counts["R16"] >= 1
+    assert rec.param_list == "address"
+
+
+def test_r17_byte_access_bytes_not_string():
+    rec, counts, sig = recover("f(bytes)", EXT)
+    assert counts["R17"] >= 1
+    assert rec.param_list == "bytes"
+
+
+def test_r18_byte_on_word_bytes32():
+    rec, counts, sig = recover("f(bytes32)", EXT)
+    assert counts["R18"] >= 1
+    assert rec.param_list == "bytes32"
+
+
+def test_r19_struct_with_nested_array():
+    rec, counts, sig = recover("f((uint8[][],uint256))", EXT)
+    assert counts["R19"] >= 1
+    assert rec.param_list == "(uint8[][],uint256)"
+
+
+def test_r20_vyper_discriminated():
+    rec, counts, sig = recover("f(address)", PUB, Language.VYPER)
+    assert counts["R20"] >= 1
+    assert rec.language == "vyper"
+
+
+def test_r21_dynamic_struct():
+    rec, counts, sig = recover("f((uint256,uint256[]))", EXT)
+    assert counts["R21"] >= 1
+    assert rec.param_list == "(uint256,uint256[])"
+
+
+def test_r22_nested_array():
+    rec, counts, sig = recover("f(uint8[][])", EXT)
+    assert counts["R22"] >= 1
+    assert rec.param_list == "uint8[][]"
+
+
+def test_r23_vyper_bounded_copy():
+    sig = FunctionSignature("f", (BoundedBytesType(40),), PUB, Language.VYPER)
+    rec, counts, _ = recover(sig, PUB, Language.VYPER)
+    assert counts["R23"] >= 1
+    assert rec.param_list == "bytes"
+
+
+def test_r24_vyper_fixed_list():
+    rec, counts, sig = recover("f(int128[4])", PUB, Language.VYPER)
+    assert counts["R24"] >= 1
+    assert rec.param_list == "int128[4]"
+
+
+def test_r25_vyper_basic_default():
+    rec, counts, sig = recover("f(uint256,bool)", PUB, Language.VYPER)
+    assert counts["R25"] >= 1
+
+
+def test_r26_vyper_byte_array_byte_access():
+    sig = FunctionSignature("f", (BoundedBytesType(12),), PUB, Language.VYPER)
+    rec, counts, _ = recover(sig, PUB, Language.VYPER)
+    assert counts["R26"] >= 1
+    assert rec.param_list == "bytes"
+
+
+def test_r26_absent_for_bounded_string():
+    sig = FunctionSignature("f", (BoundedStringType(12),), PUB, Language.VYPER)
+    rec, counts, _ = recover(sig, PUB, Language.VYPER)
+    assert counts["R26"] == 0
+    assert rec.param_list == "string"
+
+
+def test_r27_vyper_address_clamp():
+    rec, counts, sig = recover("f(address)", PUB, Language.VYPER)
+    assert counts["R27"] >= 1
+    assert rec.param_list == "address"
+
+
+def test_r28_vyper_int128_clamp():
+    rec, counts, sig = recover("f(int128,bool)", PUB, Language.VYPER)
+    assert counts["R28"] >= 1
+    assert rec.param_list == "int128,bool"
+
+
+def test_r29_vyper_decimal_clamp():
+    rec, counts, sig = recover("f(fixed168x10,bool)", PUB, Language.VYPER)
+    assert counts["R29"] >= 1
+    assert rec.param_list == "fixed168x10,bool"
+
+
+def test_r30_vyper_bool_clamp():
+    rec, counts, sig = recover("f(bool)", PUB, Language.VYPER)
+    assert counts["R30"] >= 1
+    assert rec.param_list == "bool"
+
+
+def test_r31_vyper_bytes32_byte_access():
+    rec, counts, sig = recover("f(bytes32,bool)", PUB, Language.VYPER)
+    assert counts["R31"] >= 1
+    assert rec.param_list == "bytes32,bool"

@@ -1,0 +1,208 @@
+"""CLI: every subcommand end to end."""
+
+import random
+
+import pytest
+
+from repro.abi.codec import encode_call
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.apps.parchecker import corrupt_calldata
+from repro.cli import main
+from repro.compiler import compile_contract
+
+TRANSFER = FunctionSignature.parse("transfer(address,uint256)", Visibility.EXTERNAL)
+
+
+@pytest.fixture(scope="module")
+def token_hex():
+    contract = compile_contract(
+        [TRANSFER, FunctionSignature.parse("pause(bool)", Visibility.PUBLIC)]
+    )
+    return contract.bytecode.hex()
+
+
+def test_recover(token_hex, capsys):
+    assert main(["recover", token_hex]) == 0
+    out = capsys.readouterr().out
+    assert "0xa9059cbb(address,uint256)" in out
+    assert "(bool)" in out
+
+
+def test_recover_verbose(token_hex, capsys):
+    assert main(["recover", "-v", "0x" + token_hex]) == 0
+    out = capsys.readouterr().out
+    assert "solidity" in out
+    assert "R16" in out  # the address rule fired
+
+
+def test_recover_from_file(token_hex, tmp_path, capsys):
+    path = tmp_path / "code.hex"
+    path.write_text(token_hex + "\n")
+    assert main(["recover", f"@{path}"]) == 0
+    assert "0xa9059cbb" in capsys.readouterr().out
+
+
+def test_recover_with_database_names(token_hex, tmp_path, capsys):
+    from repro.baselines.efsd import SignatureDatabase
+
+    db = SignatureDatabase()
+    db.add(TRANSFER)
+    path = tmp_path / "db.json"
+    db.save(str(path))
+    assert main(["recover", "--db", str(path), token_hex]) == 0
+    out = capsys.readouterr().out
+    assert "transfer(address,uint256)" in out  # the name was resolved
+    assert "(bool)" in out  # the unknown function still prints typed
+
+
+def test_ids(token_hex, capsys):
+    assert main(["ids", token_hex]) == 0
+    assert "0xa9059cbb" in capsys.readouterr().out
+
+
+def test_disasm(token_hex, capsys):
+    assert main(["disasm", token_hex]) == 0
+    out = capsys.readouterr().out
+    assert "CALLDATALOAD" in out
+    assert "JUMPI" in out
+
+
+def test_lift(token_hex, capsys):
+    assert main(["lift", token_hex]) == 0
+    assert "block_0x0:" in capsys.readouterr().out
+
+
+def test_lift_plus(token_hex, capsys):
+    assert main(["lift", "--plus", token_hex]) == 0
+    out = capsys.readouterr().out
+    assert "arg1: address" in out
+
+
+def test_lift_structured(capsys):
+    loopy = compile_contract(
+        [FunctionSignature.parse("g(uint256[2][2])", Visibility.PUBLIC)]
+    )
+    assert main(["lift", "--structured", loopy.bytecode.hex()]) == 0
+    out = capsys.readouterr().out
+    assert "while not (" in out
+
+
+def test_check_valid(token_hex, capsys):
+    calldata = encode_call(TRANSFER.selector, list(TRANSFER.params), [0xAB, 5])
+    assert main(["check", token_hex, calldata.hex()]) == 0
+    assert "valid" in capsys.readouterr().out
+
+
+def test_check_short_address_attack(token_hex, capsys):
+    rng = random.Random(0)
+    attack = corrupt_calldata(TRANSFER, [0xAB00, 1000], "short_address", rng)
+    assert main(["check", token_hex, attack.hex()]) == 2
+    assert "short address attack" in capsys.readouterr().out
+
+
+def test_check_unknown_function(token_hex, capsys):
+    assert main(["check", token_hex, "deadbeef" + "00" * 64]) == 0
+    assert "unknown function id" in capsys.readouterr().out
+
+
+def test_selector(capsys):
+    assert main(["selector", "transfer(address,uint256)"]) == 0
+    assert capsys.readouterr().out.strip() == "0xa9059cbb"
+
+
+def test_decode_arguments(token_hex, capsys):
+    calldata = encode_call(
+        TRANSFER.selector, list(TRANSFER.params), [0xABCD, 5000]
+    )
+    assert main(["decode", token_hex, calldata.hex()]) == 0
+    out = capsys.readouterr().out
+    assert "address=0x000000000000000000000000000000000000abcd" in out
+    assert "uint256=5000" in out
+
+
+def test_decode_unknown_function(token_hex, capsys):
+    assert main(["decode", token_hex, "deadbeef"]) == 1
+    assert "unknown function" in capsys.readouterr().out
+
+
+def test_decode_garbage_arguments(token_hex, capsys):
+    assert main(["decode", token_hex, TRANSFER.selector.hex() + "01"]) == 2
+    assert "cannot decode" in capsys.readouterr().out
+
+
+def test_decode_dynamic_types(tmp_path, capsys):
+    sig = FunctionSignature.parse("post(string,uint8[])", Visibility.PUBLIC)
+    contract = compile_contract([sig])
+    calldata = encode_call(sig.selector, list(sig.params), ["hi", [1, 2]])
+    assert main(["decode", contract.bytecode.hex(), calldata.hex()]) == 0
+    out = capsys.readouterr().out
+    assert "'hi'" in out
+    assert "[1, 2]" in out
+
+
+def test_explain(token_hex, capsys):
+    assert main(["explain", token_hex, "0xa9059cbb"]) == 0
+    out = capsys.readouterr().out
+    assert "call-data loads" in out
+    assert "rules fired" in out
+    assert "recovered: (address,uint256)" in out
+
+
+def test_explain_unknown_function(token_hex, capsys):
+    assert main(["explain", token_hex, "0xdeadbeef"]) == 0
+    assert "not found" in capsys.readouterr().out
+
+
+def test_explain_bad_function_id(token_hex):
+    with pytest.raises(SystemExit):
+        main(["explain", token_hex, "zz"])
+
+
+def test_trace(token_hex, capsys):
+    calldata = encode_call(TRANSFER.selector, list(TRANSFER.params), [0xA, 1])
+    assert main(["trace", token_hex, calldata.hex()]) == 0
+    out = capsys.readouterr().out
+    assert "CALLDATALOAD" in out
+    assert "=> success" in out
+
+
+def test_trace_failing_call(token_hex, capsys):
+    # 3 bytes of calldata: shorter than a selector, falls back to STOP
+    # (success); a revert path needs the revert block.
+    from repro.evm.asm import Assembler
+
+    asm = Assembler()
+    asm.push(0).push(0).op("REVERT")
+    assert main(["trace", asm.assemble().hex(), "00"]) == 2
+    assert "failed: revert" in capsys.readouterr().out
+
+
+def test_export_corpus(tmp_path, capsys):
+    target = str(tmp_path / "corpus")
+    assert main(["export-corpus", target, "--contracts", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote 3 contracts" in out
+    from repro.corpus.export import load_corpus
+
+    corpus = load_corpus(target)
+    assert len(corpus) == 3
+
+
+def test_export_corpus_vyper(tmp_path):
+    target = str(tmp_path / "vy")
+    assert main(
+        ["export-corpus", target, "--contracts", "2", "--language", "vyper"]
+    ) == 0
+    from repro.corpus.export import load_corpus
+
+    assert load_corpus(target).language.value == "vyper"
+
+
+def test_bad_hex_rejected():
+    with pytest.raises(SystemExit):
+        main(["recover", "zzzz"])
+
+
+def test_recover_empty_bytecode(capsys):
+    assert main(["recover", "00"]) == 1
+    assert "no public/external functions" in capsys.readouterr().out
