@@ -4,6 +4,7 @@ Commands
 --------
 
 recover   Recover function signatures from runtime bytecode (hex).
+batch     Recover many contracts (parallel workers + persistent cache).
 ids       Extract function ids only (static scan).
 disasm    Disassemble runtime bytecode.
 lift      Lift bytecode to three-address IR; ``--plus`` enhances the IR
@@ -70,6 +71,68 @@ def _cmd_recover(args: argparse.Namespace) -> int:
                 f"rules: {', '.join(sig.fired_rules)}]"
             )
         print(line)
+    return 0
+
+
+def _read_batch_source(source: str) -> List[bytes]:
+    """Bytecodes from a line-per-contract hex file or a dir of .hex files."""
+    import os
+
+    paths: List[str]
+    if os.path.isdir(source):
+        paths = sorted(
+            os.path.join(source, name)
+            for name in os.listdir(source)
+            if name.endswith(".hex")
+        )
+        if not paths:
+            raise SystemExit(f"error: no .hex files in {source}")
+        return [_read_hex(f"@{path}") for path in paths]
+    bytecodes: List[bytes] = []
+    try:
+        handle = open(source)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {source}: {exc}")
+    with handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith(("0x", "0X")):
+                line = line[2:]
+            try:
+                bytecodes.append(bytes.fromhex(line))
+            except ValueError as exc:
+                raise SystemExit(
+                    f"error: {source}:{line_no}: not valid hex bytecode: {exc}"
+                )
+    if not bytecodes:
+        raise SystemExit(f"error: no bytecodes in {source}")
+    return bytecodes
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.sigrec.batch import BatchRecovery
+
+    if args.cache_dir and os.path.exists(args.cache_dir) and not os.path.isdir(
+        args.cache_dir
+    ):
+        raise SystemExit(f"error: --cache-dir {args.cache_dir} is not a directory")
+    bytecodes = _read_batch_source(args.source)
+    tool = SigRec()
+    runner = BatchRecovery(
+        tool=tool, workers=args.workers, cache_dir=args.cache_dir
+    )
+    results = runner.recover_all(bytecodes)
+    for index, recovered in enumerate(results):
+        signatures = " ".join(
+            f"{sig.selector_hex}({sig.param_list})" for sig in recovered
+        )
+        print(f"contract {index}: {signatures or '(no public functions)'}")
+    if args.time:
+        print(f"batch: {runner.stats.summary()}", file=sys.stderr)
     return 0
 
 
@@ -245,6 +308,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db", metavar="FILE",
                    help="signature database (JSON) for name resolution")
     p.set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser(
+        "batch", help="recover many contracts (parallel + cached)"
+    )
+    p.add_argument(
+        "source",
+        help="file with one hex bytecode per line, or a directory of .hex files",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size (default: all cores; 0 = serial)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache directory (repeat runs skip analysis)",
+    )
+    p.add_argument(
+        "--time", action="store_true",
+        help="print contracts/s, unique ratio, cache hit-rate and workers",
+    )
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("ids", help="extract function ids only")
     p.add_argument("bytecode")

@@ -152,26 +152,60 @@ def evaluate_baseline(corpus: Corpus, tool) -> BaselineReport:
     return report
 
 
-def evaluate_corpus(corpus: Corpus, tool: Optional[SigRec] = None) -> EvalReport:
-    """Run SigRec over every contract, compare against ground truth."""
+def evaluate_corpus(
+    corpus: Corpus,
+    tool: Optional[SigRec] = None,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+) -> EvalReport:
+    """Run SigRec over every contract, compare against ground truth.
+
+    ``workers`` / ``cache_dir`` route the recovery through the batch
+    executor (process pool, persistent cache); accuracy is identical to
+    the serial path, only wall-clock changes.  In batch mode the whole
+    corpus is timed at once, so per-function ``elapsed_seconds`` is the
+    batch average rather than a per-contract measurement.
+    """
     tool = tool or SigRec()
     report = EvalReport()
+    if workers or cache_dir is not None:
+        from repro.sigrec.batch import BatchRecovery
+
+        runner = BatchRecovery(tool=tool, workers=workers, cache_dir=cache_dir)
+        bytecodes = [case.contract.bytecode for case in corpus.cases]
+        batch_results = runner.recover_all(bytecodes)
+        total_functions = max(
+            1, sum(len(case.declared) for case in corpus.cases)
+        )
+        per_function = runner.stats.elapsed_seconds / total_functions
+        for case, recovered_list in zip(corpus.cases, batch_results):
+            recovered = {sig.selector: sig for sig in recovered_list}
+            _append_case_outcomes(report, case, recovered, per_function)
+        return report
     for case in corpus.cases:
         start = time.perf_counter()
         recovered = tool.recover_map(case.contract.bytecode)
         contract_elapsed = time.perf_counter() - start
         n_functions = max(1, len(case.declared))
-        for sig, quirk in zip(case.declared, case.quirks):
-            selector = int.from_bytes(sig.selector, "big")
-            got = recovered.get(selector)
-            report.outcomes.append(
-                FunctionOutcome(
-                    selector=selector,
-                    declared=sig.param_list(),
-                    recovered=got.param_list if got is not None else None,
-                    quirk=quirk,
-                    version_key=case.options.version_key,
-                    elapsed_seconds=contract_elapsed / n_functions,
-                )
-            )
+        _append_case_outcomes(
+            report, case, recovered, contract_elapsed / n_functions
+        )
     return report
+
+
+def _append_case_outcomes(
+    report: EvalReport, case, recovered: Dict[int, object], per_function: float
+) -> None:
+    for sig, quirk in zip(case.declared, case.quirks):
+        selector = int.from_bytes(sig.selector, "big")
+        got = recovered.get(selector)
+        report.outcomes.append(
+            FunctionOutcome(
+                selector=selector,
+                declared=sig.param_list(),
+                recovered=got.param_list if got is not None else None,
+                quirk=quirk,
+                version_key=case.options.version_key,
+                elapsed_seconds=per_function,
+            )
+        )

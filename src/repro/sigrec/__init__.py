@@ -1,6 +1,16 @@
 """SigRec core: TASE (type-aware symbolic execution) and rules R1-R31."""
 
 from repro.sigrec.api import SigRec, RecoveredSignature
+from repro.sigrec.batch import BatchRecovery, BatchStats
+from repro.sigrec.cache import ResultCache
 from repro.sigrec.rules import RULES, RuleTracker
 
-__all__ = ["SigRec", "RecoveredSignature", "RULES", "RuleTracker"]
+__all__ = [
+    "SigRec",
+    "RecoveredSignature",
+    "BatchRecovery",
+    "BatchStats",
+    "ResultCache",
+    "RULES",
+    "RuleTracker",
+]

@@ -12,14 +12,21 @@ exploration, TASE, and the rule-based inference, returning one
 
 from __future__ import annotations
 
+import hashlib
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.sigrec.engine import TASEEngine
+from repro.sigrec.engine import TASEEngine, TASEResult
 from repro.sigrec.inference import infer_function
 from repro.sigrec.rules import RuleTracker
 from repro.sigrec.selectors import extract_selectors
+
+#: How many engine results one SigRec instance keeps around so that
+#: ``explain`` right after ``recover`` (the interactive workflow) does
+#: not re-run TASE from scratch.
+_RESULT_MEMO_SIZE = 8
 
 
 @dataclass(frozen=True)
@@ -77,11 +84,33 @@ class SigRec:
             loop_bound=loop_bound,
             semantic_idioms=semantic_idioms,
         )
+        # Recent engine results, keyed by bytecode digest: ``recover``
+        # deposits here and ``explain`` reuses instead of re-running TASE.
+        self._result_memo: "OrderedDict[bytes, TASEResult]" = OrderedDict()
+
+    def options(self) -> Dict[str, object]:
+        """Everything needed to build an equivalent instance.
+
+        Used by the batch executor to construct per-worker tools and by
+        the persistent cache as the invalidation fingerprint.
+        """
+        opts = dict(self._engine_opts)
+        opts["coarse_only"] = self.coarse_only
+        return opts
+
+    def _run_engine(self, bytecode: bytes) -> TASEResult:
+        """Run TASE and remember the result for a follow-up ``explain``."""
+        result = TASEEngine(bytecode, **self._engine_opts).run()
+        digest = hashlib.sha256(bytecode).digest()
+        self._result_memo[digest] = result
+        self._result_memo.move_to_end(digest)
+        while len(self._result_memo) > _RESULT_MEMO_SIZE:
+            self._result_memo.popitem(last=False)
+        return result
 
     def recover(self, bytecode: bytes) -> List[RecoveredSignature]:
         """Recover the signatures of all public/external functions."""
-        engine = TASEEngine(bytecode, **self._engine_opts)
-        result = engine.run()
+        result = self._run_engine(bytecode)
         recovered: List[RecoveredSignature] = []
         for selector in result.selectors:
             start = time.perf_counter()
@@ -108,7 +137,11 @@ class SigRec:
         return {sig.selector: sig for sig in self.recover(bytecode)}
 
     def recover_batch(
-        self, bytecodes: List[bytes], deduplicate: bool = True
+        self,
+        bytecodes: List[bytes],
+        deduplicate: bool = True,
+        workers: int = 0,
+        cache_dir: Optional[str] = None,
     ) -> List[List[RecoveredSignature]]:
         """Recover many contracts; identical bytecodes analyze once.
 
@@ -116,15 +149,30 @@ class SigRec:
         37,009,570 deployed contracts, only 368,679 unique bytecodes),
         so memoizing the analysis per unique bytecode is the difference
         between hours and minutes at chain scale.
+
+        ``workers`` > 0 shards unique bytecodes across a process pool
+        and ``cache_dir`` persists results on disk across runs; both are
+        handled by :class:`repro.sigrec.batch.BatchRecovery`, and both
+        produce the same signatures and merged rule counts as the
+        default serial in-process path.  Every returned entry is an
+        independent list — mutating one result never corrupts the result
+        of a duplicated bytecode elsewhere in the batch.
         """
+        if workers or cache_dir is not None:
+            from repro.sigrec.batch import BatchRecovery
+
+            runner = BatchRecovery(
+                tool=self, workers=workers, cache_dir=cache_dir
+            )
+            return runner.recover_all(bytecodes, deduplicate=deduplicate)
         if not deduplicate:
             return [self.recover(code) for code in bytecodes]
-        cache: Dict[bytes, List[RecoveredSignature]] = {}
+        memo: Dict[bytes, List[RecoveredSignature]] = {}
         out: List[List[RecoveredSignature]] = []
         for code in bytecodes:
-            if code not in cache:
-                cache[code] = self.recover(code)
-            out.append(cache[code])
+            if code not in memo:
+                memo[code] = self.recover(code)
+            out.append(list(memo[code]))
         return out
 
     def explain(self, bytecode: bytes, selector: int) -> str:
@@ -134,9 +182,14 @@ class SigRec:
         location expressions and guards), the type-revealing uses, the
         rules that fired, and the final parameter list — the evidence
         trail behind the answer.
+
+        When ``recover`` (or a previous ``explain``) already analyzed
+        this bytecode on this instance, the engine result is reused
+        instead of re-running TASE and re-disassembling from scratch.
         """
-        engine = TASEEngine(bytecode, **self._engine_opts)
-        result = engine.run()
+        result = self._result_memo.get(hashlib.sha256(bytecode).digest())
+        if result is None:
+            result = self._run_engine(bytecode)
         events = result.functions.get(selector)
         if events is None:
             return f"0x{selector:08x}: function not found in the dispatcher"

@@ -1,0 +1,164 @@
+"""Persistent, content-addressed recovery-result cache.
+
+At chain scale the corpus barely changes between runs (the paper's 37M
+deployed contracts collapse to 368,679 unique bytecodes, and redeploys
+are rare), so re-running TASE over bytecodes analyzed yesterday is pure
+waste.  This cache stores the finished :class:`RecoveredSignature` lists
+on disk, keyed by
+
+* the SHA-256 of the runtime bytecode (content addressing — the same
+  code deployed at a thousand addresses is one entry),
+* a fingerprint of the engine options (``loop_bound`` etc. change what
+  TASE observes, so results under different options never mix), and
+* a cache schema version (bumped whenever the serialized layout or the
+  rule semantics change, invalidating every stale entry at once).
+
+Entries are one JSON file each, laid out as::
+
+    <cache_dir>/<options fingerprint>/<sha[:2]>/<sha>.json
+
+so changing any engine option simply lands in a sibling tree and an
+``rm -rf`` of one fingerprint directory drops exactly one configuration.
+Each entry also records the per-bytecode rule-usage counts, so a warm
+run can replay them into the parent :class:`RuleTracker` and the Fig.-19
+statistics come out identical to a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from repro.sigrec.api import RecoveredSignature
+
+#: Bump to invalidate every existing cache entry (serialization layout
+#: or inference-rule changes).
+SCHEMA_VERSION = 1
+
+
+def options_fingerprint(options: Dict[str, object]) -> str:
+    """A short stable digest of the engine/inference options."""
+    payload = json.dumps(
+        {"schema": SCHEMA_VERSION, "options": options}, sort_keys=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _signature_to_dict(sig: RecoveredSignature) -> dict:
+    return {
+        "selector": sig.selector,
+        "param_types": list(sig.param_types),
+        "language": sig.language,
+        "elapsed_seconds": sig.elapsed_seconds,
+        "fired_rules": list(sig.fired_rules),
+        "confidences": list(sig.confidences),
+    }
+
+
+def _signature_from_dict(data: dict) -> RecoveredSignature:
+    return RecoveredSignature(
+        selector=data["selector"],
+        param_types=tuple(data["param_types"]),
+        language=data["language"],
+        elapsed_seconds=data["elapsed_seconds"],
+        fired_rules=tuple(data["fired_rules"]),
+        confidences=tuple(data["confidences"]),
+    )
+
+
+class ResultCache:
+    """On-disk cache of per-bytecode recovery results.
+
+    ``get``/``put`` are safe under concurrent writers: entries are
+    written to a temporary file and atomically renamed into place, and a
+    corrupt or mismatched entry is treated as a miss, never an error.
+    """
+
+    def __init__(self, directory: str, options: Dict[str, object]) -> None:
+        self.directory = directory
+        self.options = dict(options)
+        self.fingerprint = options_fingerprint(self.options)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def _entry_path(self, bytecode: bytes) -> str:
+        sha = hashlib.sha256(bytecode).hexdigest()
+        return os.path.join(
+            self.directory, self.fingerprint, sha[:2], f"{sha}.json"
+        )
+
+    def get(
+        self, bytecode: bytes
+    ) -> Optional[Tuple[List[RecoveredSignature], Dict[str, int]]]:
+        """The cached (signatures, rule counts) for ``bytecode``, or None."""
+        path = self._entry_path(bytecode)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if (
+                entry.get("schema") != SCHEMA_VERSION
+                or entry.get("fingerprint") != self.fingerprint
+            ):
+                raise ValueError("stale cache entry")
+            signatures = [
+                _signature_from_dict(d) for d in entry["signatures"]
+            ]
+            rule_counts = {
+                str(rule): int(count)
+                for rule, count in entry.get("rule_counts", {}).items()
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return signatures, rule_counts
+
+    def put(
+        self,
+        bytecode: bytes,
+        signatures: List[RecoveredSignature],
+        rule_counts: Dict[str, int],
+    ) -> None:
+        path = self._entry_path(bytecode)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "options": self.options,
+            "signatures": [_signature_to_dict(s) for s in signatures],
+            # Only non-zero counters are stored; zeros are implied.
+            "rule_counts": {r: c for r, c in rule_counts.items() if c},
+        }
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def entry_count(self) -> int:
+        """Entries on disk for this fingerprint (walks the tree)."""
+        root = os.path.join(self.directory, self.fingerprint)
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(root):
+            count += sum(1 for f in filenames if f.endswith(".json"))
+        return count

@@ -63,7 +63,21 @@ def eval_const(e: E.Expr) -> Optional[int]:
 
     Comparisons are built unfolded (see module docstring), so the engine
     folds them here when it must take a concrete branch decision.
+
+    The result is memoized on the (immutable) node: every JUMPI
+    re-evaluates its condition, and loop guards grow as shared chains of
+    ``add`` nodes, so without the memo the fold is re-run over the same
+    subtrees once per unrolled iteration.
     """
+    memo = e._const_memo
+    if memo is not E._UNEVALUATED:
+        return memo
+    result = _eval_const_uncached(e)
+    object.__setattr__(e, "_const_memo", result)
+    return result
+
+
+def _eval_const_uncached(e: E.Expr) -> Optional[int]:
     if e.is_const:
         return e.value
     if e.op in ("env", "calldata", "calldatasize", "mem"):
@@ -228,6 +242,7 @@ class TASEEngine:
         fork_bound: int = 3,
         loop_bound: int = 420,
         semantic_idioms: bool = True,
+        instructions: Optional[List[Instruction]] = None,
     ) -> None:
         self.bytecode = bytecode
         self.max_total_steps = max_total_steps
@@ -238,7 +253,11 @@ class TASEEngine:
         # recognized (no shift-pair masks, no EQ-zero bools): the
         # ablation knob for the obfuscation experiment.
         self.semantic_idioms = semantic_idioms
-        self._instructions = disassemble(bytecode)
+        # Callers analyzing the same bytecode more than once (recover +
+        # explain) pass the listing in so it is disassembled only once.
+        self._instructions = (
+            disassemble(bytecode) if instructions is None else instructions
+        )
         self._by_pc = instruction_index(self._instructions)
         self._jumpdests = jumpdests(self._instructions)
         self._env_counter = 0

@@ -37,10 +37,15 @@ def _signed(value: int) -> int:
     return value - _WORD if value & _SIGN_BIT else value
 
 
+#: Sentinel marking an :class:`Expr` whose folded value is not computed
+#: yet (``None`` is a legitimate answer, meaning "not a constant").
+_UNEVALUATED = object()
+
+
 class Expr:
     """One immutable symbolic expression node."""
 
-    __slots__ = ("op", "args", "val", "labels", "_hash")
+    __slots__ = ("op", "args", "val", "labels", "_hash", "_const_memo")
 
     def __init__(
         self,
@@ -59,6 +64,7 @@ class Expr:
             labels = merged
         object.__setattr__(self, "labels", labels)
         object.__setattr__(self, "_hash", hash((op, args, val)))
+        object.__setattr__(self, "_const_memo", _UNEVALUATED)
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("Expr is immutable")
@@ -130,6 +136,23 @@ class Expr:
 
 _CONST_CACHE = {}
 
+# Hash-consing for common *compound* nodes.  Contracts build the same
+# handful of shapes over and over — ``calldata(<const>)`` head reads and
+# ``and(<mask>, <leaf>)``-style masks dominate — so interning them makes
+# structural equality an identity check on the hot paths and lets the
+# per-node ``eval_const`` memo (see ``_const_memo``) be shared across
+# every occurrence.  Only nodes whose labels are a pure function of the
+# cache key are interned, so sharing can never leak taint between
+# expressions.
+_COMPOUND_CACHE = {}
+_COMPOUND_CACHE_MAX = 8192
+
+
+def _intern(key, node: Expr) -> Expr:
+    if len(_COMPOUND_CACHE) < _COMPOUND_CACHE_MAX:
+        _COMPOUND_CACHE[key] = node
+    return node
+
 
 def const(value: int) -> Expr:
     value &= _MASK
@@ -152,7 +175,17 @@ def env(name: str) -> Expr:
 
 def calldata(loc: Expr) -> Expr:
     """A 32-byte read of the call data at symbolic location ``loc``."""
-    key = loc.value if loc.is_const else repr(loc)
+    if loc.is_const:
+        # Constant-offset loads (the head reads of every parameter) are
+        # hash-consed: their labels depend only on the offset.
+        key = ("calldata", loc.value)
+        cached = _COMPOUND_CACHE.get(key)
+        if cached is not None:
+            return cached
+        return _intern(
+            key, Expr("calldata", (loc,), labels=loc.labels | {("cd", loc.value)})
+        )
+    key = repr(loc)
     return Expr("calldata", (loc,), labels=loc.labels | {("cd", key)})
 
 
@@ -242,6 +275,22 @@ def binop(op: str, a: Expr, b: Expr) -> Expr:
         return b
     if op == "mul" and a.is_const and a.value == 1:
         return b
+    # Hash-cons mask-shaped compounds: a constant applied directly to a
+    # leaf (``and(0xff..., calldata(4))``, ``div(calldata(0), 2^224)``,
+    # ``shr(224, calldata(0))``, ...).  Interned constants make ``a``
+    # identity-stable, and a leaf ``b`` keeps key comparisons shallow.
+    if a.is_const and b.op in ("calldata", "mem", "calldatasize"):
+        key = (op, "c.", a.value, b)
+        cached = _COMPOUND_CACHE.get(key)
+        if cached is not None:
+            return cached
+        return _intern(key, Expr(op, (a, b)))
+    if b.is_const and a.op in ("calldata", "mem", "calldatasize"):
+        key = (op, ".c", a, b.value)
+        cached = _COMPOUND_CACHE.get(key)
+        if cached is not None:
+            return cached
+        return _intern(key, Expr(op, (a, b)))
     return Expr(op, (a, b))
 
 

@@ -71,8 +71,17 @@ class RuleTracker:
             raise KeyError(f"unknown rule: {rule_id}")
         self.counts[rule_id] += times
 
-    def merge(self, other: "RuleTracker") -> None:
-        for rule_id, count in other.counts.items():
+    def merge(self, other) -> None:
+        """Add another tracker's counts (or a plain rule->count mapping).
+
+        Counters are purely additive, so merging per-worker or cached
+        per-bytecode counts reproduces a serial run's totals exactly —
+        this is how the batch executor keeps Fig.-19 statistics correct.
+        """
+        counts = other.counts if isinstance(other, RuleTracker) else other
+        for rule_id, count in counts.items():
+            if rule_id not in self.counts:
+                raise KeyError(f"unknown rule: {rule_id}")
             self.counts[rule_id] += count
 
     def most_used(self) -> str:

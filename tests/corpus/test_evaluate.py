@@ -75,3 +75,24 @@ def test_baseline_wrong_count_vs_wrong_types():
     assert report.wrong_types_only() == 1
     assert report.no_answer == 1
     assert report.correct == 1
+
+
+def test_evaluate_corpus_batch_path_matches_serial(tmp_path):
+    from repro.corpus.datasets import build_open_source_corpus
+    from repro.corpus.evaluate import evaluate_corpus
+
+    corpus = build_open_source_corpus(n_contracts=6, seed=31)
+    serial = evaluate_corpus(corpus)
+    batched = evaluate_corpus(corpus, workers=2, cache_dir=str(tmp_path))
+
+    def essence(report):
+        return [
+            (o.selector, o.declared, o.recovered, o.quirk, o.version_key)
+            for o in report.outcomes
+        ]
+
+    assert essence(batched) == essence(serial)
+    assert batched.accuracy == serial.accuracy
+    # Warm cache: same accuracy again, zero engine executions inside.
+    warm = evaluate_corpus(corpus, workers=0, cache_dir=str(tmp_path))
+    assert essence(warm) == essence(serial)

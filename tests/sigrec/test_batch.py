@@ -18,9 +18,19 @@ def test_batch_results_match_individual():
     tool = SigRec()
     batch = tool.recover_batch([a, b, a])
     assert len(batch) == 3
-    assert batch[0] is batch[2]  # deduplicated: same analysis object
+    assert batch[0] == batch[2]  # deduplicated: same analysis outcome
     assert [s.param_list for s in batch[0]] == ["uint8"]
     assert [s.param_list for s in batch[1]] == ["bytes"]
+
+
+def test_batch_duplicates_do_not_alias():
+    """Regression: duplicated bytecodes used to share one list object,
+    so mutating one caller's result silently corrupted the others."""
+    a, _ = _codes()
+    batch = SigRec().recover_batch([a, a])
+    assert batch[0] is not batch[1]
+    batch[0].append("sentinel")
+    assert len(batch[1]) == 1
 
 
 def test_batch_without_dedup():

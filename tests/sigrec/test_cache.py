@@ -1,0 +1,127 @@
+"""The persistent result cache: round-trips, invalidation, robustness."""
+
+import json
+import os
+
+from repro.abi.signature import FunctionSignature
+from repro.compiler import compile_contract
+from repro.sigrec.api import RecoveredSignature, SigRec
+from repro.sigrec.batch import BatchRecovery
+from repro.sigrec.cache import ResultCache, options_fingerprint
+
+
+def _code(signature="a(uint8)"):
+    return compile_contract([FunctionSignature.parse(signature)]).bytecode
+
+
+def _essence(results):
+    return [
+        [
+            (s.selector, s.param_types, s.language, s.fired_rules, s.confidences)
+            for s in contract
+        ]
+        for contract in results
+    ]
+
+
+def test_cache_round_trip(tmp_path):
+    cache = ResultCache(str(tmp_path), SigRec().options())
+    code = _code()
+    signature = RecoveredSignature(
+        selector=0xA9059CBB,
+        param_types=("address", "uint256"),
+        language="solidity",
+        elapsed_seconds=0.25,
+        fired_rules=("R4", "R16"),
+        confidences=("high", "medium"),
+    )
+    assert cache.get(code) is None  # cold
+    cache.put(code, [signature], {"R4": 1, "R16": 2})
+    restored, counts = cache.get(code)
+    assert restored == [signature]
+    assert counts == {"R4": 1, "R16": 2}
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.entry_count() == 1
+
+
+def test_warm_run_hits_and_matches_cold(tmp_path):
+    codes = [_code("a(uint8)"), _code("b(bytes)"), _code("a(uint8)")]
+    cold_tool = SigRec()
+    cold_runner = BatchRecovery(tool=cold_tool, workers=0, cache_dir=str(tmp_path))
+    cold = cold_runner.recover_all(codes)
+    assert cold_runner.stats.cache_misses == 2
+    assert cold_runner.stats.cache_hits == 0
+
+    warm_tool = SigRec()
+    warm_runner = BatchRecovery(tool=warm_tool, workers=0, cache_dir=str(tmp_path))
+    warm = warm_runner.recover_all(codes)
+    assert warm_runner.stats.cache_hits == 2
+    assert warm_runner.stats.cache_misses == 0
+    assert warm_runner.stats.cache_hit_rate == 1.0
+    assert warm_runner.stats.analyzed == 0
+    assert _essence(warm) == _essence(cold)
+    # Replayed per-bytecode counts reproduce the cold run's statistics.
+    assert warm_tool.tracker.counts == cold_tool.tracker.counts
+
+
+def test_engine_option_change_invalidates(tmp_path):
+    code = _code()
+    first = BatchRecovery(
+        tool=SigRec(), workers=0, cache_dir=str(tmp_path)
+    )
+    first.recover_all([code])
+    assert first.stats.cache_misses == 1
+
+    changed = BatchRecovery(
+        tool=SigRec(loop_bound=77), workers=0, cache_dir=str(tmp_path)
+    )
+    changed.recover_all([code])
+    assert changed.stats.cache_misses == 1  # different fingerprint: no hit
+    assert changed.stats.cache_hits == 0
+
+    same = BatchRecovery(
+        tool=SigRec(loop_bound=77), workers=0, cache_dir=str(tmp_path)
+    )
+    same.recover_all([code])
+    assert same.stats.cache_hits == 1
+
+
+def test_fingerprint_is_stable_and_option_sensitive():
+    base = SigRec().options()
+    assert options_fingerprint(base) == options_fingerprint(dict(base))
+    changed = dict(base, loop_bound=7)
+    assert options_fingerprint(base) != options_fingerprint(changed)
+
+
+def test_corrupt_entry_is_a_miss_then_repaired(tmp_path):
+    code = _code()
+    cache = ResultCache(str(tmp_path), SigRec().options())
+    cache.put(code, [], {})
+    path = cache._entry_path(code)
+    with open(path, "w") as handle:
+        handle.write("{not json")
+    assert cache.get(code) is None
+    # A batch run treats it as a miss and rewrites a good entry.
+    runner = BatchRecovery(tool=SigRec(), workers=0, cache_dir=str(tmp_path))
+    runner.recover_all([code])
+    assert runner.stats.cache_misses == 1
+    with open(path) as handle:
+        assert json.load(handle)["signatures"]
+
+
+def test_entries_are_content_addressed(tmp_path):
+    cache = ResultCache(str(tmp_path), SigRec().options())
+    a, b = _code("a(uint8)"), _code("b(bytes)")
+    cache.put(a, [], {})
+    cache.put(b, [], {})
+    assert cache.entry_count() == 2
+    # Layout: <dir>/<fingerprint>/<sha[:2]>/<sha>.json
+    root = os.path.join(str(tmp_path), cache.fingerprint)
+    assert os.path.isdir(root)
+
+
+def test_recover_batch_cache_dir_round_trip(tmp_path):
+    codes = [_code("a(uint8)"), _code("a(uint8)")]
+    first = SigRec().recover_batch(codes, cache_dir=str(tmp_path))
+    second = SigRec().recover_batch(codes, cache_dir=str(tmp_path))
+    assert _essence(first) == _essence(second)

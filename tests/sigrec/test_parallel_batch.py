@@ -1,0 +1,94 @@
+"""Parallel batch recovery: worker-pool results must be byte-identical
+to the serial path — same signatures, same merged rule-usage counts."""
+
+from repro.abi.signature import FunctionSignature, Visibility
+from repro.compiler import compile_contract
+from repro.sigrec.api import SigRec
+from repro.sigrec.batch import BatchRecovery, BatchStats
+
+
+def _codes():
+    a = compile_contract([FunctionSignature.parse("a(uint8)")]).bytecode
+    b = compile_contract([FunctionSignature.parse("b(bytes)")]).bytecode
+    c = compile_contract(
+        [FunctionSignature.parse("c(address,uint256)", Visibility.EXTERNAL)]
+    ).bytecode
+    return a, b, c
+
+
+def _essence(results):
+    """Everything except wall-clock timing, which varies run to run."""
+    return [
+        [
+            (s.selector, s.param_types, s.language, s.fired_rules, s.confidences)
+            for s in contract
+        ]
+        for contract in results
+    ]
+
+
+def test_parallel_matches_serial():
+    a, b, c = _codes()
+    codes = [a, b, a, c, b, a]
+
+    serial_tool = SigRec()
+    serial = serial_tool.recover_batch(codes, workers=0)
+    parallel_tool = SigRec()
+    parallel = parallel_tool.recover_batch(codes, workers=4)
+
+    assert _essence(serial) == _essence(parallel)
+    assert serial_tool.tracker.counts == parallel_tool.tracker.counts
+
+
+def test_batch_recovery_matches_plain_recover_batch():
+    a, b, _ = _codes()
+    codes = [a, b, b]
+    plain = SigRec().recover_batch(codes)
+    runner_tool = SigRec()
+    runner = BatchRecovery(tool=runner_tool, workers=0)
+    assert _essence(runner.recover_all(codes)) == _essence(plain)
+
+
+def test_parallel_preserves_order_and_expands_duplicates():
+    a, b, _ = _codes()
+    codes = [b, a, b, b, a]
+    results = SigRec().recover_batch(codes, workers=2)
+    assert len(results) == 5
+    assert [s.param_list for s in results[0]] == ["bytes"]
+    assert [s.param_list for s in results[1]] == ["uint8"]
+    assert results[0] == results[2] == results[3]
+    assert results[1] == results[4]
+    # Per-entry copies: no aliasing between duplicated entries.
+    results[2].append("sentinel")
+    assert len(results[3]) == 1
+
+
+def test_parallel_stats():
+    a, b, _ = _codes()
+    runner = BatchRecovery(tool=SigRec(), workers=2)
+    runner.recover_all([a, a, b, a])
+    stats = runner.stats
+    assert stats.total == 4
+    assert stats.unique == 2
+    assert stats.analyzed == 2
+    assert stats.workers == 2
+    assert abs(stats.unique_ratio - 0.5) < 1e-9
+    assert stats.cache_hits == 0 and stats.cache_misses == 0
+    assert "4 contracts" in stats.summary()
+    assert "cache off" in stats.summary()
+
+
+def test_workers_default_uses_cpu_count():
+    import os
+
+    runner = BatchRecovery(tool=SigRec())
+    assert runner.workers == (os.cpu_count() or 1)
+
+
+def test_empty_batch_parallel():
+    runner = BatchRecovery(tool=SigRec(), workers=2)
+    assert runner.recover_all([]) == []
+    assert runner.stats.total == 0
+    assert runner.stats.unique == 0
+    assert runner.stats.contracts_per_second == 0.0
+    assert isinstance(runner.stats, BatchStats)

@@ -140,6 +140,51 @@ def test_decode_dynamic_types(tmp_path, capsys):
     assert "[1, 2]" in out
 
 
+def test_batch_from_file(token_hex, tmp_path, capsys):
+    path = tmp_path / "corpus.txt"
+    path.write_text(f"{token_hex}\n# a comment\n0x{token_hex}\n\n")
+    assert main(["batch", str(path), "--workers", "0", "--time"]) == 0
+    captured = capsys.readouterr()
+    assert "contract 0: " in captured.out
+    assert "contract 1: " in captured.out
+    assert "0xa9059cbb(address,uint256)" in captured.out
+    assert "2 contracts (1 unique, 50%)" in captured.err
+    assert "contracts/s" in captured.err
+    assert "workers=serial" in captured.err
+
+
+def test_batch_from_directory_with_cache(token_hex, tmp_path, capsys):
+    source = tmp_path / "corpus"
+    source.mkdir()
+    (source / "token.hex").write_text(token_hex)
+    (source / "ignored.txt").write_text("not bytecode")
+    cache_dir = tmp_path / "cache"
+    args = [
+        "batch", str(source),
+        "--workers", "0", "--cache-dir", str(cache_dir), "--time",
+    ]
+    assert main(args) == 0
+    assert "0 hits / 1 misses" in capsys.readouterr().err
+    assert main(args) == 0  # warm: served entirely from the cache
+    captured = capsys.readouterr()
+    assert "1 hits / 0 misses (100% hit rate)" in captured.err
+    assert "0xa9059cbb(address,uint256)" in captured.out
+
+
+def test_batch_empty_source(tmp_path):
+    path = tmp_path / "empty.txt"
+    path.write_text("\n")
+    with pytest.raises(SystemExit):
+        main(["batch", str(path)])
+
+
+def test_batch_bad_hex(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("zz\n")
+    with pytest.raises(SystemExit):
+        main(["batch", str(path)])
+
+
 def test_explain(token_hex, capsys):
     assert main(["explain", token_hex, "0xa9059cbb"]) == 0
     out = capsys.readouterr().out
