@@ -59,11 +59,15 @@ def _signature_to_dict(sig: RecoveredSignature) -> dict:
 
 
 def _signature_from_dict(data: dict) -> RecoveredSignature:
+    # ``elapsed_seconds`` is deliberately NOT replayed: a cache hit does
+    # no inference work, so reporting the original run's timing would
+    # corrupt warm-run timing statistics.  The stored value (the cost of
+    # the original analysis) stays on disk for forensics.
     return RecoveredSignature(
         selector=data["selector"],
         param_types=tuple(data["param_types"]),
         language=data["language"],
-        elapsed_seconds=data["elapsed_seconds"],
+        elapsed_seconds=0.0,
         fired_rules=tuple(data["fired_rules"]),
         confidences=tuple(data["confidences"]),
     )

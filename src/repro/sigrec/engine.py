@@ -242,7 +242,6 @@ class TASEEngine:
         fork_bound: int = 3,
         loop_bound: int = 420,
         semantic_idioms: bool = True,
-        instructions: Optional[List[Instruction]] = None,
     ) -> None:
         self.bytecode = bytecode
         self.max_total_steps = max_total_steps
@@ -253,11 +252,7 @@ class TASEEngine:
         # recognized (no shift-pair masks, no EQ-zero bools): the
         # ablation knob for the obfuscation experiment.
         self.semantic_idioms = semantic_idioms
-        # Callers analyzing the same bytecode more than once (recover +
-        # explain) pass the listing in so it is disassembled only once.
-        self._instructions = (
-            disassemble(bytecode) if instructions is None else instructions
-        )
+        self._instructions = disassemble(bytecode)
         self._by_pc = instruction_index(self._instructions)
         self._jumpdests = jumpdests(self._instructions)
         self._env_counter = 0

@@ -205,6 +205,25 @@ def sha3(seed: int) -> Expr:
     return Expr("env", val=f"sha3_{seed}")
 
 
+def _label_pure_leaf(node: Expr) -> bool:
+    """True when ``node``'s labels are fully determined by its structure.
+
+    Only such nodes may appear in ``_COMPOUND_CACHE`` keys: the cache is
+    process-global and ``Expr.__eq__``/``__hash__`` ignore ``labels``,
+    so structurally-equal keys with *different* labels would collide and
+    the interned node's taint would leak into every later lookup —
+    across paths and across contracts.  ``calldatasize`` carries no
+    labels and a constant-offset ``calldata`` read carries exactly
+    ``{("cd", offset)}``, so both are safe to share.  ``mem`` reads
+    carry engine-injected CALLDATACOPY source labels (``extra_labels``
+    in :func:`mem_read`) and symbolic-location ``calldata`` reads can
+    transitively contain such ``mem`` nodes, so neither is interned.
+    """
+    return node.op == "calldatasize" or (
+        node.op == "calldata" and node.args[0].is_const
+    )
+
+
 _COMMUTATIVE = frozenset(["add", "mul", "and", "or", "xor", "eq"])
 
 _FOLD = {
@@ -276,16 +295,17 @@ def binop(op: str, a: Expr, b: Expr) -> Expr:
     if op == "mul" and a.is_const and a.value == 1:
         return b
     # Hash-cons mask-shaped compounds: a constant applied directly to a
-    # leaf (``and(0xff..., calldata(4))``, ``div(calldata(0), 2^224)``,
-    # ``shr(224, calldata(0))``, ...).  Interned constants make ``a``
-    # identity-stable, and a leaf ``b`` keeps key comparisons shallow.
-    if a.is_const and b.op in ("calldata", "mem", "calldatasize"):
+    # label-pure leaf (``and(0xff..., calldata(4))``, ``div(calldata(0),
+    # 2^224)``, ``shr(224, calldata(0))``, ...).  Interned constants make
+    # ``a`` identity-stable, and a leaf ``b`` keeps key comparisons
+    # shallow.
+    if a.is_const and _label_pure_leaf(b):
         key = (op, "c.", a.value, b)
         cached = _COMPOUND_CACHE.get(key)
         if cached is not None:
             return cached
         return _intern(key, Expr(op, (a, b)))
-    if b.is_const and a.op in ("calldata", "mem", "calldatasize"):
+    if b.is_const and _label_pure_leaf(a):
         key = (op, ".c", a, b.value)
         cached = _COMPOUND_CACHE.get(key)
         if cached is not None:

@@ -66,6 +66,49 @@ def test_mem_read_labels():
     assert ("cd", 4) in value.labels
 
 
+def test_interning_shares_label_pure_compounds():
+    # Constant-offset calldata masks are label-pure: interning makes
+    # structural equality an identity check.
+    a = E.binop("and", E.const(0xFF), E.calldata(E.const(4)))
+    b = E.binop("and", E.const(0xFF), E.calldata(E.const(4)))
+    assert a is b
+    assert a.labels == frozenset({("cd", 4)})
+
+
+def test_interning_does_not_leak_mem_labels():
+    # Regression: two structurally-identical mem reads can carry
+    # *different* engine-injected CALLDATACOPY source labels (which
+    # __eq__/__hash__ ignore), so mask nodes over them must never be
+    # interned — an earlier contract's taint would leak into a later one.
+    m_from_4 = E.mem_read(0, E.const(0x80), frozenset({("cd", 4)}))
+    m_from_36 = E.mem_read(0, E.const(0x80), frozenset({("cd", 36)}))
+    assert m_from_4 == m_from_36  # structural equality ignores labels
+
+    e_from_4 = E.binop("and", E.const(0xFF), m_from_4)
+    e_from_36 = E.binop("and", E.const(0xFF), m_from_36)
+    assert ("cd", 4) in e_from_4.labels
+    assert ("cd", 36) not in e_from_4.labels
+    assert ("cd", 36) in e_from_36.labels
+    assert ("cd", 4) not in e_from_36.labels
+
+    # Same hazard with the leaf on the left.
+    f_from_4 = E.binop("div", m_from_4, E.const(2))
+    f_from_36 = E.binop("div", m_from_36, E.const(2))
+    assert ("cd", 36) not in f_from_4.labels
+    assert ("cd", 4) not in f_from_36.labels
+
+
+def test_interning_does_not_leak_symbolic_calldata_labels():
+    # calldata at a symbolic location can transitively contain mem
+    # nodes, so its labels are not structure-derived either.
+    c_from_4 = E.calldata(E.mem_read(1, E.const(0), frozenset({("cd", 4)})))
+    c_from_68 = E.calldata(E.mem_read(1, E.const(0), frozenset({("cd", 68)})))
+    e_from_4 = E.binop("and", E.const(0xFF), c_from_4)
+    e_from_68 = E.binop("and", E.const(0xFF), c_from_68)
+    assert ("cd", 68) not in e_from_4.labels
+    assert ("cd", 4) not in e_from_68.labels
+
+
 def test_structural_equality_and_hash():
     a = E.calldata(E.binop("add", E.const(4), E.calldata(E.const(4))))
     b = E.calldata(E.binop("add", E.const(4), E.calldata(E.const(4))))
