@@ -14,6 +14,10 @@ from typing import Dict, List, Optional, Sequence
 from repro.chain.machine import CallMachine, Message
 from repro.chain.state import WorldState
 from repro.evm.asm import Assembler
+from repro.evm.interpreter import BlockContext
+
+#: Seconds between consecutive blocks of the simulated chain.
+BLOCK_INTERVAL = 12
 
 
 def make_init_code(runtime: bytes) -> bytes:
@@ -67,12 +71,31 @@ class Block:
 class Chain:
     """A single-node chain: state + ordered blocks."""
 
-    def __init__(self) -> None:
+    def __init__(self, genesis: Optional[BlockContext] = None) -> None:
         self.state = WorldState()
         self.blocks: List[Block] = []
-        self._machine = CallMachine(self.state)
+        self.genesis = genesis if genesis is not None else BlockContext(number=0)
+        self._machine = CallMachine(self.state, block=self.genesis)
         self._pending: List[Transaction] = []
         self._pending_receipts: List[Receipt] = []
+
+    def block_context(self, number: Optional[int] = None) -> BlockContext:
+        """The block context of block ``number`` (default: the pending
+        block).  Numbers and timestamps advance deterministically from
+        the genesis context; executing transactions see these values
+        through the block-context opcodes (TIMESTAMP, NUMBER, ...)."""
+        if number is None:
+            number = len(self.blocks)
+        return BlockContext(
+            coinbase=self.genesis.coinbase,
+            timestamp=self.genesis.timestamp + BLOCK_INTERVAL * number,
+            number=self.genesis.number + number,
+            difficulty=self.genesis.difficulty,
+            gaslimit=self.genesis.gaslimit,
+            chainid=self.genesis.chainid,
+            basefee=self.genesis.basefee,
+            gasprice=self.genesis.gasprice,
+        )
 
     # ------------------------------------------------------------------
 
@@ -124,6 +147,7 @@ class Chain:
     # ------------------------------------------------------------------
 
     def _apply(self, tx: Transaction) -> Receipt:
+        self._machine.block = self.block_context()
         if tx.is_create:
             result, address = self._machine.create(tx.sender, tx.value, tx.data)
             receipt = Receipt(

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.chain.state import WorldState
-from repro.evm.interpreter import ExecutionResult, Interpreter
+from repro.evm.interpreter import BlockContext, ExecutionResult, Interpreter
 
 
 @dataclass
@@ -50,10 +50,14 @@ class CallMachine:
     """Executes messages against a :class:`WorldState`."""
 
     def __init__(self, state: WorldState, max_depth: int = 16,
-                 max_steps: int = 200_000) -> None:
+                 max_steps: int = 200_000,
+                 block: Optional[BlockContext] = None) -> None:
         self.state = state
         self.max_depth = max_depth
         self.max_steps = max_steps
+        # Block context for every frame of the current transaction; the
+        # chain updates this per pending block.
+        self.block = block if block is not None else BlockContext()
         self.trace: List[CallTraceEntry] = []
 
     # ------------------------------------------------------------------
@@ -106,25 +110,21 @@ class CallMachine:
             )
             return result
 
-        interpreter_cell = {}
-
-        def handler(inner_kind: str, to: int, inner_value: int, payload: bytes):
-            interpreter = interpreter_cell.get("i")
-            if interpreter is not None:
-                # Make this frame's in-flight storage writes visible to
-                # the callee (re-entrant reads see them, as on mainnet).
-                self.state.account(storage_address).storage = dict(
-                    interpreter.storage
-                )
+        def handler(inner_kind: str, to: int, inner_value: int,
+                    payload: bytes, frame):
+            # Make this frame's in-flight storage writes visible to the
+            # callee (re-entrant reads see them, as on mainnet).  The
+            # frame is the live ConcreteDomain of the calling frame,
+            # handed over by the CALL-family domain ops.
+            self.state.account(storage_address).storage = dict(frame.storage)
             outcome = self._dispatch_inner(
                 inner_kind, storage_address, to, inner_value, payload, depth + 1
             )
-            if interpreter is not None:
-                # And pick up whatever the callee (possibly re-entrantly)
-                # wrote to this frame's storage.
-                interpreter.storage = dict(
-                    self.state.account(storage_address).storage
-                )
+            # And pick up whatever the callee (possibly re-entrantly)
+            # wrote to this frame's storage.  In place: frame.storage is
+            # the same dict as interpreter.storage.
+            frame.storage.clear()
+            frame.storage.update(self.state.account(storage_address).storage)
             return outcome
 
         interpreter = Interpreter(
@@ -132,8 +132,9 @@ class CallMachine:
             storage=storage_account.storage,
             max_steps=self.max_steps,
             call_handler=handler,
+            block=self.block,
+            self_balance=self.state.account(storage_address).balance,
         )
-        interpreter_cell["i"] = interpreter
         result = interpreter.call(
             data, caller=sender, callvalue=value, address=storage_address
         )
@@ -194,13 +195,16 @@ class CallMachine:
             self.state.restore(snapshot)
             return ExecutionResult(success=False, error="InsufficientBalance"), 0
 
-        def handler(inner_kind: str, to: int, inner_value: int, payload: bytes):
+        def handler(inner_kind: str, to: int, inner_value: int,
+                    payload: bytes, frame):
             return self._dispatch_inner(
                 inner_kind, address, to, inner_value, payload, depth + 1
             )
 
         interpreter = Interpreter(
-            init_code, max_steps=self.max_steps, call_handler=handler
+            init_code, max_steps=self.max_steps, call_handler=handler,
+            block=self.block,
+            self_balance=self.state.account(address).balance,
         )
         result = interpreter.call(b"", caller=sender, callvalue=value,
                                   address=address)

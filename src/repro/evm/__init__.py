@@ -1,15 +1,26 @@
-"""EVM substrate: opcodes, assembler, disassembler, CFG, Keccak, interpreter."""
+"""EVM substrate: opcodes, assembler, disassembler, CFG, Keccak,
+semantics table, interpreter."""
 
 from repro.evm.opcodes import Op, OPCODES, opcode_by_name
 from repro.evm.asm import Assembler, assemble
 from repro.evm.disasm import Instruction, disassemble
 from repro.evm.cfg import BasicBlock, ControlFlowGraph, build_cfg
 from repro.evm.keccak import keccak256, selector
+from repro.evm.semantics import (
+    HALT,
+    SEMANTICS,
+    UNIMPLEMENTED,
+    BlockContext,
+    ConcreteDomain,
+    Domain,
+    dispatch_table,
+)
 from repro.evm.interpreter import (
     Interpreter,
     ExecutionResult,
     EVMException,
     StackUnderflow,
+    StackOverflow,
     InvalidJump,
     OutOfGas,
     Reverted,
@@ -29,10 +40,18 @@ __all__ = [
     "build_cfg",
     "keccak256",
     "selector",
+    "HALT",
+    "SEMANTICS",
+    "UNIMPLEMENTED",
+    "BlockContext",
+    "ConcreteDomain",
+    "Domain",
+    "dispatch_table",
     "Interpreter",
     "ExecutionResult",
     "EVMException",
     "StackUnderflow",
+    "StackOverflow",
     "InvalidJump",
     "OutOfGas",
     "Reverted",

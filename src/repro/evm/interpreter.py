@@ -1,11 +1,13 @@
 """A concrete EVM interpreter.
 
 Executes runtime bytecode against a message call (calldata, caller,
-value).  It implements the full computational core of the EVM — 256-bit
-modular arithmetic, signed ops, memory/storage, control flow, SHA3 via
-our own Keccak — with simplified gas accounting (a flat per-opcode cost,
-enough to bound fuzzing runs) and stubbed cross-contract calls (CALL and
-friends push success without executing a callee).
+value).  The opcode semantics live in the unified table of
+:mod:`repro.evm.semantics` — this module is only the *driver*: it walks
+the dispatch table bound to :class:`~repro.evm.semantics.ConcreteDomain`
+(Python ints mod 2^256, real memory/storage, SHA3 via our own Keccak),
+with simplified gas accounting (a flat per-opcode cost, enough to bound
+fuzzing runs) and stubbed cross-contract calls unless a
+``call_handler`` is provided.
 
 The interpreter powers the fuzzing application (§6.2 of the paper) and
 the differential tests that validate the compiler substrate: bytecode
@@ -14,98 +16,39 @@ produced by ``repro.compiler`` is *run*, not just pattern-matched.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, Optional
 
-from repro.evm.disasm import Instruction, disassemble, instruction_index, jumpdests
-from repro.evm.keccak import keccak256
+from repro.evm.disasm import disassemble, instruction_index, jumpdests
+from repro.evm.semantics import (
+    DEFAULT_SELF_BALANCE,
+    HALT,
+    BlockContext,
+    ConcreteDomain,
+    EVMException,
+    ExecutionResult,
+    InvalidInstruction,
+    InvalidJump,
+    Memory,
+    OutOfGas,
+    Reverted,
+    StackOverflow,
+    StackUnderflow,
+    dispatch_table,
+)
 
-_WORD = 1 << 256
-_MASK = _WORD - 1
-_SIGN_BIT = 1 << 255
-
-
-class EVMException(Exception):
-    """Base class for exceptional halts."""
-
-
-class StackUnderflow(EVMException):
-    pass
-
-
-class StackOverflow(EVMException):
-    pass
-
-
-class InvalidJump(EVMException):
-    pass
-
-
-class OutOfGas(EVMException):
-    pass
-
-
-class InvalidInstruction(EVMException):
-    pass
-
-
-class Reverted(EVMException):
-    """REVERT executed; carries the revert payload."""
-
-    def __init__(self, data: bytes) -> None:
-        super().__init__(f"reverted with {len(data)} bytes")
-        self.data = data
-
-
-def _to_signed(value: int) -> int:
-    return value - _WORD if value & _SIGN_BIT else value
-
-
-def _to_unsigned(value: int) -> int:
-    return value & _MASK
-
-
-@dataclass
-class ExecutionResult:
-    """Outcome of one message call."""
-
-    success: bool
-    return_data: bytes = b""
-    error: Optional[str] = None
-    gas_used: int = 0
-    steps: int = 0
-    pcs_executed: Set[int] = field(default_factory=set)
-    storage_writes: Dict[int, int] = field(default_factory=dict)
-    logs: List[bytes] = field(default_factory=list)
-    invalid_hit: bool = False  # an INVALID opcode was reached (bug oracle)
-
-
-class Memory:
-    """Byte-addressed, zero-initialized, lazily grown EVM memory."""
-
-    def __init__(self) -> None:
-        self._data = bytearray()
-
-    def _grow(self, size: int) -> None:
-        if size > len(self._data):
-            self._data.extend(b"\x00" * (size - len(self._data)))
-
-    def load(self, offset: int, length: int = 32) -> bytes:
-        self._grow(offset + length)
-        return bytes(self._data[offset : offset + length])
-
-    def store(self, offset: int, data: bytes) -> None:
-        self._grow(offset + len(data))
-        self._data[offset : offset + len(data)] = data
-
-    def store_word(self, offset: int, value: int) -> None:
-        self.store(offset, value.to_bytes(32, "big"))
-
-    def load_word(self, offset: int) -> int:
-        return int.from_bytes(self.load(offset, 32), "big")
-
-    def size(self) -> int:
-        return len(self._data)
+__all__ = [
+    "Interpreter",
+    "ExecutionResult",
+    "Memory",
+    "BlockContext",
+    "EVMException",
+    "StackUnderflow",
+    "StackOverflow",
+    "InvalidJump",
+    "OutOfGas",
+    "InvalidInstruction",
+    "Reverted",
+]
 
 
 class Interpreter:
@@ -119,14 +62,24 @@ class Interpreter:
         gas_limit: int = 10_000_000,
         call_handler: Optional[Callable] = None,
         step_hook: Optional[Callable] = None,
+        block: Optional[BlockContext] = None,
+        self_balance: Optional[int] = None,
     ) -> None:
         """``call_handler``, when provided, executes CALL-family opcodes
-        for real: it receives ``(kind, address, value, data)`` with kind
-        in {"call", "callcode", "delegatecall", "staticcall", "create"}
-        and returns ``(success: bool, return_data: bytes)`` (for create:
-        ``(success, new_address_as_bytes32)``).  Without a handler the
-        opcodes are stubbed (success, empty return data), which suffices
-        for single-contract analysis."""
+        for real: it receives ``(kind, address, value, data, frame)``
+        with kind in {"call", "callcode", "delegatecall", "staticcall",
+        "create"} and returns ``(success: bool, return_data: bytes)``
+        (for create: ``(success, new_address_as_bytes32)``).  ``frame``
+        is the live :class:`ConcreteDomain` of the calling frame; its
+        ``storage`` dict can be read and synced in place (re-entrancy).
+        Without a handler the opcodes are stubbed (success, empty return
+        data), which suffices for single-contract analysis.
+
+        ``block`` supplies the block-context opcode values
+        (COINBASE/TIMESTAMP/NUMBER/...); ``self_balance`` the value
+        SELFBALANCE pushes.  Both default to the deterministic non-zero
+        defaults in :mod:`repro.evm.semantics`.
+        """
         self.bytecode = bytecode
         self.storage: Dict[int, int] = dict(storage or {})
         self.max_steps = max_steps
@@ -134,9 +87,18 @@ class Interpreter:
         self.call_handler = call_handler
         # step_hook(pc, stack) fires before each instruction (tracing).
         self.step_hook = step_hook
+        self.block = block if block is not None else BlockContext()
+        self.self_balance = self_balance
         self._instructions = disassemble(bytecode)
         self._by_pc = instruction_index(self._instructions)
         self._jumpdests = jumpdests(self._instructions)
+        # Pre-bind each pc to (instruction, handler, gas): one dict
+        # lookup per executed step instead of an ~80-branch string chain.
+        table = dispatch_table(ConcreteDomain)
+        self._dispatch = {
+            ins.pc: (ins, table[ins.op.code], ins.op.gas)
+            for ins in self._instructions
+        }
 
     # ------------------------------------------------------------------
 
@@ -153,286 +115,61 @@ class Interpreter:
         gas/steps) are reported as ``success=False`` with an ``error``
         string; REVERT additionally carries return data.
         """
-        stack: List[int] = []
-        memory = Memory()
         result = ExecutionResult(success=False)
-        return_buffer = b""
+        frame = ConcreteDomain(
+            self.bytecode,
+            calldata,
+            self.storage,
+            self._jumpdests,
+            result,
+            caller=caller,
+            callvalue=callvalue,
+            address=address,
+            gas=self.gas_limit,
+            call_handler=self.call_handler,
+            block=self.block,
+            self_balance=(
+                DEFAULT_SELF_BALANCE
+                if self.self_balance is None
+                else self.self_balance
+            ),
+        )
+        stack = frame.stack
+        dispatch = self._dispatch
+        hook = self.step_hook
+        pcs = result.pcs_executed
+        max_steps = self.max_steps
         pc = 0
-        gas = self.gas_limit
-        calldata_size = len(calldata)
-
-        def cd_load(offset: int) -> int:
-            chunk = calldata[offset : offset + 32]
-            return int.from_bytes(chunk + b"\x00" * (32 - len(chunk)), "big")
-
-        def pop() -> int:
-            if not stack:
-                raise StackUnderflow()
-            return stack.pop()
-
-        def push(value: int) -> None:
-            if len(stack) >= 1024:
-                raise StackOverflow()
-            stack.append(value & _MASK)
 
         try:
             while True:
                 result.steps += 1
-                if result.steps > self.max_steps:
+                if result.steps > max_steps:
                     raise OutOfGas("step limit exceeded")
-                ins = self._by_pc.get(pc)
-                if ins is None:
+                entry = dispatch.get(pc)
+                if entry is None:
                     # Running off the end of code halts like STOP.
                     result.success = True
                     break
-                if self.step_hook is not None:
-                    self.step_hook(pc, stack)
-                result.pcs_executed.add(pc)
-                op = ins.op
-                gas -= op.gas
-                if gas < 0:
+                ins, handler, gas_cost = entry
+                if hook is not None:
+                    hook(pc, stack)
+                pcs.add(pc)
+                frame.gas -= gas_cost
+                if frame.gas < 0:
                     raise OutOfGas("gas limit exceeded")
-                name = op.name
-
-                if op.is_push:
-                    push(ins.operand or 0)
-                elif op.is_dup:
-                    n = op.code - 0x7F
-                    if len(stack) < n:
-                        raise StackUnderflow()
-                    push(stack[-n])
-                elif op.is_swap:
-                    n = op.code - 0x8F
-                    if len(stack) < n + 1:
-                        raise StackUnderflow()
-                    stack[-1], stack[-n - 1] = stack[-n - 1], stack[-1]
-                elif name == "STOP":
-                    result.success = True
+                try:
+                    control = handler(frame, ins)
+                except IndexError:
+                    raise StackUnderflow() from None
+                if control is None:
+                    pc = ins.next_pc
+                    if len(stack) > 1024:
+                        raise StackOverflow()
+                elif control is HALT:
                     break
-                elif name == "ADD":
-                    push(pop() + pop())
-                elif name == "MUL":
-                    push(pop() * pop())
-                elif name == "SUB":
-                    a, b = pop(), pop()
-                    push(a - b)
-                elif name == "DIV":
-                    a, b = pop(), pop()
-                    push(0 if b == 0 else a // b)
-                elif name == "SDIV":
-                    a, b = _to_signed(pop()), _to_signed(pop())
-                    if b == 0:
-                        push(0)
-                    else:
-                        quotient = abs(a) // abs(b)
-                        push(_to_unsigned(-quotient if (a < 0) != (b < 0) else quotient))
-                elif name == "MOD":
-                    a, b = pop(), pop()
-                    push(0 if b == 0 else a % b)
-                elif name == "SMOD":
-                    a, b = _to_signed(pop()), _to_signed(pop())
-                    if b == 0:
-                        push(0)
-                    else:
-                        remainder = abs(a) % abs(b)
-                        push(_to_unsigned(-remainder if a < 0 else remainder))
-                elif name == "ADDMOD":
-                    a, b, n = pop(), pop(), pop()
-                    push(0 if n == 0 else (a + b) % n)
-                elif name == "MULMOD":
-                    a, b, n = pop(), pop(), pop()
-                    push(0 if n == 0 else (a * b) % n)
-                elif name == "EXP":
-                    a, b = pop(), pop()
-                    push(pow(a, b, _WORD))
-                elif name == "SIGNEXTEND":
-                    k, value = pop(), pop()
-                    if k < 31:
-                        bit = (k + 1) * 8 - 1
-                        if value & (1 << bit):
-                            value |= _MASK ^ ((1 << (bit + 1)) - 1)
-                        else:
-                            value &= (1 << (bit + 1)) - 1
-                    push(value)
-                elif name == "LT":
-                    push(1 if pop() < pop() else 0)
-                elif name == "GT":
-                    push(1 if pop() > pop() else 0)
-                elif name == "SLT":
-                    push(1 if _to_signed(pop()) < _to_signed(pop()) else 0)
-                elif name == "SGT":
-                    push(1 if _to_signed(pop()) > _to_signed(pop()) else 0)
-                elif name == "EQ":
-                    push(1 if pop() == pop() else 0)
-                elif name == "ISZERO":
-                    push(1 if pop() == 0 else 0)
-                elif name == "AND":
-                    push(pop() & pop())
-                elif name == "OR":
-                    push(pop() | pop())
-                elif name == "XOR":
-                    push(pop() ^ pop())
-                elif name == "NOT":
-                    push(~pop())
-                elif name == "BYTE":
-                    i, x = pop(), pop()
-                    push((x >> (8 * (31 - i))) & 0xFF if i < 32 else 0)
-                elif name == "SHL":
-                    shift, value = pop(), pop()
-                    push(0 if shift >= 256 else value << shift)
-                elif name == "SHR":
-                    shift, value = pop(), pop()
-                    push(0 if shift >= 256 else value >> shift)
-                elif name == "SAR":
-                    shift, value = pop(), _to_signed(pop())
-                    if shift >= 256:
-                        push(_to_unsigned(-1 if value < 0 else 0))
-                    else:
-                        push(_to_unsigned(value >> shift))
-                elif name == "SHA3":
-                    offset, length = pop(), pop()
-                    push(int.from_bytes(keccak256(memory.load(offset, length)), "big"))
-                elif name == "ADDRESS":
-                    push(address)
-                elif name == "ORIGIN":
-                    push(caller)
-                elif name == "CALLER":
-                    push(caller)
-                elif name == "CALLVALUE":
-                    push(callvalue)
-                elif name == "CALLDATALOAD":
-                    push(cd_load(pop()))
-                elif name == "CALLDATASIZE":
-                    push(calldata_size)
-                elif name == "CALLDATACOPY":
-                    dst, src, length = pop(), pop(), pop()
-                    chunk = calldata[src : src + length]
-                    memory.store(dst, chunk + b"\x00" * (length - len(chunk)))
-                elif name == "CODESIZE":
-                    push(len(self.bytecode))
-                elif name == "CODECOPY":
-                    dst, src, length = pop(), pop(), pop()
-                    chunk = self.bytecode[src : src + length]
-                    memory.store(dst, chunk + b"\x00" * (length - len(chunk)))
-                elif name in ("BALANCE", "EXTCODESIZE", "EXTCODEHASH", "BLOCKHASH"):
-                    pop()
-                    push(0)
-                elif name == "EXTCODECOPY":
-                    pop(), pop(), pop(), pop()
-                elif name == "RETURNDATASIZE":
-                    push(len(return_buffer))
-                elif name == "RETURNDATACOPY":
-                    dst, src, length = pop(), pop(), pop()
-                    chunk = return_buffer[src : src + length]
-                    memory.store(dst, chunk + b"\x00" * (length - len(chunk)))
-                elif name in (
-                    "GASPRICE",
-                    "COINBASE",
-                    "TIMESTAMP",
-                    "NUMBER",
-                    "DIFFICULTY",
-                    "GASLIMIT",
-                    "CHAINID",
-                    "SELFBALANCE",
-                    "BASEFEE",
-                    "MSIZE",
-                    "PC",
-                ):
-                    push(memory.size() if name == "MSIZE" else (pc if name == "PC" else 0))
-                elif name == "GAS":
-                    push(max(gas, 0))
-                elif name == "POP":
-                    pop()
-                elif name == "MLOAD":
-                    push(memory.load_word(pop()))
-                elif name == "MSTORE":
-                    offset, value = pop(), pop()
-                    memory.store_word(offset, value)
-                elif name == "MSTORE8":
-                    offset, value = pop(), pop()
-                    memory.store(offset, bytes([value & 0xFF]))
-                elif name == "SLOAD":
-                    push(self.storage.get(pop(), 0))
-                elif name == "SSTORE":
-                    key, value = pop(), pop()
-                    self.storage[key] = value
-                    result.storage_writes[key] = value
-                elif name == "JUMP":
-                    target = pop()
-                    if target not in self._jumpdests:
-                        raise InvalidJump(f"jump to {target:#x}")
-                    pc = target
-                    continue
-                elif name == "JUMPI":
-                    target, condition = pop(), pop()
-                    if condition:
-                        if target not in self._jumpdests:
-                            raise InvalidJump(f"jump to {target:#x}")
-                        pc = target
-                        continue
-                elif name == "JUMPDEST":
-                    pass
-                elif name.startswith("LOG"):
-                    topics = int(name[3])
-                    offset, length = pop(), pop()
-                    for _ in range(topics):
-                        pop()
-                    result.logs.append(memory.load(offset, length))
-                elif name in ("CREATE", "CREATE2"):
-                    if name == "CREATE":
-                        value, offset, length = pop(), pop(), pop()
-                        salt = None
-                    else:
-                        value, offset, length, salt = pop(), pop(), pop(), pop()
-                    if self.call_handler is None:
-                        push(0)
-                    else:
-                        init_code = memory.load(offset, length)
-                        ok, payload = self.call_handler("create", salt or 0,
-                                                        value, init_code)
-                        push(int.from_bytes(payload, "big") if ok else 0)
-                elif name in ("CALL", "CALLCODE", "DELEGATECALL", "STATICCALL"):
-                    gas_arg = pop()
-                    to = pop()
-                    if name in ("CALL", "CALLCODE"):
-                        value = pop()
-                    else:
-                        value = 0
-                    in_off, in_size, out_off, out_size = pop(), pop(), pop(), pop()
-                    if self.call_handler is None:
-                        return_buffer = b""
-                        push(1)  # stubbed: callee succeeds, returns nothing
-                    else:
-                        payload = memory.load(in_off, in_size)
-                        ok, return_buffer = self.call_handler(
-                            name.lower(), to, value, payload
-                        )
-                        if out_size:
-                            chunk = return_buffer[:out_size]
-                            memory.store(
-                                out_off,
-                                chunk + b"\x00" * (out_size - len(chunk)),
-                            )
-                        push(1 if ok else 0)
-                elif name == "RETURN":
-                    offset, length = pop(), pop()
-                    result.return_data = memory.load(offset, length)
-                    result.success = True
-                    break
-                elif name == "REVERT":
-                    offset, length = pop(), pop()
-                    raise Reverted(memory.load(offset, length))
-                elif name == "INVALID" or name == "UNKNOWN":
-                    result.invalid_hit = True
-                    raise InvalidInstruction(f"INVALID at {pc:#x}")
-                elif name == "SELFDESTRUCT":
-                    pop()
-                    result.success = True
-                    break
-                else:  # pragma: no cover - table and dispatch kept in sync
-                    raise InvalidInstruction(f"unhandled opcode {name}")
-
-                pc = ins.next_pc
+                else:
+                    pc = control
         except Reverted as exc:
             result.error = "revert"
             result.return_data = exc.data
@@ -441,5 +178,5 @@ class Interpreter:
             if isinstance(exc, InvalidInstruction):
                 result.invalid_hit = result.invalid_hit or True
 
-        result.gas_used = self.gas_limit - gas
+        result.gas_used = self.gas_limit - frame.gas
         return result

@@ -2,7 +2,11 @@
 
 Runs a message call step by step, recording each instruction with the
 stack it saw — the debugging surface reverse engineers expect next to a
-disassembler.  Built on the interpreter's ``step_hook``.
+disassembler.  Built on the ``step_hook`` both drivers of the unified
+semantics core expose: :class:`Tracer` records the concrete
+interpreter (int stacks), :class:`SymbolicTracer` records the TASE
+engine (``Expr`` stacks, all explored paths interleaved in exploration
+order).
 """
 
 from __future__ import annotations
@@ -76,4 +80,75 @@ class Tracer:
             self.bytecode, max_steps=self.max_steps, step_hook=hook
         )
         trace.result = interpreter.call(calldata, **call_kwargs)
+        return trace
+
+
+@dataclass
+class SymbolicTraceStep:
+    """One symbolically executed instruction with its pre-state.
+
+    The stack holds :class:`repro.sigrec.expr.Expr` trees, rendered via
+    their ``repr`` (``calldata(0x4)``, ``and(0xff,...)``, ...).
+    """
+
+    pc: int
+    op: str
+    operand: Optional[int]
+    stack_before: List[object]
+
+    def render(self, max_items: int = 4) -> str:
+        shown = [repr(v) for v in self.stack_before[-max_items:][::-1]]
+        stack_text = ", ".join(shown)
+        if len(self.stack_before) > max_items:
+            stack_text += ", ..."
+        operand_text = f" {self.operand:#x}" if self.operand is not None else ""
+        return f"{self.pc:#06x}  {self.op}{operand_text}  [{stack_text}]"
+
+
+@dataclass
+class SymbolicTrace:
+    steps: List[SymbolicTraceStep] = field(default_factory=list)
+    result: Optional[object] = None  # repro.sigrec.engine.TASEResult
+
+    def render(self, limit: int = 200) -> str:
+        lines = [step.render() for step in self.steps[:limit]]
+        if len(self.steps) > limit:
+            lines.append(f"... {len(self.steps) - limit} more steps")
+        if self.result is not None:
+            selectors = ", ".join(f"{s:#010x}" for s in self.result.selectors)
+            lines.append(
+                f"=> {self.result.paths_explored} paths, "
+                f"selectors [{selectors}] ({len(self.steps)} steps)"
+            )
+        return "\n".join(lines)
+
+    def pcs(self) -> List[int]:
+        return [step.pc for step in self.steps]
+
+
+class SymbolicTracer:
+    """Step-records the TASE engine's path exploration of a contract."""
+
+    def __init__(self, bytecode: bytes, **engine_kwargs) -> None:
+        self.bytecode = bytecode
+        self.engine_kwargs = engine_kwargs
+        self._by_pc = instruction_index(disassemble(bytecode))
+
+    def trace(self) -> SymbolicTrace:
+        # Imported here: sigrec depends on repro.evm, not the reverse.
+        from repro.sigrec.engine import TASEEngine
+
+        trace = SymbolicTrace()
+
+        def hook(pc: int, stack: List[object]) -> None:
+            ins = self._by_pc.get(pc)
+            if ins is not None:
+                trace.steps.append(
+                    SymbolicTraceStep(pc, ins.op.name, ins.operand, list(stack))
+                )
+
+        engine = TASEEngine(
+            self.bytecode, step_hook=hook, **self.engine_kwargs
+        )
+        trace.result = engine.run()
         return trace

@@ -13,6 +13,12 @@ function body, and recording the events the type-inference rules need
   instruction (AND masks, SIGNEXTEND, double-ISZERO, BYTE, signed
   operations, arithmetic, comparisons against constants).
 
+The opcode dispatch itself lives in the unified semantics table of
+:mod:`repro.evm.semantics`, shared with the concrete interpreter:
+:class:`SymbolicDomain` supplies the symbolic meaning of each operation
+(``Expr`` trees, taint labels, event emission, JUMPI forking) and the
+engine is the *driver* that walks worklist states over the table.
+
 Design choices that mirror the paper:
 
 * values read from the environment (CALLER, SLOAD, ...) are free
@@ -28,9 +34,10 @@ Design choices that mirror the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.evm.disasm import Instruction, disassemble, instruction_index, jumpdests
+from repro.evm.disasm import disassemble, instruction_index, jumpdests
+from repro.evm.semantics import HALT, Domain, dispatch_table
 from repro.sigrec import expr as E
 from repro.sigrec.events import (
     CalldataCopyEvent,
@@ -42,8 +49,6 @@ from repro.sigrec.events import (
 
 _WORD = 1 << 256
 _MASK = _WORD - 1
-
-_ARITH_OPS = frozenset(["ADD", "SUB", "MUL", "DIV", "MOD", "EXP", "ADDMOD", "MULMOD"])
 
 _CMP_FOLD = {
     "lt": lambda a, b: 1 if a < b else 0,
@@ -193,7 +198,7 @@ class SymMemory:
 
 
 # ----------------------------------------------------------------------
-# Engine
+# Engine state
 # ----------------------------------------------------------------------
 
 
@@ -231,6 +236,383 @@ class TASEResult:
     hit_limits: bool = False
 
 
+# ----------------------------------------------------------------------
+# The symbolic value domain
+# ----------------------------------------------------------------------
+
+
+class SymbolicDomain(Domain):
+    """Expr-tree semantics over the shared opcode table.
+
+    Values are taint-labelled :class:`~repro.sigrec.expr.Expr` nodes;
+    type-revealing operations additionally emit the events the
+    inference rules consume.  The domain is bound to one path state at
+    a time (:meth:`bind`); JUMPI forks push cloned states onto the
+    engine's worklist.
+    """
+
+    __slots__ = ("engine", "result", "worklist", "state", "events",
+                 "semantic_idioms")
+
+    def __init__(self, engine: "TASEEngine", result: TASEResult,
+                 worklist: List[_State]) -> None:
+        super().__init__()
+        self.engine = engine
+        self.result = result
+        self.worklist = worklist
+        self.state: Optional[_State] = None
+        self.events: Optional[FunctionEvents] = None
+        self.semantic_idioms = engine.semantic_idioms
+
+    def bind(self, state: _State) -> None:
+        """Point the domain at ``state`` before stepping it."""
+        self.state = state
+        self.stack = state.stack
+        self.events = self.engine._events(self.result, state.fn)
+
+    # -- values --------------------------------------------------------
+
+    def const(self, value):
+        return E.const(value)
+
+    def _arith(self, ins, opname, a, b):
+        events = self.events
+        if events is not None:
+            if _direct_taint(a):
+                events.add_use(UseEvent(ins.pc, "arith", a.labels))
+            if _direct_taint(b):
+                events.add_use(UseEvent(ins.pc, "arith", b.labels))
+        return E.binop(opname, a, b)
+
+    def add(self, ins, a, b):
+        return self._arith(ins, "add", a, b)
+
+    def mul(self, ins, a, b):
+        return self._arith(ins, "mul", a, b)
+
+    def sub(self, ins, a, b):
+        return self._arith(ins, "sub", a, b)
+
+    def div(self, ins, a, b):
+        return self._arith(ins, "div", a, b)
+
+    def mod(self, ins, a, b):
+        return self._arith(ins, "mod", a, b)
+
+    def exp(self, ins, a, b):
+        return self._arith(ins, "exp", a, b)
+
+    def _signed_op(self, ins, opname, a, b):
+        events = self.events
+        if events is not None and (a.labels or b.labels):
+            events.add_use(UseEvent(ins.pc, "signed_op", a.labels | b.labels))
+        return E.binop(opname, a, b)
+
+    def sdiv(self, ins, a, b):
+        return self._signed_op(ins, "sdiv", a, b)
+
+    def smod(self, ins, a, b):
+        return self._signed_op(ins, "smod", a, b)
+
+    def sar(self, ins, shift, value):
+        return self._signed_op(ins, "sar", shift, value)
+
+    def signextend(self, ins, k, value):
+        events = self.events
+        if events is not None and k.is_const and _direct_taint(value):
+            events.add_use(UseEvent(ins.pc, "signextend", value.labels, k.value))
+        return E.binop("signextend", k, value)
+
+    def lt(self, ins, a, b):
+        # Record Vyper-style range checks: tainted value vs constant
+        # bound.  Only ``lt(value, bound)`` with the loaded value on the
+        # left counts: the mirrored ``lt(i, num)`` is a Solidity array
+        # bound check on a loop counter, and ``gt(num, i)`` is the same
+        # check in its inverted (obfuscated) form — neither is a clamp.
+        events = self.events
+        if events is not None and b.is_const and _direct_taint(a):
+            events.add_use(UseEvent(ins.pc, "lt_bound", a.labels, b.value))
+            events.vyper_markers += 1
+        return _cmp("lt", a, b)
+
+    def gt(self, ins, a, b):
+        return _cmp("gt", a, b)
+
+    def _signed_cmp(self, ins, opname, a, b):
+        events = self.events
+        if events is not None:
+            if b.is_const and _direct_taint(a):
+                # slt(value, lo) / sgt(value, hi): a Vyper clamp.
+                events.add_use(
+                    UseEvent(ins.pc, "signed_bound", a.labels, b.value)
+                )
+                events.vyper_markers += 1
+            elif a.labels or b.labels:
+                events.add_use(
+                    UseEvent(ins.pc, "signed_op", a.labels | b.labels)
+                )
+        return _cmp(opname, a, b)
+
+    def slt(self, ins, a, b):
+        return self._signed_cmp(ins, "slt", a, b)
+
+    def sgt(self, ins, a, b):
+        return self._signed_cmp(ins, "sgt", a, b)
+
+    def eq(self, ins, a, b):
+        events = self.events
+        if events is not None and self.semantic_idioms:
+            # EQ-with-zero is ISZERO in disguise: two chained
+            # zero-comparisons normalize a bool exactly like a double
+            # ISZERO (obfuscation-resistant R14).
+            inner = _eq_zero_operand(a, b)
+            if (
+                inner is not None
+                and inner.op == "eq"
+                and _eq_zero_operand(*inner.args) is not None
+                and _direct_taint(_eq_zero_operand(*inner.args))
+            ):
+                events.add_use(
+                    UseEvent(
+                        ins.pc, "bool_mask",
+                        _eq_zero_operand(*inner.args).labels,
+                    )
+                )
+        return _cmp("eq", a, b)
+
+    def iszero(self, ins, value):
+        events = self.events
+        if (
+            events is not None
+            and value.op == "iszero"
+            and _direct_taint(value.args[0])
+        ):
+            events.add_use(UseEvent(ins.pc, "bool_mask", value.args[0].labels))
+        return _iszero(value)
+
+    def and_(self, ins, a, b):
+        out = E.binop("and", a, b)
+        events = self.events
+        if events is not None:
+            mask, operand = (a, b) if a.is_const else (b, a)
+            if mask.is_const and operand.labels and _direct_taint(operand):
+                events.add_use(
+                    UseEvent(ins.pc, "and_mask", operand.labels, mask.value)
+                )
+        return out
+
+    def or_(self, ins, a, b):
+        return E.binop("or", a, b)
+
+    def xor(self, ins, a, b):
+        return E.binop("xor", a, b)
+
+    def not_(self, ins, a):
+        return E.bit_not(a)
+
+    def byte(self, ins, index, value):
+        events = self.events
+        if events is not None and value.labels and _direct_taint(value):
+            events.add_use(UseEvent(ins.pc, "byte", value.labels))
+        return E.binop("byte", index, value)
+
+    def _shift(self, ins, opname, shift, value):
+        events = self.events
+        if events is not None and shift.is_const and self.semantic_idioms:
+            # A SHL/SHR (or SHR/SHL) pair with the same shift is an AND
+            # mask in disguise (obfuscation-resistant R11/R12): record
+            # the equivalent mask.
+            k = shift.value
+            inverse = "shr" if opname == "shl" else "shl"
+            if (
+                0 < k < 256
+                and value.op == inverse
+                and value.args[0] == shift
+                and _direct_taint(value.args[1])
+            ):
+                if opname == "shr":
+                    mask = (1 << (256 - k)) - 1  # keeps low bits
+                else:
+                    mask = ((1 << (256 - k)) - 1) << k  # high bits
+                events.add_use(
+                    UseEvent(ins.pc, "and_mask", value.args[1].labels, mask)
+                )
+        return E.binop(opname, shift, value)
+
+    def shl(self, ins, shift, value):
+        return self._shift(ins, "shl", shift, value)
+
+    def shr(self, ins, shift, value):
+        return self._shift(ins, "shr", shift, value)
+
+    def addmod(self, ins, a, b, n):
+        events = self.events
+        if events is not None:
+            if _direct_taint(a):
+                events.add_use(UseEvent(ins.pc, "arith", a.labels))
+            if _direct_taint(b):
+                events.add_use(UseEvent(ins.pc, "arith", b.labels))
+        return E.ternop("addmod", a, b, n)
+
+    def mulmod(self, ins, a, b, n):
+        events = self.events
+        if events is not None:
+            if _direct_taint(a):
+                events.add_use(UseEvent(ins.pc, "arith", a.labels))
+            if _direct_taint(b):
+                events.add_use(UseEvent(ins.pc, "arith", b.labels))
+        return E.ternop("mulmod", a, b, n)
+
+    # -- data access ---------------------------------------------------
+
+    def sha3(self, ins, offset, length):
+        return self.engine._fresh_env("sha3")
+
+    def calldataload(self, ins, loc):
+        value = E.calldata(loc)
+        events = self.events
+        if events is not None:
+            events.add_load(
+                CalldataLoadEvent(ins.pc, loc, value, self.state.guards)
+            )
+        return value
+
+    def calldatasize(self, ins):
+        return E.calldatasize()
+
+    def calldatacopy(self, ins, dst, src, length):
+        labels = src.labels | length.labels
+        region_id = self.state.memory.add_region(ins.pc, dst, length, labels)
+        events = self.events
+        if events is not None:
+            events.add_copy(
+                CalldataCopyEvent(
+                    ins.pc, dst, src, length, region_id, self.state.guards
+                )
+            )
+
+    def codecopy(self, ins, dst, src, length):
+        pass
+
+    def returndatacopy(self, ins, dst, src, length):
+        pass
+
+    def extcodecopy(self, ins, addr, dst, src, length):
+        pass
+
+    def mload(self, ins, offset):
+        return self.state.memory.load(offset)
+
+    def mstore(self, ins, offset, value):
+        self.state.memory.store(offset, value)
+
+    def mstore8(self, ins, offset, value):
+        events = self.events
+        if events is not None and _direct_taint(value):
+            events.add_use(UseEvent(ins.pc, "mstore8", value.labels))
+
+    def sload(self, ins, key):
+        return self.engine._fresh_env("sload")
+
+    def sstore(self, ins, key, value):
+        pass
+
+    # -- environment ---------------------------------------------------
+
+    def env0(self, ins, name):
+        return self.engine._fresh_env(name.lower())
+
+    def env1(self, ins, name, arg):
+        return self.engine._fresh_env(name.lower())
+
+    # -- system --------------------------------------------------------
+
+    def log(self, ins, offset, length, topics):
+        pass
+
+    def create(self, ins, value, offset, length, salt):
+        return self.engine._fresh_env("create")
+
+    def call_op(self, ins, kind, gas, to, value, in_off, in_size, out_off, out_size):
+        return self.engine._fresh_env("callret")
+
+    # -- control flow --------------------------------------------------
+
+    def jump(self, ins, target):
+        value = eval_const(target)
+        if value is None or value not in self.engine._jumpdests:
+            return HALT  # input-dependent jump: stop the path
+        if not self.engine._note_loop(self.state, value):
+            return HALT
+        return value
+
+    def jumpi(self, ins, target, cond):
+        engine = self.engine
+        state = self.state
+        tvalue = eval_const(target)
+        if tvalue is None:
+            return HALT
+        cvalue = eval_const(cond)
+        if cvalue is not None:
+            taken = bool(cvalue)
+            state.guards = state.guards + (Guard(cond, taken, ins.pc),)
+            if taken:
+                if tvalue not in engine._jumpdests:
+                    return HALT
+                if not engine._note_loop(state, tvalue):
+                    return HALT
+                return tvalue
+            return None
+        # Symbolic condition: fork under a *global* per-(site, side)
+        # budget.  Events are deduplicated per function, so re-exploring
+        # the same branch side from many paths adds nothing; capping
+        # globally keeps total work linear in program size instead of
+        # exponential in loop count.
+        selector = engine._match_selector(cond)
+        budget = engine._branch_budget
+        take_budget = budget.get((ins.pc, True), engine.fork_bound)
+        fall_budget = budget.get((ins.pc, False), engine.fork_bound)
+        explore_taken = take_budget > 0 and tvalue in engine._jumpdests
+        explore_fall = fall_budget > 0
+        if explore_fall:
+            budget[(ins.pc, False)] = fall_budget - 1
+            if explore_taken:
+                fallthrough = state.fork(ins.next_pc)
+                fallthrough.guards = state.guards + (Guard(cond, False, ins.pc),)
+                self.worklist.append(fallthrough)
+            else:
+                state.guards = state.guards + (Guard(cond, False, ins.pc),)
+                return None
+        if not explore_taken:
+            return HALT
+        budget[(ins.pc, True)] = take_budget - 1
+        state.guards = state.guards + (Guard(cond, True, ins.pc),)
+        if selector is not None:
+            state.fn = selector
+            self.events = engine._events(self.result, selector)
+        return tvalue
+
+    def halt_stop(self, ins):
+        return HALT
+
+    def halt_return(self, ins, offset, length):
+        return HALT
+
+    def halt_revert(self, ins, offset, length):
+        return HALT
+
+    def halt_invalid(self, ins):
+        return HALT
+
+    def halt_selfdestruct(self, ins, beneficiary):
+        return HALT
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
 class TASEEngine:
     """Explores one contract and collects type-inference events."""
 
@@ -242,6 +624,7 @@ class TASEEngine:
         fork_bound: int = 3,
         loop_bound: int = 420,
         semantic_idioms: bool = True,
+        step_hook: Optional[Callable] = None,
     ) -> None:
         self.bytecode = bytecode
         self.max_total_steps = max_total_steps
@@ -252,12 +635,21 @@ class TASEEngine:
         # recognized (no shift-pair masks, no EQ-zero bools): the
         # ablation knob for the obfuscation experiment.
         self.semantic_idioms = semantic_idioms
+        # step_hook(pc, stack) fires before each instruction, exactly
+        # like the concrete interpreter's hook — the stack holds Exprs.
+        self.step_hook = step_hook
         self._instructions = disassemble(bytecode)
         self._by_pc = instruction_index(self._instructions)
         self._jumpdests = jumpdests(self._instructions)
         self._env_counter = 0
         # Global symbolic-branch budgets, keyed by (jumpi pc, side).
         self._branch_budget: Dict[Tuple[int, bool], int] = {}
+        # Pre-bind each pc to (instruction, handler) over the shared
+        # semantics table (single dict lookup per step).
+        table = dispatch_table(SymbolicDomain)
+        self._dispatch = {
+            ins.pc: (ins, table[ins.op.code]) for ins in self._instructions
+        }
 
     # ------------------------------------------------------------------
 
@@ -269,6 +661,9 @@ class TASEEngine:
             fn=None, fork_visits={}, loop_visits={},
         )
         worklist = [initial]
+        domain = SymbolicDomain(self, result, worklist)
+        dispatch = self._dispatch
+        hook = self.step_hook
         total_steps = 0
         paths = 0
         while worklist:
@@ -277,17 +672,29 @@ class TASEEngine:
             if paths > self.max_paths:
                 result.hit_limits = True
                 break
+            domain.bind(state)
             while True:
                 total_steps += 1
                 if total_steps > self.max_total_steps or state.steps > 60_000:
                     result.hit_limits = True
                     break
-                ins = self._by_pc.get(state.pc)
-                if ins is None:
+                entry = dispatch.get(state.pc)
+                if entry is None:
                     break
-                advance = self._step(ins, state, worklist, result)
-                if not advance:
+                ins, handler = entry
+                if hook is not None:
+                    hook(state.pc, state.stack)
+                state.steps += 1
+                try:
+                    control = handler(domain, ins)
+                except IndexError:
+                    break  # stack underflow: malformed path
+                if control is None:
+                    state.pc = ins.next_pc
+                elif control is HALT:
                     break
+                else:
+                    state.pc = control
         result.paths_explored = paths
         result.selectors = sorted(result.functions.keys())
         return result
@@ -306,6 +713,14 @@ class TASEEngine:
     def _fresh_env(self, stem: str) -> E.Expr:
         self._env_counter += 1
         return E.env(f"{stem}_{self._env_counter}")
+
+    def _note_loop(self, state: _State, target: int) -> bool:
+        """Bound concrete revisits of a jump target; False ends the path."""
+        visits = state.loop_visits.get(target, 0)
+        if visits >= self.loop_bound:
+            return False
+        state.loop_visits[target] = visits + 1
+        return True
 
     @staticmethod
     def _match_selector(cond: E.Expr) -> Optional[int]:
@@ -337,322 +752,6 @@ class TASEEngine:
             shift, value = e.args
             return shift.is_const and shift.value == 224 and _is_calldata0(value)
         return False
-
-    # ------------------------------------------------------------------
-
-    def _step(
-        self,
-        ins: Instruction,
-        state: _State,
-        worklist: List[_State],
-        result: TASEResult,
-    ) -> bool:
-        """Execute one instruction; return False to end the path."""
-        op = ins.op
-        name = op.name
-        stack = state.stack
-        state.steps += 1
-
-        def pop() -> E.Expr:
-            if not stack:
-                raise IndexError
-            return stack.pop()
-
-        def push(e: E.Expr) -> None:
-            stack.append(e)
-
-        events = self._events(result, state.fn)
-
-        try:
-            if op.is_push:
-                push(E.const(ins.operand or 0))
-            elif op.is_dup:
-                n = op.code - 0x7F
-                push(stack[-n])
-            elif op.is_swap:
-                n = op.code - 0x8F
-                stack[-1], stack[-n - 1] = stack[-n - 1], stack[-1]
-            elif name == "POP":
-                pop()
-            elif name == "JUMPDEST":
-                pass
-            elif name == "CALLDATALOAD":
-                loc = pop()
-                value = E.calldata(loc)
-                push(value)
-                if events is not None:
-                    events.add_load(
-                        CalldataLoadEvent(ins.pc, loc, value, state.guards)
-                    )
-            elif name == "CALLDATASIZE":
-                push(E.calldatasize())
-            elif name == "CALLDATACOPY":
-                dst, src, length = pop(), pop(), pop()
-                labels = src.labels | length.labels
-                region_id = state.memory.add_region(ins.pc, dst, length, labels)
-                if events is not None:
-                    events.add_copy(
-                        CalldataCopyEvent(
-                            ins.pc, dst, src, length, region_id, state.guards
-                        )
-                    )
-            elif name == "MLOAD":
-                push(state.memory.load(pop()))
-            elif name == "MSTORE":
-                offset, value = pop(), pop()
-                state.memory.store(offset, value)
-            elif name == "MSTORE8":
-                offset, value = pop(), pop()
-                if events is not None and _direct_taint(value):
-                    events.add_use(UseEvent(ins.pc, "mstore8", value.labels))
-            elif name == "ISZERO":
-                value = pop()
-                if (
-                    events is not None
-                    and value.op == "iszero"
-                    and _direct_taint(value.args[0])
-                ):
-                    events.add_use(
-                        UseEvent(ins.pc, "bool_mask", value.args[0].labels)
-                    )
-                push(_iszero(value))
-            elif name == "AND":
-                a, b = pop(), pop()
-                out = E.binop("and", a, b)
-                if events is not None:
-                    mask, operand = (a, b) if a.is_const else (b, a)
-                    if mask.is_const and operand.labels and _direct_taint(operand):
-                        events.add_use(
-                            UseEvent(ins.pc, "and_mask", operand.labels, mask.value)
-                        )
-                push(out)
-            elif name == "SIGNEXTEND":
-                k, value = pop(), pop()
-                if events is not None and k.is_const and _direct_taint(value):
-                    events.add_use(
-                        UseEvent(ins.pc, "signextend", value.labels, k.value)
-                    )
-                push(E.binop("signextend", k, value))
-            elif name == "BYTE":
-                index, value = pop(), pop()
-                if events is not None and value.labels and _direct_taint(value):
-                    events.add_use(UseEvent(ins.pc, "byte", value.labels))
-                push(E.binop("byte", index, value))
-            elif name in ("LT", "GT"):
-                a, b = pop(), pop()
-                out = _cmp(name.lower(), a, b)
-                if events is not None:
-                    self._record_bound(events, ins.pc, name.lower(), a, b)
-                push(out)
-            elif name in ("SLT", "SGT"):
-                a, b = pop(), pop()
-                out = _cmp(name.lower(), a, b)
-                if events is not None:
-                    if b.is_const and _direct_taint(a):
-                        # slt(value, lo) / sgt(value, hi): a Vyper clamp.
-                        events.add_use(
-                            UseEvent(ins.pc, "signed_bound", a.labels, b.value)
-                        )
-                        events.vyper_markers += 1
-                    elif a.labels or b.labels:
-                        events.add_use(
-                            UseEvent(ins.pc, "signed_op", a.labels | b.labels)
-                        )
-                push(out)
-            elif name == "EQ":
-                a, b = pop(), pop()
-                if events is not None and self.semantic_idioms:
-                    # EQ-with-zero is ISZERO in disguise: two chained
-                    # zero-comparisons normalize a bool exactly like a
-                    # double ISZERO (obfuscation-resistant R14).
-                    inner = _eq_zero_operand(a, b)
-                    if (
-                        inner is not None
-                        and inner.op == "eq"
-                        and _eq_zero_operand(*inner.args) is not None
-                        and _direct_taint(_eq_zero_operand(*inner.args))
-                    ):
-                        events.add_use(
-                            UseEvent(
-                                ins.pc, "bool_mask",
-                                _eq_zero_operand(*inner.args).labels,
-                            )
-                        )
-                push(_cmp("eq", a, b))
-            elif name in ("SDIV", "SMOD", "SAR"):
-                a, b = pop(), pop()
-                if events is not None and (a.labels or b.labels):
-                    events.add_use(UseEvent(ins.pc, "signed_op", a.labels | b.labels))
-                push(E.binop(name.lower(), a, b))
-            elif name in _ARITH_OPS:
-                if name in ("ADDMOD", "MULMOD"):
-                    a, b, n = pop(), pop(), pop()
-                    out = E.ternop(name.lower(), a, b, n)
-                    operands = (a, b)
-                else:
-                    a, b = pop(), pop()
-                    out = E.binop(name.lower(), a, b)
-                    operands = (a, b)
-                if events is not None:
-                    for operand in operands:
-                        if _direct_taint(operand):
-                            events.add_use(
-                                UseEvent(ins.pc, "arith", operand.labels)
-                            )
-                push(out)
-            elif name in ("OR", "XOR"):
-                push(E.binop(name.lower(), pop(), pop()))
-            elif name in ("SHL", "SHR"):
-                shift, value = pop(), pop()
-                if events is not None and shift.is_const and self.semantic_idioms:
-                    # A SHL/SHR (or SHR/SHL) pair with the same shift is
-                    # an AND mask in disguise (obfuscation-resistant
-                    # R11/R12): record the equivalent mask.
-                    k = shift.value
-                    inverse = "shr" if name == "SHL" else "shl"
-                    if (
-                        0 < k < 256
-                        and value.op == inverse
-                        and value.args[0] == shift
-                        and _direct_taint(value.args[1])
-                    ):
-                        if name == "SHR":
-                            mask = (1 << (256 - k)) - 1  # keeps low bits
-                        else:
-                            mask = ((1 << (256 - k)) - 1) << k  # high bits
-                        events.add_use(
-                            UseEvent(
-                                ins.pc, "and_mask",
-                                value.args[1].labels, mask,
-                            )
-                        )
-                push(E.binop(name.lower(), shift, value))
-            elif name == "NOT":
-                push(E.bit_not(pop()))
-            elif name == "SHA3":
-                pop(), pop()
-                push(self._fresh_env("sha3"))
-            elif name in ("ADDRESS", "ORIGIN", "CALLER", "CALLVALUE", "GASPRICE",
-                          "COINBASE", "TIMESTAMP", "NUMBER", "DIFFICULTY",
-                          "GASLIMIT", "CHAINID", "SELFBALANCE", "BASEFEE",
-                          "MSIZE", "GAS", "PC", "RETURNDATASIZE", "CODESIZE"):
-                push(self._fresh_env(name.lower()))
-            elif name in ("BALANCE", "EXTCODESIZE", "EXTCODEHASH", "BLOCKHASH"):
-                pop()
-                push(self._fresh_env(name.lower()))
-            elif name == "SLOAD":
-                pop()
-                push(self._fresh_env("sload"))
-            elif name == "SSTORE":
-                pop(), pop()
-            elif name in ("CODECOPY", "RETURNDATACOPY"):
-                pop(), pop(), pop()
-            elif name == "EXTCODECOPY":
-                pop(), pop(), pop(), pop()
-            elif name.startswith("LOG"):
-                for _ in range(op.pops):
-                    pop()
-            elif name in ("CREATE", "CREATE2"):
-                for _ in range(op.pops):
-                    pop()
-                push(self._fresh_env("create"))
-            elif name in ("CALL", "CALLCODE", "DELEGATECALL", "STATICCALL"):
-                for _ in range(op.pops):
-                    pop()
-                push(self._fresh_env("callret"))
-            elif name == "JUMP":
-                target = pop()
-                value = eval_const(target)
-                if value is None or value not in self._jumpdests:
-                    return False  # input-dependent jump: stop the path
-                if not self._note_loop(state, value):
-                    return False
-                state.pc = value
-                return True
-            elif name == "JUMPI":
-                target, cond = pop(), pop()
-                tvalue = eval_const(target)
-                if tvalue is None:
-                    return False
-                cvalue = eval_const(cond)
-                selector = self._match_selector(cond)
-                if cvalue is not None:
-                    taken = bool(cvalue)
-                    state.guards = state.guards + (Guard(cond, taken, ins.pc),)
-                    if taken:
-                        if tvalue not in self._jumpdests:
-                            return False
-                        if not self._note_loop(state, tvalue):
-                            return False
-                        state.pc = tvalue
-                        return True
-                    state.pc = ins.next_pc
-                    return True
-                # Symbolic condition: fork under a *global* per-(site,
-                # side) budget.  Events are deduplicated per function, so
-                # re-exploring the same branch side from many paths adds
-                # nothing; capping globally keeps total work linear in
-                # program size instead of exponential in loop count.
-                take_budget = self._branch_budget.get((ins.pc, True), self.fork_bound)
-                fall_budget = self._branch_budget.get((ins.pc, False), self.fork_bound)
-                explore_taken = take_budget > 0 and tvalue in self._jumpdests
-                explore_fall = fall_budget > 0
-                if explore_fall:
-                    self._branch_budget[(ins.pc, False)] = fall_budget - 1
-                    if explore_taken:
-                        fallthrough = state.fork(ins.next_pc)
-                        fallthrough.guards = state.guards + (
-                            Guard(cond, False, ins.pc),
-                        )
-                        worklist.append(fallthrough)
-                    else:
-                        state.guards = state.guards + (Guard(cond, False, ins.pc),)
-                        state.pc = ins.next_pc
-                        return True
-                if not explore_taken:
-                    return False
-                self._branch_budget[(ins.pc, True)] = take_budget - 1
-                state.guards = state.guards + (Guard(cond, True, ins.pc),)
-                if selector is not None:
-                    state.fn = selector
-                    self._events(result, selector)  # materialize entry
-                state.pc = tvalue
-                return True
-            elif name in ("STOP", "RETURN", "REVERT", "INVALID", "SELFDESTRUCT",
-                          "UNKNOWN"):
-                return False
-            else:  # pragma: no cover - dispatch covers the table
-                for _ in range(op.pops):
-                    pop()
-                for _ in range(op.pushes):
-                    push(self._fresh_env(name.lower()))
-        except IndexError:
-            return False  # stack underflow: malformed path
-
-        state.pc = ins.next_pc
-        return True
-
-    def _note_loop(self, state: _State, target: int) -> bool:
-        """Bound concrete revisits of a jump target; False ends the path."""
-        visits = state.loop_visits.get(target, 0)
-        if visits >= self.loop_bound:
-            return False
-        state.loop_visits[target] = visits + 1
-        return True
-
-    def _record_bound(
-        self, events: FunctionEvents, pc: int, op: str, a: E.Expr, b: E.Expr
-    ) -> None:
-        """Record Vyper-style range checks: tainted value vs constant bound.
-
-        Only ``lt(value, bound)`` with the loaded value on the left
-        counts: the mirrored ``lt(i, num)`` is a Solidity array bound
-        check on a loop counter, and ``gt(num, i)`` is the same check in
-        its inverted (obfuscated) form — neither is a clamp.
-        """
-        if op == "lt" and b.is_const and _direct_taint(a):
-            events.add_use(UseEvent(pc, f"{op}_bound", a.labels, b.value))
-            events.vyper_markers += 1
 
 
 def _is_calldata0(e: E.Expr) -> bool:

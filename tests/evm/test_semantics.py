@@ -1,0 +1,191 @@
+"""The unified semantics table: coverage, arity, and block context.
+
+The table in ``repro.evm.semantics`` is the single source of opcode
+behaviour for every engine; these tests pin its completeness (no opcode
+silently unhandled), its declared stack arities against the opcode
+metadata, and the block-context opcodes that used to collapse to 0.
+"""
+
+import pytest
+
+from repro.chain.chain import BLOCK_INTERVAL, Chain, Transaction
+from repro.evm.asm import Assembler
+from repro.evm.interpreter import BlockContext, Interpreter
+from repro.evm.opcodes import OPCODES
+from repro.evm.semantics import (
+    DEFAULT_SELF_BALANCE,
+    SEMANTICS,
+    UNIMPLEMENTED,
+    UNKNOWN_CODE,
+    ConcreteDomain,
+    dispatch_table,
+)
+from repro.sigrec.engine import SymbolicDomain
+
+
+# ----------------------------------------------------------------------
+# Coverage and arity
+# ----------------------------------------------------------------------
+
+
+def test_every_opcode_has_a_handler_or_is_declared_unimplemented():
+    missing = [
+        op.name
+        for code, op in OPCODES.items()
+        if code not in SEMANTICS and op.name not in UNIMPLEMENTED
+    ]
+    assert not missing, f"opcodes without semantics: {missing}"
+
+
+def test_unimplemented_list_is_not_stale():
+    # Everything declared unimplemented must actually lack a handler.
+    stale = [
+        name
+        for name in UNIMPLEMENTED
+        if any(e.name == name for e in SEMANTICS.values())
+    ]
+    assert not stale, f"declared unimplemented but registered: {stale}"
+
+
+def test_declared_arity_matches_opcode_metadata():
+    for code, entry in SEMANTICS.items():
+        op = OPCODES[code]
+        assert (entry.pops, entry.pushes) == (op.pops, op.pushes), (
+            f"{op.name}: semantics declares ({entry.pops},{entry.pushes}), "
+            f"opcode table says ({op.pops},{op.pushes})"
+        )
+        assert entry.name == op.name
+
+
+@pytest.mark.parametrize("domain_cls", [ConcreteDomain, SymbolicDomain])
+def test_dispatch_table_is_total(domain_cls):
+    table = dispatch_table(domain_cls)
+    assert set(table) == set(SEMANTICS) | {UNKNOWN_CODE}
+    assert all(callable(h) for h in table.values())
+
+
+def test_dispatch_table_is_cached_per_class():
+    assert dispatch_table(ConcreteDomain) is dispatch_table(ConcreteDomain)
+    assert dispatch_table(ConcreteDomain) is not dispatch_table(SymbolicDomain)
+
+
+# ----------------------------------------------------------------------
+# Block context (interpreter level)
+# ----------------------------------------------------------------------
+
+
+def _run_env_op(op_name, **interp_kwargs):
+    asm = Assembler()
+    asm.op(op_name)
+    asm.push(0).op("MSTORE")
+    asm.push(32).push(0).op("RETURN")
+    result = Interpreter(asm.assemble(), **interp_kwargs).call(b"")
+    assert result.success
+    return int.from_bytes(result.return_data, "big")
+
+
+DEFAULT = BlockContext()
+
+
+@pytest.mark.parametrize(
+    "op_name,expected",
+    [
+        ("COINBASE", DEFAULT.coinbase),
+        ("TIMESTAMP", DEFAULT.timestamp),
+        ("NUMBER", DEFAULT.number),
+        ("DIFFICULTY", DEFAULT.difficulty),
+        ("GASLIMIT", DEFAULT.gaslimit),
+        ("CHAINID", DEFAULT.chainid),
+        ("BASEFEE", DEFAULT.basefee),
+        ("SELFBALANCE", DEFAULT_SELF_BALANCE),
+    ],
+)
+def test_block_opcode_defaults_are_distinct_and_nonzero(op_name, expected):
+    assert expected != 0  # the historical behaviour collapsed these to 0
+    assert _run_env_op(op_name) == expected
+
+
+def test_block_opcode_defaults_are_pairwise_distinct():
+    values = [
+        DEFAULT.coinbase, DEFAULT.timestamp, DEFAULT.number,
+        DEFAULT.difficulty, DEFAULT.gaslimit, DEFAULT.chainid,
+        DEFAULT.basefee, DEFAULT_SELF_BALANCE,
+    ]
+    assert len(set(values)) == len(values)
+
+
+def test_custom_block_context_is_honoured():
+    block = BlockContext(timestamp=1234, number=77, coinbase=0xAB, chainid=5)
+    assert _run_env_op("TIMESTAMP", block=block) == 1234
+    assert _run_env_op("NUMBER", block=block) == 77
+    assert _run_env_op("COINBASE", block=block) == 0xAB
+    assert _run_env_op("CHAINID", block=block) == 5
+
+
+def test_custom_self_balance_is_honoured():
+    assert _run_env_op("SELFBALANCE", self_balance=42) == 42
+    assert _run_env_op("SELFBALANCE", self_balance=0) == 0
+
+
+# ----------------------------------------------------------------------
+# Block context (chain wiring)
+# ----------------------------------------------------------------------
+
+
+def _returns_env(op_name):
+    asm = Assembler()
+    asm.op(op_name)
+    asm.push(0).op("MSTORE")
+    asm.push(32).push(0).op("RETURN")
+    return asm.assemble()
+
+
+def test_chain_passes_advancing_number_and_timestamp():
+    chain = Chain()
+    sender = 0xFA0CE7
+    chain.fund(sender, 10**18)
+    number_at = chain.deploy(_returns_env("NUMBER"), sender=sender)
+    time_at = chain.deploy(_returns_env("TIMESTAMP"), sender=sender)
+    genesis = chain.genesis
+    for mined in range(3):
+        pending = len(chain.blocks)
+        r_num = chain.call(number_at, b"")
+        r_time = chain.call(time_at, b"")
+        assert int.from_bytes(r_num.return_data, "big") == genesis.number + pending
+        assert (
+            int.from_bytes(r_time.return_data, "big")
+            == genesis.timestamp + BLOCK_INTERVAL * pending
+        )
+        chain.mine()
+
+
+def test_chain_honours_custom_genesis_context():
+    genesis = BlockContext(number=100, timestamp=5_000, chainid=1337)
+    chain = Chain(genesis=genesis)
+    sender = 0xFA0CE7
+    chain.fund(sender, 10**18)
+    chain.mine()  # block 100 sealed; the pending block is 101
+    addr = chain.deploy(_returns_env("NUMBER"), sender=sender)
+    assert (
+        int.from_bytes(chain.call(addr, b"").return_data, "big") == 101
+    )
+    chain_id_addr = chain.deploy(_returns_env("CHAINID"), sender=sender)
+    assert (
+        int.from_bytes(chain.call(chain_id_addr, b"").return_data, "big")
+        == 1337
+    )
+
+
+def test_chain_selfbalance_reads_the_account_balance():
+    chain = Chain()
+    sender = 0xFA0CE7
+    chain.fund(sender, 10**18)
+    addr = chain.deploy(_returns_env("SELFBALANCE"), sender=sender)
+    assert int.from_bytes(chain.call(addr, b"").return_data, "big") == 0
+    receipt = chain.send(
+        Transaction(sender=sender, to=addr, data=b"", value=12345)
+    )
+    assert receipt.success
+    # The value transfer lands before execution: SELFBALANCE sees it.
+    assert int.from_bytes(receipt.return_data, "big") == 12345
+    assert int.from_bytes(chain.call(addr, b"").return_data, "big") == 12345
