@@ -1,0 +1,48 @@
+"""Static bytecode analysis over runtime EVM bytecode.
+
+Four cooperating passes, all purely static (no execution):
+
+* :mod:`repro.analysis.dataflow` — jump-target resolution by
+  push-constant stack dataflow (fixpoint over the CFG);
+* :mod:`repro.analysis.stackcheck` — stack-height verification with
+  the interval domain (underflow / overflow / unbalanced joins);
+* :mod:`repro.analysis.dispatcher` — selector → entry-block extraction
+  from the resolved dispatcher, plus dead-code detection;
+* :mod:`repro.analysis.lint` — everything folded into one linter
+  verdict with text/JSON rendering.
+
+:func:`repro.analysis.report.analyze` chains them; the resulting
+:class:`~repro.analysis.report.ContractAnalysis` doubles as the TASE
+engine's pruning oracle and ``SigRec``'s cross-check source.
+"""
+
+from repro.analysis.dataflow import ResolvedCFG, resolve_bytecode, resolve_jumps
+from repro.analysis.dispatcher import DispatcherReport, extract_dispatch
+from repro.analysis.lint import LintReport, lint_analysis, lint_bytecode
+from repro.analysis.report import (
+    ANALYSIS_SCHEMA_VERSION,
+    ContractAnalysis,
+    Diagnostic,
+    analyze,
+    cross_check,
+)
+from repro.analysis.stackcheck import Finding, StackReport, verify_stack
+
+__all__ = [
+    "ANALYSIS_SCHEMA_VERSION",
+    "ContractAnalysis",
+    "Diagnostic",
+    "DispatcherReport",
+    "Finding",
+    "LintReport",
+    "ResolvedCFG",
+    "StackReport",
+    "analyze",
+    "cross_check",
+    "extract_dispatch",
+    "lint_analysis",
+    "lint_bytecode",
+    "resolve_bytecode",
+    "resolve_jumps",
+    "verify_stack",
+]

@@ -1,0 +1,133 @@
+"""Bytecode linting: the analysis passes as a single verifier verdict.
+
+``lint_bytecode`` runs :func:`repro.analysis.report.analyze` and folds
+its findings — plus a few linter-only checks (truncated trailing PUSH,
+unresolved jumps, unreachable code) — into one :class:`LintReport` with
+text and JSON renderings for the ``repro lint`` CLI command.
+
+Severity semantics:
+
+* ``error`` — the bytecode violates EVM stack/jump discipline on some
+  statically reachable path; our own compiler output must never
+  produce one (that is the sanitizer contract).
+* ``warning`` — suspicious but not provably broken (a truncated PUSH,
+  a conflicting dispatcher entry).
+* ``info`` — facts worth surfacing (unreachable blocks, jumps only the
+  symbolic executor can resolve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import ContractAnalysis, analyze
+from repro.analysis.stackcheck import Finding
+
+
+@dataclass
+class LintReport:
+    """The linter verdict for one runtime bytecode."""
+
+    analysis: ContractAnalysis
+    findings: Tuple[Finding, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == "error" for f in self.findings)
+
+    def counts(self) -> Dict[str, int]:
+        out = {"error": 0, "warning": 0, "info": 0}
+        for finding in self.findings:
+            out[finding.severity] = out.get(finding.severity, 0) + 1
+        return out
+
+    def render_text(self) -> str:
+        cfg = self.analysis.cfg
+        lines = [
+            f"blocks: {len(cfg.blocks)}  "
+            f"selectors: {len(self.analysis.selectors)}  "
+            f"resolved jumps: {len(cfg.resolved_targets)}  "
+            f"unresolved: {len(cfg.unresolved_jumps)}"
+        ]
+        for finding in self.findings:
+            lines.append(finding.render())
+        counts = self.counts()
+        lines.append(
+            ("OK" if self.ok else "FAIL")
+            + f" ({counts['error']} errors, {counts['warning']} warnings, "
+            + f"{counts['info']} notes)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        cfg = self.analysis.cfg
+        return {
+            "ok": self.ok,
+            "blocks": len(cfg.blocks),
+            "selectors": [f"0x{s:08x}" for s in self.analysis.selectors],
+            "resolved_jumps": len(cfg.resolved_targets),
+            "unresolved_jumps": sorted(cfg.unresolved_jumps),
+            "findings": [
+                {
+                    "kind": f.kind,
+                    "pc": f.pc,
+                    "severity": f.severity,
+                    "detail": f.detail,
+                }
+                for f in self.findings
+            ],
+        }
+
+
+def _truncated_push(analysis: ContractAnalysis) -> List[Finding]:
+    instructions = []
+    for block in analysis.cfg.blocks.values():
+        instructions.extend(block.instructions)
+    if not instructions:
+        return []
+    last = max(instructions, key=lambda ins: ins.pc)
+    if last.op.is_push and last.pc + last.size > len(analysis.bytecode):
+        return [
+            Finding(
+                "truncated-push",
+                last.pc,
+                f"{last.op.name} immediate runs {last.pc + last.size - len(analysis.bytecode)} "
+                "byte(s) past the end of the code",
+                severity="warning",
+            )
+        ]
+    return []
+
+
+def lint_analysis(analysis: ContractAnalysis) -> LintReport:
+    """Fold an existing analysis into a lint verdict."""
+    findings: List[Finding] = list(analysis.findings)
+    findings.extend(_truncated_push(analysis))
+    for pc in sorted(analysis.cfg.unresolved_jumps):
+        findings.append(
+            Finding(
+                "unresolved-jump", pc,
+                "target is input-dependent; only symbolic execution can "
+                "resolve it",
+                severity="info",
+            )
+        )
+    unreachable = analysis.dispatcher.unreachable
+    if unreachable:
+        first = min(unreachable)
+        findings.append(
+            Finding(
+                "unreachable-code", first,
+                f"{len(unreachable)} block(s) unreachable from the entry "
+                "(dead code or trailing data)",
+                severity="info",
+            )
+        )
+    findings.sort(key=lambda f: (f.pc, f.kind))
+    return LintReport(analysis=analysis, findings=tuple(findings))
+
+
+def lint_bytecode(bytecode: bytes) -> LintReport:
+    """Analyze and lint ``bytecode`` in one call."""
+    return lint_analysis(analyze(bytecode))

@@ -1,0 +1,197 @@
+"""The combined static-analysis result for one contract.
+
+:func:`analyze` chains the passes — CFG construction, jump resolution,
+stack verification, dispatcher extraction — and the resulting
+:class:`ContractAnalysis` is both the linter's input and the TASE
+engine's pruning oracle.  ``analyze`` is *total*: it never raises on
+arbitrary byte strings (junk decodes to UNKNOWN instructions, which the
+passes treat as opaque path ends).
+
+The engine-facing derived data is computed lazily:
+
+* ``silent_halt_blocks`` — blocks that provably halt without emitting
+  any TASE event (only PUSH/POP/JUMPDEST plus a STOP/REVERT/INVALID
+  terminator): a symbolic path entering one can be cut immediately;
+* ``closed_regions`` — per-selector statically reachable block sets,
+  present only when every jump inside the region is resolved (an open
+  region must not restrict the engine);
+* ``unique_jump_targets`` — jump sites the dataflow proved one-target,
+  letting the engine continue where it would otherwise abandon a path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.analysis.dataflow import ResolvedCFG, resolve_jumps
+from repro.analysis.dispatcher import DispatcherReport, extract_dispatch
+from repro.analysis.stackcheck import Finding, StackReport, verify_stack
+from repro.evm.cfg import build_cfg
+
+#: Bumped whenever pass semantics change in a way that affects what the
+#: engine may prune or the linter reports; part of the persistent result
+#: cache's fingerprint so stale cached recoveries never survive an
+#: analysis change.
+ANALYSIS_SCHEMA_VERSION = 1
+
+#: Opcodes that can appear in a block provably free of TASE events.
+_SILENT_OPS = frozenset(
+    ["POP", "JUMPDEST", "STOP", "REVERT", "INVALID"]
+)
+_SILENT_TERMINATORS = frozenset(["STOP", "REVERT", "INVALID"])
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A structured divergence report from the static/TASE cross-check."""
+
+    kind: str
+    detail: str
+    selectors: Tuple[int, ...] = ()
+
+    def render(self) -> str:
+        if self.selectors:
+            shown = ", ".join(f"0x{s:08x}" for s in self.selectors)
+            return f"{self.kind}: {self.detail} ({shown})"
+        return f"{self.kind}: {self.detail}"
+
+
+@dataclass
+class ContractAnalysis:
+    """All static passes over one runtime bytecode, plus derived views."""
+
+    bytecode: bytes
+    cfg: ResolvedCFG
+    stack: StackReport
+    dispatcher: DispatcherReport
+    _silent_halts: Optional[FrozenSet[int]] = field(default=None, repr=False)
+    _closed_regions: Optional[Dict[int, FrozenSet[int]]] = field(
+        default=None, repr=False
+    )
+    _unique_targets: Optional[Dict[int, int]] = field(default=None, repr=False)
+
+    @property
+    def findings(self) -> Tuple[Finding, ...]:
+        return tuple(self.stack.findings) + tuple(self.dispatcher.findings)
+
+    @property
+    def selectors(self) -> Tuple[int, ...]:
+        return self.dispatcher.selectors
+
+    # -- engine-facing derived data ------------------------------------
+
+    @property
+    def silent_halt_blocks(self) -> FrozenSet[int]:
+        """Starts of blocks that halt without any observable TASE event.
+
+        Function entry blocks are excluded even when silent (an empty
+        public function's body is PUSH/POP/STOP): entering one is how
+        the engine *discovers* the selector, which is an observation.
+        """
+        if self._silent_halts is None:
+            silent = set()
+            entry_blocks = set(self.dispatcher.entries.values())
+            for start, block in self.cfg.blocks.items():
+                if start in entry_blocks:
+                    continue
+                terminator = block.terminator
+                if terminator.op.name not in _SILENT_TERMINATORS:
+                    continue
+                if all(
+                    ins.op.is_push or ins.op.name in _SILENT_OPS
+                    for ins in block.instructions
+                ):
+                    silent.add(start)
+            self._silent_halts = frozenset(silent)
+        return self._silent_halts
+
+    @property
+    def closed_regions(self) -> Dict[int, FrozenSet[int]]:
+        """selector -> region, only for regions with no unresolved jumps."""
+        if self._closed_regions is None:
+            closed: Dict[int, FrozenSet[int]] = {}
+            if not self.cfg.incomplete:
+                for selector, region in self.dispatcher.regions.items():
+                    if self._region_closed(region):
+                        closed[selector] = region
+            self._closed_regions = closed
+        return self._closed_regions
+
+    def _region_closed(self, region: FrozenSet[int]) -> bool:
+        blocks = self.cfg.blocks
+        for start in region:
+            block = blocks.get(start)
+            if block is None:
+                return False
+            terminator = block.terminator
+            if terminator.op.name in ("JUMP", "JUMPI"):
+                if terminator.pc in self.cfg.unresolved_jumps:
+                    return False
+                if (
+                    terminator.pc not in self.cfg.resolved_targets
+                    and terminator.pc not in self.cfg.invalid_targets
+                ):
+                    # The fixpoint never classified this jump at all —
+                    # possible only in corner cases; stay conservative.
+                    return False
+        return True
+
+    @property
+    def unique_jump_targets(self) -> Dict[int, int]:
+        """Jump pcs the dataflow resolved to exactly one valid target."""
+        if self._unique_targets is None:
+            unique: Dict[int, int] = {}
+            if not self.cfg.incomplete:
+                for pc, targets in self.cfg.resolved_targets.items():
+                    if (
+                        len(targets) == 1
+                        and pc not in self.cfg.unresolved_jumps
+                        and pc not in self.cfg.invalid_targets
+                    ):
+                        unique[pc] = next(iter(targets))
+            self._unique_targets = unique
+        return self._unique_targets
+
+
+def analyze(bytecode: bytes) -> ContractAnalysis:
+    """Run all static passes over ``bytecode``."""
+    rcfg = resolve_jumps(build_cfg(bytecode))
+    return ContractAnalysis(
+        bytecode=bytecode,
+        cfg=rcfg,
+        stack=verify_stack(rcfg),
+        dispatcher=extract_dispatch(rcfg),
+    )
+
+
+def cross_check(analysis: ContractAnalysis, tase_selectors) -> Tuple[Diagnostic, ...]:
+    """Compare the static selector set against TASE's discoveries."""
+    static = set(analysis.selectors)
+    dynamic = set(tase_selectors)
+    diagnostics = []
+    missing = sorted(static - dynamic)
+    if missing:
+        diagnostics.append(
+            Diagnostic(
+                kind="selector-missed-by-tase",
+                detail=(
+                    f"{len(missing)} selector(s) found in the static "
+                    "dispatcher but not explored symbolically"
+                ),
+                selectors=tuple(missing),
+            )
+        )
+    extra = sorted(dynamic - static)
+    if extra:
+        diagnostics.append(
+            Diagnostic(
+                kind="selector-missed-statically",
+                detail=(
+                    f"{len(extra)} selector(s) discovered by TASE but "
+                    "invisible to the static dispatcher walk"
+                ),
+                selectors=tuple(extra),
+            )
+        )
+    return tuple(diagnostics)

@@ -1,0 +1,181 @@
+"""Stack-height verification: a bytecode sanitizer.
+
+Abstract interpretation over the resolved CFG with the interval domain
+on stack depth: every block gets the ``[lo, hi]`` range of heights it
+can be entered with, and every instruction is checked against the EVM's
+two hard limits — popping below zero and growing past 1024 items.
+
+Join points may legitimately merge different heights (a shared revert
+block is entered from arbitrary mid-expression stacks), so a mere
+``lo != hi`` is not an error.  What *is* rejected:
+
+* ``stack-underflow`` — an instruction pops below empty on **every**
+  incoming height;
+* ``unbalanced-join`` — an instruction pops below empty only on *some*
+  incoming heights: the paths into the block disagree in a way the
+  block's own code cannot tolerate;
+* ``stack-overflow`` — some incoming height pushes the stack past 1024;
+* ``invalid-jump-target`` — a statically-known jump target that is not
+  a JUMPDEST (from the base CFG flag or the dataflow pass).
+
+The verifier runs over everything our own compilers emit (see
+``tests/compiler/test_verifier.py``): codegen bugs that corrupt the
+stack surface here before they surface as wrong recovered types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.dataflow import ResolvedCFG
+
+#: The EVM's hard stack-size limit.
+STACK_LIMIT = 1024
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis finding, shared by every pass and the linter."""
+
+    kind: str
+    pc: int
+    detail: str
+    severity: str = "error"  # "error" | "warning" | "info"
+
+    def render(self) -> str:
+        return f"{self.severity}: {self.kind} at {self.pc:#06x}: {self.detail}"
+
+
+@dataclass
+class StackReport:
+    """Verifier output: per-block entry-height intervals plus findings."""
+
+    entry_heights: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    findings: Tuple[Finding, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == "error" for f in self.findings)
+
+
+def _block_effect(block) -> Tuple[int, int, int, List[Tuple[int, int, int]]]:
+    """(net, min_rel, max_rel, [(pc, pops_at, rel_before)]) for a block.
+
+    ``min_rel`` is the lowest ``rel_before - pops`` over the block —
+    the entry height must be at least ``-min_rel``.  ``max_rel`` is the
+    highest height relative to entry reached inside the block.
+    """
+    rel = 0
+    min_rel = 0
+    max_rel = 0
+    per_ins: List[Tuple[int, int, int]] = []
+    for ins in block.instructions:
+        per_ins.append((ins.pc, ins.op.pops, rel))
+        low = rel - ins.op.pops
+        if low < min_rel:
+            min_rel = low
+        rel = low + ins.op.pushes
+        if rel > max_rel:
+            max_rel = rel
+    return rel, min_rel, max_rel, per_ins
+
+
+def verify_stack(rcfg: ResolvedCFG) -> StackReport:
+    """Verify stack discipline over all code reachable from the entry."""
+    blocks = rcfg.blocks
+    findings: List[Finding] = []
+    seen_keys: Set[Tuple[str, int]] = set()
+
+    def report(kind: str, pc: int, detail: str, severity: str = "error") -> None:
+        key = (kind, pc)
+        if key not in seen_keys:
+            seen_keys.add(key)
+            findings.append(Finding(kind, pc, detail, severity))
+
+    # Statically invalid jump targets, wherever they were discovered.
+    for start, block in sorted(blocks.items()):
+        if block.invalid_static_jump:
+            report(
+                "invalid-jump-target",
+                block.terminator.pc,
+                "pushed jump target is not a JUMPDEST",
+            )
+    for pc, targets in sorted(rcfg.invalid_targets.items()):
+        shown = ", ".join(f"{t:#x}" for t in sorted(targets))
+        report(
+            "invalid-jump-target", pc,
+            f"resolved jump target(s) {shown} are not JUMPDESTs",
+        )
+
+    if rcfg.entry not in blocks:
+        return StackReport(entry_heights={}, findings=tuple(findings))
+
+    effects = {start: _block_effect(block) for start, block in blocks.items()}
+    intervals: Dict[int, Tuple[int, int]] = {rcfg.entry: (0, 0)}
+    work: List[int] = [rcfg.entry]
+    on_work: Set[int] = {rcfg.entry}
+
+    while work:
+        start = work.pop()
+        on_work.discard(start)
+        lo, hi = intervals[start]
+        net, min_rel, max_rel, per_ins = effects[start]
+
+        broken = False
+        for pc, pops, rel_before in per_ins:
+            if pops and hi + rel_before - pops < 0:
+                report(
+                    "stack-underflow", pc,
+                    f"pops {pops} with at most {hi + rel_before} on the stack",
+                )
+                broken = True
+                break
+            if pops and lo + rel_before - pops < 0:
+                report(
+                    "unbalanced-join", pc,
+                    f"pops {pops}, but some path enters block {start:#x} "
+                    f"with only {lo + rel_before} on the stack "
+                    f"(heights {lo}..{hi})",
+                )
+                # Keep going with the surviving (higher) heights.
+                lo = pops - rel_before
+        if broken:
+            continue  # garbage heights downstream would cascade
+        if hi + max_rel > STACK_LIMIT:
+            report(
+                "stack-overflow",
+                block_pc_of_max(blocks[start], max_rel),
+                f"stack grows to {hi + max_rel} (> {STACK_LIMIT})",
+            )
+            continue
+
+        out = (lo + net, hi + net)
+        for succ in rcfg.successors.get(start, ()):
+            if succ not in blocks:
+                continue
+            slo, shi = out
+            # The jump/jumpi operands are already popped in `net`.
+            current = intervals.get(succ)
+            joined = (
+                (slo, shi)
+                if current is None
+                else (min(current[0], slo), max(current[1], shi))
+            )
+            if joined != current:
+                intervals[succ] = joined
+                if succ not in on_work:
+                    work.append(succ)
+                    on_work.add(succ)
+
+    return StackReport(entry_heights=intervals, findings=tuple(findings))
+
+
+def block_pc_of_max(block, max_rel: int) -> int:
+    """The pc at which the block first reaches its peak relative height."""
+    rel = 0
+    for ins in block.instructions:
+        rel += ins.op.pushes - ins.op.pops
+        if rel >= max_rel:
+            return ins.pc
+    return block.terminator.pc

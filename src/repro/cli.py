@@ -7,6 +7,10 @@ recover   Recover function signatures from runtime bytecode (hex).
 batch     Recover many contracts (parallel workers + persistent cache).
 ids       Extract function ids only (static scan).
 disasm    Disassemble runtime bytecode.
+lint      Statically verify bytecode: stack discipline, jump targets,
+          dispatcher sanity (text or ``--json``).
+inspect   Show the static analysis of a contract: the selector → entry
+          map, per-function regions and an annotated disassembly.
 lift      Lift bytecode to three-address IR; ``--plus`` enhances the IR
           with recovered signatures (Erays+).
 check     Validate a transaction's call data against the signatures
@@ -145,6 +149,86 @@ def _cmd_ids(args: argparse.Namespace) -> int:
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
     print(format_listing(disassemble(_read_hex(args.bytecode))))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_bytecode
+
+    report = lint_bytecode(_read_hex(args.bytecode))
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze
+
+    bytecode = _read_hex(args.bytecode)
+    analysis = analyze(bytecode)
+    cfg = analysis.cfg
+    if args.json:
+        import json
+
+        payload = {
+            "blocks": len(cfg.blocks),
+            "incomplete": cfg.incomplete,
+            "functions": [
+                {
+                    "selector": f"0x{sel:08x}",
+                    "entry": analysis.dispatcher.entries[sel],
+                    "region_blocks": len(
+                        analysis.dispatcher.regions.get(sel, ())
+                    ),
+                    "region_closed": sel in analysis.closed_regions,
+                }
+                for sel in analysis.selectors
+            ],
+            "dispatcher_blocks": sorted(analysis.dispatcher.dispatcher_blocks),
+            "unreachable_blocks": sorted(analysis.dispatcher.unreachable),
+            "silent_halt_blocks": sorted(analysis.silent_halt_blocks),
+            "findings": [
+                {
+                    "kind": f.kind,
+                    "pc": f.pc,
+                    "severity": f.severity,
+                    "detail": f.detail,
+                }
+                for f in analysis.findings
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{len(cfg.blocks)} blocks, {len(analysis.selectors)} functions, "
+        f"{len(cfg.resolved_targets)} resolved jumps, "
+        f"{len(cfg.unresolved_jumps)} unresolved"
+    )
+    for sel in analysis.selectors:
+        entry = analysis.dispatcher.entries[sel]
+        region = analysis.dispatcher.regions.get(sel, frozenset())
+        closed = "closed" if sel in analysis.closed_regions else "open"
+        print(
+            f"  0x{sel:08x} -> {entry:#06x}  "
+            f"({len(region)} reachable blocks, {closed} region)"
+        )
+    for finding in analysis.findings:
+        print(finding.render())
+    if args.disasm:
+        annotations = {}
+        for start in analysis.dispatcher.dispatcher_blocks:
+            annotations[start] = "dispatcher"
+        for start in analysis.dispatcher.unreachable:
+            annotations[start] = "unreachable"
+        for start in analysis.silent_halt_blocks:
+            annotations[start] = "silent halt"
+        for sel, entry in analysis.dispatcher.entries.items():
+            annotations[entry] = f"entry of 0x{sel:08x}"
+        print(format_listing(disassemble(bytecode), annotations=annotations))
     return 0
 
 
@@ -337,6 +421,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("disasm", help="disassemble bytecode")
     p.add_argument("bytecode")
     p.set_defaults(func=_cmd_disasm)
+
+    p = sub.add_parser(
+        "lint", help="statically verify bytecode (stack + jump discipline)"
+    )
+    p.add_argument("bytecode")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "inspect", help="show the static analysis of a contract"
+    )
+    p.add_argument("bytecode")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.add_argument("--disasm", action="store_true",
+                   help="append an annotated disassembly listing")
+    p.set_defaults(func=_cmd_inspect)
 
     p = sub.add_parser("lift", help="lift bytecode to three-address IR")
     p.add_argument("bytecode")

@@ -25,6 +25,11 @@ class BasicBlock:
     successors: Set[int] = field(default_factory=set)
     predecessors: Set[int] = field(default_factory=set)
     has_dynamic_jump: bool = False
+    # The terminator is a JUMP/JUMPI whose statically-known PUSH target
+    # is not a valid JUMPDEST: taking that jump always throws.  The
+    # block keeps no (taken) successor, but the defect is recorded
+    # instead of silently dropped.
+    invalid_static_jump: bool = False
 
     @property
     def end(self) -> int:
@@ -66,7 +71,13 @@ class ControlFlowGraph:
         return len(self.blocks)
 
 
-def _leaders(instructions: List[Instruction], dests: FrozenSet[int]) -> List[int]:
+def _leaders(instructions: List[Instruction]) -> List[int]:
+    """Block-leader pcs: the first instruction, every JUMPDEST, and every
+    instruction following a control transfer.
+
+    Valid JUMPDESTs need no separate treatment as jump *targets*: being
+    JUMPDESTs already makes them leaders.
+    """
     leaders: Set[int] = set()
     if instructions:
         leaders.add(instructions[0].pc)
@@ -85,11 +96,13 @@ def build_cfg(bytecode: bytes) -> ControlFlowGraph:
 
     Static edges cover fall-through, JUMPI both-ways when the target is a
     ``PUSH`` immediately preceding the jump, and direct JUMPs.  Jumps
-    whose target is not a preceding PUSH set ``has_dynamic_jump``.
+    whose target is not a preceding PUSH set ``has_dynamic_jump``; a
+    pushed target that is *not* a valid JUMPDEST sets
+    ``invalid_static_jump`` (the jump always throws at runtime).
     """
     instructions = disassemble(bytecode)
     dests = jumpdests(instructions)
-    leaders = _leaders(instructions, dests)
+    leaders = _leaders(instructions)
     leader_set = set(leaders)
 
     blocks: Dict[int, BasicBlock] = {}
@@ -115,11 +128,15 @@ def build_cfg(bytecode: bytes) -> ControlFlowGraph:
                 block.successors.add(static_target)
             elif static_target is None:
                 block.has_dynamic_jump = True
+            else:
+                block.invalid_static_jump = True
         elif name == "JUMPI":
             if static_target is not None and static_target in dests:
                 block.successors.add(static_target)
             elif static_target is None:
                 block.has_dynamic_jump = True
+            else:
+                block.invalid_static_jump = True
             if last.next_pc in blocks:
                 block.successors.add(last.next_pc)
         elif not last.op.is_terminator and name != "UNKNOWN":

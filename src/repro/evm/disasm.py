@@ -78,6 +78,24 @@ def jumpdests(instructions: List[Instruction]) -> frozenset:
     return frozenset(ins.pc for ins in instructions if ins.op.name == "JUMPDEST")
 
 
-def format_listing(instructions: List[Instruction]) -> str:
-    """Human-readable disassembly listing."""
-    return "\n".join(str(ins) for ins in instructions)
+def format_listing(
+    instructions: List[Instruction],
+    annotations: Optional[Dict[int, str]] = None,
+) -> str:
+    """Human-readable disassembly listing.
+
+    ``annotations`` maps pcs to short notes rendered as right-hand
+    comments (``repro inspect`` uses this to mark dispatcher blocks,
+    function entries and dead code).
+    """
+    if not annotations:
+        return "\n".join(str(ins) for ins in instructions)
+    lines = []
+    width = max((len(str(ins)) for ins in instructions), default=0)
+    for ins in instructions:
+        text = str(ins)
+        note = annotations.get(ins.pc)
+        if note:
+            text = f"{text:<{width}}  ; {note}"
+        lines.append(text)
+    return "\n".join(lines)

@@ -16,8 +16,9 @@ import hashlib
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.report import ContractAnalysis, Diagnostic, analyze, cross_check
 from repro.sigrec.engine import TASEEngine, TASEResult
 from repro.sigrec.inference import infer_function
 from repro.sigrec.rules import RuleTracker
@@ -73,10 +74,24 @@ class SigRec:
         loop_bound: int = 420,
         semantic_idioms: bool = True,
         coarse_only: bool = False,
+        static_check: bool = True,
+        prune: bool = False,
     ) -> None:
         self.tracker = RuleTracker()
         self.semantic_idioms = semantic_idioms
         self.coarse_only = coarse_only
+        # ``static_check`` cross-validates TASE's selector set against
+        # the static dispatcher analysis after every ``recover`` (see
+        # :attr:`last_diagnostics`); ``prune`` additionally hands the
+        # analysis to the engine as a pruning oracle.  Pruning is
+        # output-preserving by construction but off by default so the
+        # baseline configuration stays byte-for-byte the historical one.
+        self.static_check = static_check
+        self.prune = prune
+        #: Structured static/TASE divergence reports from the most
+        #: recent ``recover`` call (empty when they agree, or when
+        #: ``static_check`` is off).
+        self.last_diagnostics: Tuple[Diagnostic, ...] = ()
         self._engine_opts = dict(
             max_total_steps=max_total_steps,
             max_paths=max_paths,
@@ -96,11 +111,20 @@ class SigRec:
         """
         opts = dict(self._engine_opts)
         opts["coarse_only"] = self.coarse_only
+        opts["static_check"] = self.static_check
+        opts["prune"] = self.prune
         return opts
 
-    def _run_engine(self, bytecode: bytes) -> TASEResult:
+    def _run_engine(
+        self, bytecode: bytes, analysis: Optional[ContractAnalysis] = None
+    ) -> TASEResult:
         """Run TASE and remember the result for a follow-up ``explain``."""
-        result = TASEEngine(bytecode, **self._engine_opts).run()
+        engine = TASEEngine(
+            bytecode,
+            analysis=analysis if self.prune else None,
+            **self._engine_opts,
+        )
+        result = engine.run()
         digest = hashlib.sha256(bytecode).digest()
         self._result_memo[digest] = result
         self._result_memo.move_to_end(digest)
@@ -110,7 +134,14 @@ class SigRec:
 
     def recover(self, bytecode: bytes) -> List[RecoveredSignature]:
         """Recover the signatures of all public/external functions."""
-        result = self._run_engine(bytecode)
+        analysis: Optional[ContractAnalysis] = None
+        if self.static_check or self.prune:
+            analysis = analyze(bytecode)
+        result = self._run_engine(bytecode, analysis)
+        if self.static_check and analysis is not None:
+            self.last_diagnostics = cross_check(analysis, result.selectors)
+        else:
+            self.last_diagnostics = ()
         recovered: List[RecoveredSignature] = []
         for selector in result.selectors:
             start = time.perf_counter()

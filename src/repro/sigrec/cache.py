@@ -32,6 +32,7 @@ import os
 import tempfile
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.report import ANALYSIS_SCHEMA_VERSION
 from repro.sigrec.api import RecoveredSignature
 
 #: Bump to invalidate every existing cache entry (serialization layout
@@ -40,9 +41,20 @@ SCHEMA_VERSION = 1
 
 
 def options_fingerprint(options: Dict[str, object]) -> str:
-    """A short stable digest of the engine/inference options."""
+    """A short stable digest of the engine/inference options.
+
+    The static-analysis schema version is part of the payload: with
+    pruning or cross-checking enabled, what an analysis pass *means*
+    changes what the engine may skip, so an analysis-semantics bump
+    must land cached results in a fresh tree.
+    """
     payload = json.dumps(
-        {"schema": SCHEMA_VERSION, "options": options}, sort_keys=True
+        {
+            "schema": SCHEMA_VERSION,
+            "analysis_schema": ANALYSIS_SCHEMA_VERSION,
+            "options": options,
+        },
+        sort_keys=True,
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 

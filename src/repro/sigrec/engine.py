@@ -24,7 +24,9 @@ Design choices that mirror the paper:
 * values read from the environment (CALLER, SLOAD, ...) are free
   symbols;
 * a JUMP whose target is input-dependent stops the path (§4.2 notes
-  only 5 mainnet contracts contain such jumps);
+  only 5 mainnet contracts contain such jumps) — unless the static
+  dataflow (:mod:`repro.analysis`) proved the site has exactly one
+  valid target, in which case exploration continues there;
 * comparison operators are *not* constant-folded at expression build
   time, so loop guards retain their structure (``lt(i, bound)``) and
   the engine evaluates them on demand — this is how TASE can count
@@ -34,9 +36,12 @@ Design choices that mirror the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.evm.disasm import disassemble, instruction_index, jumpdests
+
+if TYPE_CHECKING:
+    from repro.analysis.report import ContractAnalysis
 from repro.evm.semantics import HALT, Domain, dispatch_table
 from repro.sigrec import expr as E
 from repro.sigrec.events import (
@@ -234,6 +239,11 @@ class TASEResult:
     selectors: List[int]
     paths_explored: int = 0
     hit_limits: bool = False
+    #: Instructions stepped over the whole run (the pruning metric).
+    total_steps: int = 0
+    #: JUMPI forks the static analysis proved observationally silent
+    #: and therefore suppressed (0 unless an analysis was supplied).
+    pruned_forks: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -539,10 +549,20 @@ class SymbolicDomain(Domain):
     # -- control flow --------------------------------------------------
 
     def jump(self, ins, target):
+        engine = self.engine
         value = eval_const(target)
-        if value is None or value not in self.engine._jumpdests:
-            return HALT  # input-dependent jump: stop the path
-        if not self.engine._note_loop(self.state, value):
+        if value is None:
+            # Input-dependent jump: normally the end of the path, but
+            # when the static dataflow proved this site has exactly one
+            # valid target, continue there instead of giving up.
+            value = engine._unique_targets.get(ins.pc)
+            if value is None:
+                return HALT
+        if value not in engine._jumpdests:
+            return HALT
+        if not engine._region_allows(self.state.fn, value):
+            return HALT
+        if not engine._note_loop(self.state, value):
             return HALT
         return value
 
@@ -551,7 +571,9 @@ class SymbolicDomain(Domain):
         state = self.state
         tvalue = eval_const(target)
         if tvalue is None:
-            return HALT
+            tvalue = engine._unique_targets.get(ins.pc)
+            if tvalue is None:
+                return HALT
         cvalue = eval_const(cond)
         if cvalue is not None:
             taken = bool(cvalue)
@@ -572,8 +594,36 @@ class SymbolicDomain(Domain):
         budget = engine._branch_budget
         take_budget = budget.get((ins.pc, True), engine.fork_bound)
         fall_budget = budget.get((ins.pc, False), engine.fork_bound)
-        explore_taken = take_budget > 0 and tvalue in engine._jumpdests
+        explore_taken = (
+            take_budget > 0
+            and tvalue in engine._jumpdests
+            and engine._region_allows(state.fn, tvalue)
+        )
         explore_fall = fall_budget > 0
+        if explore_taken and selector is None and tvalue in engine._silent_halts:
+            # The taken side provably halts without emitting any event
+            # (and is not a dispatcher match, whose entry *is* the
+            # observation), so exploring it is pure overhead.  Emulate
+            # the unpruned run's accounting exactly: both budgets are
+            # decremented as they would have been, and the path the
+            # fall-side fork would count when popped (LIFO pops it
+            # right after the silent taken side halts) is charged via
+            # the engine's path counter — then this state just keeps
+            # going down the fall side, no clone made.
+            budget[(ins.pc, True)] = take_budget - 1
+            if not explore_fall:
+                # The unpruned run would merely die inside the silent
+                # block; skip those steps.
+                return HALT
+            engine._pruned_forks += 1
+            budget[(ins.pc, False)] = fall_budget - 1
+            engine._paths += 1
+            if engine._paths > engine.max_paths:
+                self.result.hit_limits = True
+                self.worklist.clear()
+                return HALT
+            state.guards = state.guards + (Guard(cond, False, ins.pc),)
+            return None
         if explore_fall:
             budget[(ins.pc, False)] = fall_budget - 1
             if explore_taken:
@@ -614,7 +664,16 @@ class SymbolicDomain(Domain):
 
 
 class TASEEngine:
-    """Explores one contract and collects type-inference events."""
+    """Explores one contract and collects type-inference events.
+
+    An optional :class:`~repro.analysis.report.ContractAnalysis` turns
+    on static pruning: JUMPI forks into provably event-free halting
+    blocks are suppressed (with path/budget accounting emulated so the
+    result is bit-for-bit what the unpruned run produces), exploration
+    inside a function is fenced to its statically reachable region, and
+    symbolic JUMPs the dataflow resolved to a unique target continue
+    instead of ending the path.
+    """
 
     def __init__(
         self,
@@ -625,6 +684,7 @@ class TASEEngine:
         loop_bound: int = 420,
         semantic_idioms: bool = True,
         step_hook: Optional[Callable] = None,
+        analysis: Optional["ContractAnalysis"] = None,
     ) -> None:
         self.bytecode = bytecode
         self.max_total_steps = max_total_steps
@@ -644,6 +704,20 @@ class TASEEngine:
         self._env_counter = 0
         # Global symbolic-branch budgets, keyed by (jumpi pc, side).
         self._branch_budget: Dict[Tuple[int, bool], int] = {}
+        # Static-analysis pruning oracles (all empty without an
+        # analysis, so every check below degrades to a no-op).  An
+        # incomplete dataflow fixpoint yields no oracles either: a
+        # truncated analysis must never restrict exploration.
+        self.analysis = analysis
+        self._silent_halts: FrozenSet[int] = frozenset()
+        self._unique_targets: Dict[int, int] = {}
+        self._regions: Dict[int, FrozenSet[int]] = {}
+        if analysis is not None and not analysis.cfg.incomplete:
+            self._silent_halts = analysis.silent_halt_blocks
+            self._unique_targets = analysis.unique_jump_targets
+            self._regions = analysis.closed_regions
+        self._paths = 0
+        self._pruned_forks = 0
         # Pre-bind each pc to (instruction, handler) over the shared
         # semantics table (single dict lookup per step).
         table = dispatch_table(SymbolicDomain)
@@ -655,6 +729,8 @@ class TASEEngine:
 
     def run(self) -> TASEResult:
         self._branch_budget = {}
+        self._paths = 0
+        self._pruned_forks = 0
         result = TASEResult(functions={}, selectors=[])
         initial = _State(
             pc=0, stack=[], memory=SymMemory(), guards=(),
@@ -665,11 +741,10 @@ class TASEEngine:
         dispatch = self._dispatch
         hook = self.step_hook
         total_steps = 0
-        paths = 0
         while worklist:
             state = worklist.pop()
-            paths += 1
-            if paths > self.max_paths:
+            self._paths += 1
+            if self._paths > self.max_paths:
                 result.hit_limits = True
                 break
             domain.bind(state)
@@ -695,7 +770,9 @@ class TASEEngine:
                     break
                 else:
                     state.pc = control
-        result.paths_explored = paths
+        result.paths_explored = self._paths
+        result.total_steps = total_steps
+        result.pruned_forks = self._pruned_forks
         result.selectors = sorted(result.functions.keys())
         return result
 
@@ -713,6 +790,23 @@ class TASEEngine:
     def _fresh_env(self, stem: str) -> E.Expr:
         self._env_counter += 1
         return E.env(f"{stem}_{self._env_counter}")
+
+    def _region_allows(self, fn: Optional[int], target: int) -> bool:
+        """May a path inside function ``fn`` jump to block ``target``?
+
+        Only closed per-selector regions restrict anything; outside the
+        dispatcher (``fn is None``) or without a region for ``fn``,
+        everything is allowed.  For a *closed* region this check can
+        never reject a jump the symbolic executor would actually take —
+        the dataflow's resolved targets over-approximate the concrete
+        ones — so it changes nothing on well-analyzed code and only
+        fences off exploration when the oracle and the bytecode
+        disagree (e.g. a stale analysis for different code).
+        """
+        if fn is None:
+            return True
+        region = self._regions.get(fn)
+        return region is None or target in region
 
     def _note_loop(self, state: _State, target: int) -> bool:
         """Bound concrete revisits of a jump target; False ends the path."""

@@ -1,0 +1,108 @@
+"""Jump resolution via the push-constant stack dataflow."""
+
+from repro.analysis.dataflow import (
+    MAX_SET,
+    _join_stacks,
+    _join_values,
+    resolve_bytecode,
+)
+from repro.evm.asm import Assembler
+
+
+def test_adjacent_push_jump_resolved():
+    a = Assembler()
+    a.push_label("end").op("JUMP")
+    a.label("end").op("JUMPDEST").op("STOP")
+    rcfg = resolve_bytecode(a.assemble())
+    assert not rcfg.incomplete
+    assert not rcfg.unresolved_jumps
+    (targets,) = rcfg.resolved_targets.values()
+    assert targets == frozenset({3})
+
+
+def test_separated_push_jump_resolved():
+    """The base CFG only handles push+jump pairs; the dataflow tracks
+    a target pushed early and shuffled below other operands."""
+    a = Assembler()
+    a.push_label("end")          # target, pushed first
+    a.push(1).push(2).op("ADD").op("POP")
+    a.op("JUMP")
+    a.label("end").op("JUMPDEST").op("STOP")
+    bytecode = a.assemble()
+    rcfg = resolve_bytecode(bytecode)
+    assert not rcfg.unresolved_jumps
+    (targets,) = rcfg.resolved_targets.values()
+    assert len(targets) == 1
+    # The resolved edge is in the successor map too.
+    (target,) = targets
+    assert any(target in succ for succ in rcfg.successors.values())
+
+
+def test_constant_folded_target():
+    """A target computed as PUSH a; PUSH b; ADD still resolves."""
+    a = Assembler()
+    a.push(3).push(4).op("ADD")  # 7 = pc of the dest below
+    a.op("JUMP")
+    a.raw(b"\x00")               # padding so the dest lands at 7
+    a.label("end").op("JUMPDEST").op("STOP")
+    bytecode = a.assemble()
+    assert bytecode[7] == 0x5B  # JUMPDEST where the fold should land
+    rcfg = resolve_bytecode(bytecode)
+    assert frozenset({7}) in rcfg.resolved_targets.values()
+
+
+def test_return_address_dispatch_resolves_to_both_callers():
+    """Two call sites pushing different return addresses into one shared
+    block give that block's JUMP a two-target resolution."""
+    a = Assembler()
+    # call 1: push return address, jump to sub
+    a.push_label("ret1").push_label("sub").op("JUMP")
+    a.label("ret1").op("JUMPDEST")
+    # call 2
+    a.push_label("ret2").push_label("sub").op("JUMP")
+    a.label("ret2").op("JUMPDEST").op("STOP")
+    # the shared subroutine returns via the pushed address
+    a.label("sub").op("JUMPDEST").op("JUMP")
+    bytecode = a.assemble()
+    rcfg = resolve_bytecode(bytecode)
+    assert not rcfg.unresolved_jumps
+    two_target = [t for t in rcfg.resolved_targets.values() if len(t) == 2]
+    assert len(two_target) == 1
+
+
+def test_input_dependent_jump_stays_unresolved():
+    a = Assembler()
+    a.push(0).op("CALLDATALOAD").op("JUMP")
+    a.op("JUMPDEST").op("STOP")
+    rcfg = resolve_bytecode(a.assemble())
+    assert len(rcfg.unresolved_jumps) == 1
+    assert not rcfg.resolved_targets
+
+
+def test_constant_non_jumpdest_target_is_invalid():
+    a = Assembler()
+    a.push(2).push(2).op("MUL")  # 4: not a JUMPDEST
+    a.op("JUMP")
+    a.op("STOP").op("STOP")
+    rcfg = resolve_bytecode(a.assemble())
+    assert not rcfg.unresolved_jumps
+    (bad,) = rcfg.invalid_targets.values()
+    assert bad == frozenset({4})
+
+
+def test_join_values_respects_set_cap():
+    small = frozenset(range(MAX_SET // 2))
+    assert _join_values(small, small) == small
+    assert _join_values(small, None) is None
+    big_a = frozenset(range(MAX_SET))
+    big_b = frozenset(range(MAX_SET, 2 * MAX_SET))
+    assert _join_values(big_a, big_b) is None
+
+
+def test_join_stacks_aligns_at_top():
+    a = (frozenset({1}), frozenset({2}), frozenset({3}))
+    b = (frozenset({1}), frozenset({9}))
+    joined = _join_stacks(a, b)
+    assert len(joined) == 2
+    assert joined[0] == frozenset({1})
+    assert joined[1] == frozenset({2, 9})

@@ -1,0 +1,60 @@
+"""The linter verdict: severities, rendering, JSON shape."""
+
+from repro.abi.signature import FunctionSignature
+from repro.analysis import lint_bytecode
+from repro.compiler import compile_contract
+from repro.evm.asm import Assembler
+
+
+def test_clean_contract_lints_ok():
+    contract = compile_contract([FunctionSignature.parse("ping(uint8)")])
+    report = lint_bytecode(contract.bytecode)
+    assert report.ok
+    assert report.counts()["error"] == 0
+    assert "OK" in report.render_text()
+
+
+def test_malformed_bytecode_fails_lint():
+    a = Assembler()
+    a.op("POP").op("STOP")
+    report = lint_bytecode(a.assemble())
+    assert not report.ok
+    assert "FAIL" in report.render_text()
+    assert any(f.kind == "stack-underflow" for f in report.findings)
+
+
+def test_truncated_push_warns():
+    # PUSH2 with only one immediate byte present.
+    report = lint_bytecode(bytes([0x61, 0xFF]))
+    kinds = {f.kind: f.severity for f in report.findings}
+    assert kinds.get("truncated-push") == "warning"
+    assert report.ok  # warnings don't fail the lint
+
+
+def test_unresolved_jump_is_informational():
+    a = Assembler()
+    a.push(0).op("CALLDATALOAD").op("JUMP")
+    a.op("JUMPDEST").op("STOP")
+    report = lint_bytecode(a.assemble())
+    notes = [f for f in report.findings if f.kind == "unresolved-jump"]
+    assert len(notes) == 1
+    assert notes[0].severity == "info"
+    assert report.ok
+
+
+def test_to_dict_shape():
+    contract = compile_contract([FunctionSignature.parse("a(bool)")])
+    data = lint_bytecode(contract.bytecode).to_dict()
+    assert data["ok"] is True
+    assert isinstance(data["blocks"], int)
+    assert all(s.startswith("0x") and len(s) == 10 for s in data["selectors"])
+    for finding in data["findings"]:
+        assert set(finding) == {"kind", "pc", "severity", "detail"}
+
+
+def test_findings_sorted_by_pc():
+    a = Assembler()
+    a.op("POP").op("POP").op("STOP")
+    report = lint_bytecode(a.assemble())
+    pcs = [f.pc for f in report.findings]
+    assert pcs == sorted(pcs)

@@ -1,0 +1,84 @@
+"""Corpus-wide properties of the static analysis layer.
+
+Two invariants over everything our compilers can emit:
+
+* the stack verifier accepts every compiled contract (codegen never
+  produces malformed stack discipline), and
+* the static dispatcher walk recovers exactly the selector set the
+  symbolic executor discovers — on every contract, every dispatcher
+  style, optimized or not, obfuscated or not, Solidity or Vyper.
+"""
+
+import pytest
+
+from repro.abi.signature import FunctionSignature
+from repro.analysis import analyze, cross_check, lint_bytecode
+from repro.compiler import compile_contract
+from repro.compiler.contract import CodegenOptions, DispatcherStyle, Language
+from repro.corpus.datasets import (
+    build_closed_source_corpus,
+    build_obfuscated_corpus,
+    build_vyper_corpus,
+)
+from repro.sigrec.engine import TASEEngine
+
+SIGS = [
+    FunctionSignature.parse("transfer(address,uint256)"),
+    FunctionSignature.parse("setData(bytes,uint256[3])"),
+    FunctionSignature.parse("flag()"),
+]
+
+VARIANTS = [
+    CodegenOptions(dispatcher=style, optimize=optimize, obfuscate=obfuscate)
+    for style in DispatcherStyle
+    for optimize in (False, True)
+    for obfuscate in (False, True)
+] + [
+    CodegenOptions(language=Language.VYPER, version="0.2.8"),
+]
+
+
+@pytest.mark.parametrize(
+    "options", VARIANTS,
+    ids=[
+        f"{o.language.value}-{o.dispatcher.value}"
+        f"{'-opt' if o.optimize else ''}{'-obf' if o.obfuscate else ''}"
+        for o in VARIANTS
+    ],
+)
+def test_every_codegen_variant_analyzes_clean(options):
+    contract = compile_contract(SIGS, options)
+    report = lint_bytecode(contract.bytecode)
+    errors = [f.render() for f in report.findings if f.severity == "error"]
+    assert not errors, errors
+    expected = {int.from_bytes(s.selector, "big") for s in contract.signatures}
+    assert set(report.analysis.selectors) == expected
+
+
+def _corpora():
+    yield build_closed_source_corpus(n_contracts=10, seed=7)
+    yield build_vyper_corpus(n_contracts=5, seed=5)
+    yield build_obfuscated_corpus(n_contracts=5, seed=9)
+
+
+def test_static_selectors_match_tase_on_corpus():
+    checked = 0
+    for corpus in _corpora():
+        for case in corpus.cases:
+            bytecode = case.contract.bytecode
+            analysis = analyze(bytecode)
+            result = TASEEngine(bytecode).run()
+            assert list(analysis.selectors) == result.selectors, (
+                f"static {analysis.selectors} != TASE {result.selectors}"
+            )
+            assert cross_check(analysis, result.selectors) == ()
+            checked += 1
+    assert checked == 20
+
+
+def test_corpus_verifies_clean():
+    for corpus in _corpora():
+        for case in corpus.cases:
+            analysis = analyze(case.contract.bytecode)
+            errors = [f for f in analysis.findings if f.severity == "error"]
+            assert not errors, [f.render() for f in errors]

@@ -1,0 +1,96 @@
+"""The stack-height verifier: accepts clean code, rejects malformed."""
+
+from repro.abi.signature import FunctionSignature
+from repro.analysis import analyze
+from repro.analysis.dataflow import resolve_bytecode
+from repro.analysis.stackcheck import STACK_LIMIT, verify_stack
+from repro.compiler import compile_contract
+from repro.evm.asm import Assembler
+
+
+def _verify(bytecode: bytes):
+    return verify_stack(resolve_bytecode(bytecode))
+
+
+def _kinds(report):
+    return {f.kind for f in report.findings if f.severity == "error"}
+
+
+def test_compiled_contract_verifies_clean():
+    contract = compile_contract(
+        [FunctionSignature.parse("transfer(address,uint256)")]
+    )
+    report = _verify(contract.bytecode)
+    assert report.ok, [f.render() for f in report.findings]
+    assert report.entry_heights[0] == (0, 0)
+
+
+def test_underflow_rejected():
+    a = Assembler()
+    a.op("POP").op("STOP")
+    report = _verify(a.assemble())
+    assert not report.ok
+    assert _kinds(report) == {"stack-underflow"}
+
+
+def test_underflow_mid_block_reports_exact_pc():
+    a = Assembler()
+    a.push(1).op("POP").op("POP").op("STOP")  # second POP underflows at pc 3
+    report = _verify(a.assemble())
+    (finding,) = [f for f in report.findings if f.kind == "stack-underflow"]
+    assert finding.pc == 3
+
+
+def test_unbalanced_join_rejected():
+    """One path brings two operands to the join, the other only one."""
+    a = Assembler()
+    a.push(1).push(0)
+    a.push_label("j").op("JUMPI")
+    a.push(7)  # the extra operand only the fall path provides
+    a.label("j").op("JUMPDEST").op("ADD").op("STOP")
+    report = _verify(a.assemble())
+    assert not report.ok
+    assert _kinds(report) == {"unbalanced-join"}
+
+
+def test_jump_to_non_jumpdest_rejected():
+    a = Assembler()
+    a.push(4).op("JUMP").op("STOP").op("STOP")
+    report = _verify(a.assemble())
+    assert not report.ok
+    assert _kinds(report) == {"invalid-jump-target"}
+
+
+def test_overflow_rejected():
+    a = Assembler()
+    for _ in range(STACK_LIMIT + 1):
+        a.push(1)
+    a.op("STOP")
+    report = _verify(a.assemble())
+    assert not report.ok
+    assert "stack-overflow" in _kinds(report)
+
+
+def test_shared_revert_block_at_many_heights_accepted():
+    """A shared revert block legitimately joins different entry heights;
+    mere imbalance without an underflow must not be an error."""
+    a = Assembler()
+    a.push(1)
+    a.push_label("rev").op("JUMPI")          # height 0 at rev (cond consumed)
+    a.push(5).push(6).push(1)
+    a.push_label("rev").op("JUMPI")          # height 2 at rev
+    a.op("STOP")
+    a.label("rev").op("JUMPDEST")
+    a.push(0).push(0).op("REVERT")
+    report = _verify(a.assemble())
+    assert report.ok, [f.render() for f in report.findings]
+    rev = max(report.entry_heights)
+    lo, hi = report.entry_heights[rev]
+    assert (lo, hi) == (0, 2)
+
+
+def test_analyze_surfaces_stack_findings():
+    a = Assembler()
+    a.op("POP").op("STOP")
+    analysis = analyze(a.assemble())
+    assert "stack-underflow" in {f.kind for f in analysis.findings}

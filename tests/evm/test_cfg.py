@@ -1,7 +1,8 @@
 """CFG recovery: blocks, edges, dynamic jumps."""
 
-from repro.evm.asm import Assembler
-from repro.evm.cfg import build_cfg
+from repro.evm.asm import Assembler, assemble
+from repro.evm.cfg import _leaders, build_cfg
+from repro.evm.disasm import disassemble
 
 
 def _asm() -> Assembler:
@@ -85,3 +86,45 @@ def test_jump_to_invalid_dest_has_no_edge():
     asm.op("STOP")
     cfg = build_cfg(asm.assemble())
     assert cfg.block_at(0).successors == set()
+
+
+def test_jump_to_invalid_dest_flagged_not_dropped():
+    asm = _asm()
+    asm.push(1).op("JUMP")  # 1 is not a JUMPDEST: always throws
+    asm.op("STOP")
+    cfg = build_cfg(asm.assemble())
+    entry = cfg.block_at(0)
+    assert entry.invalid_static_jump
+    assert not entry.has_dynamic_jump
+
+
+def test_jumpi_to_invalid_dest_flagged_keeps_fallthrough():
+    # PUSH1 1 (cond) PUSH1 0 (target: pc 0 is PUSH, not JUMPDEST) JUMPI STOP
+    code = assemble([("PUSH1", 1), ("PUSH1", 0), "JUMPI", "STOP"])
+    cfg = build_cfg(code)
+    entry = cfg.block_at(0)
+    assert entry.invalid_static_jump
+    # The fall-through edge survives: the jump only throws when taken.
+    assert entry.successors == {5}
+
+
+def test_valid_static_jump_not_flagged():
+    asm = _asm()
+    asm.push_label("target").op("JUMP")
+    asm.label("target").op("JUMPDEST").op("STOP")
+    cfg = build_cfg(asm.assemble())
+    assert not cfg.block_at(0).invalid_static_jump
+
+
+def test_leader_set_pinned_on_fixture():
+    # 0: PUSH1 6; 2: JUMP; 3: STOP; 4: PUSH1 0 (dead); 6: JUMPDEST; 7: STOP
+    code = assemble(
+        [("PUSH1", 6), "JUMP", "STOP", ("PUSH1", 0), "JUMPDEST", "STOP"]
+    )
+    instructions = disassemble(code)
+    # Leaders: entry (0), after the JUMP terminator (3), after the STOP
+    # terminator (4), and the JUMPDEST (6).  The pushed target 6 is a
+    # leader *because* it is a JUMPDEST, with no extra rule needed.
+    assert _leaders(instructions) == [0, 3, 4, 6]
+    cfg = build_cfg(code)
+    assert sorted(cfg.blocks) == [0, 3, 4, 6]

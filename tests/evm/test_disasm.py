@@ -51,3 +51,15 @@ def test_format_listing():
     text = format_listing(disassemble(bytes([0x60, 0xFF, 0x00])))
     assert "PUSH1 0xff" in text
     assert "STOP" in text
+
+
+def test_format_listing_annotations():
+    instructions = disassemble(bytes([0x60, 0xFF, 0x00]))
+    text = format_listing(instructions, annotations={0: "entry", 2: "halt"})
+    lines = text.splitlines()
+    assert lines[0].endswith("; entry")
+    assert lines[1].endswith("; halt")
+    # Unannotated listings are unchanged.
+    assert format_listing(instructions, annotations={}) == format_listing(
+        instructions
+    )

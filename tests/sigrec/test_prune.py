@@ -1,0 +1,122 @@
+"""TASE pruning against the static analysis: same output, less work.
+
+The pruned engine must be *observationally identical* to the unpruned
+one — same selectors, same events, same path accounting — while
+stepping measurably fewer instructions (silent-halt forks at bound
+checks and clamps are suppressed instead of explored).
+"""
+
+from repro.abi.signature import FunctionSignature
+from repro.analysis import analyze, cross_check
+from repro.compiler import compile_contract
+from repro.corpus.datasets import (
+    build_closed_source_corpus,
+    build_vyper_corpus,
+)
+from repro.sigrec.api import SigRec
+from repro.sigrec.engine import TASEEngine
+
+
+def _cases():
+    for corpus in (
+        build_closed_source_corpus(n_contracts=8, seed=7),
+        build_vyper_corpus(n_contracts=4, seed=5),
+    ):
+        yield from corpus.cases
+
+
+def _signature_key(signatures):
+    # elapsed_seconds is wall-clock noise; everything else must match.
+    return [
+        (s.selector, s.param_types, s.language, s.fired_rules, s.confidences)
+        for s in signatures
+    ]
+
+
+def test_pruned_engine_is_observationally_identical():
+    for case in _cases():
+        bytecode = case.contract.bytecode
+        plain = TASEEngine(bytecode).run()
+        pruned = TASEEngine(bytecode, analysis=analyze(bytecode)).run()
+        assert plain.selectors == pruned.selectors
+        assert plain.paths_explored == pruned.paths_explored
+        assert plain.hit_limits == pruned.hit_limits
+        for selector in plain.selectors:
+            a = plain.functions[selector]
+            b = pruned.functions[selector]
+            assert a.loads == b.loads
+            assert a.copies == b.copies
+            assert a.uses == b.uses
+            assert a.vyper_markers == b.vyper_markers
+
+
+def test_pruning_saves_steps_on_corpus():
+    plain_steps = pruned_steps = forks = 0
+    for case in _cases():
+        bytecode = case.contract.bytecode
+        plain = TASEEngine(bytecode).run()
+        pruned = TASEEngine(bytecode, analysis=analyze(bytecode)).run()
+        assert pruned.total_steps <= plain.total_steps
+        plain_steps += plain.total_steps
+        pruned_steps += pruned.total_steps
+        forks += pruned.pruned_forks
+    assert forks > 0
+    assert pruned_steps < plain_steps
+
+
+def test_unpruned_engine_reports_no_pruned_forks():
+    contract = compile_contract([FunctionSignature.parse("a(uint8)")])
+    result = TASEEngine(contract.bytecode).run()
+    assert result.pruned_forks == 0
+    assert result.total_steps > 0
+
+
+def test_sigrec_prune_option_yields_identical_signatures():
+    for case in _cases():
+        bytecode = case.contract.bytecode
+        plain = SigRec(prune=False).recover(bytecode)
+        pruned = SigRec(prune=True).recover(bytecode)
+        assert _signature_key(plain) == _signature_key(pruned)
+
+
+def test_no_diagnostics_on_corpus():
+    tool = SigRec()
+    for case in _cases():
+        tool.recover(case.contract.bytecode)
+        assert tool.last_diagnostics == ()
+
+
+def test_static_check_off_produces_no_diagnostics():
+    contract = compile_contract([FunctionSignature.parse("a(uint8)")])
+    tool = SigRec(static_check=False)
+    tool.recover(contract.bytecode)
+    assert tool.last_diagnostics == ()
+
+
+def test_cross_check_reports_divergence_both_ways():
+    contract = compile_contract(
+        [
+            FunctionSignature.parse("a(uint8)"),
+            FunctionSignature.parse("b(bool)"),
+        ]
+    )
+    analysis = analyze(contract.bytecode)
+    static = list(analysis.selectors)
+    # TASE "missed" one selector and "invented" another.
+    diags = cross_check(analysis, static[:1] + [0xDEADBEEF])
+    kinds = {d.kind: d for d in diags}
+    assert set(kinds) == {
+        "selector-missed-by-tase", "selector-missed-statically",
+    }
+    assert kinds["selector-missed-by-tase"].selectors == (static[1],)
+    assert kinds["selector-missed-statically"].selectors == (0xDEADBEEF,)
+    assert "0xdeadbeef" in kinds["selector-missed-statically"].render()
+
+
+def test_options_round_trip_includes_analysis_flags():
+    tool = SigRec(static_check=False, prune=True)
+    options = tool.options()
+    assert options["static_check"] is False
+    assert options["prune"] is True
+    clone = SigRec(**options)
+    assert clone.prune and not clone.static_check

@@ -251,3 +251,52 @@ def test_bad_hex_rejected():
 def test_recover_empty_bytecode(capsys):
     assert main(["recover", "00"]) == 1
     assert "no public/external functions" in capsys.readouterr().out
+
+
+def test_lint_clean(token_hex, capsys):
+    assert main(["lint", token_hex]) == 0
+    out = capsys.readouterr().out
+    assert "OK (0 errors" in out
+    assert "selectors: 2" in out
+
+
+def test_lint_json(token_hex, capsys):
+    import json
+
+    assert main(["lint", "--json", token_hex]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is True
+    assert "0xa9059cbb" in data["selectors"]
+
+
+def test_lint_rejects_malformed(capsys):
+    # A lone POP underflows the stack.
+    assert main(["lint", "5000"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "stack-underflow" in out
+
+
+def test_inspect(token_hex, capsys):
+    assert main(["inspect", token_hex]) == 0
+    out = capsys.readouterr().out
+    assert "0xa9059cbb ->" in out
+    assert "closed region" in out
+
+
+def test_inspect_json(token_hex, capsys):
+    import json
+
+    assert main(["inspect", "--json", token_hex]) == 0
+    data = json.loads(capsys.readouterr().out)
+    selectors = {f["selector"] for f in data["functions"]}
+    assert "0xa9059cbb" in selectors
+    assert data["incomplete"] is False
+    assert all(f["region_closed"] for f in data["functions"])
+
+
+def test_inspect_disasm_annotations(token_hex, capsys):
+    assert main(["inspect", "--disasm", token_hex]) == 0
+    out = capsys.readouterr().out
+    assert "; dispatcher" in out
+    assert "; entry of 0xa9059cbb" in out
