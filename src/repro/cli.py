@@ -4,7 +4,11 @@ Commands
 --------
 
 recover   Recover function signatures from runtime bytecode (hex).
-batch     Recover many contracts (parallel workers + persistent cache).
+batch     Recover many contracts (parallel workers + persistent cache);
+          ``--metrics-out``/``--trace-out`` capture telemetry.
+stats     Render a ``--metrics-out`` document for humans (top rules,
+          prune/cache ratios, slowest contracts; ``--prometheus`` for
+          the text exposition).
 ids       Extract function ids only (static scan).
 disasm    Disassemble runtime bytecode.
 lint      Statically verify bytecode: stack discipline, jump targets,
@@ -125,18 +129,56 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     ):
         raise SystemExit(f"error: --cache-dir {args.cache_dir} is not a directory")
     bytecodes = _read_batch_source(args.source)
-    tool = SigRec()
-    runner = BatchRecovery(
-        tool=tool, workers=args.workers, cache_dir=args.cache_dir
-    )
-    results = runner.recover_all(bytecodes)
+    metrics = tracer = trace_file = None
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if args.trace_out:
+        from repro.obs import SpanTracer
+
+        trace_file = open(args.trace_out, "w", encoding="utf-8")
+        tracer = SpanTracer(trace_file)
+    try:
+        tool = SigRec(prune=args.prune, metrics=metrics, tracer=tracer)
+        runner = BatchRecovery(
+            tool=tool, workers=args.workers, cache_dir=args.cache_dir
+        )
+        results = runner.recover_all(bytecodes)
+    finally:
+        if tracer is not None:
+            tracer.close()
+            trace_file.close()
     for index, recovered in enumerate(results):
         signatures = " ".join(
             f"{sig.selector_hex}({sig.param_list})" for sig in recovered
         )
         print(f"contract {index}: {signatures or '(no public functions)'}")
+    if args.metrics_out:
+        from repro.obs import dump_metrics
+
+        # Merge-on-write: counters accumulate across runs (a cold run's
+        # misses and the warm rerun's hits share one document); delete
+        # the file to start fresh.
+        dump_metrics(metrics, args.metrics_out)
+        print(f"metrics: {args.metrics_out}", file=sys.stderr)
     if args.time:
         print(f"batch: {runner.stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Render a metrics document (and optional trace) for humans."""
+    from repro.obs import load_metrics, read_trace, render_prometheus, render_stats
+
+    doc = load_metrics(args.metrics)
+    if doc is None:
+        raise SystemExit(f"error: {args.metrics} is not a metrics document")
+    if args.prometheus:
+        sys.stdout.write(render_prometheus(doc))
+        return 0
+    trace_records = read_trace(args.trace) if args.trace else None
+    sys.stdout.write(render_stats(doc, trace_records, top=args.top))
     return 0
 
 
@@ -412,7 +454,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--time", action="store_true",
         help="print contracts/s, unique ratio, cache hit-rate and workers",
     )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write (merge-accumulate) the metrics JSON document to FILE",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write structured span/event records to FILE (JSONL)",
+    )
+    p.add_argument(
+        "--prune", dest="prune", action="store_true", default=True,
+        help="suppress provably-silent TASE forks via static analysis "
+        "(output-preserving; default on for batch)",
+    )
+    p.add_argument(
+        "--no-prune", dest="prune", action="store_false",
+        help="disable static pruning",
+    )
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "stats", help="summarize a --metrics-out document (and trace)"
+    )
+    p.add_argument("metrics", help="metrics JSON written by --metrics-out")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="JSONL trace from --trace-out (adds slowest contracts)")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows per ranking section")
+    p.add_argument("--prometheus", action="store_true",
+                   help="emit the Prometheus text exposition instead")
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("ids", help="extract function ids only")
     p.add_argument("bytecode")

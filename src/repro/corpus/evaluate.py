@@ -10,9 +10,10 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.corpus.datasets import Corpus
+from repro.obs import NULL_REGISTRY, NULL_TRACER
 from repro.sigrec.api import SigRec
 
 
@@ -165,9 +166,16 @@ def evaluate_corpus(
     the serial path, only wall-clock changes.  In batch mode the whole
     corpus is timed at once, so per-function ``elapsed_seconds`` is the
     batch average rather than a per-contract measurement.
+
+    When the tool carries observability backends (``SigRec(metrics=...,
+    tracer=...)``), every contract additionally produces an
+    ``eval.{contracts,functions,correct}`` counter update and one
+    ``contract_eval`` trace event recording its outcome.
     """
     tool = tool or SigRec()
     report = EvalReport()
+    metrics, tracer = tool.metrics, tool.tracer
+    observing = metrics is not NULL_REGISTRY or tracer is not NULL_TRACER
     if workers or cache_dir is not None:
         from repro.sigrec.batch import BatchRecovery
 
@@ -178,34 +186,65 @@ def evaluate_corpus(
             1, sum(len(case.declared) for case in corpus.cases)
         )
         per_function = runner.stats.elapsed_seconds / total_functions
-        for case, recovered_list in zip(corpus.cases, batch_results):
+        for index, (case, recovered_list) in enumerate(
+            zip(corpus.cases, batch_results)
+        ):
             recovered = {sig.selector: sig for sig in recovered_list}
-            _append_case_outcomes(report, case, recovered, per_function)
+            functions, correct = _append_case_outcomes(
+                report, case, recovered, per_function
+            )
+            if observing:
+                _record_case(
+                    metrics, tracer, index, functions, correct, elapsed=None
+                )
         return report
-    for case in corpus.cases:
+    for index, case in enumerate(corpus.cases):
         start = time.perf_counter()
         recovered = tool.recover_map(case.contract.bytecode)
         contract_elapsed = time.perf_counter() - start
         n_functions = max(1, len(case.declared))
-        _append_case_outcomes(
+        functions, correct = _append_case_outcomes(
             report, case, recovered, contract_elapsed / n_functions
         )
+        if observing:
+            _record_case(
+                metrics, tracer, index, functions, correct, contract_elapsed
+            )
     return report
+
+
+def _record_case(
+    metrics, tracer, index: int, functions: int, correct: int,
+    elapsed: Optional[float],
+) -> None:
+    """One contract's evaluation outcome, as counters and a trace event."""
+    metrics.counter("eval.contracts").inc()
+    metrics.counter("eval.functions").inc(functions)
+    metrics.counter("eval.correct").inc(correct)
+    attrs = {"index": index, "functions": functions, "correct": correct}
+    if elapsed is not None:
+        metrics.histogram("eval.contract_seconds").observe(elapsed)
+        attrs["elapsed"] = elapsed
+    tracer.event("contract_eval", **attrs)
 
 
 def _append_case_outcomes(
     report: EvalReport, case, recovered: Dict[int, object], per_function: float
-) -> None:
+) -> "Tuple[int, int]":
+    """Append one case's outcomes; returns (functions, correct)."""
+    functions = correct = 0
     for sig, quirk in zip(case.declared, case.quirks):
         selector = int.from_bytes(sig.selector, "big")
         got = recovered.get(selector)
-        report.outcomes.append(
-            FunctionOutcome(
-                selector=selector,
-                declared=sig.param_list(),
-                recovered=got.param_list if got is not None else None,
-                quirk=quirk,
-                version_key=case.options.version_key,
-                elapsed_seconds=per_function,
-            )
+        outcome = FunctionOutcome(
+            selector=selector,
+            declared=sig.param_list(),
+            recovered=got.param_list if got is not None else None,
+            quirk=quirk,
+            version_key=case.options.version_key,
+            elapsed_seconds=per_function,
         )
+        report.outcomes.append(outcome)
+        functions += 1
+        correct += outcome.correct
+    return functions, correct

@@ -1,0 +1,83 @@
+"""Prometheus text-exposition rendering of a metrics document.
+
+The future service layer scrapes ``/metrics``; this helper turns a
+:class:`~repro.obs.metrics.MetricsRegistry` (or its serialized
+document) into the ``text/plain; version=0.0.4`` exposition format:
+dots in metric names become underscores, labels render as
+``name{label="value"}``, and histograms expand into the conventional
+cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` series.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from repro.obs.metrics import MetricsRegistry, parse_key
+
+_NAME_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _prom_name(name: str) -> str:
+    out = "".join(ch if ch in _NAME_SAFE else "_" for ch in name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [
+        f'{_prom_name(k)}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(source: Union[MetricsRegistry, Mapping]) -> str:
+    """The exposition text for a registry or a metrics document."""
+    doc = source.to_dict() if isinstance(source, MetricsRegistry) else source
+    lines = []
+    typed = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key, value in doc.get("counters", {}).items():
+        name, labels = parse_key(key)
+        name = _prom_name(name)
+        type_line(name, "counter")
+        lines.append(f"{name}{_prom_labels(labels)} {_format_value(value)}")
+    for key, value in doc.get("gauges", {}).items():
+        name, labels = parse_key(key)
+        name = _prom_name(name)
+        type_line(name, "gauge")
+        lines.append(f"{name}{_prom_labels(labels)} {_format_value(float(value))}")
+    for key, payload in doc.get("histograms", {}).items():
+        name, labels = parse_key(key)
+        name = _prom_name(name)
+        type_line(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(payload["bounds"], payload["counts"]):
+            cumulative += count
+            label_text = _prom_labels(labels, extra=f'le="{bound}"')
+            lines.append(f"{name}_bucket{label_text} {cumulative}")
+        label_text = _prom_labels(labels, extra='le="+Inf"')
+        lines.append(f"{name}_bucket{label_text} {payload['count']}")
+        lines.append(
+            f"{name}_sum{_prom_labels(labels)} {_format_value(payload['sum'])}"
+        )
+        lines.append(f"{name}_count{_prom_labels(labels)} {payload['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,176 @@
+"""Structured span tracing with a JSONL sink.
+
+A :class:`SpanTracer` emits three record types, one JSON object per
+line:
+
+``span_start``
+    ``{"type": "span_start", "id": 3, "parent": 1, "name": "tase",
+    "ts": <unix seconds>, "attrs": {...}}``
+``span_end``
+    ``{"type": "span_end", "id": 3, "name": "tase", "ts": ...,
+    "dur": <seconds>, "error": <exception type or absent>}``
+``event``
+    ``{"type": "event", "name": "contract", "parent": <enclosing span
+    id or null>, "ts": ..., "attrs": {...}}``
+
+Span ids are small integers unique within one tracer; ``parent`` links
+nested spans (``recover`` > ``tase``), so a trace file reconstructs the
+phase tree of every contract in a batch.  Durations come from
+``time.perf_counter()`` sampled only at span boundaries; the engine hot
+loop never touches the tracer.
+
+:data:`NULL_TRACER` is the disabled backend: ``span`` returns a shared
+no-op context manager and ``event`` does nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Any, Dict, List, Optional
+
+
+class _Span:
+    """Context manager for one span; created by :meth:`SpanTracer.span`."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "_t0")
+
+    def __init__(self, tracer: "SpanTracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        record = {
+            "type": "span_start",
+            "id": self.span_id,
+            "parent": tracer.current_span_id,
+            "name": self.name,
+            "ts": time.time(),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        tracer._stack.append(self.span_id)
+        tracer._emit(record)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._t0
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] == self.span_id:
+            tracer._stack.pop()
+        record = {
+            "type": "span_end",
+            "id": self.span_id,
+            "name": self.name,
+            "ts": time.time(),
+            "dur": duration,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        tracer._emit(record)
+
+
+class SpanTracer:
+    """Emits span/event records to a file-like sink (or an in-memory list).
+
+    With ``out=None`` records accumulate as dicts on :attr:`records`
+    (the test/in-process mode); with a file-like ``out`` each record is
+    written as one JSON line.  The tracer is process-local and not
+    thread-safe — each worker builds its own (batch workers report
+    through their metrics registry instead; trace records are emitted
+    by the parent).
+    """
+
+    def __init__(self, out: Optional[IO[str]] = None) -> None:
+        self._out = out
+        self.records: List[dict] = []
+        self._next_id = 1
+        self._stack: List[int] = []
+
+    @property
+    def current_span_id(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def _emit(self, record: dict) -> None:
+        if self._out is not None:
+            self._out.write(json.dumps(record) + "\n")
+        else:
+            self.records.append(record)
+
+    def span(self, name: str, **attrs: Any) -> _Span:
+        """A context manager emitting ``span_start``/``span_end``."""
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """A point-in-time record parented to the enclosing span."""
+        self._emit(
+            {
+                "type": "event",
+                "name": name,
+                "parent": self.current_span_id,
+                "ts": time.time(),
+                "attrs": attrs,
+            }
+        )
+
+    def close(self) -> None:
+        if self._out is not None and hasattr(self._out, "flush"):
+            self._out.flush()
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(SpanTracer):
+    """The disabled tracer: no records, no clock reads."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+#: The shared disabled tracer; compare by identity.
+NULL_TRACER = NullTracer()
+
+
+def read_trace(path: str) -> List[dict]:
+    """Parse a JSONL trace file, skipping malformed lines."""
+    records: List[dict] = []
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError:
+        return records
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.report import ContractAnalysis, Diagnostic, analyze, cross_check
+from repro.obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, SpanTracer, phase_span
 from repro.sigrec.engine import TASEEngine, TASEResult
 from repro.sigrec.inference import infer_function
 from repro.sigrec.rules import RuleTracker
@@ -76,8 +77,16 @@ class SigRec:
         coarse_only: bool = False,
         static_check: bool = True,
         prune: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         self.tracker = RuleTracker()
+        # Observability backends: ``None`` means the shared null
+        # singletons, whose instruments swallow everything.  Neither is
+        # part of :meth:`options` — telemetry wiring never changes what
+        # is recovered, so it must not perturb cache fingerprints.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.semantic_idioms = semantic_idioms
         self.coarse_only = coarse_only
         # ``static_check`` cross-validates TASE's selector set against
@@ -119,12 +128,15 @@ class SigRec:
         self, bytecode: bytes, analysis: Optional[ContractAnalysis] = None
     ) -> TASEResult:
         """Run TASE and remember the result for a follow-up ``explain``."""
-        engine = TASEEngine(
-            bytecode,
-            analysis=analysis if self.prune else None,
-            **self._engine_opts,
-        )
-        result = engine.run()
+        with phase_span(self.metrics, self.tracer, "disasm"):
+            engine = TASEEngine(
+                bytecode,
+                analysis=analysis if self.prune else None,
+                metrics=self.metrics,
+                **self._engine_opts,
+            )
+        with phase_span(self.metrics, self.tracer, "tase"):
+            result = engine.run()
         digest = hashlib.sha256(bytecode).digest()
         self._result_memo[digest] = result
         self._result_memo.move_to_end(digest)
@@ -134,34 +146,99 @@ class SigRec:
 
     def recover(self, bytecode: bytes) -> List[RecoveredSignature]:
         """Recover the signatures of all public/external functions."""
-        analysis: Optional[ContractAnalysis] = None
-        if self.static_check or self.prune:
-            analysis = analyze(bytecode)
-        result = self._run_engine(bytecode, analysis)
-        if self.static_check and analysis is not None:
-            self.last_diagnostics = cross_check(analysis, result.selectors)
-        else:
-            self.last_diagnostics = ()
-        recovered: List[RecoveredSignature] = []
-        for selector in result.selectors:
-            start = time.perf_counter()
-            inferred = infer_function(
-                result.functions[selector], self.tracker,
-                semantic_idioms=self.semantic_idioms,
-                coarse_only=self.coarse_only,
-            )
-            elapsed = time.perf_counter() - start
-            recovered.append(
-                RecoveredSignature(
-                    selector=selector,
-                    param_types=tuple(inferred.param_types),
-                    language=inferred.language,
-                    elapsed_seconds=elapsed,
-                    fired_rules=tuple(inferred.fired_rules),
-                    confidences=tuple(inferred.confidences),
-                )
+        publish = self.metrics is not NULL_REGISTRY
+        fired_before = dict(self.tracker.counts) if publish else {}
+        conflicts_before = dict(self.tracker.conflicts) if publish else {}
+        with phase_span(
+            self.metrics, self.tracer, "recover", bytes=len(bytecode)
+        ):
+            analysis: Optional[ContractAnalysis] = None
+            if self.static_check or self.prune:
+                with phase_span(self.metrics, self.tracer, "static_analysis"):
+                    analysis = analyze(bytecode)
+            result = self._run_engine(bytecode, analysis)
+            self.last_diagnostics = self._diagnose(analysis, result)
+            recovered: List[RecoveredSignature] = []
+            with phase_span(self.metrics, self.tracer, "inference"):
+                for selector in result.selectors:
+                    start = time.perf_counter()
+                    inferred = infer_function(
+                        result.functions[selector], self.tracker,
+                        semantic_idioms=self.semantic_idioms,
+                        coarse_only=self.coarse_only,
+                    )
+                    elapsed = time.perf_counter() - start
+                    recovered.append(
+                        RecoveredSignature(
+                            selector=selector,
+                            param_types=tuple(inferred.param_types),
+                            language=inferred.language,
+                            elapsed_seconds=elapsed,
+                            fired_rules=tuple(inferred.fired_rules),
+                            confidences=tuple(inferred.confidences),
+                        )
+                    )
+        if publish:
+            self._publish_recover_metrics(
+                recovered, fired_before, conflicts_before
             )
         return recovered
+
+    def _diagnose(
+        self, analysis: Optional[ContractAnalysis], result: TASEResult
+    ) -> Tuple[Diagnostic, ...]:
+        """Truncation warnings first, then the static/TASE cross-check.
+
+        A ``max_paths``/step-limit truncation means the engine abandoned
+        live exploration states, so the recovery may be missing whole
+        functions — structurally different from a complete run that
+        simply found few selectors, and invisible without this record.
+        """
+        diagnostics = []
+        if result.truncated_paths:
+            diagnostics.append(
+                Diagnostic(
+                    kind="tase-truncated-paths",
+                    detail=(
+                        f"path cap max_paths={self._engine_opts['max_paths']} "
+                        "reached; exploration abandoned pending states and "
+                        "the recovery may be incomplete"
+                    ),
+                )
+            )
+        if result.truncated_steps:
+            diagnostics.append(
+                Diagnostic(
+                    kind="tase-truncated-steps",
+                    detail=(
+                        "step ceiling reached "
+                        f"(max_total_steps={self._engine_opts['max_total_steps']}"
+                        " or the per-path limit); the recovery may be incomplete"
+                    ),
+                )
+            )
+        if self.static_check and analysis is not None:
+            diagnostics.extend(cross_check(analysis, result.selectors))
+        return tuple(diagnostics)
+
+    def _publish_recover_metrics(
+        self,
+        recovered: List[RecoveredSignature],
+        fired_before: Dict[str, int],
+        conflicts_before: Dict[str, int],
+    ) -> None:
+        """Per-recover counters, including this call's rule-fire deltas."""
+        metrics = self.metrics
+        metrics.counter("recover.calls").inc()
+        metrics.counter("recover.functions").inc(len(recovered))
+        for rule, count in self.tracker.counts.items():
+            delta = count - fired_before.get(rule, 0)
+            if delta:
+                metrics.counter("rules.fired", rule=rule).inc(delta)
+        for rule, count in self.tracker.conflicts.items():
+            delta = count - conflicts_before.get(rule, 0)
+            if delta:
+                metrics.counter("rules.conflicts", rule=rule).inc(delta)
 
     def recover_map(self, bytecode: bytes) -> Dict[int, RecoveredSignature]:
         """Like :meth:`recover`, keyed by selector."""

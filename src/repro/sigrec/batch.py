@@ -24,6 +24,7 @@ any cache state.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -31,22 +32,32 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry
 from repro.sigrec.api import RecoveredSignature, SigRec
 from repro.sigrec.cache import ResultCache
 
 
 def _analyze_one(
-    options: Dict[str, object], bytecode: bytes
-) -> Tuple[List[RecoveredSignature], Dict[str, int]]:
+    options: Dict[str, object], collect_metrics: bool, bytecode: bytes
+) -> Tuple[List[RecoveredSignature], Dict[str, int], Optional[dict], float]:
     """Worker entry point: one bytecode, a fresh tool, delta counts.
 
     Top-level so it pickles for the process pool; also used verbatim by
     the serial path so ``workers=0`` and ``workers=N`` run the same code.
+    With ``collect_metrics`` the job runs against its own registry and
+    returns the serialized document, which the parent merges — counters
+    are additive, so the aggregate equals a serial run's (the same
+    pattern as the per-worker :class:`RuleTracker` merge).  The elapsed
+    wall time of the job rides along for per-contract trace events.
     """
-    tool = SigRec(**options)
+    registry = MetricsRegistry() if collect_metrics else None
+    tool = SigRec(metrics=registry, **options)
+    start = time.perf_counter()
     signatures = tool.recover(bytecode)
+    elapsed = time.perf_counter() - start
     counts = {r: c for r, c in tool.tracker.counts.items() if c}
-    return signatures, counts
+    doc = registry.to_dict() if registry is not None else None
+    return signatures, counts, doc, elapsed
 
 
 @dataclass
@@ -76,13 +87,27 @@ class BatchStats:
             return 0.0
         return self.total / self.elapsed_seconds
 
+    def throughput_text(self) -> str:
+        """Human rendering of the rate, honest about warm-cache runs.
+
+        A fully warm run can finish faster than the timer's useful
+        resolution, making ``total / elapsed`` either a division by
+        (near) zero or a meaningless astronomic figure; render ``n/a``
+        instead of a misleading ``0`` in that case.
+        """
+        if self.total and 0 < self.elapsed_seconds:
+            rate = self.contracts_per_second
+            if rate < 10_000_000:
+                return f"{rate:,.0f} contracts/s"
+        return "n/a contracts/s"
+
     def summary(self) -> str:
         """One line for the CLI's ``--time`` flag / benchmark logs."""
         parts = [
             f"{self.total} contracts "
             f"({self.unique} unique, {self.unique_ratio:.0%})",
             f"{self.elapsed_seconds:.2f}s",
-            f"{self.contracts_per_second:,.0f} contracts/s",
+            self.throughput_text(),
             f"workers={self.workers or 'serial'}",
         ]
         if self.cache_hits or self.cache_misses:
@@ -112,11 +137,16 @@ class BatchRecovery:
         cache_dir: Optional[str] = None,
     ) -> None:
         self.tool = tool if tool is not None else SigRec()
+        # Telemetry flows through the tool's backends: worker documents
+        # merge into ``metrics`` and per-contract records go to
+        # ``tracer``, so batch and serial runs aggregate identically.
+        self.metrics = self.tool.metrics
+        self.tracer = self.tool.tracer
         if workers is None:
             workers = os.cpu_count() or 1
         self.workers = max(0, workers)
         self.cache: Optional[ResultCache] = (
-            ResultCache(cache_dir, self.tool.options())
+            ResultCache(cache_dir, self.tool.options(), metrics=self.metrics)
             if cache_dir is not None
             else None
         )
@@ -132,6 +162,17 @@ class BatchRecovery:
         Every entry is an independent list object: mutating one result
         never affects another, even for duplicated bytecodes.
         """
+        # One root span per batch: workers run uninstrumented tracers
+        # (their telemetry arrives as merged registry documents), so
+        # this span plus the per-contract events is the whole trace.
+        with self.tracer.span(
+            "batch", contracts=len(bytecodes), workers=self.workers
+        ):
+            return self._recover_all(bytecodes, deduplicate)
+
+    def _recover_all(
+        self, bytecodes: Sequence[bytes], deduplicate: bool
+    ) -> List[List[RecoveredSignature]]:
         start = time.perf_counter()
         stats = BatchStats(total=len(bytecodes), workers=self.workers)
         # Order-preserving dedup; with deduplicate=False every entry is
@@ -144,6 +185,9 @@ class BatchRecovery:
             jobs = list(bytecodes)
         stats.unique = len(dict.fromkeys(bytecodes)) if bytecodes else 0
 
+        observing = (
+            self.metrics is not NULL_REGISTRY or self.tracer is not NULL_TRACER
+        )
         finished: Dict[int, List[RecoveredSignature]] = {}
         pending: List[int] = []
         for index, code in enumerate(jobs):
@@ -152,6 +196,14 @@ class BatchRecovery:
                 signatures, counts = cached
                 finished[index] = signatures
                 self.tool.tracker.merge(counts)
+                if observing:
+                    self.tracer.event(
+                        "contract",
+                        index=index,
+                        sha=hashlib.sha256(code).hexdigest()[:16],
+                        functions=len(signatures),
+                        cached=True,
+                    )
             else:
                 pending.append(index)
         if self.cache is not None:
@@ -159,7 +211,11 @@ class BatchRecovery:
             stats.cache_misses = len(pending)
         stats.analyzed = len(pending)
 
-        analyze = partial(_analyze_one, self.tool.options())
+        analyze = partial(
+            _analyze_one,
+            self.tool.options(),
+            self.metrics is not NULL_REGISTRY,
+        )
         if pending:
             miss_codes = [jobs[i] for i in pending]
             if self.workers and len(pending) > 1:
@@ -170,9 +226,22 @@ class BatchRecovery:
                     )
             else:
                 outcomes = [analyze(code) for code in miss_codes]
-            for index, (signatures, counts) in zip(pending, outcomes):
+            for index, (signatures, counts, doc, elapsed) in zip(
+                pending, outcomes
+            ):
                 finished[index] = signatures
                 self.tool.tracker.merge(counts)
+                if doc is not None:
+                    self.metrics.merge(doc)
+                if observing:
+                    self.metrics.histogram("contract.seconds").observe(elapsed)
+                    self.tracer.event(
+                        "contract",
+                        index=index,
+                        sha=hashlib.sha256(jobs[index]).hexdigest()[:16],
+                        functions=len(signatures),
+                        elapsed=elapsed,
+                    )
                 if self.cache is not None:
                     self.cache.put(jobs[index], signatures, counts)
 
@@ -182,5 +251,11 @@ class BatchRecovery:
         else:
             out = [list(finished[i]) for i in range(len(jobs))]
         stats.elapsed_seconds = time.perf_counter() - start
+        if self.metrics is not NULL_REGISTRY:
+            metrics = self.metrics
+            metrics.counter("batch.contracts").inc(stats.total)
+            metrics.counter("batch.unique").inc(stats.unique)
+            metrics.counter("batch.analyzed").inc(stats.analyzed)
+            metrics.histogram("batch.seconds").observe(stats.elapsed_seconds)
         self.stats = stats
         return out

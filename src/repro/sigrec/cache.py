@@ -33,6 +33,7 @@ import tempfile
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.report import ANALYSIS_SCHEMA_VERSION
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.sigrec.api import RecoveredSignature
 
 #: Bump to invalidate every existing cache entry (serialization layout
@@ -93,12 +94,21 @@ class ResultCache:
     corrupt or mismatched entry is treated as a miss, never an error.
     """
 
-    def __init__(self, directory: str, options: Dict[str, object]) -> None:
+    def __init__(
+        self,
+        directory: str,
+        options: Dict[str, object],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.directory = directory
         self.options = dict(options)
         self.fingerprint = options_fingerprint(self.options)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.hits = 0
         self.misses = 0
+        #: Misses caused by a *present but stale* entry (schema or
+        #: fingerprint mismatch) rather than plain absence.
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
 
@@ -113,8 +123,10 @@ class ResultCache:
     ) -> Optional[Tuple[List[RecoveredSignature], Dict[str, int]]]:
         """The cached (signatures, rule counts) for ``bytecode``, or None."""
         path = self._entry_path(bytecode)
+        present = False
         try:
             with open(path, "r", encoding="utf-8") as handle:
+                present = True
                 entry = json.load(handle)
             if (
                 entry.get("schema") != SCHEMA_VERSION
@@ -129,9 +141,20 @@ class ResultCache:
                 for rule, count in entry.get("rule_counts", {}).items()
             }
         except (OSError, ValueError, KeyError, TypeError):
+            # An entry that existed but failed validation is an
+            # *invalidation* (stale schema/fingerprint, corrupt JSON);
+            # plain absence is an ordinary miss.
             self.misses += 1
+            if present:
+                self.invalidations += 1
+            metrics = self.metrics
+            if metrics is not NULL_REGISTRY:
+                metrics.counter("cache.misses").inc()
+                if present:
+                    metrics.counter("cache.invalidations").inc()
             return None
         self.hits += 1
+        self.metrics.counter("cache.hits").inc()
         return signatures, rule_counts
 
     def put(
@@ -157,6 +180,7 @@ class ResultCache:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle)
             os.replace(tmp_path, path)
+            self.metrics.counter("cache.writes").inc()
         except BaseException:
             try:
                 os.unlink(tmp_path)

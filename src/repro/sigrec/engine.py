@@ -43,6 +43,7 @@ from repro.evm.disasm import disassemble, instruction_index, jumpdests
 if TYPE_CHECKING:
     from repro.analysis.report import ContractAnalysis
 from repro.evm.semantics import HALT, Domain, dispatch_table
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.sigrec import expr as E
 from repro.sigrec.events import (
     CalldataCopyEvent,
@@ -244,6 +245,16 @@ class TASEResult:
     #: JUMPI forks the static analysis proved observationally silent
     #: and therefore suppressed (0 unless an analysis was supplied).
     pruned_forks: int = 0
+    #: Symbolic JUMPI forks where both sides were explored (a state clone).
+    forks_taken: int = 0
+    #: Symbolic JUMPI visits where at least one side was dropped because
+    #: its per-(site, side) branch budget was already spent.
+    budget_exhaustions: int = 0
+    #: ``hit_limits`` split by cause: the path cap was reached, so some
+    #: worklist states were abandoned (selectors may be missing)...
+    truncated_paths: bool = False
+    #: ...or the per-run/per-path step ceilings cut exploration short.
+    truncated_steps: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -594,6 +605,8 @@ class SymbolicDomain(Domain):
         budget = engine._branch_budget
         take_budget = budget.get((ins.pc, True), engine.fork_bound)
         fall_budget = budget.get((ins.pc, False), engine.fork_bound)
+        if take_budget <= 0 or fall_budget <= 0:
+            engine._budget_exhaustions += 1
         explore_taken = (
             take_budget > 0
             and tvalue in engine._jumpdests
@@ -620,6 +633,7 @@ class SymbolicDomain(Domain):
             engine._paths += 1
             if engine._paths > engine.max_paths:
                 self.result.hit_limits = True
+                self.result.truncated_paths = True
                 self.worklist.clear()
                 return HALT
             state.guards = state.guards + (Guard(cond, False, ins.pc),)
@@ -627,6 +641,7 @@ class SymbolicDomain(Domain):
         if explore_fall:
             budget[(ins.pc, False)] = fall_budget - 1
             if explore_taken:
+                engine._forks_taken += 1
                 fallthrough = state.fork(ins.next_pc)
                 fallthrough.guards = state.guards + (Guard(cond, False, ins.pc),)
                 self.worklist.append(fallthrough)
@@ -685,8 +700,13 @@ class TASEEngine:
         semantic_idioms: bool = True,
         step_hook: Optional[Callable] = None,
         analysis: Optional["ContractAnalysis"] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.bytecode = bytecode
+        # The registry only sees aggregate tallies published once per
+        # ``run()`` — the hot loop keeps plain ints and never reads a
+        # clock, so disabled observability costs one identity check.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.max_total_steps = max_total_steps
         self.max_paths = max_paths
         self.fork_bound = fork_bound
@@ -718,6 +738,8 @@ class TASEEngine:
             self._regions = analysis.closed_regions
         self._paths = 0
         self._pruned_forks = 0
+        self._forks_taken = 0
+        self._budget_exhaustions = 0
         # Pre-bind each pc to (instruction, handler) over the shared
         # semantics table (single dict lookup per step).
         table = dispatch_table(SymbolicDomain)
@@ -731,6 +753,8 @@ class TASEEngine:
         self._branch_budget = {}
         self._paths = 0
         self._pruned_forks = 0
+        self._forks_taken = 0
+        self._budget_exhaustions = 0
         result = TASEResult(functions={}, selectors=[])
         initial = _State(
             pc=0, stack=[], memory=SymMemory(), guards=(),
@@ -746,12 +770,14 @@ class TASEEngine:
             self._paths += 1
             if self._paths > self.max_paths:
                 result.hit_limits = True
+                result.truncated_paths = True
                 break
             domain.bind(state)
             while True:
                 total_steps += 1
                 if total_steps > self.max_total_steps or state.steps > 60_000:
                     result.hit_limits = True
+                    result.truncated_steps = True
                     break
                 entry = dispatch.get(state.pc)
                 if entry is None:
@@ -773,8 +799,28 @@ class TASEEngine:
         result.paths_explored = self._paths
         result.total_steps = total_steps
         result.pruned_forks = self._pruned_forks
+        result.forks_taken = self._forks_taken
+        result.budget_exhaustions = self._budget_exhaustions
         result.selectors = sorted(result.functions.keys())
+        self._publish_metrics(result)
         return result
+
+    def _publish_metrics(self, result: TASEResult) -> None:
+        """Fold one run's tallies into the registry (phase boundary)."""
+        metrics = self.metrics
+        if metrics is NULL_REGISTRY:
+            return
+        metrics.counter("tase.runs").inc()
+        metrics.counter("tase.steps").inc(result.total_steps)
+        metrics.counter("tase.paths").inc(result.paths_explored)
+        metrics.counter("tase.forks").inc(result.forks_taken)
+        metrics.counter("tase.forks_suppressed").inc(result.pruned_forks)
+        metrics.counter("tase.budget_exhaustions").inc(result.budget_exhaustions)
+        metrics.counter("tase.functions").inc(len(result.selectors))
+        if result.truncated_paths:
+            metrics.counter("tase.truncations", reason="max_paths").inc()
+        if result.truncated_steps:
+            metrics.counter("tase.truncations", reason="max_steps").inc()
 
     # ------------------------------------------------------------------
 

@@ -879,39 +879,52 @@ class TypeInference:
         return self._refine_labelled_basic(cluster.labels)
 
     def _refine_labelled_basic(self, labels: Set[Tuple[str, object]]) -> str:
-        """Solidity basic-type refinement: R11-R18."""
+        """Solidity basic-type refinement: R11-R18.
+
+        Candidates are gathered family by family in priority order; the
+        first fires and decides the type (exactly the historical early
+        returns), and every lower-priority family whose evidence also
+        matched is recorded as a shadowed conflict on the tracker.
+        """
         uses = self._uses_for(labels)
         has_arith = any(u.kind == "arith" for u in uses)
+        candidates: List[Tuple[str, str]] = []
         for use in uses:
             if use.kind == "bool_mask":
-                self._fire("R14")
-                return "bool"
+                candidates.append(("R14", "bool"))
+                break
         for use in uses:
             if use.kind == "signextend" and use.operand is not None and use.operand < 31:
-                self._fire("R13")
-                return f"int{(use.operand + 1) * 8}"
+                candidates.append(("R13", f"int{(use.operand + 1) * 8}"))
+                break
         for use in uses:
             if use.kind == "and_mask" and use.operand is not None:
                 low = R.low_mask_bytes(use.operand)
                 if 0 < low < 32:
                     if low == 20 and not has_arith:
-                        self._fire("R16")
-                        return "address"
-                    self._fire("R11")
-                    return f"uint{low * 8}"
+                        candidates.append(("R16", "address"))
+                    else:
+                        candidates.append(("R11", f"uint{low * 8}"))
+                    break
                 high = R.high_mask_bytes(use.operand)
                 if 0 < high < 32:
-                    self._fire("R12")
-                    return f"bytes{high}"
+                    candidates.append(("R12", f"bytes{high}"))
+                    break
         for use in uses:
             if use.kind == "signed_op":
-                self._fire("R15")
-                return "int256"
+                candidates.append(("R15", "int256"))
+                break
         for use in uses:
             if use.kind == "byte":
-                self._fire("R18")
-                return "bytes32"
-        return "uint256"
+                candidates.append(("R18", "bytes32"))
+                break
+        if not candidates:
+            return "uint256"
+        rule_id, type_str = candidates[0]
+        self._fire(rule_id)
+        for shadowed, _ in candidates[1:]:
+            self.tracker.conflict(shadowed)
+        return type_str
 
     def _refine_vyper_basic(self, labels: Set[Tuple[str, object]]) -> str:
         """Vyper basic-type refinement via range clamps: R27-R31."""

@@ -10,7 +10,7 @@ usage frequency).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Mapping, Union
 
 
 @dataclass(frozen=True)
@@ -61,28 +61,48 @@ RULES: Dict[str, Rule] = {
 
 
 class RuleTracker:
-    """Counts rule applications across recoveries (Fig. 19)."""
+    """Counts rule applications across recoveries (Fig. 19).
+
+    Besides fire counts, the tracker records *conflicts*: a rule whose
+    evidence was present but that lost to a higher-priority rule during
+    basic-type refinement (e.g. a signed use shadowed by an AND mask).
+    Conflicts never change the recovered type — they are a diagnostic
+    of how contested the evidence was.
+    """
 
     def __init__(self) -> None:
         self.counts: Dict[str, int] = {rule_id: 0 for rule_id in RULES}
+        self.conflicts: Dict[str, int] = {}
 
     def fire(self, rule_id: str, times: int = 1) -> None:
         if rule_id not in self.counts:
             raise KeyError(f"unknown rule: {rule_id}")
         self.counts[rule_id] += times
 
-    def merge(self, other) -> None:
+    def conflict(self, rule_id: str, times: int = 1) -> None:
+        """Record that ``rule_id`` matched but was shadowed by a winner."""
+        if rule_id not in self.counts:
+            raise KeyError(f"unknown rule: {rule_id}")
+        self.conflicts[rule_id] = self.conflicts.get(rule_id, 0) + times
+
+    def merge(self, other: Union["RuleTracker", Mapping[str, int]]) -> None:
         """Add another tracker's counts (or a plain rule->count mapping).
 
         Counters are purely additive, so merging per-worker or cached
         per-bytecode counts reproduces a serial run's totals exactly —
         this is how the batch executor keeps Fig.-19 statistics correct.
+        Merging a full :class:`RuleTracker` also folds in its conflict
+        counts; a plain mapping carries fire counts only (the cache
+        stores just those).
         """
         counts = other.counts if isinstance(other, RuleTracker) else other
         for rule_id, count in counts.items():
             if rule_id not in self.counts:
                 raise KeyError(f"unknown rule: {rule_id}")
             self.counts[rule_id] += count
+        if isinstance(other, RuleTracker):
+            for rule_id, count in other.conflicts.items():
+                self.conflicts[rule_id] = self.conflicts.get(rule_id, 0) + count
 
     def most_used(self) -> str:
         return max(self.counts, key=lambda r: self.counts[r])

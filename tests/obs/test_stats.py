@@ -1,0 +1,106 @@
+"""Rendering: ``repro stats`` text and Prometheus exposition."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import render_prometheus
+from repro.obs.stats import render_stats
+
+
+def _sample_doc():
+    registry = MetricsRegistry()
+    registry.counter("tase.runs").inc(4)
+    registry.counter("tase.paths").inc(40)
+    registry.counter("tase.steps").inc(4000)
+    registry.counter("tase.forks").inc(30)
+    registry.counter("tase.forks_suppressed").inc(10)
+    registry.counter("tase.truncations", reason="max_paths").inc(2)
+    registry.counter("recover.calls").inc(4)
+    registry.counter("recover.functions").inc(9)
+    registry.counter("rules.fired", rule="R4").inc(9)
+    registry.counter("rules.fired", rule="R11").inc(3)
+    registry.counter("rules.conflicts", rule="R15").inc(2)
+    registry.counter("cache.hits").inc(3)
+    registry.counter("cache.misses").inc(1)
+    registry.counter("cache.invalidations").inc(1)
+    registry.counter("eval.contracts").inc(4)
+    registry.counter("eval.functions").inc(9)
+    registry.counter("eval.correct").inc(8)
+    registry.histogram("phase.seconds", phase="tase").observe(0.3)
+    registry.histogram("phase.seconds", phase="inference").observe(0.1)
+    return registry.to_dict()
+
+
+def test_render_stats_covers_every_section():
+    text = render_stats(_sample_doc())
+    for needle in (
+        "engine",
+        "paths 40",
+        "suppressed by pruning 10",
+        "prune ratio 25.0%",
+        "max_paths: 2",
+        "recovery",
+        "rules (fired 12 times",
+        "R4",
+        "shadowed candidates: R15: 2",
+        "cache",
+        "hit rate 75.0%",
+        "invalidations 1",
+        "evaluation",
+        "accuracy 88.9%",
+        "phases",
+        "tase",
+    ):
+        assert needle in text, needle
+
+
+def test_render_stats_lists_slowest_contracts_from_trace():
+    trace = [
+        {
+            "type": "event",
+            "name": "contract",
+            "attrs": {"sha": "aa" * 8, "elapsed": 0.5, "functions": 3},
+        },
+        {
+            "type": "event",
+            "name": "contract",
+            "attrs": {"sha": "bb" * 8, "elapsed": 2.0, "functions": 1},
+        },
+        {"type": "span_start", "name": "batch", "id": 1, "parent": None},
+    ]
+    text = render_stats(_sample_doc(), trace_records=trace, top=1)
+    assert "slowest contracts (top 1)" in text
+    assert "bb" * 8 in text
+    assert "aa" * 8 not in text
+
+
+def test_render_stats_empty_document():
+    text = render_stats({"counters": {}, "gauges": {}, "histograms": {}})
+    # Engine section always renders (all-zero), never crashes.
+    assert "engine" in text
+
+
+def test_prometheus_exposition_shape():
+    registry = MetricsRegistry()
+    registry.counter("cache.hits").inc(3)
+    registry.counter("rules.fired", rule="R4").inc(2)
+    registry.gauge("batch.workers").set(8)
+    histogram = registry.histogram("phase.seconds", phase="tase", buckets=(0.5, 1.0))
+    histogram.observe(0.2)
+    histogram.observe(2.0)
+    text = render_prometheus(registry)
+    assert "# TYPE cache_hits counter" in text
+    assert "cache_hits 3" in text
+    assert 'rules_fired{rule="R4"} 2' in text
+    assert "# TYPE batch_workers gauge" in text
+    assert 'phase_seconds_bucket{phase="tase",le="0.5"} 1' in text
+    assert 'phase_seconds_bucket{phase="tase",le="1.0"} 1' in text
+    assert 'phase_seconds_bucket{phase="tase",le="+Inf"} 2' in text
+    assert 'phase_seconds_count{phase="tase"} 2' in text
+    # Renders identically from the serialized document.
+    assert render_prometheus(registry.to_dict()) == text
+
+
+def test_prometheus_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("c", tag='quo"te').inc()
+    text = render_prometheus(registry)
+    assert 'tag="quo\\"te"' in text

@@ -1,0 +1,64 @@
+"""Span tracer: nesting, parent ids, JSONL output, null backend."""
+
+import io
+
+from repro.obs.trace import NULL_TRACER, SpanTracer, read_trace
+
+
+def test_span_nesting_records_parent_ids():
+    tracer = SpanTracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            tracer.event("tick", n=1)
+    kinds = [r["type"] for r in tracer.records]
+    assert kinds == ["span_start", "span_start", "event", "span_end", "span_end"]
+    starts = [r for r in tracer.records if r["type"] == "span_start"]
+    assert starts[0]["name"] == "outer" and starts[0]["parent"] is None
+    assert starts[1]["name"] == "inner" and starts[1]["parent"] == outer.span_id
+    event = next(r for r in tracer.records if r["type"] == "event")
+    assert event["parent"] == inner.span_id
+    ends = [r for r in tracer.records if r["type"] == "span_end"]
+    assert all(e["dur"] >= 0 for e in ends)
+    assert all("error" not in e for e in ends)
+
+
+def test_span_end_records_error_type():
+    tracer = SpanTracer()
+    try:
+        with tracer.span("boom"):
+            raise RuntimeError("nope")
+    except RuntimeError:
+        pass
+    end = tracer.records[-1]
+    assert end["type"] == "span_end"
+    assert end["error"] == "RuntimeError"
+
+
+def test_tracer_writes_jsonl_to_file_like(tmp_path):
+    buffer = io.StringIO()
+    tracer = SpanTracer(out=buffer)
+    with tracer.span("phase", contract=7):
+        tracer.event("mark")
+    tracer.close()
+    path = tmp_path / "t.jsonl"
+    path.write_text(buffer.getvalue())
+    records = read_trace(str(path))
+    assert [r["type"] for r in records] == ["span_start", "event", "span_end"]
+    assert records[0]["attrs"] == {"contract": 7}
+
+
+def test_read_trace_skips_malformed_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"type": "event", "name": "ok"}\nnot json\n\n')
+    records = read_trace(str(path))
+    assert len(records) == 1 and records[0]["name"] == "ok"
+    assert read_trace(str(tmp_path / "absent.jsonl")) == []
+
+
+def test_null_tracer_is_inert():
+    with NULL_TRACER.span("anything", a=1) as span:
+        NULL_TRACER.event("ignored")
+        with NULL_TRACER.span("nested") as nested:
+            assert nested is span  # shared singleton span
+    assert NULL_TRACER.records == []
+    NULL_TRACER.close()

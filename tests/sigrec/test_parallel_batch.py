@@ -92,3 +92,16 @@ def test_empty_batch_parallel():
     assert runner.stats.unique == 0
     assert runner.stats.contracts_per_second == 0.0
     assert isinstance(runner.stats, BatchStats)
+
+
+def test_warm_cache_throughput_renders_na_not_zero():
+    """A run too fast to time meaningfully must say so, not mislead."""
+    warm = BatchStats(total=5, elapsed_seconds=0.0)
+    assert warm.contracts_per_second == 0.0  # numeric API unchanged
+    assert "n/a contracts/s" in warm.summary()
+    # Astronomic rates from sub-resolution timers are equally bogus.
+    absurd = BatchStats(total=100_000, elapsed_seconds=1e-9)
+    assert "n/a contracts/s" in absurd.summary()
+    # A measurable run still reports the real figure.
+    normal = BatchStats(total=10, elapsed_seconds=2.0)
+    assert "5 contracts/s" in normal.summary()

@@ -50,6 +50,35 @@ def test_tracker_merge():
     assert a.counts["R2"] == 1
 
 
+def test_tracker_merge_accepts_plain_mapping():
+    tracker = RuleTracker()
+    tracker.fire("R4")
+    tracker.merge({"R4": 2, "R11": 1})
+    assert tracker.counts["R4"] == 3
+    assert tracker.counts["R11"] == 1
+
+
+def test_tracker_merge_rejects_unknown_rule():
+    tracker = RuleTracker()
+    with pytest.raises(KeyError):
+        tracker.merge({"R99": 1})
+    with pytest.raises(KeyError):
+        tracker.conflict("R99")
+
+
+def test_tracker_merge_folds_conflicts_from_tracker_only():
+    a, b = RuleTracker(), RuleTracker()
+    a.conflict("R15")
+    b.conflict("R15", times=2)
+    b.conflict("R18")
+    a.merge(b)
+    assert a.conflicts == {"R15": 3, "R18": 1}
+    # A plain mapping carries fire counts only — conflicts untouched.
+    a.merge({"R15": 5})
+    assert a.conflicts == {"R15": 3, "R18": 1}
+    assert a.counts["R15"] == 5
+
+
 def test_low_mask_bytes():
     assert low_mask_bytes(0xFF) == 1
     assert low_mask_bytes(0xFFFF) == 2

@@ -300,3 +300,88 @@ def test_inspect_disasm_annotations(token_hex, capsys):
     out = capsys.readouterr().out
     assert "; dispatcher" in out
     assert "; entry of 0xa9059cbb" in out
+
+
+def test_batch_metrics_and_trace_out(token_hex, tmp_path, capsys):
+    corpus = tmp_path / "corpus.txt"
+    corpus.write_text(f"{token_hex}\n")
+    metrics_path = tmp_path / "m.json"
+    trace_path = tmp_path / "t.jsonl"
+    args = [
+        "batch", str(corpus), "--workers", "0",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--metrics-out", str(metrics_path),
+        "--trace-out", str(trace_path),
+    ]
+    assert main(args) == 0  # cold
+    assert main(args) == 0  # warm: cache hits land in the same document
+    captured = capsys.readouterr()
+    assert f"metrics: {metrics_path}" in captured.err
+
+    import json
+
+    doc = json.loads(metrics_path.read_text())
+    counters = doc["counters"]
+    assert counters["tase.paths"] > 0
+    assert counters["cache.misses"] == 1
+    assert counters["cache.hits"] == 1
+    assert any(k.startswith("rules.fired{rule=") for k in counters)
+    # Pruning is the batch default, so suppressed forks are nonzero.
+    assert counters["tase.forks_suppressed"] > 0
+
+    from repro.obs.trace import read_trace
+
+    records = read_trace(str(trace_path))
+    batch_span = next(
+        r for r in records
+        if r["type"] == "span_start" and r["name"] == "batch"
+    )
+    events = [r for r in records if r["type"] == "event"]
+    assert events and all(r["name"] == "contract" for r in events)
+    assert all(r["parent"] == batch_span["id"] for r in events)
+    # The warm rerun rewrote the trace: its sole contract was cached.
+    assert events[0]["attrs"].get("cached") is True
+
+
+def test_batch_no_prune_flag(token_hex, tmp_path, capsys):
+    corpus = tmp_path / "corpus.txt"
+    corpus.write_text(f"{token_hex}\n")
+    metrics_path = tmp_path / "m.json"
+    args = [
+        "batch", str(corpus), "--workers", "0", "--no-prune",
+        "--metrics-out", str(metrics_path),
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+
+    import json
+
+    counters = json.loads(metrics_path.read_text())["counters"]
+    assert counters["tase.forks_suppressed"] == 0
+
+
+def test_stats_renders_metrics_document(token_hex, tmp_path, capsys):
+    corpus = tmp_path / "corpus.txt"
+    corpus.write_text(f"{token_hex}\n")
+    metrics_path = tmp_path / "m.json"
+    trace_path = tmp_path / "t.jsonl"
+    assert main([
+        "batch", str(corpus), "--workers", "0",
+        "--metrics-out", str(metrics_path),
+        "--trace-out", str(trace_path),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["stats", str(metrics_path), "--trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "engine" in out
+    assert "rules (fired" in out
+    assert "slowest contracts" in out
+    assert main(["stats", str(metrics_path), "--prometheus"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE tase_paths counter" in out
+    assert "tase_paths " in out
+
+
+def test_stats_rejects_missing_document(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["stats", str(tmp_path / "absent.json")])
