@@ -5,8 +5,9 @@ table or figure of the paper's evaluation and records a
 paper-vs-measured comparison under ``benchmarks/results/``.
 """
 
+import json
 import os
-from typing import Callable, List
+from typing import Callable, List, Mapping
 
 import pytest
 
@@ -22,6 +23,11 @@ from repro.corpus.evaluate import evaluate_corpus
 from repro.sigrec.api import SigRec
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# Machine-readable throughput baseline at the repo root: CI uploads it
+# as an artifact so regressions are diffable across runs.
+BENCH_JSON = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                          "BENCH_throughput.json")
 
 
 @pytest.fixture(scope="session")
@@ -97,3 +103,34 @@ def record() -> Callable[[str, List[str]], None]:
         print(text)
 
     return _record
+
+
+@pytest.fixture()
+def bench_json() -> Callable[[str, Mapping], None]:
+    """Merge one benchmark's numbers into ``BENCH_throughput.json``.
+
+    Each benchmark owns one top-level section; re-runs replace only
+    their own section so a partial benchmark invocation never clobbers
+    the other sections' numbers.
+    """
+
+    def _bench_json(section: str, payload: Mapping) -> None:
+        doc = {"schema": "sigrec-bench:v1"}
+        if os.path.exists(BENCH_JSON):
+            try:
+                with open(BENCH_JSON, encoding="utf-8") as handle:
+                    existing = json.load(handle)
+                if isinstance(existing, dict):
+                    doc.update(existing)
+            except (OSError, ValueError):
+                pass
+        doc["schema"] = "sigrec-bench:v1"
+        doc[section] = dict(payload)
+        tmp = BENCH_JSON + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, BENCH_JSON)
+        print(f"\n[BENCH_throughput.json <- {section}]")
+
+    return _bench_json

@@ -10,6 +10,7 @@ import time
 
 from repro.corpus.signatures import SignatureGenerator
 from repro.compiler import compile_contract
+from repro.obs import MetricsRegistry
 from repro.sigrec.api import SigRec
 from repro.sigrec.batch import BatchRecovery
 
@@ -26,21 +27,23 @@ def _duplicated_population(unique: int = 12, copies: int = 60, seed: int = 70):
     return population
 
 
-def test_throughput_with_dedup(benchmark, record):
+def test_throughput_with_dedup(benchmark, record, bench_json):
     population = _duplicated_population()
 
     def run():
-        tool = SigRec()
+        registry = MetricsRegistry()
+        tool = SigRec(metrics=registry)
         runner = BatchRecovery(tool=tool, workers=0)
         start = time.perf_counter()
         runner.recover_all(population)
         dedup_elapsed = time.perf_counter() - start
+        steps = registry.counter_values().get("tase.steps", 0)
         start = time.perf_counter()
         tool.recover_batch(population[:120], deduplicate=False)
         raw_elapsed = (time.perf_counter() - start) * (len(population) / 120)
-        return dedup_elapsed, raw_elapsed, runner.stats
+        return dedup_elapsed, raw_elapsed, runner.stats, steps
 
-    dedup_elapsed, raw_elapsed, stats = benchmark.pedantic(
+    dedup_elapsed, raw_elapsed, stats, steps = benchmark.pedantic(
         run, rounds=1, iterations=1
     )
     dedup_rate = len(population) / dedup_elapsed
@@ -59,6 +62,19 @@ def test_throughput_with_dedup(benchmark, record):
             "see parallel_speedup.txt / warm_cache.txt for the worker-pool "
             "and persistent-cache numbers on a no-duplicate corpus",
         ],
+    )
+    bench_json(
+        "throughput",
+        {
+            "contracts": len(population),
+            "unique": len(set(population)),
+            "contracts_per_second": round(dedup_rate, 2),
+            "contracts_per_second_no_dedup": round(raw_rate, 2),
+            "tase_steps": steps,
+            "memo_hit_rate": round(stats.memo_hit_rate, 4),
+            "memo_hits": stats.memo_hits,
+            "cache_hits": stats.cache_hits,
+        },
     )
     benchmark.extra_info["contracts_per_second"] = dedup_rate
     assert dedup_rate > raw_rate * 5

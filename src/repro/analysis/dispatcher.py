@@ -67,6 +67,44 @@ class DispatcherReport:
     findings: Tuple[Finding, ...] = ()
 
 
+def region_preimage(
+    rcfg, report: "DispatcherReport", bytecode: bytes, selector: int
+) -> Optional[bytes]:
+    """The byte string that determines one function's recovery.
+
+    A selector-sharded TASE run is a deterministic function of (a) the
+    dispatcher spine it walks from pc 0 to the function entry and (b)
+    the function's statically reachable region — both taken as raw
+    (start, bytes) block spans, so absolute jump targets are part of
+    the key and two layouts never collide.  Hashing this preimage
+    (together with the selector and the engine-options fingerprint) is
+    what lets a proxy/clone corpus — identical code bodies under
+    differing metadata trailers or sibling constants — recover each
+    shared body once.
+
+    Returns ``None`` when the selector has no entry or its region is
+    unknown; the caller must additionally gate on the region being
+    *closed* (every jump resolved) before trusting the preimage.
+    """
+    if selector not in report.entries:
+        return None
+    region = report.regions.get(selector)
+    if region is None:
+        return None
+    blocks = rcfg.blocks
+    parts = [b"sigrec-fn-region:v1", selector.to_bytes(4, "big")]
+    for label, starts in ((b"spine", report.dispatcher_blocks),
+                         (b"region", region)):
+        parts.append(label)
+        for start in sorted(starts):
+            block = blocks.get(start)
+            if block is None:
+                return None
+            parts.append(start.to_bytes(4, "big"))
+            parts.append(bytecode[block.start:block.end])
+    return b"\x00".join(parts)
+
+
 def _unknown_token() -> _Token:
     return (_UNKNOWN,)
 

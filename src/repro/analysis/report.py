@@ -25,7 +25,11 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.analysis.dataflow import ResolvedCFG, resolve_jumps
-from repro.analysis.dispatcher import DispatcherReport, extract_dispatch
+from repro.analysis.dispatcher import (
+    DispatcherReport,
+    extract_dispatch,
+    region_preimage,
+)
 from repro.analysis.stackcheck import Finding, StackReport, verify_stack
 from repro.evm.cfg import build_cfg
 
@@ -136,6 +140,20 @@ class ContractAnalysis:
                     # possible only in corner cases; stay conservative.
                     return False
         return True
+
+    def function_preimage(self, selector: int) -> Optional[bytes]:
+        """Memoization preimage for one function, or ``None``.
+
+        Only closed regions qualify: when every jump in the selector's
+        region is resolved (and the CFG is complete), a sharded TASE run
+        provably never leaves the dispatcher spine + region, so those
+        bytes — plus the selector and the engine-options fingerprint —
+        fully determine the recovered signature.  Open regions return
+        ``None`` and are recovered fresh every time.
+        """
+        if self.cfg.incomplete or selector not in self.closed_regions:
+            return None
+        return region_preimage(self.cfg, self.dispatcher, self.bytecode, selector)
 
     @property
     def unique_jump_targets(self) -> Dict[int, int]:

@@ -122,7 +122,7 @@ def _read_batch_source(source: str) -> List[bytes]:
 def _cmd_batch(args: argparse.Namespace) -> int:
     import os
 
-    from repro.sigrec.batch import BatchRecovery
+    from repro.sigrec.batch import DEFAULT_UNIT_SIZE, BatchRecovery
 
     if args.cache_dir and os.path.exists(args.cache_dir) and not os.path.isdir(
         args.cache_dir
@@ -140,9 +140,22 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         trace_file = open(args.trace_out, "w", encoding="utf-8")
         tracer = SpanTracer(trace_file)
     try:
-        tool = SigRec(prune=args.prune, metrics=metrics, tracer=tracer)
+        tool = SigRec(
+            prune=args.prune,
+            sharded=args.shard,
+            memo=args.memo,
+            metrics=metrics,
+            tracer=tracer,
+        )
         runner = BatchRecovery(
-            tool=tool, workers=args.workers, cache_dir=args.cache_dir
+            tool=tool,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            unit_size=(
+                args.unit_size
+                if args.unit_size is not None
+                else DEFAULT_UNIT_SIZE
+            ),
         )
         results = runner.recover_all(bytecodes)
     finally:
@@ -470,6 +483,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-prune", dest="prune", action="store_false",
         help="disable static pruning",
+    )
+    p.add_argument(
+        "--unit-size", type=int, default=None, metavar="K",
+        help="selectors per scheduler unit before a contract splits "
+        "into several work-stealing units (0 = never split)",
+    )
+    p.add_argument(
+        "--no-shard", dest="shard", action="store_false", default=True,
+        help="force the monolithic TASE walk (disable per-selector shards)",
+    )
+    p.add_argument(
+        "--no-memo", dest="memo", action="store_false", default=True,
+        help="disable the function-body memo tier",
     )
     p.set_defaults(func=_cmd_batch)
 

@@ -256,3 +256,45 @@ def build_struct_nested_corpus(
             ContractCase(contract, options, tuple(sigs), tuple(quirks))
         )
     return corpus
+
+
+def build_clone_corpus(
+    n_families: int = 8,
+    clones_per_family: int = 4,
+    seed: int = 11,
+    max_functions: int = 5,
+    quirk_rate: float = 0.0,
+) -> Corpus:
+    """A proxy/factory-clone corpus: distinct bytecodes, shared bodies.
+
+    Mainnet's *unique* bytecodes still overwhelmingly share function
+    bodies (proxies, OpenZeppelin mixins, factory clones differing only
+    in an immutable constant or a metadata trailer).  Each family here
+    is one compiled contract plus ``clones_per_family - 1`` variants
+    with growing zero-byte trailers — the metadata-hash analogue: every
+    variant hashes differently (so the content-addressed contract cache
+    misses) while every function's dispatcher spine and code region is
+    byte-identical (so the function-body memo hits).  With the default
+    4 clones per family, 75% of function bodies are shared.
+    """
+    from dataclasses import replace as _replace
+
+    rng = random.Random(seed)
+    gen = SignatureGenerator(seed=seed + 1)
+    catalog = solidity_versions()
+    corpus = Corpus(language=Language.SOLIDITY)
+    for _ in range(n_families):
+        options = _weighted_version(rng, catalog)
+        base = _build_contract_case(
+            gen, rng, options, rng.randint(1, max_functions), quirk_rate
+        )
+        corpus.cases.append(base)
+        for clone in range(1, clones_per_family):
+            padded = _replace(
+                base.contract,
+                bytecode=base.contract.bytecode + b"\x00" * clone,
+            )
+            corpus.cases.append(
+                ContractCase(padded, options, base.declared, base.quirks)
+            )
+    return corpus

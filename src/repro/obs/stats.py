@@ -104,6 +104,38 @@ def render_stats(
             f"invalidations {invalidations:,}"
         )
 
+    # -- function-body memo --------------------------------------------
+    memo_tiers = _labelled_counters(counters, "memo.hits", "tier")
+    memo_hits = sum(memo_tiers.values()) + counters.get("memo.hits", 0)
+    memo_misses = counters.get("memo.misses", 0)
+    if memo_hits or memo_misses:
+        tier_note = ""
+        if memo_tiers:
+            tier_note = " [" + ", ".join(
+                f"{tier}: {count:,}"
+                for tier, count in sorted(memo_tiers.items())
+            ) + "]"
+        lines.append("function memo")
+        lines.append(
+            f"  hits {memo_hits:,}{tier_note} | misses {memo_misses:,} "
+            f"(hit rate {_ratio(memo_hits, memo_hits + memo_misses)}) | "
+            f"writes {counters.get('memo.writes', 0):,}"
+        )
+
+    # -- batch scheduler -----------------------------------------------
+    units = counters.get("batch.units", 0)
+    if units:
+        gauges: Mapping[str, float] = doc.get("gauges", {})
+        sharded_runs = counters.get("tase.sharded_runs", 0)
+        shards = counters.get("tase.shards", 0)
+        lines.append("scheduler")
+        lines.append(
+            f"  units {units:,} | sharded recoveries {sharded_runs:,} "
+            f"({shards:,} shards) | last run: "
+            f"queue peak {gauges.get('batch.queue_peak', 0):,.0f}, "
+            f"steals {gauges.get('batch.steals', 0):,.0f}"
+        )
+
     # -- evaluation ----------------------------------------------------
     eval_contracts = counters.get("eval.contracts", 0)
     if eval_contracts:

@@ -16,11 +16,11 @@ import hashlib
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.report import ContractAnalysis, Diagnostic, analyze, cross_check
 from repro.obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, SpanTracer, phase_span
-from repro.sigrec.engine import TASEEngine, TASEResult
+from repro.sigrec.engine import TASEEngine, TASEResult, merge_tase_results
 from repro.sigrec.inference import infer_function
 from repro.sigrec.rules import RuleTracker
 from repro.sigrec.selectors import extract_selectors
@@ -29,6 +29,13 @@ from repro.sigrec.selectors import extract_selectors
 #: ``explain`` right after ``recover`` (the interactive workflow) does
 #: not re-run TASE from scratch.
 _RESULT_MEMO_SIZE = 8
+
+
+def _passes(
+    selector: int, only: Optional[FrozenSet[int]], exclude: FrozenSet[int]
+) -> bool:
+    """The selector filter used by (contract, selector-group) units."""
+    return (only is None or selector in only) and selector not in exclude
 
 
 @dataclass(frozen=True)
@@ -73,10 +80,14 @@ class SigRec:
         max_paths: int = 768,
         fork_bound: int = 3,
         loop_bound: int = 420,
+        max_path_steps: int = 60_000,
         semantic_idioms: bool = True,
         coarse_only: bool = False,
         static_check: bool = True,
         prune: bool = False,
+        sharded: bool = True,
+        memo: bool = True,
+        memo_dir: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
     ) -> None:
@@ -97,6 +108,22 @@ class SigRec:
         # baseline configuration stays byte-for-byte the historical one.
         self.static_check = static_check
         self.prune = prune
+        # ``sharded`` makes the *function* the unit of recovery: when
+        # the static analysis fully resolves the dispatcher, each
+        # selector is explored as an independent shard (own path/step
+        # budgets, early-exitable) and the monolithic walk only backstops
+        # contracts the dispatcher analysis cannot close.  ``memo``
+        # additionally keys each shard's inferred signature by its code
+        # region so clone-heavy corpora recover each shared body once;
+        # ``memo_dir`` adds the persistent on-disk memo tier (it is
+        # wiring, like ``metrics``, and not part of :meth:`options`).
+        self.sharded = sharded
+        self.memo = memo
+        self.memo_dir = memo_dir
+        self._fn_memo = None
+        #: "sharded" or "monolithic": which exploration strategy the
+        #: most recent ``recover`` call actually used.
+        self.last_strategy: str = "monolithic"
         #: Structured static/TASE divergence reports from the most
         #: recent ``recover`` call (empty when they agree, or when
         #: ``static_check`` is off).
@@ -106,6 +133,7 @@ class SigRec:
             max_paths=max_paths,
             fork_bound=fork_bound,
             loop_bound=loop_bound,
+            max_path_steps=max_path_steps,
             semantic_idioms=semantic_idioms,
         )
         # Recent engine results, keyed by bytecode digest: ``recover``
@@ -122,7 +150,29 @@ class SigRec:
         opts["coarse_only"] = self.coarse_only
         opts["static_check"] = self.static_check
         opts["prune"] = self.prune
+        opts["sharded"] = self.sharded
+        opts["memo"] = self.memo
         return opts
+
+    def function_memo(self):
+        """The function-body memo, created on first use (or ``None``).
+
+        Exposed so the batch executor can share one per-process memo
+        across worker tools via :meth:`set_function_memo`.
+        """
+        if not self.memo:
+            return None
+        if self._fn_memo is None:
+            from repro.sigrec.cache import FunctionMemo
+
+            self._fn_memo = FunctionMemo(
+                self.options(), directory=self.memo_dir, metrics=self.metrics
+            )
+        return self._fn_memo
+
+    def set_function_memo(self, memo) -> None:
+        """Inject a shared :class:`FunctionMemo` (batch workers)."""
+        self._fn_memo = memo
 
     def _run_engine(
         self, bytecode: bytes, analysis: Optional[ContractAnalysis] = None
@@ -137,55 +187,210 @@ class SigRec:
             )
         with phase_span(self.metrics, self.tracer, "tase"):
             result = engine.run()
+        self._deposit_result(bytecode, result)
+        return result
+
+    def _deposit_result(self, bytecode: bytes, result: TASEResult) -> None:
         digest = hashlib.sha256(bytecode).digest()
         self._result_memo[digest] = result
         self._result_memo.move_to_end(digest)
         while len(self._result_memo) > _RESULT_MEMO_SIZE:
             self._result_memo.popitem(last=False)
-        return result
 
-    def recover(self, bytecode: bytes) -> List[RecoveredSignature]:
-        """Recover the signatures of all public/external functions."""
+    def recover(
+        self,
+        bytecode: bytes,
+        *,
+        only: Optional[FrozenSet[int]] = None,
+        exclude: FrozenSet[int] = frozenset(),
+    ) -> List[RecoveredSignature]:
+        """Recover the signatures of all public/external functions.
+
+        ``only``/``exclude`` restrict which selectors are inferred
+        (a selector is recovered iff it passes both filters); the batch
+        scheduler uses them to split one contract into independent
+        (contract, selector-group) work units.  With the default
+        ``None``/empty values the behavior is the historical whole-
+        contract recovery.
+        """
         publish = self.metrics is not NULL_REGISTRY
         fired_before = dict(self.tracker.counts) if publish else {}
         conflicts_before = dict(self.tracker.conflicts) if publish else {}
+        partial = only is not None or bool(exclude)
         with phase_span(
             self.metrics, self.tracer, "recover", bytes=len(bytecode)
         ):
             analysis: Optional[ContractAnalysis] = None
-            if self.static_check or self.prune:
+            if self.static_check or self.prune or self.sharded:
                 with phase_span(self.metrics, self.tracer, "static_analysis"):
                     analysis = analyze(bytecode)
-            result = self._run_engine(bytecode, analysis)
-            self.last_diagnostics = self._diagnose(analysis, result)
-            recovered: List[RecoveredSignature] = []
-            with phase_span(self.metrics, self.tracer, "inference"):
-                for selector in result.selectors:
-                    start = time.perf_counter()
-                    inferred = infer_function(
-                        result.functions[selector], self.tracker,
-                        semantic_idioms=self.semantic_idioms,
-                        coarse_only=self.coarse_only,
-                    )
-                    elapsed = time.perf_counter() - start
-                    recovered.append(
-                        RecoveredSignature(
-                            selector=selector,
-                            param_types=tuple(inferred.param_types),
-                            language=inferred.language,
-                            elapsed_seconds=elapsed,
-                            fired_rules=tuple(inferred.fired_rules),
-                            confidences=tuple(inferred.confidences),
+            plan = self._shard_plan(analysis)
+            if plan is not None:
+                self.last_strategy = "sharded"
+                recovered, result = self._recover_sharded(
+                    bytecode, analysis, plan, only, exclude
+                )
+            else:
+                self.last_strategy = "monolithic"
+                result = self._run_engine(bytecode, analysis)
+                recovered = []
+                with phase_span(self.metrics, self.tracer, "inference"):
+                    for selector in result.selectors:
+                        if not _passes(selector, only, exclude):
+                            continue
+                        recovered.append(
+                            self._infer_one(selector, result.functions[selector])
                         )
-                    )
+            self.last_diagnostics = self._diagnose(
+                analysis, result, partial=partial
+            )
         if publish:
             self._publish_recover_metrics(
                 recovered, fired_before, conflicts_before
             )
         return recovered
 
+    def _shard_plan(self, analysis: Optional[ContractAnalysis]):
+        """The sorted selector list to shard on, or None → monolithic.
+
+        Sharding requires a *trustworthy* dispatcher map: the jump
+        fixpoint must have completed and the static walk must have found
+        at least one entry.  Anything less falls back to the monolithic
+        walk, which needs no static help.
+        """
+        if not self.sharded or analysis is None:
+            return None
+        if analysis.cfg.incomplete:
+            return None
+        if not analysis.dispatcher.entries:
+            return None
+        return tuple(sorted(analysis.dispatcher.entries))
+
+    def _recover_sharded(
+        self,
+        bytecode: bytes,
+        analysis: ContractAnalysis,
+        plan: Tuple[int, ...],
+        only: Optional[FrozenSet[int]],
+        exclude: FrozenSet[int],
+    ) -> Tuple[List[RecoveredSignature], TASEResult]:
+        """Per-selector shards + residual walk + function-body memo."""
+        from repro.sigrec.cache import FunctionRecord
+
+        known = frozenset(plan)
+        wanted = [s for s in plan if _passes(s, only, exclude)]
+        memo = self.function_memo()
+        hits: Dict[int, object] = {}
+        miss_keys: Dict[int, str] = {}
+        with phase_span(self.metrics, self.tracer, "disasm"):
+            engine = TASEEngine(
+                bytecode,
+                analysis=analysis if self.prune else None,
+                metrics=self.metrics,
+                **self._engine_opts,
+            )
+        with phase_span(self.metrics, self.tracer, "tase"):
+            parts: List[TASEResult] = []
+            for selector in wanted:
+                if memo is not None:
+                    preimage = analysis.function_preimage(selector)
+                    if preimage is not None:
+                        key = memo.key_for(preimage)
+                        record = memo.get(key)
+                        if record is not None:
+                            hits[selector] = record
+                            continue
+                        miss_keys[selector] = key
+                parts.append(engine.run_selector(selector, known))
+            # The residual walk covers the fallback and any selector the
+            # static dispatcher missed.  A selector-group unit whose
+            # ``only`` set is fully covered by per-selector shards can
+            # skip it: residual discoveries could not pass its filter.
+            if only is None or (set(only) - set(plan)):
+                parts.append(engine.run_residual(known))
+            result = merge_tase_results(parts)
+            result.selectors = sorted(set(result.functions) | set(hits))
+            engine.publish_metrics(result)
+        recovered: List[RecoveredSignature] = []
+        with phase_span(self.metrics, self.tracer, "inference"):
+            for selector in result.selectors:
+                if not _passes(selector, only, exclude):
+                    continue
+                record = hits.get(selector)
+                if record is not None:
+                    # Memo hit: replay the recorded rule activity so the
+                    # Fig.-19 aggregates match a memo-less run exactly.
+                    self.tracker.merge(record.rule_counts)
+                    for rule_id, count in record.conflicts.items():
+                        self.tracker.conflict(rule_id, count)
+                    recovered.append(record.to_signature())
+                    continue
+                local = RuleTracker()
+                start = time.perf_counter()
+                inferred = infer_function(
+                    result.functions[selector], local,
+                    semantic_idioms=self.semantic_idioms,
+                    coarse_only=self.coarse_only,
+                )
+                elapsed = time.perf_counter() - start
+                self.tracker.merge(local)
+                signature = RecoveredSignature(
+                    selector=selector,
+                    param_types=tuple(inferred.param_types),
+                    language=inferred.language,
+                    elapsed_seconds=elapsed,
+                    fired_rules=tuple(inferred.fired_rules),
+                    confidences=tuple(inferred.confidences),
+                )
+                recovered.append(signature)
+                key = miss_keys.get(selector)
+                if memo is not None and key is not None:
+                    memo.put(
+                        key,
+                        FunctionRecord(
+                            selector=selector,
+                            param_types=signature.param_types,
+                            language=signature.language,
+                            fired_rules=signature.fired_rules,
+                            confidences=signature.confidences,
+                            rule_counts={
+                                r: c for r, c in local.counts.items() if c
+                            },
+                            conflicts=dict(local.conflicts),
+                        ),
+                    )
+        if not hits:
+            # Every function was actually explored, so the merged result
+            # is a complete event map ``explain`` may reuse; with memo
+            # hits it would be missing bodies and must not be deposited.
+            self._deposit_result(bytecode, result)
+        return recovered, result
+
+    def _infer_one(
+        self, selector: int, events
+    ) -> RecoveredSignature:
+        """Monolithic-path inference for one function (shared tracker)."""
+        start = time.perf_counter()
+        inferred = infer_function(
+            events, self.tracker,
+            semantic_idioms=self.semantic_idioms,
+            coarse_only=self.coarse_only,
+        )
+        elapsed = time.perf_counter() - start
+        return RecoveredSignature(
+            selector=selector,
+            param_types=tuple(inferred.param_types),
+            language=inferred.language,
+            elapsed_seconds=elapsed,
+            fired_rules=tuple(inferred.fired_rules),
+            confidences=tuple(inferred.confidences),
+        )
+
     def _diagnose(
-        self, analysis: Optional[ContractAnalysis], result: TASEResult
+        self,
+        analysis: Optional[ContractAnalysis],
+        result: TASEResult,
+        partial: bool = False,
     ) -> Tuple[Diagnostic, ...]:
         """Truncation warnings first, then the static/TASE cross-check.
 
@@ -217,7 +422,10 @@ class SigRec:
                     ),
                 )
             )
-        if self.static_check and analysis is not None:
+        if self.static_check and analysis is not None and not partial:
+            # A filtered (selector-group) recovery only explores part of
+            # the contract; comparing its selector set against the full
+            # static map would report spurious divergences.
             diagnostics.extend(cross_check(analysis, result.selectors))
         return tuple(diagnostics)
 
@@ -250,6 +458,7 @@ class SigRec:
         deduplicate: bool = True,
         workers: int = 0,
         cache_dir: Optional[str] = None,
+        unit_size: Optional[int] = None,
     ) -> List[List[RecoveredSignature]]:
         """Recover many contracts; identical bytecodes analyze once.
 
@@ -267,10 +476,15 @@ class SigRec:
         of a duplicated bytecode elsewhere in the batch.
         """
         if workers or cache_dir is not None:
-            from repro.sigrec.batch import BatchRecovery
+            from repro.sigrec.batch import DEFAULT_UNIT_SIZE, BatchRecovery
 
             runner = BatchRecovery(
-                tool=self, workers=workers, cache_dir=cache_dir
+                tool=self,
+                workers=workers,
+                cache_dir=cache_dir,
+                unit_size=(
+                    unit_size if unit_size is not None else DEFAULT_UNIT_SIZE
+                ),
             )
             return runner.recover_all(bytecodes, deduplicate=deduplicate)
         if not deduplicate:

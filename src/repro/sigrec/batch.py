@@ -1,9 +1,9 @@
-"""Chain-scale batch recovery: process-parallel, cache-backed.
+"""Chain-scale batch recovery: work-stealing, memoized, cache-backed.
 
 Per-contract analysis is embarrassingly parallel — one bytecode never
 needs another's results — so a chain-sized corpus (the paper's RQ3:
 37,009,570 deployed contracts, 368,679 unique bytecodes) shards cleanly
-across cores.  :class:`BatchRecovery` composes three layers:
+across cores.  :class:`BatchRecovery` composes four layers:
 
 1. **Deduplication** — identical bytecodes become one job, and every
    duplicate gets a fresh copy of the finished result (input order is
@@ -11,15 +11,24 @@ across cores.  :class:`BatchRecovery` composes three layers:
 2. **Persistent cache** — with a ``cache_dir``, finished results are
    read from / written to a content-addressed on-disk store
    (:mod:`repro.sigrec.cache`), so repeat runs skip the engine entirely.
-3. **Process pool** — cache misses fan out over a
-   ``ProcessPoolExecutor``; ``workers=0`` falls back to the in-process
-   serial path, which produces byte-identical results.
+3. **Function-body memo** — each worker process keeps a shared
+   :class:`~repro.sigrec.cache.FunctionMemo` (plus an on-disk tier
+   under ``<cache_dir>/fnmemo``), so clone-heavy corpora analyze each
+   shared function body once per process / once per cache directory.
+4. **Work-stealing scheduler** — cache misses become (contract,
+   selector-group) *units* on one shared queue drained by a
+   ``ProcessPoolExecutor`` via ``submit``/``as_completed``: a free
+   worker immediately pulls the next unit instead of idling behind a
+   pre-assigned straggler.  Contracts with many selectors split into
+   several units, so one pathological contract no longer serializes the
+   tail of the run.  ``workers=0`` drains the identical unit list
+   serially, producing byte-identical results and counters.
 
-Each job runs with a fresh :class:`RuleTracker` and the per-bytecode
-counts are merged back into the parent tool's tracker (rule counters are
-purely additive, so the merged totals equal a serial run's), which keeps
-the Fig.-19 rule-frequency statistics correct under any worker count and
-any cache state.
+Each unit runs with a fresh :class:`RuleTracker` and the per-unit
+counts are merged back into the parent tool's tracker (rule counters
+are purely additive, so the merged totals equal a serial run's), which
+keeps the Fig.-19 rule-frequency statistics correct under any worker
+count and any cache state.
 """
 
 from __future__ import annotations
@@ -27,37 +36,97 @@ from __future__ import annotations
 import hashlib
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from functools import partial
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry
 from repro.sigrec.api import RecoveredSignature, SigRec
-from repro.sigrec.cache import ResultCache
+from repro.sigrec.cache import FunctionMemo, ResultCache
+from repro.sigrec.selectors import extract_selectors
+
+#: Default selector count above which one contract splits into several
+#: scheduler units.  Small enough that a monster dispatcher becomes
+#: parallel work, large enough that typical contracts stay one unit
+#: (per-unit overhead is one fresh SigRec + one static analysis).
+DEFAULT_UNIT_SIZE = 8
+
+#: One (contract, selector-group) scheduler unit:
+#: (job index, unit index, bytecode, only, exclude).
+_Unit = Tuple[int, int, bytes, Optional[FrozenSet[int]], FrozenSet[int]]
+
+#: Per-process shared function memos: (fingerprint, memo_dir) ->
+#: (run token, memo).  Living at module level makes the memo survive
+#: across the many short-lived ``SigRec`` instances a worker constructs
+#: — that persistence is the whole point: the Nth unit with a familiar
+#: function body skips its TASE shard entirely.  The token scopes the
+#: *memory* tier to one ``recover_all`` call: a forked worker inherits
+#: the parent's module state, so without the token a serial run would
+#: pre-warm a later parallel run's workers and serial/parallel counter
+#: aggregates would silently diverge.  Cross-run reuse is the on-disk
+#: tier's job (``memo_dir``), which is deliberately token-free.
+_WORKER_MEMOS: Dict[
+    Tuple[str, Optional[str]], Tuple[str, FunctionMemo]
+] = {}
 
 
-def _analyze_one(
-    options: Dict[str, object], collect_metrics: bool, bytecode: bytes
-) -> Tuple[List[RecoveredSignature], Dict[str, int], Optional[dict], float]:
-    """Worker entry point: one bytecode, a fresh tool, delta counts.
+def _worker_memo(
+    options: Dict[str, object], memo_dir: Optional[str], token: str
+) -> FunctionMemo:
+    memo = FunctionMemo(options, directory=memo_dir)
+    key = (memo.fingerprint, memo_dir)
+    held = _WORKER_MEMOS.get(key)
+    if held is not None and held[0] == token:
+        return held[1]
+    _WORKER_MEMOS[key] = (token, memo)
+    return memo
+
+
+def _analyze_unit(
+    options: Dict[str, object],
+    collect_metrics: bool,
+    memo_dir: Optional[str],
+    token: str,
+    unit: _Unit,
+) -> Tuple[int, int, List[RecoveredSignature], Dict[str, int],
+           Optional[dict], float, int, Tuple[int, int]]:
+    """Worker entry point: one scheduler unit, a fresh tool, delta counts.
 
     Top-level so it pickles for the process pool; also used verbatim by
     the serial path so ``workers=0`` and ``workers=N`` run the same code.
-    With ``collect_metrics`` the job runs against its own registry and
+    With ``collect_metrics`` the unit runs against its own registry and
     returns the serialized document, which the parent merges — counters
     are additive, so the aggregate equals a serial run's (the same
-    pattern as the per-worker :class:`RuleTracker` merge).  The elapsed
-    wall time of the job rides along for per-contract trace events.
+    pattern as the per-unit :class:`RuleTracker` merge).  The elapsed
+    wall time, worker pid and the unit's (memo hits, memo misses) delta
+    ride along for trace events, steal accounting and the batch stats —
+    the memo numbers come from the memo's own counters so they survive
+    metrics-free runs.
     """
+    job_index, unit_index, bytecode, only, exclude = unit
     registry = MetricsRegistry() if collect_metrics else None
     tool = SigRec(metrics=registry, **options)
+    memo = None
+    probed_before = (0, 0)
+    if tool.memo:
+        memo = _worker_memo(tool.options(), memo_dir, token)
+        tool.set_function_memo(memo)
+        probed_before = (memo.hits, memo.misses)
+        # The shared memo reports into whichever unit is running; a
+        # worker processes one unit at a time, so this is race-free.
+        memo.metrics = registry if registry is not None else NULL_REGISTRY
     start = time.perf_counter()
-    signatures = tool.recover(bytecode)
+    signatures = tool.recover(bytecode, only=only, exclude=exclude)
     elapsed = time.perf_counter() - start
+    probed = (0, 0)
+    if memo is not None:
+        memo.metrics = NULL_REGISTRY
+        probed = (memo.hits - probed_before[0], memo.misses - probed_before[1])
     counts = {r: c for r, c in tool.tracker.counts.items() if c}
     doc = registry.to_dict() if registry is not None else None
-    return signatures, counts, doc, elapsed
+    return (job_index, unit_index, signatures, counts, doc, elapsed,
+            os.getpid(), probed)
 
 
 @dataclass
@@ -71,6 +140,11 @@ class BatchStats:
     cache_misses: int = 0
     workers: int = 0  # 0 = serial in-process
     elapsed_seconds: float = 0.0
+    units: int = 0  # scheduler units the analyzed jobs became
+    split_contracts: int = 0  # jobs that became more than one unit
+    steals: int = 0  # units that ran off their pre-shard slot
+    memo_hits: int = 0  # function-body memo probes across all units
+    memo_misses: int = 0
 
     @property
     def unique_ratio(self) -> float:
@@ -80,6 +154,11 @@ class BatchStats:
     def cache_hit_rate(self) -> float:
         probed = self.cache_hits + self.cache_misses
         return self.cache_hits / probed if probed else 0.0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        probed = self.memo_hits + self.memo_misses
+        return self.memo_hits / probed if probed else 0.0
 
     @property
     def contracts_per_second(self) -> float:
@@ -110,6 +189,13 @@ class BatchStats:
             self.throughput_text(),
             f"workers={self.workers or 'serial'}",
         ]
+        if self.units:
+            unit_note = f"{self.units} units"
+            if self.split_contracts:
+                unit_note += f" ({self.split_contracts} contracts split)"
+            if self.steals:
+                unit_note += f", {self.steals} stolen"
+            parts.append(unit_note)
         if self.cache_hits or self.cache_misses:
             parts.append(
                 f"cache {self.cache_hits} hits / {self.cache_misses} misses "
@@ -117,6 +203,11 @@ class BatchStats:
             )
         else:
             parts.append("cache off")
+        if self.memo_hits or self.memo_misses:
+            parts.append(
+                f"memo {self.memo_hits} hits / {self.memo_misses} misses "
+                f"({self.memo_hit_rate:.0%} hit rate)"
+            )
         return " | ".join(parts)
 
 
@@ -127,7 +218,10 @@ class BatchRecovery:
     statistics; one is created with defaults when omitted.  ``workers``
     is the process-pool size (``None`` means ``os.cpu_count()``; ``0``
     means serial in-process).  ``cache_dir`` enables the persistent
-    result cache.
+    result cache plus the on-disk function-body memo tier (under
+    ``<cache_dir>/fnmemo``).  ``unit_size`` is the selector count above
+    which one contract splits into several scheduler units (``0``
+    disables splitting).
     """
 
     def __init__(
@@ -135,6 +229,7 @@ class BatchRecovery:
         tool: Optional[SigRec] = None,
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        unit_size: int = DEFAULT_UNIT_SIZE,
     ) -> None:
         self.tool = tool if tool is not None else SigRec()
         # Telemetry flows through the tool's backends: worker documents
@@ -145,10 +240,14 @@ class BatchRecovery:
         if workers is None:
             workers = os.cpu_count() or 1
         self.workers = max(0, workers)
+        self.unit_size = max(0, unit_size)
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir, self.tool.options(), metrics=self.metrics)
             if cache_dir is not None
             else None
+        )
+        self.memo_dir: Optional[str] = (
+            os.path.join(cache_dir, "fnmemo") if cache_dir is not None else None
         )
         self.stats = BatchStats()
 
@@ -169,6 +268,41 @@ class BatchRecovery:
             "batch", contracts=len(bytecodes), workers=self.workers
         ):
             return self._recover_all(bytecodes, deduplicate)
+
+    def _units_for(self, job_index: int, code: bytes) -> List[_Unit]:
+        """Split one cache-miss contract into scheduler units.
+
+        The split is purely a *scheduling* decision, derived from the
+        cheap static selector scan so it is identical for the serial and
+        parallel paths (counter parity).  Group 0 keeps ``only=None``
+        with the other groups excluded: it is the unit that claims the
+        fallback and any selector the static scan missed, so every
+        recovered selector belongs to exactly one unit.
+        """
+        selectors = extract_selectors(code) if self.unit_size else []
+        if (
+            self.unit_size == 0
+            or len(selectors) <= self.unit_size
+        ):
+            return [(job_index, 0, code, None, frozenset())]
+        groups = [
+            selectors[i:i + self.unit_size]
+            for i in range(0, len(selectors), self.unit_size)
+        ]
+        units: List[_Unit] = [
+            (
+                job_index,
+                0,
+                code,
+                None,
+                frozenset().union(*groups[1:]),
+            )
+        ]
+        for unit_index, group in enumerate(groups[1:], start=1):
+            units.append(
+                (job_index, unit_index, code, frozenset(group), frozenset())
+            )
+        return units
 
     def _recover_all(
         self, bytecodes: Sequence[bytes], deduplicate: bool
@@ -211,39 +345,30 @@ class BatchRecovery:
             stats.cache_misses = len(pending)
         stats.analyzed = len(pending)
 
+        units: List[_Unit] = []
+        for index in pending:
+            job_units = self._units_for(index, jobs[index])
+            if len(job_units) > 1:
+                stats.split_contracts += 1
+            units.extend(job_units)
+        stats.units = len(units)
+
         analyze = partial(
-            _analyze_one,
+            _analyze_unit,
             self.tool.options(),
             self.metrics is not NULL_REGISTRY,
+            self.memo_dir,
+            os.urandom(8).hex(),  # memory-tier scope: this run only
         )
-        if pending:
-            miss_codes = [jobs[i] for i in pending]
-            if self.workers and len(pending) > 1:
-                chunksize = max(1, len(pending) // (self.workers * 4))
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    outcomes = list(
-                        pool.map(analyze, miss_codes, chunksize=chunksize)
-                    )
+        if units:
+            if self.workers and len(units) > 1:
+                outcomes, stats.steals = self._drain_parallel(analyze, units)
             else:
-                outcomes = [analyze(code) for code in miss_codes]
-            for index, (signatures, counts, doc, elapsed) in zip(
-                pending, outcomes
-            ):
-                finished[index] = signatures
-                self.tool.tracker.merge(counts)
-                if doc is not None:
-                    self.metrics.merge(doc)
-                if observing:
-                    self.metrics.histogram("contract.seconds").observe(elapsed)
-                    self.tracer.event(
-                        "contract",
-                        index=index,
-                        sha=hashlib.sha256(jobs[index]).hexdigest()[:16],
-                        functions=len(signatures),
-                        elapsed=elapsed,
-                    )
-                if self.cache is not None:
-                    self.cache.put(jobs[index], signatures, counts)
+                outcomes = [analyze(unit) for unit in units]
+            for outcome in outcomes:
+                stats.memo_hits += outcome[7][0]
+                stats.memo_misses += outcome[7][1]
+            self._assemble(jobs, units, outcomes, finished, observing)
 
         if deduplicate:
             by_code = {code: finished[i] for i, code in enumerate(jobs)}
@@ -256,6 +381,92 @@ class BatchRecovery:
             metrics.counter("batch.contracts").inc(stats.total)
             metrics.counter("batch.unique").inc(stats.unique)
             metrics.counter("batch.analyzed").inc(stats.analyzed)
+            metrics.counter("batch.units").inc(stats.units)
             metrics.histogram("batch.seconds").observe(stats.elapsed_seconds)
+            # Scheduler shape is timing-dependent (which worker grabbed
+            # which unit), so it must live in gauges: counters would
+            # break the exact serial==parallel aggregate guarantee.
+            metrics.gauge("batch.queue_peak").set(stats.units)
+            metrics.gauge("batch.steals").set(stats.steals)
         self.stats = stats
         return out
+
+    def _drain_parallel(
+        self, analyze, units: List[_Unit]
+    ) -> Tuple[List[tuple], int]:
+        """Shared-queue draining: submit every unit, collect as done.
+
+        ``submit``/``as_completed`` *is* the work-stealing: the executor
+        keeps one shared queue and any idle worker takes the next unit,
+        so a straggler contract delays only the worker chewing on it.
+        The steal count compares where each unit actually ran against
+        the fixed pre-sharding (contiguous chunks per worker) the old
+        scheduler would have used.
+        """
+        outcomes: List[tuple] = []
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {
+                pool.submit(analyze, unit): position
+                for position, unit in enumerate(units)
+            }
+            order: List[tuple] = [None] * len(units)  # type: ignore[list-item]
+            for future in as_completed(futures):
+                order[futures[future]] = future.result()
+            outcomes = list(order)
+        # Pre-shard slot i*W//N vs the slot (pid, by first appearance in
+        # submission order) that actually executed the unit.
+        pids: Dict[int, int] = {}
+        steals = 0
+        chunk = max(1, -(-len(units) // self.workers))  # ceil division
+        for position, outcome in enumerate(outcomes):
+            pid = outcome[6]
+            slot = pids.setdefault(pid, len(pids))
+            if slot != min(position // chunk, self.workers - 1):
+                steals += 1
+        return outcomes, steals
+
+    def _assemble(
+        self,
+        jobs: List[bytes],
+        units: List[_Unit],
+        outcomes: List[tuple],
+        finished: Dict[int, List[RecoveredSignature]],
+        observing: bool,
+    ) -> None:
+        """Fold per-unit outcomes back into per-contract results."""
+        expected: Dict[int, int] = {}
+        for job_index, *_rest in units:
+            expected[job_index] = expected.get(job_index, 0) + 1
+        partial_sigs: Dict[int, List[RecoveredSignature]] = {}
+        partial_counts: Dict[int, Dict[str, int]] = {}
+        partial_elapsed: Dict[int, float] = {}
+        for (job_index, _unit_index, signatures, counts, doc, elapsed,
+             _pid, _memo) in outcomes:
+            partial_sigs.setdefault(job_index, []).extend(signatures)
+            merged = partial_counts.setdefault(job_index, {})
+            for rule, count in counts.items():
+                merged[rule] = merged.get(rule, 0) + count
+            partial_elapsed[job_index] = (
+                partial_elapsed.get(job_index, 0.0) + elapsed
+            )
+            if doc is not None:
+                self.metrics.merge(doc)
+        for job_index, signatures in partial_sigs.items():
+            # Units cover disjoint selector sets, so sorting restores
+            # exactly the order a whole-contract recovery returns.
+            signatures.sort(key=lambda sig: sig.selector)
+            counts = partial_counts[job_index]
+            elapsed = partial_elapsed[job_index]
+            finished[job_index] = signatures
+            self.tool.tracker.merge(counts)
+            if observing:
+                self.metrics.histogram("contract.seconds").observe(elapsed)
+                self.tracer.event(
+                    "contract",
+                    index=job_index,
+                    sha=hashlib.sha256(jobs[job_index]).hexdigest()[:16],
+                    functions=len(signatures),
+                    elapsed=elapsed,
+                )
+            if self.cache is not None:
+                self.cache.put(jobs[job_index], signatures, counts)

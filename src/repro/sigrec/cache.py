@@ -30,6 +30,8 @@ import hashlib
 import json
 import os
 import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.report import ANALYSIS_SCHEMA_VERSION
@@ -202,3 +204,178 @@ class ResultCache:
         for _dirpath, _dirnames, filenames in os.walk(root):
             count += sum(1 for f in filenames if f.endswith(".json"))
         return count
+
+
+# ----------------------------------------------------------------------
+# Function-body memoization (the middle cache tier).
+#
+# The contract cache above only helps when whole bytecodes repeat.  But
+# *distinct* bytecodes overwhelmingly share function bodies — proxies,
+# OpenZeppelin mixins, factory clones differing only in a constant or a
+# metadata trailer.  The function memo keys one selector's recovery by
+# the bytes that provably determine it (the dispatcher spine + closed
+# region preimage from ``ContractAnalysis.function_preimage``, the
+# selector, and the engine-options fingerprint), so a clone-heavy corpus
+# pays for each shared body once.
+
+
+@dataclass(frozen=True)
+class FunctionRecord:
+    """One memoized function recovery: the signature plus the rule
+    activity it generated, so a hit replays Fig.-19 counters exactly."""
+
+    selector: int
+    param_types: Tuple[str, ...]
+    language: str
+    fired_rules: Tuple[str, ...]
+    confidences: Tuple[str, ...]  # "high" / "medium" / "low" per param
+    rule_counts: Dict[str, int]
+    conflicts: Dict[str, int]
+
+    def to_signature(self) -> RecoveredSignature:
+        # elapsed_seconds=0.0 for the same reason as the contract cache:
+        # a memo hit does no inference work.
+        return RecoveredSignature(
+            selector=self.selector,
+            param_types=tuple(self.param_types),
+            language=self.language,
+            elapsed_seconds=0.0,
+            fired_rules=tuple(self.fired_rules),
+            confidences=tuple(self.confidences),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "selector": self.selector,
+            "param_types": list(self.param_types),
+            "language": self.language,
+            "fired_rules": list(self.fired_rules),
+            "confidences": list(self.confidences),
+            "rule_counts": {r: c for r, c in self.rule_counts.items() if c},
+            "conflicts": {r: c for r, c in self.conflicts.items() if c},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunctionRecord":
+        return cls(
+            selector=int(data["selector"]),
+            param_types=tuple(str(t) for t in data["param_types"]),
+            language=str(data["language"]),
+            fired_rules=tuple(str(r) for r in data["fired_rules"]),
+            confidences=tuple(str(c) for c in data["confidences"]),
+            rule_counts={
+                str(r): int(c) for r, c in data.get("rule_counts", {}).items()
+            },
+            conflicts={
+                str(r): int(c) for r, c in data.get("conflicts", {}).items()
+            },
+        )
+
+
+class FunctionMemo:
+    """Two-tier (in-process LRU + optional on-disk) function-body memo.
+
+    Keys are computed by :meth:`key_for` from the region preimage; the
+    options fingerprint is folded into both the key and the disk layout
+    (``<dir>/fn-<fingerprint>/<key[:2]>/<key>.json``) so results under
+    different engine options never mix.  Disk writes are atomic
+    (tmp + rename) and corrupt or stale entries read as misses.
+    """
+
+    def __init__(
+        self,
+        options: Dict[str, object],
+        directory: Optional[str] = None,
+        capacity: int = 65536,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.fingerprint = options_fingerprint(dict(options))
+        self.directory = directory
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._memory: "OrderedDict[str, FunctionRecord]" = OrderedDict()
+        self.hits_memory = 0
+        self.hits_disk = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+
+    def key_for(self, preimage: bytes) -> str:
+        """The memo key for one function's determining bytes."""
+        digest = hashlib.sha256()
+        digest.update(self.fingerprint.encode("ascii"))
+        digest.update(b"\x00")
+        digest.update(preimage)
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(
+            self.directory, f"fn-{self.fingerprint}", key[:2], f"{key}.json"
+        )
+
+    def get(self, key: str) -> Optional[FunctionRecord]:
+        record = self._memory.get(key)
+        if record is not None:
+            self._memory.move_to_end(key)
+            self.hits_memory += 1
+            self.metrics.counter("memo.hits", tier="memory").inc()
+            return record
+        if self.directory is not None:
+            try:
+                with open(self._entry_path(key), "r", encoding="utf-8") as f:
+                    entry = json.load(f)
+                if entry.get("schema") != SCHEMA_VERSION:
+                    raise ValueError("stale memo entry")
+                record = FunctionRecord.from_dict(entry["record"])
+            except (OSError, ValueError, KeyError, TypeError):
+                record = None
+            if record is not None:
+                self._remember(key, record)
+                self.hits_disk += 1
+                self.metrics.counter("memo.hits", tier="disk").inc()
+                return record
+        self.misses += 1
+        self.metrics.counter("memo.misses").inc()
+        return None
+
+    def put(self, key: str, record: FunctionRecord) -> None:
+        self._remember(key, record)
+        self.writes += 1
+        self.metrics.counter("memo.writes").inc()
+        if self.directory is None:
+            return
+        path = self._entry_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {"schema": SCHEMA_VERSION, "record": record.to_dict()}
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def _remember(self, key: str, record: FunctionRecord) -> None:
+        self._memory[key] = record
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.hits_memory + self.hits_disk
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -255,6 +255,35 @@ class TASEResult:
     truncated_paths: bool = False
     #: ...or the per-run/per-path step ceilings cut exploration short.
     truncated_steps: bool = False
+    #: True when this result came from (or was merged out of) per-selector
+    #: shard explorations rather than one monolithic worklist.
+    sharded: bool = False
+    #: Number of independent explorations merged into this result.
+    shards: int = 0
+
+
+def merge_tase_results(parts: List[TASEResult]) -> TASEResult:
+    """Fold per-shard results into one contract-level result.
+
+    Event maps are unioned (shards target disjoint selectors, so a
+    collision keeps the first writer), tallies add, and the truncation
+    flags OR — one truncated shard marks the whole recovery incomplete.
+    """
+    merged = TASEResult(functions={}, selectors=[], sharded=True,
+                        shards=len(parts))
+    for part in parts:
+        for selector, events in part.functions.items():
+            merged.functions.setdefault(selector, events)
+        merged.paths_explored += part.paths_explored
+        merged.total_steps += part.total_steps
+        merged.pruned_forks += part.pruned_forks
+        merged.forks_taken += part.forks_taken
+        merged.budget_exhaustions += part.budget_exhaustions
+        merged.hit_limits = merged.hit_limits or part.hit_limits
+        merged.truncated_paths = merged.truncated_paths or part.truncated_paths
+        merged.truncated_steps = merged.truncated_steps or part.truncated_steps
+    merged.selectors = sorted(merged.functions.keys())
+    return merged
 
 
 # ----------------------------------------------------------------------
@@ -602,6 +631,31 @@ class SymbolicDomain(Domain):
         # globally keeps total work linear in program size instead of
         # exponential in loop count.
         selector = engine._match_selector(cond)
+        pin = engine._pin
+        if pin is not None and selector is not None and state.fn is None:
+            # Sharded exploration: dispatcher selector comparisons are
+            # decided concretely instead of forked, exactly as if the
+            # constraint ``fid == target`` had been applied up front.
+            # The guard history, stack, and memory therefore match the
+            # monolithic walk's unique dispatcher path to the target
+            # body bit for bit.
+            target_sel, known = pin
+            if selector == target_sel:
+                if tvalue not in engine._jumpdests:
+                    return HALT
+                state.guards = state.guards + (Guard(cond, True, ins.pc),)
+                state.fn = selector
+                self.events = engine._events(self.result, selector)
+                return tvalue
+            if target_sel is not None or selector in known:
+                # A sibling's comparison (or, in the residual walk, any
+                # already-covered selector): take the not-matched side,
+                # never entering the body — its own shard covers it.
+                state.guards = state.guards + (Guard(cond, False, ins.pc),)
+                return None
+            # Residual walk, selector the static dispatcher never saw:
+            # fall through to the ordinary fork logic so TASE can still
+            # discover statically-invisible functions.
         budget = engine._branch_budget
         take_budget = budget.get((ins.pc, True), engine.fork_bound)
         fall_budget = budget.get((ins.pc, False), engine.fork_bound)
@@ -697,6 +751,7 @@ class TASEEngine:
         max_paths: int = 768,
         fork_bound: int = 3,
         loop_bound: int = 420,
+        max_path_steps: int = 60_000,
         semantic_idioms: bool = True,
         step_hook: Optional[Callable] = None,
         analysis: Optional["ContractAnalysis"] = None,
@@ -711,6 +766,11 @@ class TASEEngine:
         self.max_paths = max_paths
         self.fork_bound = fork_bound
         self.loop_bound = loop_bound
+        # Per-path instruction ceiling (a single runaway path — a
+        # concrete loop the loop_bound does not catch — must not eat the
+        # whole run budget).  Part of the cache/options fingerprint: a
+        # different ceiling can observe different events.
+        self.max_path_steps = max_path_steps
         # When False, only the literal AND/ISZERO-ISZERO idioms are
         # recognized (no shift-pair masks, no EQ-zero bools): the
         # ablation knob for the obfuscation experiment.
@@ -740,6 +800,10 @@ class TASEEngine:
         self._pruned_forks = 0
         self._forks_taken = 0
         self._budget_exhaustions = 0
+        # Sharded exploration state: ``None`` for the monolithic walk,
+        # else ``(target selector or None, frozenset of known
+        # selectors)`` — see :meth:`run_selector` / :meth:`run_residual`.
+        self._pin: Optional[Tuple[Optional[int], FrozenSet[int]]] = None
         # Pre-bind each pc to (instruction, handler) over the shared
         # semantics table (single dict lookup per step).
         table = dispatch_table(SymbolicDomain)
@@ -749,13 +813,57 @@ class TASEEngine:
 
     # ------------------------------------------------------------------
 
-    def run(self) -> TASEResult:
+    def _reset(self) -> None:
+        """Fresh mutable exploration state (budgets are per exploration)."""
         self._branch_budget = {}
         self._paths = 0
         self._pruned_forks = 0
         self._forks_taken = 0
         self._budget_exhaustions = 0
+        self._pin = None
+
+    def run(self) -> TASEResult:
+        """The monolithic walk: one worklist seeded at pc 0."""
+        self._reset()
         result = TASEResult(functions={}, selectors=[])
+        self._explore(result)
+        self._publish_metrics(result)
+        return result
+
+    def run_selector(self, selector: int, known: FrozenSet[int]) -> TASEResult:
+        """One selector-sharded exploration.
+
+        Walks from pc 0 with every dispatcher selector comparison
+        decided concretely — ``selector``'s taken, every other known
+        selector's not-taken — so the shard explores exactly the
+        monolithic run's paths through this one function body, with the
+        identical guard history, under its *own* path/step/fork budgets.
+        The caller merges shards with :func:`merge_tase_results` and
+        publishes metrics once on the merged result.
+        """
+        self._reset()
+        self._pin = (selector, known)
+        result = TASEResult(functions={}, selectors=[], sharded=True, shards=1)
+        self._explore(result)
+        return result
+
+    def run_residual(self, known: FrozenSet[int]) -> TASEResult:
+        """The dispatcher-spine walk that backstops the shards.
+
+        Every known selector's comparison is pinned not-taken, so this
+        walk covers what the per-selector shards do not: the fallback
+        path and any function the static dispatcher analysis missed
+        (whose comparison forks normally and is explored like the
+        monolithic run would).
+        """
+        self._reset()
+        self._pin = (None, known)
+        result = TASEResult(functions={}, selectors=[], sharded=True, shards=1)
+        self._explore(result)
+        return result
+
+    def _explore(self, result: TASEResult) -> None:
+        """Drive the worklist until exhaustion or a budget trip."""
         initial = _State(
             pc=0, stack=[], memory=SymMemory(), guards=(),
             fn=None, fork_visits={}, loop_visits={},
@@ -764,6 +872,7 @@ class TASEEngine:
         domain = SymbolicDomain(self, result, worklist)
         dispatch = self._dispatch
         hook = self.step_hook
+        max_path_steps = self.max_path_steps
         total_steps = 0
         while worklist:
             state = worklist.pop()
@@ -775,7 +884,7 @@ class TASEEngine:
             domain.bind(state)
             while True:
                 total_steps += 1
-                if total_steps > self.max_total_steps or state.steps > 60_000:
+                if total_steps > self.max_total_steps or state.steps > max_path_steps:
                     result.hit_limits = True
                     result.truncated_steps = True
                     break
@@ -796,14 +905,16 @@ class TASEEngine:
                     break
                 else:
                     state.pc = control
-        result.paths_explored = self._paths
-        result.total_steps = total_steps
-        result.pruned_forks = self._pruned_forks
-        result.forks_taken = self._forks_taken
-        result.budget_exhaustions = self._budget_exhaustions
+        result.paths_explored += self._paths
+        result.total_steps += total_steps
+        result.pruned_forks += self._pruned_forks
+        result.forks_taken += self._forks_taken
+        result.budget_exhaustions += self._budget_exhaustions
         result.selectors = sorted(result.functions.keys())
+
+    def publish_metrics(self, result: TASEResult) -> None:
+        """Publish a (possibly merged) result's tallies to the registry."""
         self._publish_metrics(result)
-        return result
 
     def _publish_metrics(self, result: TASEResult) -> None:
         """Fold one run's tallies into the registry (phase boundary)."""
@@ -817,6 +928,9 @@ class TASEEngine:
         metrics.counter("tase.forks_suppressed").inc(result.pruned_forks)
         metrics.counter("tase.budget_exhaustions").inc(result.budget_exhaustions)
         metrics.counter("tase.functions").inc(len(result.selectors))
+        if result.sharded:
+            metrics.counter("tase.sharded_runs").inc()
+            metrics.counter("tase.shards").inc(result.shards)
         if result.truncated_paths:
             metrics.counter("tase.truncations", reason="max_paths").inc()
         if result.truncated_steps:

@@ -15,6 +15,14 @@ Implements the paper's four steps (§4.2):
 4. **Fine-grained type inference** — refine basic types and item types
    with rules R11-R18 and R26-R31 (masks, sign extension, double
    ISZERO, BYTE, signed ops, Vyper range clamps).
+
+Inference is deterministic in its inputs: the same ``FunctionEvents``
+and engine options always yield the same parameter list and the same
+rule firings.  The function-body memo (``sigrec.cache.FunctionMemo``)
+leans on this — callers may run inference against a throwaway
+:class:`RuleTracker`, persist the resulting counts alongside the
+signature, and later replay them into a live tracker instead of
+re-inferring.
 """
 
 from __future__ import annotations

@@ -93,3 +93,35 @@ def test_branch_budget_resets_between_runs():
     first_events = first.functions[first.selectors[0]]
     second_events = second.functions[second.selectors[0]]
     assert len(first_events.loads) == len(second_events.loads)
+
+def test_max_path_steps_truncation_flag_and_diagnostic():
+    """Satellite: the per-path step ceiling is a real option now.
+
+    A tiny ``max_path_steps`` must cut exploration short *visibly*:
+    ``truncated_steps`` on the result and the ``tase-truncated-steps``
+    diagnostic on the tool, exactly like the per-run ceiling.
+    """
+    from repro.sigrec.api import SigRec
+
+    sigs = [FunctionSignature.parse("f(uint256[])")]
+    contract = compile_contract(sigs)
+    result = TASEEngine(contract.bytecode, max_path_steps=10).run()
+    assert result.hit_limits
+    assert result.truncated_steps
+
+    tool = SigRec(max_path_steps=10)
+    tool.recover(contract.bytecode)
+    assert "tase-truncated-steps" in [d.kind for d in tool.last_diagnostics]
+
+    # The default ceiling runs the same contract clean.
+    clean = TASEEngine(contract.bytecode).run()
+    assert not clean.truncated_steps
+
+
+def test_max_path_steps_is_part_of_the_options_fingerprint():
+    from repro.sigrec.api import SigRec
+    from repro.sigrec.cache import options_fingerprint
+
+    default = options_fingerprint(SigRec().options())
+    tiny = options_fingerprint(SigRec(max_path_steps=10).options())
+    assert default != tiny

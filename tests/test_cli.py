@@ -171,6 +171,24 @@ def test_batch_from_directory_with_cache(token_hex, tmp_path, capsys):
     assert "0xa9059cbb(address,uint256)" in captured.out
 
 
+def test_batch_scheduler_flags(token_hex, tmp_path, capsys):
+    path = tmp_path / "corpus.txt"
+    path.write_text(f"{token_hex}\n")
+    expected = "0xa9059cbb(address,uint256)"
+
+    # --unit-size 1 splits the two-selector contract into two units.
+    args = ["batch", str(path), "--workers", "0", "--unit-size", "1", "--time"]
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    assert expected in captured.out
+    assert "2 units (1 contracts split)" in captured.err
+
+    # The kill switches fall back to the monolithic engine, same output.
+    assert main(["batch", str(path), "--workers", "0",
+                 "--no-shard", "--no-memo"]) == 0
+    assert expected in capsys.readouterr().out
+
+
 def test_batch_empty_source(tmp_path):
     path = tmp_path / "empty.txt"
     path.write_text("\n")
