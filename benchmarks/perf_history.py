@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Per-PR perf changelog CLI — thin wrapper over repro.obs.perfhistory.
+
+Usage (from the repo root, after running the benchmark suite so that
+``BENCH_throughput.json`` is fresh):
+
+    PYTHONPATH=src python benchmarks/perf_history.py append "PR note"
+    PYTHONPATH=src python benchmarks/perf_history.py check [threshold]
+
+``append`` writes the next ``benchmarks/history/NNNN.json`` snapshot;
+``check`` exits non-zero when the live document regresses >20% against
+the newest snapshot on any tracked tier.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.obs.perfhistory import main
+
+    raise SystemExit(main(sys.argv[1:], repo_root=REPO_ROOT))

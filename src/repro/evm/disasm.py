@@ -10,7 +10,6 @@ behaves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from repro.evm.opcodes import OPCODES, Op
@@ -19,26 +18,43 @@ from repro.evm.opcodes import OPCODES, Op
 _UNKNOWN = Op(-1, "UNKNOWN", 0, 0, 0, 0)
 
 
-@dataclass(frozen=True)
 class Instruction:
-    """One decoded instruction at a concrete program counter."""
+    """One decoded instruction at a concrete program counter.
 
-    pc: int
-    op: Op
-    operand: Optional[int] = None  # immediate value of PUSHn
+    A plain slotted record — disassembly creates one per byte of code,
+    so construction cost is the dominant decode cost, and the frozen
+    dataclass this used to be paid one ``object.__setattr__`` per
+    field.  ``size`` and ``next_pc`` are precomputed at decode time so
+    the execution drivers read attributes instead of calling
+    properties.  Treat instances as immutable.
+    """
 
-    @property
-    def size(self) -> int:
-        return 1 + self.op.immediate_size
+    __slots__ = ("pc", "op", "operand", "size", "next_pc")
 
-    @property
-    def next_pc(self) -> int:
-        return self.pc + self.size
+    def __init__(self, pc: int, op: Op, operand: Optional[int] = None) -> None:
+        self.pc = pc
+        self.op = op
+        self.operand = operand  # immediate value of PUSHn
+        size = 1 + op.immediate_size
+        self.size = size
+        self.next_pc = pc + size
+
+    def __repr__(self) -> str:
+        return f"Instruction(pc={self.pc}, op={self.op!r}, operand={self.operand!r})"
 
     def __str__(self) -> str:
         if self.operand is not None:
             return f"{self.pc:#06x}: {self.op.name} {self.operand:#x}"
         return f"{self.pc:#06x}: {self.op.name}"
+
+
+#: byte value -> (Op, immediate size), with invalid bytes pre-resolved
+#: to the UNKNOWN placeholder: one list index per decoded instruction
+#: instead of a dict probe plus None-check plus attribute chase.
+_DECODE_TABLE: List = [
+    (op, op.immediate_size) if op is not None else (_UNKNOWN, 0)
+    for op in (OPCODES.get(byte) for byte in range(256))
+]
 
 
 def disassemble(bytecode: bytes) -> List[Instruction]:
@@ -49,22 +65,24 @@ def disassemble(bytecode: bytes) -> List[Instruction]:
     the EVM itself does.
     """
     instructions: List[Instruction] = []
+    append = instructions.append
+    table = _DECODE_TABLE
+    from_bytes = int.from_bytes
     pc = 0
     length = len(bytecode)
     while pc < length:
-        byte = bytecode[pc]
-        op = OPCODES.get(byte)
-        if op is None:
-            instructions.append(Instruction(pc, _UNKNOWN))
+        op, imm = table[bytecode[pc]]
+        if imm:
+            body = pc + 1
+            end = body + imm
+            raw = bytecode[body:end]
+            if end > length:
+                raw = raw + b"\x00" * (end - length)
+            append(Instruction(pc, op, from_bytes(raw, "big")))
+            pc = end
+        else:
+            append(Instruction(pc, op))
             pc += 1
-            continue
-        operand: Optional[int] = None
-        if op.immediate_size:
-            raw = bytecode[pc + 1 : pc + 1 + op.immediate_size]
-            raw = raw + b"\x00" * (op.immediate_size - len(raw))
-            operand = int.from_bytes(raw, "big")
-        instructions.append(Instruction(pc, op, operand))
-        pc += 1 + op.immediate_size
     return instructions
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.evm.disasm import disassemble, instruction_index, jumpdests
+from repro.evm.predecode import decode
 from repro.evm.semantics import (
     DEFAULT_SELF_BALANCE,
     HALT,
@@ -33,7 +33,6 @@ from repro.evm.semantics import (
     Reverted,
     StackOverflow,
     StackUnderflow,
-    dispatch_table,
 )
 
 __all__ = [
@@ -89,16 +88,26 @@ class Interpreter:
         self.step_hook = step_hook
         self.block = block if block is not None else BlockContext()
         self.self_balance = self_balance
-        self._instructions = disassemble(bytecode)
-        self._by_pc = instruction_index(self._instructions)
-        self._jumpdests = jumpdests(self._instructions)
-        # Pre-bind each pc to (instruction, handler, gas): one dict
-        # lookup per executed step instead of an ~80-branch string chain.
-        table = dispatch_table(ConcreteDomain)
-        self._dispatch = {
-            ins.pc: (ins, table[ins.op.code], ins.op.gas)
-            for ins in self._instructions
-        }
+        # One decode per (bytecode, domain class): repeated interpreter
+        # constructions over the same code (a fuzzing loop) share the
+        # instruction stream, handler bindings, gas table and
+        # precomputed next-pcs.
+        program = decode(bytecode, ConcreteDomain)
+        self._program = program
+        self._jumpdests = program.jumpdests
+        # pc -> (instruction, handler, gas, next_pc): one dict lookup
+        # per executed step instead of an ~80-branch string chain.
+        self._dispatch = program.dispatch
+
+    @property
+    def _instructions(self):
+        """The full instruction stream (lazy — diagnostic use only)."""
+        return self._program.instructions
+
+    @property
+    def _by_pc(self):
+        """pc -> instruction (lazy — tracing/diagnostic use only)."""
+        return self._program.by_pc
 
     # ------------------------------------------------------------------
 
@@ -151,7 +160,7 @@ class Interpreter:
                     # Running off the end of code halts like STOP.
                     result.success = True
                     break
-                ins, handler, gas_cost = entry
+                ins, handler, gas_cost, next_pc = entry
                 if hook is not None:
                     hook(pc, stack)
                 pcs.add(pc)
@@ -163,7 +172,7 @@ class Interpreter:
                 except IndexError:
                     raise StackUnderflow() from None
                 if control is None:
-                    pc = ins.next_pc
+                    pc = next_pc
                     if len(stack) > 1024:
                         raise StackOverflow()
                 elif control is HALT:

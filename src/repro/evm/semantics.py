@@ -422,6 +422,11 @@ def _unop(method: str) -> Maker:
             s = dom.stack
             s.append(fn(dom, ins, s.pop()))
 
+        # Fused drivers inline the pop/push shuffle and call the domain
+        # method directly, skipping this wrapper frame (see
+        # repro.evm.predecode KIND_UNOP/KIND_BINOP).
+        handler.inner = fn
+        handler.arity = 1
         return handler
 
     return make
@@ -435,6 +440,8 @@ def _binop(method: str) -> Maker:
             s = dom.stack
             s.append(fn(dom, ins, s.pop(), s.pop()))
 
+        handler.inner = fn
+        handler.arity = 2
         return handler
 
     return make

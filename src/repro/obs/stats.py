@@ -48,10 +48,23 @@ def render_stats(
     forks = counters.get("tase.forks", 0)
     suppressed = counters.get("tase.forks_suppressed", 0)
     exhaustions = counters.get("tase.budget_exhaustions", 0)
+    # Single-core symbolic throughput: steps over the tase phase's
+    # wall-clock (the same ratio BENCH_throughput.json freezes as
+    # ``tase.steps_per_second``).
+    tase_seconds = 0.0
+    for key, payload in histograms.items():
+        base, labels = parse_key(key)
+        if base == "phase.seconds" and labels.get("phase") == "tase":
+            tase_seconds += float(payload["sum"])
     lines.append("engine")
     lines.append(
         f"  runs {runs:,} | paths {paths:,} | steps {steps:,}"
         + (f" ({steps / max(1, runs):,.0f} steps/run)" if runs else "")
+        + (
+            f" | {steps / tase_seconds:,.0f} steps/s"
+            if steps and tase_seconds
+            else ""
+        )
     )
     lines.append(
         f"  forks taken {forks:,} | suppressed by pruning {suppressed:,} "

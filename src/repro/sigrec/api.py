@@ -82,6 +82,8 @@ class SigRec:
         loop_bound: int = 420,
         max_path_steps: int = 60_000,
         semantic_idioms: bool = True,
+        scheduler: str = "priority",
+        driver: str = "superblock",
         coarse_only: bool = False,
         static_check: bool = True,
         prune: bool = False,
@@ -135,6 +137,14 @@ class SigRec:
             loop_bound=loop_bound,
             max_path_steps=max_path_steps,
             semantic_idioms=semantic_idioms,
+            # Path scheduling and step driver ride in the engine opts so
+            # they reach every engine construction *and* the cache/memo
+            # fingerprint via :meth:`options`: the driver is
+            # output-preserving by construction, but the scheduler
+            # changes which paths survive a truncated walk, so cached
+            # recoveries must be keyed by both.
+            scheduler=scheduler,
+            driver=driver,
         )
         # Recent engine results, keyed by bytecode digest: ``recover``
         # deposits here and ``explain`` reuses instead of re-running TASE.
@@ -406,7 +416,8 @@ class SigRec:
                     kind="tase-truncated-paths",
                     detail=(
                         f"path cap max_paths={self._engine_opts['max_paths']} "
-                        "reached; exploration abandoned pending states and "
+                        f"reached; exploration abandoned "
+                        f"{result.abandoned_states} pending state(s) and "
                         "the recovery may be incomplete"
                     ),
                 )

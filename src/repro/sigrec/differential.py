@@ -14,6 +14,13 @@ and :func:`symbolic_replay` drives it exactly like ``Interpreter.call``.
 The folded terminal state (success/error, return data, storage writes)
 must match the concrete interpreter bit for bit; any divergence is a
 drift between the two value domains.
+
+Two replay drivers exist: the default executes over the pre-decoded
+instruction stream (:mod:`repro.evm.predecode`, shared with the
+concrete interpreter and the TASE engine) and ``driver="legacy"`` keeps
+the historical per-opcode dict dispatch.  The differential test suite
+runs both over the same corpus and requires identical terminal states —
+the decode layer itself is under test, not just the value domains.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.evm.keccak import keccak256
+from repro.evm.predecode import decode as _decode_program
 from repro.evm.semantics import (
     DEFAULT_BLOCK,
     DEFAULT_SELF_BALANCE,
@@ -122,15 +130,15 @@ class ReplayDomain(SymbolicDomain):
 
     def sha3(self, ins, offset, length):
         data = self.memory.load(_int(offset), _int(length))
-        return E.const(int.from_bytes(keccak256(data), "big"))
+        return self.A.const(int.from_bytes(keccak256(data), "big"))
 
     def calldataload(self, ins, loc):
         base = _int(loc)
         chunk = self.calldata[base : base + 32]
-        return E.const(int.from_bytes(chunk + b"\x00" * (32 - len(chunk)), "big"))
+        return self.A.const(int.from_bytes(chunk + b"\x00" * (32 - len(chunk)), "big"))
 
     def calldatasize(self, ins):
-        return E.const(self._calldata_size)
+        return self.A.const(self._calldata_size)
 
     def calldatacopy(self, ins, dst, src, length):
         n = _int(length)
@@ -151,7 +159,7 @@ class ReplayDomain(SymbolicDomain):
         self.memory.store(_int(dst), chunk + b"\x00" * (n - len(chunk)))
 
     def mload(self, ins, offset):
-        return E.const(self.memory.load_word(_int(offset)))
+        return self.A.const(self.memory.load_word(_int(offset)))
 
     def mstore(self, ins, offset, value):
         self.memory.store_word(_int(offset), _int(value))
@@ -160,7 +168,7 @@ class ReplayDomain(SymbolicDomain):
         self.memory.store(_int(offset), bytes([_int(value) & 0xFF]))
 
     def sload(self, ins, key):
-        return E.const(self.storage.get(_int(key), 0))
+        return self.A.const(self.storage.get(_int(key), 0))
 
     def sstore(self, ins, key, value):
         k, v = _int(key), _int(value)
@@ -169,17 +177,17 @@ class ReplayDomain(SymbolicDomain):
 
     def env0(self, ins, name):
         if name == "PC":
-            return E.const(ins.pc)
+            return self.A.const(ins.pc)
         if name == "MSIZE":
-            return E.const(self.memory.size())
+            return self.A.const(self.memory.size())
         if name == "GAS":
-            return E.const(max(self.gas, 0))
+            return self.A.const(max(self.gas, 0))
         if name == "RETURNDATASIZE":
-            return E.const(len(self.return_buffer))
-        return E.const(self._env.get(name, 0))
+            return self.A.const(len(self.return_buffer))
+        return self.A.const(self._env.get(name, 0))
 
     def env1(self, ins, name, arg):
-        return E.const(0)
+        return self.A.const(0)
 
     # -- output edges --------------------------------------------------
 
@@ -187,11 +195,11 @@ class ReplayDomain(SymbolicDomain):
         self.exec_result.logs.append(self.memory.load(_int(offset), _int(length)))
 
     def create(self, ins, value, offset, length, salt):
-        return E.const(0)  # the stubbed concrete behaviour (no handler)
+        return self.A.const(0)  # the stubbed concrete behaviour (no handler)
 
     def call_op(self, ins, kind, gas, to, value, in_off, in_size, out_off, out_size):
         self.return_buffer = b""
-        return E.const(1)  # stubbed: callee succeeds, returns nothing
+        return self.A.const(1)  # stubbed: callee succeeds, returns nothing
 
     # -- control flow: concrete, with concrete error semantics ---------
 
@@ -241,6 +249,7 @@ def symbolic_replay(
     gas_limit: int = 10_000_000,
     block: Optional[BlockContext] = None,
     self_balance: Optional[int] = None,
+    driver: str = "predecoded",
 ) -> ExecutionResult:
     """Run one message call through the symbolic value domain.
 
@@ -248,9 +257,15 @@ def symbolic_replay(
     same error taxonomy) but every value is an ``Expr`` folded on
     demand.  The returned :class:`ExecutionResult` is directly
     comparable to the concrete interpreter's.
+
+    ``driver`` selects the step loop: ``"predecoded"`` (default) walks
+    the shared pre-decoded instruction stream; ``"legacy"`` is the
+    historical per-opcode dict driver, kept so the differential tests
+    can assert both produce bit-identical terminal states.
     """
+    if driver not in ("predecoded", "legacy"):
+        raise ValueError(f"unknown replay driver: {driver!r}")
     engine = TASEEngine(bytecode, semantic_idioms=False)
-    table = dispatch_table(ReplayDomain)
     result = ExecutionResult(success=False)
     domain = ReplayDomain(
         engine,
@@ -270,39 +285,11 @@ def symbolic_replay(
         _State(pc=0, stack=[], memory=SymMemory(), guards=(),
                fn=None, fork_visits={}, loop_visits={})
     )
-    dispatch = {
-        ins.pc: (ins, table[ins.op.code], ins.op.gas)
-        for ins in engine._instructions
-    }
-    stack = domain.stack
-    pc = 0
-
     try:
-        while True:
-            result.steps += 1
-            if result.steps > max_steps:
-                raise OutOfGas("step limit exceeded")
-            entry = dispatch.get(pc)
-            if entry is None:
-                result.success = True
-                break
-            ins, handler, gas_cost = entry
-            result.pcs_executed.add(pc)
-            domain.gas -= gas_cost
-            if domain.gas < 0:
-                raise OutOfGas("gas limit exceeded")
-            try:
-                control = handler(domain, ins)
-            except IndexError:
-                raise StackUnderflow() from None
-            if control is None:
-                pc = ins.next_pc
-                if len(stack) > 1024:
-                    raise StackOverflow()
-            elif control is HALT:
-                break
-            else:
-                pc = control
+        if driver == "predecoded":
+            _drive_predecoded(bytecode, domain, result, max_steps)
+        else:
+            _drive_legacy(engine, domain, result, max_steps)
     except Reverted as exc:
         result.error = "revert"
         result.return_data = exc.data
@@ -311,3 +298,92 @@ def symbolic_replay(
 
     result.gas_used = gas_limit - domain.gas
     return result
+
+
+def _drive_predecoded(
+    bytecode: bytes,
+    domain: ReplayDomain,
+    result: ExecutionResult,
+    max_steps: int,
+) -> None:
+    """Step loop over the shared pre-decoded instruction stream.
+
+    The decode (handler binding, gas costs, next-pcs) is computed once
+    per bytecode and cached in :mod:`repro.evm.predecode`, so replaying
+    a fuzz corpus pays disassembly once instead of once per input.
+    """
+    dispatch = _decode_program(bytecode, ReplayDomain).dispatch
+    stack = domain.stack
+    pc = 0
+    while True:
+        result.steps += 1
+        if result.steps > max_steps:
+            raise OutOfGas("step limit exceeded")
+        entry = dispatch.get(pc)
+        if entry is None:
+            result.success = True
+            break
+        ins, handler, gas_cost, next_pc = entry
+        result.pcs_executed.add(pc)
+        domain.gas -= gas_cost
+        if domain.gas < 0:
+            raise OutOfGas("gas limit exceeded")
+        try:
+            control = handler(domain, ins)
+        except IndexError:
+            raise StackUnderflow() from None
+        if control is None:
+            pc = next_pc
+            if len(stack) > 1024:
+                raise StackOverflow()
+        elif control is HALT:
+            break
+        else:
+            pc = control
+
+
+def _drive_legacy(
+    engine: TASEEngine,
+    domain: ReplayDomain,
+    result: ExecutionResult,
+    max_steps: int,
+) -> None:
+    """The historical per-opcode driver.
+
+    Rebuilds the dispatch dict per call and resolves ``next_pc``
+    through the instruction property each step.  Kept verbatim as the
+    baseline the pre-decoded driver is asserted against, bit for bit,
+    across the differential corpus.
+    """
+    table = dispatch_table(ReplayDomain)
+    dispatch = {
+        ins.pc: (ins, table[ins.op.code], ins.op.gas)
+        for ins in engine._instructions
+    }
+    stack = domain.stack
+    pc = 0
+    while True:
+        result.steps += 1
+        if result.steps > max_steps:
+            raise OutOfGas("step limit exceeded")
+        entry = dispatch.get(pc)
+        if entry is None:
+            result.success = True
+            break
+        ins, handler, gas_cost = entry
+        result.pcs_executed.add(pc)
+        domain.gas -= gas_cost
+        if domain.gas < 0:
+            raise OutOfGas("gas limit exceeded")
+        try:
+            control = handler(domain, ins)
+        except IndexError:
+            raise StackUnderflow() from None
+        if control is None:
+            pc = ins.next_pc
+            if len(stack) > 1024:
+                raise StackOverflow()
+        elif control is HALT:
+            break
+        else:
+            pc = control

@@ -36,13 +36,14 @@ Design choices that mirror the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Tuple
 
-from repro.evm.disasm import disassemble, instruction_index, jumpdests
+from repro.evm.predecode import decode as _decode_program
 
 if TYPE_CHECKING:
     from repro.analysis.report import ContractAnalysis
-from repro.evm.semantics import HALT, Domain, dispatch_table
+from repro.evm.semantics import HALT, Domain
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.sigrec import expr as E
 from repro.sigrec.events import (
@@ -78,11 +79,14 @@ def eval_const(e: E.Expr) -> Optional[int]:
     The result is memoized on the (immutable) node: every JUMPI
     re-evaluates its condition, and loop guards grow as shared chains of
     ``add`` nodes, so without the memo the fold is re-run over the same
-    subtrees once per unrolled iteration.
+    subtrees once per unrolled iteration.  The memo lives in a lazy
+    slot (unset until the first evaluation) so nodes that are never
+    branched on pay nothing at construction.
     """
-    memo = e._const_memo
-    if memo is not E._UNEVALUATED:
-        return memo
+    try:
+        return e._const_memo
+    except AttributeError:
+        pass
     result = _eval_const_uncached(e)
     object.__setattr__(e, "_const_memo", result)
     return result
@@ -148,11 +152,14 @@ class SymMemory:
     stored after it.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, arena: Optional[E.ExprArena] = None) -> None:
         self._words: Dict[int, Tuple[int, E.Expr]] = {}  # offset -> (seq, value)
         self._regions: List[_Region] = []
         self._fresh = 0
         self._seq = 0
+        # Expression builder: the owning engine's arena, or the module
+        # default for standalone construction (tests, replay).
+        self._E = arena if arena is not None else E._DEFAULT_ARENA
 
     def clone(self) -> "SymMemory":
         new = SymMemory.__new__(SymMemory)
@@ -160,6 +167,7 @@ class SymMemory:
         new._regions = list(self._regions)
         new._fresh = self._fresh
         new._seq = self._seq
+        new._E = self._E
         return new
 
     def store(self, offset: E.Expr, value: E.Expr) -> None:
@@ -182,9 +190,9 @@ class SymMemory:
         if word is not None and (region is None or word[0] > region.seq):
             return word[1]
         if region is not None:
-            return E.mem_read(region.region_id, offset, region.labels)
+            return self._E.mem_read(region.region_id, offset, region.labels)
         self._fresh += 1
-        return E.env(f"mem_{base}_{self._fresh}")
+        return self._E.env(f"mem_{base}_{self._fresh}")
 
     def _covering_region(self, offset: int) -> Optional[_Region]:
         covering = None
@@ -255,6 +263,10 @@ class TASEResult:
     truncated_paths: bool = False
     #: ...or the per-run/per-path step ceilings cut exploration short.
     truncated_steps: bool = False
+    #: Pending worklist states discarded without being explored when
+    #: ``max_paths`` tripped (both at the scheduler pop and at the
+    #: in-handler worklist clear).  0 on an untruncated run.
+    abandoned_states: int = 0
     #: True when this result came from (or was merged out of) per-selector
     #: shard explorations rather than one monolithic worklist.
     sharded: bool = False
@@ -279,11 +291,77 @@ def merge_tase_results(parts: List[TASEResult]) -> TASEResult:
         merged.pruned_forks += part.pruned_forks
         merged.forks_taken += part.forks_taken
         merged.budget_exhaustions += part.budget_exhaustions
+        merged.abandoned_states += part.abandoned_states
         merged.hit_limits = merged.hit_limits or part.hit_limits
         merged.truncated_paths = merged.truncated_paths or part.truncated_paths
         merged.truncated_steps = merged.truncated_steps or part.truncated_steps
     merged.selectors = sorted(merged.functions.keys())
     return merged
+
+
+# ----------------------------------------------------------------------
+# Path scheduling
+# ----------------------------------------------------------------------
+
+
+class _Worklist:
+    """Pending-path scheduler: priority order with a LIFO tiebreak.
+
+    ``mode="lifo"`` is the historical stack discipline.
+    ``mode="priority"`` pops by score first: dispatcher states (``fn is
+    None`` — the paths that distinguish selectors) before function-body
+    states, and among dispatcher states shallower guard depth before
+    deeper; *within* a score, most-recently-pushed first — exactly the
+    LIFO order.  Function-body states carry no depth term: their
+    exploration order stays pure LIFO, which keeps each function's
+    subtree contiguous and its event/budget interleaving identical to
+    the historical engine (pruned/unpruned and sharded/monolithic
+    equivalence depend on that).  Scores are integer tuples and the
+    tiebreak sequence number is unique, so heap comparisons never reach
+    the states themselves and the pop order is fully deterministic.
+
+    The point is budget quality, not raw speed: when ``max_paths`` or
+    the step ceilings trip, the states still queued — and therefore
+    truncated — are the deepest, least selector-distinguishing ones.
+    """
+
+    __slots__ = ("_mode", "_items", "_seq")
+
+    def __init__(self, mode: str) -> None:
+        if mode not in ("priority", "lifo"):
+            raise ValueError(f"unknown scheduler: {mode!r}")
+        self._mode = mode
+        self._items: List = []
+        self._seq = 0
+
+    def append(self, state: "_State") -> None:
+        if self._mode == "lifo":
+            self._items.append(state)
+            return
+        self._seq += 1
+        heappush(
+            self._items,
+            (
+                0 if state.fn is None else 1,
+                len(state.guards) if state.fn is None else 0,
+                -self._seq,
+                state,
+            ),
+        )
+
+    def pop(self) -> "_State":
+        if self._mode == "lifo":
+            return self._items.pop()
+        return heappop(self._items)[-1]
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
 
 
 # ----------------------------------------------------------------------
@@ -302,10 +380,10 @@ class SymbolicDomain(Domain):
     """
 
     __slots__ = ("engine", "result", "worklist", "state", "events",
-                 "semantic_idioms")
+                 "semantic_idioms", "A")
 
     def __init__(self, engine: "TASEEngine", result: TASEResult,
-                 worklist: List[_State]) -> None:
+                 worklist) -> None:
         super().__init__()
         self.engine = engine
         self.result = result
@@ -313,6 +391,11 @@ class SymbolicDomain(Domain):
         self.state: Optional[_State] = None
         self.events: Optional[FunctionEvents] = None
         self.semantic_idioms = engine.semantic_idioms
+        # The engine's per-contract interning arena: every expression a
+        # handler builds goes through it, so hot compounds are shared
+        # (identity equality, shared eval_const memo) within one engine
+        # and dropped with it.
+        self.A = engine.arena
 
     def bind(self, state: _State) -> None:
         """Point the domain at ``state`` before stepping it."""
@@ -323,40 +406,41 @@ class SymbolicDomain(Domain):
     # -- values --------------------------------------------------------
 
     def const(self, value):
-        return E.const(value)
+        return self.A.const(value)
 
-    def _arith(self, ins, opname, a, b):
-        events = self.events
-        if events is not None:
-            if _direct_taint(a):
-                events.add_use(UseEvent(ins.pc, "arith", a.labels))
-            if _direct_taint(b):
-                events.add_use(UseEvent(ins.pc, "arith", b.labels))
-        return E.binop(opname, a, b)
+    def _make_arith(opname):
+        """An unsigned-arithmetic method: taint-use events + interned node.
 
-    def add(self, ins, a, b):
-        return self._arith(ins, "add", a, b)
+        Generated per opcode so the hot path is one frame — the old
+        ``add -> _arith`` delegation paid a second call per executed
+        arithmetic instruction.
+        """
 
-    def mul(self, ins, a, b):
-        return self._arith(ins, "mul", a, b)
+        def method(self, ins, a, b, _op=opname):
+            events = self.events
+            if events is not None:
+                if _direct_taint(a):
+                    events.add_use(UseEvent(ins.pc, "arith", a.labels))
+                if _direct_taint(b):
+                    events.add_use(UseEvent(ins.pc, "arith", b.labels))
+            return self.A.binop(_op, a, b)
 
-    def sub(self, ins, a, b):
-        return self._arith(ins, "sub", a, b)
+        method.__name__ = opname
+        return method
 
-    def div(self, ins, a, b):
-        return self._arith(ins, "div", a, b)
-
-    def mod(self, ins, a, b):
-        return self._arith(ins, "mod", a, b)
-
-    def exp(self, ins, a, b):
-        return self._arith(ins, "exp", a, b)
+    add = _make_arith("add")
+    mul = _make_arith("mul")
+    sub = _make_arith("sub")
+    div = _make_arith("div")
+    mod = _make_arith("mod")
+    exp = _make_arith("exp")
+    del _make_arith
 
     def _signed_op(self, ins, opname, a, b):
         events = self.events
         if events is not None and (a.labels or b.labels):
             events.add_use(UseEvent(ins.pc, "signed_op", a.labels | b.labels))
-        return E.binop(opname, a, b)
+        return self.A.binop(opname, a, b)
 
     def sdiv(self, ins, a, b):
         return self._signed_op(ins, "sdiv", a, b)
@@ -371,7 +455,7 @@ class SymbolicDomain(Domain):
         events = self.events
         if events is not None and k.is_const and _direct_taint(value):
             events.add_use(UseEvent(ins.pc, "signextend", value.labels, k.value))
-        return E.binop("signextend", k, value)
+        return self.A.binop("signextend", k, value)
 
     def lt(self, ins, a, b):
         # Record Vyper-style range checks: tainted value vs constant
@@ -383,10 +467,10 @@ class SymbolicDomain(Domain):
         if events is not None and b.is_const and _direct_taint(a):
             events.add_use(UseEvent(ins.pc, "lt_bound", a.labels, b.value))
             events.vyper_markers += 1
-        return _cmp("lt", a, b)
+        return self.A.cmp("lt", a, b)
 
     def gt(self, ins, a, b):
-        return _cmp("gt", a, b)
+        return self.A.cmp("gt", a, b)
 
     def _signed_cmp(self, ins, opname, a, b):
         events = self.events
@@ -401,7 +485,7 @@ class SymbolicDomain(Domain):
                 events.add_use(
                     UseEvent(ins.pc, "signed_op", a.labels | b.labels)
                 )
-        return _cmp(opname, a, b)
+        return self.A.cmp(opname, a, b)
 
     def slt(self, ins, a, b):
         return self._signed_cmp(ins, "slt", a, b)
@@ -428,7 +512,7 @@ class SymbolicDomain(Domain):
                         _eq_zero_operand(*inner.args).labels,
                     )
                 )
-        return _cmp("eq", a, b)
+        return self.A.cmp("eq", a, b)
 
     def iszero(self, ins, value):
         events = self.events
@@ -438,10 +522,10 @@ class SymbolicDomain(Domain):
             and _direct_taint(value.args[0])
         ):
             events.add_use(UseEvent(ins.pc, "bool_mask", value.args[0].labels))
-        return _iszero(value)
+        return self.A.iszero_unfolded(value)
 
     def and_(self, ins, a, b):
-        out = E.binop("and", a, b)
+        out = self.A.binop("and", a, b)
         events = self.events
         if events is not None:
             mask, operand = (a, b) if a.is_const else (b, a)
@@ -452,19 +536,19 @@ class SymbolicDomain(Domain):
         return out
 
     def or_(self, ins, a, b):
-        return E.binop("or", a, b)
+        return self.A.binop("or", a, b)
 
     def xor(self, ins, a, b):
-        return E.binop("xor", a, b)
+        return self.A.binop("xor", a, b)
 
     def not_(self, ins, a):
-        return E.bit_not(a)
+        return self.A.bit_not(a)
 
     def byte(self, ins, index, value):
         events = self.events
         if events is not None and value.labels and _direct_taint(value):
             events.add_use(UseEvent(ins.pc, "byte", value.labels))
-        return E.binop("byte", index, value)
+        return self.A.binop("byte", index, value)
 
     def _shift(self, ins, opname, shift, value):
         events = self.events
@@ -487,7 +571,7 @@ class SymbolicDomain(Domain):
                 events.add_use(
                     UseEvent(ins.pc, "and_mask", value.args[1].labels, mask)
                 )
-        return E.binop(opname, shift, value)
+        return self.A.binop(opname, shift, value)
 
     def shl(self, ins, shift, value):
         return self._shift(ins, "shl", shift, value)
@@ -502,7 +586,7 @@ class SymbolicDomain(Domain):
                 events.add_use(UseEvent(ins.pc, "arith", a.labels))
             if _direct_taint(b):
                 events.add_use(UseEvent(ins.pc, "arith", b.labels))
-        return E.ternop("addmod", a, b, n)
+        return self.A.ternop("addmod", a, b, n)
 
     def mulmod(self, ins, a, b, n):
         events = self.events
@@ -511,7 +595,7 @@ class SymbolicDomain(Domain):
                 events.add_use(UseEvent(ins.pc, "arith", a.labels))
             if _direct_taint(b):
                 events.add_use(UseEvent(ins.pc, "arith", b.labels))
-        return E.ternop("mulmod", a, b, n)
+        return self.A.ternop("mulmod", a, b, n)
 
     # -- data access ---------------------------------------------------
 
@@ -519,7 +603,7 @@ class SymbolicDomain(Domain):
         return self.engine._fresh_env("sha3")
 
     def calldataload(self, ins, loc):
-        value = E.calldata(loc)
+        value = self.A.calldata(loc)
         events = self.events
         if events is not None:
             events.add_load(
@@ -528,7 +612,7 @@ class SymbolicDomain(Domain):
         return value
 
     def calldatasize(self, ins):
-        return E.calldatasize()
+        return self.A.calldatasize()
 
     def calldatacopy(self, ins, dst, src, length):
         labels = src.labels | length.labels
@@ -672,11 +756,13 @@ class SymbolicDomain(Domain):
             # (and is not a dispatcher match, whose entry *is* the
             # observation), so exploring it is pure overhead.  Emulate
             # the unpruned run's accounting exactly: both budgets are
-            # decremented as they would have been, and the path the
-            # fall-side fork would count when popped (LIFO pops it
-            # right after the silent taken side halts) is charged via
-            # the engine's path counter — then this state just keeps
-            # going down the fall side, no clone made.
+            # decremented as they would have been, and the fall-side
+            # fork is *pushed* — not explored inline — so the worklist
+            # holds the same states in the same push order as the
+            # unpruned run and any scheduler (LIFO or priority) pops
+            # them identically.  Only the silent block's own steps are
+            # skipped: this state halts here instead of wandering into
+            # the provably event-free block.
             budget[(ins.pc, True)] = take_budget - 1
             if not explore_fall:
                 # The unpruned run would merely die inside the silent
@@ -684,14 +770,10 @@ class SymbolicDomain(Domain):
                 return HALT
             engine._pruned_forks += 1
             budget[(ins.pc, False)] = fall_budget - 1
-            engine._paths += 1
-            if engine._paths > engine.max_paths:
-                self.result.hit_limits = True
-                self.result.truncated_paths = True
-                self.worklist.clear()
-                return HALT
-            state.guards = state.guards + (Guard(cond, False, ins.pc),)
-            return None
+            fallthrough = state.fork(ins.next_pc)
+            fallthrough.guards = state.guards + (Guard(cond, False, ins.pc),)
+            self.worklist.append(fallthrough)
+            return HALT
         if explore_fall:
             budget[(ins.pc, False)] = fall_budget - 1
             if explore_taken:
@@ -756,6 +838,8 @@ class TASEEngine:
         step_hook: Optional[Callable] = None,
         analysis: Optional["ContractAnalysis"] = None,
         metrics: Optional[MetricsRegistry] = None,
+        scheduler: str = "priority",
+        driver: str = "superblock",
     ) -> None:
         self.bytecode = bytecode
         # The registry only sees aggregate tallies published once per
@@ -778,9 +862,25 @@ class TASEEngine:
         # step_hook(pc, stack) fires before each instruction, exactly
         # like the concrete interpreter's hook — the stack holds Exprs.
         self.step_hook = step_hook
-        self._instructions = disassemble(bytecode)
-        self._by_pc = instruction_index(self._instructions)
-        self._jumpdests = jumpdests(self._instructions)
+        # Path scheduling ("priority" | "lifo") and step driver
+        # ("superblock" | "legacy").  Both are part of the cache/options
+        # fingerprint upstream: the driver is output-preserving by
+        # construction, but the scheduler changes which paths survive a
+        # budget trip, so results are only comparable per configuration.
+        if scheduler not in ("priority", "lifo"):
+            raise ValueError(f"unknown scheduler: {scheduler!r}")
+        if driver not in ("superblock", "legacy"):
+            raise ValueError(f"unknown driver: {driver!r}")
+        self.scheduler = scheduler
+        self.driver = driver
+        # Per-contract expression interning arena: every Expr the
+        # symbolic domain builds is hash-consed here and dies with the
+        # engine (no process-global cache, no size cliff).
+        self.arena = E.ExprArena()
+        # One decode per (bytecode, domain class), shared across engines
+        # and with the differential replay via the predecode cache.
+        self._program = _decode_program(bytecode, SymbolicDomain)
+        self._jumpdests = self._program.jumpdests
         self._env_counter = 0
         # Global symbolic-branch budgets, keyed by (jumpi pc, side).
         self._branch_budget: Dict[Tuple[int, bool], int] = {}
@@ -804,14 +904,22 @@ class TASEEngine:
         # else ``(target selector or None, frozenset of known
         # selectors)`` — see :meth:`run_selector` / :meth:`run_residual`.
         self._pin: Optional[Tuple[Optional[int], FrozenSet[int]]] = None
-        # Pre-bind each pc to (instruction, handler) over the shared
-        # semantics table (single dict lookup per step).
-        table = dispatch_table(SymbolicDomain)
-        self._dispatch = {
-            ins.pc: (ins, table[ins.op.code]) for ins in self._instructions
-        }
+        # Legacy per-pc dispatch map, built on first use by the legacy
+        # driver (the superblock driver reads the program directly).
+        self._dispatch: Optional[Dict[int, tuple]] = None
 
     # ------------------------------------------------------------------
+
+    @property
+    def _instructions(self):
+        """The full instruction stream (lazy — the superblock driver
+        never needs it; the legacy driver and replay harness do)."""
+        return self._program.instructions
+
+    @property
+    def _by_pc(self):
+        """pc -> instruction (lazy — only diagnostics ever walk it)."""
+        return self._program.by_pc
 
     def _reset(self) -> None:
         """Fresh mutable exploration state (budgets are per exploration)."""
@@ -865,12 +973,181 @@ class TASEEngine:
     def _explore(self, result: TASEResult) -> None:
         """Drive the worklist until exhaustion or a budget trip."""
         initial = _State(
-            pc=0, stack=[], memory=SymMemory(), guards=(),
+            pc=0, stack=[], memory=SymMemory(self.arena), guards=(),
             fn=None, fork_visits={}, loop_visits={},
         )
-        worklist = [initial]
+        worklist = _Worklist(self.scheduler)
+        worklist.append(initial)
         domain = SymbolicDomain(self, result, worklist)
+        if self.driver == "superblock":
+            total_steps = self._drive_superblock(result, worklist, domain)
+        else:
+            total_steps = self._drive_legacy(result, worklist, domain)
+        result.paths_explored += self._paths
+        result.total_steps += total_steps
+        result.pruned_forks += self._pruned_forks
+        result.forks_taken += self._forks_taken
+        result.budget_exhaustions += self._budget_exhaustions
+        result.selectors = sorted(result.functions.keys())
+
+    def _drive_superblock(
+        self, result: TASEResult, worklist: _Worklist, domain: SymbolicDomain
+    ) -> int:
+        """Fused superblock driver over the pre-decoded program.
+
+        Straight-line runs execute as one loop over pre-decoded
+        ``(kind, arg, handler, instruction)`` pairs with the budget
+        checks hoisted in front of the run; the pure stack-shuffle ops
+        (PUSH/DUP/SWAP/POP — about half of all executed steps) are
+        inlined on their kind tag instead of paying a handler call.
+        Per-step accounting (total/path step counters, truncation
+        points, the off-end probe, hook firing) is bit-for-bit the
+        legacy driver's.
+        """
+        block_of = self._program.block
+        hook = self.step_hook
+        max_total = self.max_total_steps
+        max_path = self.max_path_steps
+        aconst = self.arena.const
+        consts_get = self.arena._consts.get
+        total = 0
+        while worklist:
+            state = worklist.pop()
+            self._paths += 1
+            if self._paths > self.max_paths:
+                result.hit_limits = True
+                result.truncated_paths = True
+                result.abandoned_states += 1 + len(worklist)
+                break
+            domain.bind(state)
+            stack = state.stack
+            steps = state.steps
+            block = block_of(state.pc)
+            while True:
+                if block is None:
+                    # No instruction at this pc: mirror the legacy
+                    # dispatch miss — one counted probe, then the path
+                    # ends as if running off the code.
+                    total += 1
+                    if total > max_total or steps > max_path:
+                        result.hit_limits = True
+                        result.truncated_steps = True
+                    break
+                k = block.n
+                if k:
+                    if hook is None and total + k <= max_total and steps + k - 1 <= max_path:
+                        # Fused run: no trip is possible inside, so the
+                        # checks hoist out of the loop entirely.
+                        i = 0
+                        try:
+                            for kind, arg, handler, ins in block.pairs:
+                                if kind == 1:
+                                    node = consts_get(arg)
+                                    stack.append(
+                                        node if node is not None
+                                        else aconst(arg)
+                                    )
+                                elif kind == 6:
+                                    stack.append(
+                                        arg(domain, ins,
+                                            stack.pop(), stack.pop())
+                                    )
+                                elif kind == 2:
+                                    stack.append(stack[-arg])
+                                elif kind == 0:
+                                    handler(domain, ins)
+                                elif kind == 5:
+                                    stack.append(
+                                        arg(domain, ins, stack.pop())
+                                    )
+                                elif kind == 3:
+                                    stack[-1], stack[-arg - 1] = (
+                                        stack[-arg - 1], stack[-1],
+                                    )
+                                elif kind == 4:
+                                    stack.pop()
+                                # else kind == 7: JUMPDEST, no effect
+                                i += 1
+                        except IndexError:
+                            # Stack underflow mid-run: charge exactly the
+                            # attempted instructions, end the path.
+                            total += i + 1
+                            steps += i + 1
+                            break
+                        total += k
+                        steps += k
+                    else:
+                        stop = False
+                        for kind, arg, handler, ins in block.pairs:
+                            total += 1
+                            if total > max_total or steps > max_path:
+                                result.hit_limits = True
+                                result.truncated_steps = True
+                                stop = True
+                                break
+                            if hook is not None:
+                                hook(ins.pc, state.stack)
+                            steps += 1
+                            try:
+                                handler(domain, ins)
+                            except IndexError:
+                                stop = True
+                                break
+                        if stop:
+                            break
+                ctrl = block.ctrl
+                if ctrl is None:
+                    # The instruction stream ends without a control op:
+                    # the legacy driver's off-end probe.
+                    total += 1
+                    if total > max_total or steps > max_path:
+                        result.hit_limits = True
+                        result.truncated_steps = True
+                    break
+                total += 1
+                if total > max_total or steps > max_path:
+                    result.hit_limits = True
+                    result.truncated_steps = True
+                    break
+                ctrl_ins = block.ctrl_ins
+                if hook is not None:
+                    hook(ctrl_ins.pc, state.stack)
+                steps += 1
+                # JUMPI forks clone the state: its step counter must be
+                # current before the handler runs.
+                state.steps = steps
+                try:
+                    control = ctrl(domain, ctrl_ins)
+                except IndexError:
+                    break  # stack underflow: malformed path
+                if control is None:
+                    block = block_of(block.fall_pc)
+                elif control is HALT:
+                    break
+                else:
+                    block = block_of(control)
+            state.steps = steps
+        return total
+
+    def _drive_legacy(
+        self, result: TASEResult, worklist: _Worklist, domain: SymbolicDomain
+    ) -> int:
+        """The historical per-opcode driver: one dict lookup per step.
+
+        Kept as the differential baseline for the superblock driver —
+        equivalence tests run both and require identical results — and
+        as the reference for the per-step accounting the fused driver
+        must reproduce.
+        """
         dispatch = self._dispatch
+        if dispatch is None:
+            dispatch = {
+                ins.pc: (ins, handler)
+                for ins, handler in zip(
+                    self._program.instructions, self._program.handlers
+                )
+            }
+            self._dispatch = dispatch
         hook = self.step_hook
         max_path_steps = self.max_path_steps
         total_steps = 0
@@ -880,6 +1157,7 @@ class TASEEngine:
             if self._paths > self.max_paths:
                 result.hit_limits = True
                 result.truncated_paths = True
+                result.abandoned_states += 1 + len(worklist)
                 break
             domain.bind(state)
             while True:
@@ -905,12 +1183,7 @@ class TASEEngine:
                     break
                 else:
                     state.pc = control
-        result.paths_explored += self._paths
-        result.total_steps += total_steps
-        result.pruned_forks += self._pruned_forks
-        result.forks_taken += self._forks_taken
-        result.budget_exhaustions += self._budget_exhaustions
-        result.selectors = sorted(result.functions.keys())
+        return total_steps
 
     def publish_metrics(self, result: TASEResult) -> None:
         """Publish a (possibly merged) result's tallies to the registry."""

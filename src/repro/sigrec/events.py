@@ -15,28 +15,95 @@ from typing import FrozenSet, Optional, Tuple
 from repro.sigrec.expr import Expr, Label
 
 
-@dataclass(frozen=True)
 class Guard:
     """One branch condition active when an event fired.
 
     ``pc`` is the program counter of the JUMPI that consumed the
     condition — distinct loop *levels* have distinct pcs even though a
     concrete loop contributes one guard per unrolled iteration.
+
+    A plain slotted record rather than a dataclass: guard tuples are
+    re-hashed on every event-deduplication probe, so the hash is
+    computed once at construction and cached.  Treat instances as
+    immutable.
     """
 
-    condition: Expr
-    taken: bool
-    pc: int = -1
+    __slots__ = ("condition", "taken", "pc", "_hash")
+
+    def __init__(self, condition: Expr, taken: bool, pc: int = -1) -> None:
+        self.condition = condition
+        self.taken = taken
+        self.pc = pc
+        self._hash = hash((condition, taken, pc))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Guard):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.taken == other.taken
+            and self.pc == other.pc
+            and self.condition == other.condition
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Guard(condition={self.condition!r}, "
+            f"taken={self.taken!r}, pc={self.pc!r})"
+        )
 
 
-@dataclass(frozen=True)
 class CalldataLoadEvent:
-    """CALLDATALOAD(loc) -> result, under ``guards``."""
+    """CALLDATALOAD(loc) -> result, under ``guards``.
 
-    pc: int
-    loc: Expr
-    result: Expr
-    guards: Tuple[Guard, ...] = ()
+    A plain slotted record rather than a frozen dataclass: load events
+    are deduplicated through a set, and a dataclass re-hashes its full
+    field tuple — including the whole guard chain — on every probe.
+    The hash is computed once at construction instead.  Treat
+    instances as immutable.
+    """
+
+    __slots__ = ("pc", "loc", "result", "guards", "_hash")
+
+    def __init__(
+        self,
+        pc: int,
+        loc: Expr,
+        result: Expr,
+        guards: Tuple[Guard, ...] = (),
+    ) -> None:
+        self.pc = pc
+        self.loc = loc
+        self.result = result
+        self.guards = guards
+        self._hash = hash((pc, loc, result, guards))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, CalldataLoadEvent):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.pc == other.pc
+            and self.loc == other.loc
+            and self.result == other.result
+            and self.guards == other.guards
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CalldataLoadEvent(pc={self.pc!r}, loc={self.loc!r}, "
+            f"result={self.result!r}, guards={self.guards!r})"
+        )
 
 
 @dataclass(frozen=True)
@@ -51,9 +118,12 @@ class CalldataCopyEvent:
     guards: Tuple[Guard, ...] = ()
 
 
-@dataclass(frozen=True)
 class UseEvent:
     """A parameter-tainted value flowed into a type-revealing operation.
+
+    Slotted with an eager cached hash for the same reason as
+    :class:`CalldataLoadEvent`: use events are deduplicated through a
+    set on every record.  Treat instances as immutable.
 
     ``kind`` is one of:
 
@@ -70,10 +140,42 @@ class UseEvent:
     ============  =====================================================
     """
 
-    pc: int
-    kind: str
-    labels: FrozenSet[Label]
-    operand: Optional[int] = None
+    __slots__ = ("pc", "kind", "labels", "operand", "_hash")
+
+    def __init__(
+        self,
+        pc: int,
+        kind: str,
+        labels: FrozenSet[Label],
+        operand: Optional[int] = None,
+    ) -> None:
+        self.pc = pc
+        self.kind = kind
+        self.labels = labels
+        self.operand = operand
+        self._hash = hash((pc, kind, labels, operand))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, UseEvent):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.pc == other.pc
+            and self.kind == other.kind
+            and self.operand == other.operand
+            and self.labels == other.labels
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"UseEvent(pc={self.pc!r}, kind={self.kind!r}, "
+            f"labels={self.labels!r}, operand={self.operand!r})"
+        )
 
 
 @dataclass

@@ -20,11 +20,21 @@ Two design points matter for the rules:
   memory region.  Step 3 of TASE ("introducing parameter-related
   symbols") maps sources to parameters; usage rules (R11-R18, R26-R31)
   then fire on any expression whose labels intersect a parameter.
+
+Interning lives in :class:`ExprArena`: a structural hash-consing arena
+keyed by the *identities* of already-interned children (integer object
+ids), so a cache hit costs one small-tuple hash and never a recursive
+structural comparison.  Because two nodes share an arena slot only when
+their children are the *same objects*, label provenance is preserved by
+construction — no label-purity analysis is needed, unlike the old
+module-global caches.  The TASE engine owns one arena per contract
+(``TASEEngine.arena``); the module-level constructors below delegate to
+a bounded default arena for cold-path callers (inference probes, tests).
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterator, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
 
 _WORD = 1 << 256
 _MASK = _WORD - 1
@@ -32,18 +42,28 @@ _SIGN_BIT = 1 << 255
 
 Label = Tuple[str, object]
 
+#: The shared empty label set (CPython interns the empty frozenset, but
+#: naming it keeps the hot constructor free of even the call).
+_NO_LABELS: FrozenSet[Label] = frozenset()
+
 
 def _signed(value: int) -> int:
     return value - _WORD if value & _SIGN_BIT else value
 
 
-#: Sentinel marking an :class:`Expr` whose folded value is not computed
-#: yet (``None`` is a legitimate answer, meaning "not a constant").
-_UNEVALUATED = object()
+_setattr = object.__setattr__
 
 
 class Expr:
-    """One immutable symbolic expression node."""
+    """One immutable symbolic expression node.
+
+    Construction is the hottest allocation in TASE, so ``__init__``
+    does the minimum: the structural hash and the ``eval_const`` memo
+    live in *lazy* slots, materialized on first use — most nodes
+    (intermediate stack values) are never hashed and never re-folded,
+    and paying one tuple hash per constructed node dominated the old
+    eager scheme.
+    """
 
     __slots__ = ("op", "args", "val", "labels", "_hash", "_const_memo")
 
@@ -54,23 +74,29 @@ class Expr:
         val: object = None,
         labels: Optional[FrozenSet[Label]] = None,
     ) -> None:
-        object.__setattr__(self, "op", op)
-        object.__setattr__(self, "args", args)
-        object.__setattr__(self, "val", val)
+        sa = _setattr
+        sa(self, "op", op)
+        sa(self, "args", args)
+        sa(self, "val", val)
         if labels is None:
-            merged: FrozenSet[Label] = frozenset()
-            for arg in args:
-                merged |= arg.labels
-            labels = merged
-        object.__setattr__(self, "labels", labels)
-        object.__setattr__(self, "_hash", hash((op, args, val)))
-        object.__setattr__(self, "_const_memo", _UNEVALUATED)
+            if args:
+                labels = args[0].labels
+                for arg in args[1:]:
+                    labels = labels | arg.labels
+            else:
+                labels = _NO_LABELS
+        sa(self, "labels", labels)
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("Expr is immutable")
 
     def __hash__(self) -> int:
-        return self._hash
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.op, self.args, self.val))
+            _setattr(self, "_hash", h)
+            return h
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -78,7 +104,7 @@ class Expr:
         if not isinstance(other, Expr):
             return NotImplemented
         return (
-            self._hash == other._hash
+            hash(self) == hash(other)
             and self.op == other.op
             and self.val == other.val
             and self.args == other.args
@@ -133,96 +159,6 @@ class Expr:
 # ----------------------------------------------------------------------
 # Constructors
 # ----------------------------------------------------------------------
-
-_CONST_CACHE = {}
-
-# Hash-consing for common *compound* nodes.  Contracts build the same
-# handful of shapes over and over — ``calldata(<const>)`` head reads and
-# ``and(<mask>, <leaf>)``-style masks dominate — so interning them makes
-# structural equality an identity check on the hot paths and lets the
-# per-node ``eval_const`` memo (see ``_const_memo``) be shared across
-# every occurrence.  Only nodes whose labels are a pure function of the
-# cache key are interned, so sharing can never leak taint between
-# expressions.
-_COMPOUND_CACHE = {}
-_COMPOUND_CACHE_MAX = 8192
-
-
-def _intern(key, node: Expr) -> Expr:
-    if len(_COMPOUND_CACHE) < _COMPOUND_CACHE_MAX:
-        _COMPOUND_CACHE[key] = node
-    return node
-
-
-def const(value: int) -> Expr:
-    value &= _MASK
-    cached = _CONST_CACHE.get(value)
-    if cached is None:
-        cached = Expr("const", val=value)
-        if len(_CONST_CACHE) < 4096:
-            _CONST_CACHE[value] = cached
-    return cached
-
-
-ZERO = const(0)
-ONE = const(1)
-
-
-def env(name: str) -> Expr:
-    """A free environment symbol (CALLER, TIMESTAMP, unknown SLOAD...)."""
-    return Expr("env", val=name)
-
-
-def calldata(loc: Expr) -> Expr:
-    """A 32-byte read of the call data at symbolic location ``loc``."""
-    if loc.is_const:
-        # Constant-offset loads (the head reads of every parameter) are
-        # hash-consed: their labels depend only on the offset.
-        key = ("calldata", loc.value)
-        cached = _COMPOUND_CACHE.get(key)
-        if cached is not None:
-            return cached
-        return _intern(
-            key, Expr("calldata", (loc,), labels=loc.labels | {("cd", loc.value)})
-        )
-    key = repr(loc)
-    return Expr("calldata", (loc,), labels=loc.labels | {("cd", key)})
-
-
-def calldatasize() -> Expr:
-    return Expr("calldatasize")
-
-
-def mem_read(region_id: int, offset: Expr, extra_labels: FrozenSet[Label]) -> Expr:
-    """A word read from a call-data-copied memory region."""
-    return Expr(
-        "mem", (offset,), val=region_id,
-        labels=offset.labels | extra_labels | {("cdc", region_id)},
-    )
-
-
-def sha3(seed: int) -> Expr:
-    return Expr("env", val=f"sha3_{seed}")
-
-
-def _label_pure_leaf(node: Expr) -> bool:
-    """True when ``node``'s labels are fully determined by its structure.
-
-    Only such nodes may appear in ``_COMPOUND_CACHE`` keys: the cache is
-    process-global and ``Expr.__eq__``/``__hash__`` ignore ``labels``,
-    so structurally-equal keys with *different* labels would collide and
-    the interned node's taint would leak into every later lookup —
-    across paths and across contracts.  ``calldatasize`` carries no
-    labels and a constant-offset ``calldata`` read carries exactly
-    ``{("cd", offset)}``, so both are safe to share.  ``mem`` reads
-    carry engine-injected CALLDATACOPY source labels (``extra_labels``
-    in :func:`mem_read`) and symbolic-location ``calldata`` reads can
-    transitively contain such ``mem`` nodes, so neither is interned.
-    """
-    return node.op == "calldatasize" or (
-        node.op == "calldata" and node.args[0].is_const
-    )
-
 
 _COMMUTATIVE = frozenset(["add", "mul", "and", "or", "xor", "eq"])
 
@@ -279,59 +215,243 @@ def _sar(shift: int, value: int) -> int:
     return (sv >> shift) & _MASK
 
 
+class ExprArena:
+    """A structural-interning arena for :class:`Expr` nodes.
+
+    Hash-consing with **identity-keyed** compound keys: an interned
+    node's cache key is built from the ``id()`` of its (already
+    interned) children, so a hit costs one small-tuple hash — no
+    recursive structural hashing or comparison — and two requests share
+    a node only when their children are the *same objects*.  Identical
+    children imply identical labels, so sharing can never leak taint
+    between expressions: the arena needs no label-purity restriction
+    and therefore no "stop interning" size cliff.  (Keys embedding
+    ``id()`` stay valid because the interned node's ``args`` hold
+    strong references to exactly the objects the ids name.)
+
+    Interning also shares the per-node ``eval_const`` memo
+    (``_const_memo``) across every occurrence of a hot compound — loop
+    guards and mask expressions are re-evaluated once instead of once
+    per unrolled iteration.
+
+    The TASE engine owns one arena per contract, so nodes die with the
+    engine.  ``max_interned`` bounds the compound table for long-lived
+    arenas (the module-level default): past the cap, nodes are still
+    built correctly, just not shared.
+    """
+
+    __slots__ = ("_consts", "_nodes", "_max_interned")
+
+    def __init__(self, max_interned: Optional[int] = None) -> None:
+        self._consts: Dict[int, Expr] = {}
+        self._nodes: Dict[object, Expr] = {}
+        self._max_interned = max_interned
+
+    def __len__(self) -> int:
+        return len(self._consts) + len(self._nodes)
+
+    def _intern(self, key: object, node: Expr) -> Expr:
+        cap = self._max_interned
+        if cap is None or len(self._nodes) < cap:
+            self._nodes[key] = node
+        return node
+
+    # -- leaves --------------------------------------------------------
+
+    def const(self, value: int) -> Expr:
+        value &= _MASK
+        node = self._consts.get(value)
+        if node is None:
+            node = Expr("const", val=value)
+            cap = self._max_interned
+            if cap is None or len(self._consts) < cap:
+                self._consts[value] = node
+        return node
+
+    def env(self, name: str) -> Expr:
+        """A free environment symbol — unique by convention, never shared."""
+        return Expr("env", val=name)
+
+    def calldatasize(self) -> Expr:
+        node = self._nodes.get("cds")
+        if node is None:
+            node = self._intern("cds", Expr("calldatasize"))
+        return node
+
+    def calldata(self, loc: Expr) -> Expr:
+        """A 32-byte read of the call data at location ``loc``.
+
+        The taint-source label is ``("cd", offset)`` for a constant
+        offset and ``("cd", loc)`` — the location *expression itself* —
+        for a symbolic one (structural equality gives the same sharing
+        the old ``repr(loc)`` string key did, without the repr cost).
+        """
+        if loc.is_const:
+            key = ("cd", loc.value)
+            node = self._nodes.get(key)
+            if node is None:
+                node = self._intern(
+                    key,
+                    Expr("calldata", (loc,), labels=loc.labels | {("cd", loc.value)}),
+                )
+            return node
+        key = ("cd*", id(loc))
+        node = self._nodes.get(key)
+        if node is None:
+            node = self._intern(
+                key, Expr("calldata", (loc,), labels=loc.labels | {("cd", loc)})
+            )
+        return node
+
+    def mem_read(
+        self, region_id: int, offset: Expr, extra_labels: FrozenSet[Label]
+    ) -> Expr:
+        """A word read from a call-data-copied memory region.
+
+        ``extra_labels`` (the copy's source taint) is part of the key:
+        structurally identical reads with different provenance must
+        stay distinct nodes.
+        """
+        key = ("mem", region_id, id(offset), extra_labels)
+        node = self._nodes.get(key)
+        if node is None:
+            node = self._intern(
+                key,
+                Expr(
+                    "mem", (offset,), val=region_id,
+                    labels=offset.labels | extra_labels | {("cdc", region_id)},
+                ),
+            )
+        return node
+
+    # -- compounds -----------------------------------------------------
+
+    def binop(self, op: str, a: Expr, b: Expr) -> Expr:
+        """Build a binary operation with folding and normalization."""
+        if a.is_const:
+            if b.is_const:
+                fold = _FOLD.get(op)
+                if fold is not None:
+                    return self.const(fold(a.value, b.value))
+        elif b.is_const and op in _COMMUTATIVE:
+            a, b = b, a
+        if a.is_const:
+            # Collapse nested constant additions:
+            # add(c1, add(c2, x)) -> add(c1+c2, x)
+            if op == "add":
+                if b.op == "add" and b.args[0].is_const:
+                    a = self.const(a.value + b.args[0].value)
+                    b = b.args[1]
+                elif a.value == 0:
+                    return b
+            elif op == "mul" and a.value == 1:
+                return b
+        key = (op, id(a), id(b))
+        node = self._nodes.get(key)
+        if node is None:
+            node = self._intern(key, Expr(op, (a, b)))
+        return node
+
+    def ternop(self, op: str, a: Expr, b: Expr, c: Expr) -> Expr:
+        if a.is_const and b.is_const and c.is_const:
+            if op == "addmod":
+                n = c.value
+                return self.const(0 if n == 0 else (a.value + b.value) % n)
+            if op == "mulmod":
+                n = c.value
+                return self.const(0 if n == 0 else (a.value * b.value) % n)
+        key = (op, id(a), id(b), id(c))
+        node = self._nodes.get(key)
+        if node is None:
+            node = self._intern(key, Expr(op, (a, b, c)))
+        return node
+
+    def iszero(self, a: Expr) -> Expr:
+        if a.is_const:
+            return self.const(1 if a.value == 0 else 0)
+        key = ("iszero", id(a))
+        node = self._nodes.get(key)
+        if node is None:
+            node = self._intern(key, Expr("iszero", (a,)))
+        return node
+
+    def bit_not(self, a: Expr) -> Expr:
+        if a.is_const:
+            return self.const(~a.value)
+        key = ("not", id(a))
+        node = self._nodes.get(key)
+        if node is None:
+            node = self._intern(key, Expr("not", (a,)))
+        return node
+
+    def cmp(self, op: str, a: Expr, b: Expr) -> Expr:
+        """Build an *unfolded* comparison so guards keep their structure."""
+        key = ("cmp", op, id(a), id(b))
+        node = self._nodes.get(key)
+        if node is None:
+            node = self._intern(key, Expr(op, (a, b)))
+        return node
+
+    def iszero_unfolded(self, a: Expr) -> Expr:
+        """Unfolded ISZERO (the engine folds on demand via eval_const)."""
+        key = ("iszero", id(a))
+        node = self._nodes.get(key)
+        if node is None:
+            node = self._intern(key, Expr("iszero", (a,)))
+        return node
+
+
+#: The bounded default arena behind the module-level constructors.
+#: Cold-path callers (inference probes, rule tests) share it; the TASE
+#: hot path uses a per-engine arena instead.  Its contents only affect
+#: node *identity*, never labels or values, so a pre-filled arena
+#: inherited by a forked worker cannot change results.
+_DEFAULT_ARENA = ExprArena(max_interned=65536)
+
+
+def const(value: int) -> Expr:
+    return _DEFAULT_ARENA.const(value)
+
+
+ZERO = const(0)
+ONE = const(1)
+
+
+def env(name: str) -> Expr:
+    """A free environment symbol (CALLER, TIMESTAMP, unknown SLOAD...)."""
+    return _DEFAULT_ARENA.env(name)
+
+
+def calldata(loc: Expr) -> Expr:
+    """A 32-byte read of the call data at symbolic location ``loc``."""
+    return _DEFAULT_ARENA.calldata(loc)
+
+
+def calldatasize() -> Expr:
+    return _DEFAULT_ARENA.calldatasize()
+
+
+def mem_read(region_id: int, offset: Expr, extra_labels: FrozenSet[Label]) -> Expr:
+    """A word read from a call-data-copied memory region."""
+    return _DEFAULT_ARENA.mem_read(region_id, offset, extra_labels)
+
+
+def sha3(seed: int) -> Expr:
+    return Expr("env", val=f"sha3_{seed}")
+
+
 def binop(op: str, a: Expr, b: Expr) -> Expr:
     """Build a binary operation with folding and normalization."""
-    if a.is_const and b.is_const:
-        fold = _FOLD.get(op)
-        if fold is not None:
-            return const(fold(a.value, b.value))
-    if op in _COMMUTATIVE and b.is_const and not a.is_const:
-        a, b = b, a
-    # Collapse nested constant additions: add(c1, add(c2, x)) -> add(c1+c2, x)
-    if op == "add" and a.is_const and b.op == "add" and b.args[0].is_const:
-        return Expr("add", (const(a.value + b.args[0].value), b.args[1]))
-    if op == "add" and a.is_const and a.value == 0:
-        return b
-    if op == "mul" and a.is_const and a.value == 1:
-        return b
-    # Hash-cons mask-shaped compounds: a constant applied directly to a
-    # label-pure leaf (``and(0xff..., calldata(4))``, ``div(calldata(0),
-    # 2^224)``, ``shr(224, calldata(0))``, ...).  Interned constants make
-    # ``a`` identity-stable, and a leaf ``b`` keeps key comparisons
-    # shallow.
-    if a.is_const and _label_pure_leaf(b):
-        key = (op, "c.", a.value, b)
-        cached = _COMPOUND_CACHE.get(key)
-        if cached is not None:
-            return cached
-        return _intern(key, Expr(op, (a, b)))
-    if b.is_const and _label_pure_leaf(a):
-        key = (op, ".c", a, b.value)
-        cached = _COMPOUND_CACHE.get(key)
-        if cached is not None:
-            return cached
-        return _intern(key, Expr(op, (a, b)))
-    return Expr(op, (a, b))
+    return _DEFAULT_ARENA.binop(op, a, b)
 
 
 def ternop(op: str, a: Expr, b: Expr, c: Expr) -> Expr:
-    if a.is_const and b.is_const and c.is_const:
-        if op == "addmod":
-            n = c.value
-            return const(0 if n == 0 else (a.value + b.value) % n)
-        if op == "mulmod":
-            n = c.value
-            return const(0 if n == 0 else (a.value * b.value) % n)
-    return Expr(op, (a, b, c))
+    return _DEFAULT_ARENA.ternop(op, a, b, c)
 
 
 def iszero(a: Expr) -> Expr:
-    if a.is_const:
-        return ONE if a.value == 0 else ZERO
-    return Expr("iszero", (a,))
+    return _DEFAULT_ARENA.iszero(a)
 
 
 def bit_not(a: Expr) -> Expr:
-    if a.is_const:
-        return const(~a.value)
-    return Expr("not", (a,))
+    return _DEFAULT_ARENA.bit_not(a)

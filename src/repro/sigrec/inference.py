@@ -78,8 +78,13 @@ class _Cluster:
 
 
 def _cd_key(loc: E.Expr) -> object:
-    """The label key :func:`repro.sigrec.expr.calldata` uses for ``loc``."""
-    return loc.value if loc.is_const else repr(loc)
+    """The label key :meth:`repro.sigrec.expr.ExprArena.calldata` uses.
+
+    Constant offsets label as the offset int; symbolic locations label
+    as the location expression itself (structural equality — the same
+    sharing the old ``repr(loc)`` string key gave, without the repr).
+    """
+    return loc.value if loc.is_const else loc
 
 
 def _unwrap_cmp(cond: E.Expr) -> Optional[E.Expr]:

@@ -39,6 +39,17 @@ def _assert_match(bytecode, calldata, **kwargs):
     )
     assert replay.steps == concrete.steps
     assert replay.gas_used == concrete.gas_used
+    # The decode layer itself is under test: the pre-decoded stream
+    # driver (the default above) and the historical per-opcode driver
+    # must reach bit-identical terminal states on every input.
+    legacy = symbolic_replay(bytecode, calldata, driver="legacy", **kwargs)
+    assert _folded(legacy) == _folded(replay), (
+        f"driver drift on calldata {calldata.hex()}: "
+        f"legacy={_folded(legacy)} predecoded={_folded(replay)}"
+    )
+    assert legacy.steps == replay.steps
+    assert legacy.gas_used == replay.gas_used
+    assert legacy.pcs_executed == replay.pcs_executed
 
 
 @settings(max_examples=50, deadline=None)
@@ -78,6 +89,13 @@ def test_replay_matches_concrete_multifunction(seed):
         values = [p.random_value(rng) for p in sig.params]
         calldata = encode_call(sig.selector, list(sig.params), values)
         _assert_match(contract.bytecode, calldata)
+
+
+def test_replay_rejects_unknown_driver():
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown replay driver"):
+        symbolic_replay(b"\x00", b"", driver="fused")
 
 
 def test_replay_covers_value_opcodes_directly():
