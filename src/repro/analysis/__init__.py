@@ -1,48 +1,96 @@
 """Static bytecode analysis over runtime EVM bytecode.
 
-Four cooperating passes, all purely static (no execution):
+A multi-pass framework (:mod:`repro.analysis.framework`): every pass
+declares its inputs, carries its own schema version, and runs over a
+shared per-bytecode context.  The default pipeline:
 
-* :mod:`repro.analysis.dataflow` — jump-target resolution by
-  push-constant stack dataflow (fixpoint over the CFG);
-* :mod:`repro.analysis.stackcheck` — stack-height verification with
-  the interval domain (underflow / overflow / unbalanced joins);
-* :mod:`repro.analysis.dispatcher` — selector → entry-block extraction
-  from the resolved dispatcher, plus dead-code detection;
-* :mod:`repro.analysis.lint` — everything folded into one linter
-  verdict with text/JSON rendering.
+* ``cfg`` — basic-block construction (:mod:`repro.evm.cfg`);
+* ``jumps`` — jump-target resolution by push-constant stack dataflow
+  (:mod:`repro.analysis.dataflow`, fixpoint over the CFG);
+* ``stack`` — stack-height verification with the interval domain
+  (:mod:`repro.analysis.stackcheck`);
+* ``dispatcher`` — selector → entry-block extraction from the resolved
+  dispatcher, plus dead-code detection
+  (:mod:`repro.analysis.dispatcher`);
+* ``storage`` — storage-layout recovery from SLOAD/SSTORE slot shapes
+  (:mod:`repro.analysis.storage`: mappings, dynamic arrays, packed
+  sub-slot variables);
+* ``lint`` — everything folded into one linter verdict
+  (:mod:`repro.analysis.lint`).
 
-:func:`repro.analysis.report.analyze` chains them; the resulting
+:func:`repro.analysis.report.analyze` runs the pipeline; the resulting
 :class:`~repro.analysis.report.ContractAnalysis` doubles as the TASE
-engine's pruning oracle and ``SigRec``'s cross-check source.
+engine's pruning oracle and ``SigRec``'s cross-check source, and
+:func:`~repro.analysis.report.build_profile` folds it (plus recovered
+signatures) into the deterministic contract-profile document.
 """
 
 from repro.analysis.dataflow import ResolvedCFG, resolve_bytecode, resolve_jumps
 from repro.analysis.dispatcher import DispatcherReport, extract_dispatch
-from repro.analysis.lint import LintReport, lint_analysis, lint_bytecode
+from repro.analysis.framework import (
+    CORE_PIPELINE,
+    DEFAULT_PIPELINE,
+    AnalysisContext,
+    AnalysisPass,
+    AnalysisPipeline,
+    PipelineError,
+    default_pipeline,
+    pass_versions,
+    schema_aggregate,
+)
+from repro.analysis.lint import LintReport, lint_analysis, lint_bytecode, lint_findings
 from repro.analysis.report import (
     ANALYSIS_SCHEMA_VERSION,
+    PROFILE_SCHEMA_VERSION,
     ContractAnalysis,
+    ContractProfile,
     Diagnostic,
     analyze,
+    build_profile,
     cross_check,
+    profile_bytecode,
 )
 from repro.analysis.stackcheck import Finding, StackReport, verify_stack
+from repro.analysis.storage import (
+    StorageAccess,
+    StorageLayout,
+    StorageVariable,
+    recover_storage_layout,
+)
 
 __all__ = [
     "ANALYSIS_SCHEMA_VERSION",
+    "CORE_PIPELINE",
+    "DEFAULT_PIPELINE",
+    "PROFILE_SCHEMA_VERSION",
+    "AnalysisContext",
+    "AnalysisPass",
+    "AnalysisPipeline",
     "ContractAnalysis",
+    "ContractProfile",
     "Diagnostic",
     "DispatcherReport",
     "Finding",
     "LintReport",
+    "PipelineError",
     "ResolvedCFG",
     "StackReport",
+    "StorageAccess",
+    "StorageLayout",
+    "StorageVariable",
     "analyze",
+    "build_profile",
     "cross_check",
+    "default_pipeline",
     "extract_dispatch",
     "lint_analysis",
     "lint_bytecode",
+    "lint_findings",
+    "pass_versions",
+    "profile_bytecode",
+    "recover_storage_layout",
     "resolve_bytecode",
     "resolve_jumps",
+    "schema_aggregate",
     "verify_stack",
 ]

@@ -1,0 +1,242 @@
+"""The analysis pass manager: many clients, one pipeline.
+
+The static layer started life with a single client (TASE fork pruning)
+and a single hard-wired call chain.  It now serves several — pruning,
+selector cross-checking, function-body memo keys, storage-layout
+recovery, linting, contract profiles — so the chain is generalized into
+an :class:`AnalysisPipeline` of declared :class:`AnalysisPass` steps:
+
+* each pass names the products it **requires** and the one it
+  **provides**, and the pipeline validates at construction time that
+  every requirement is produced by an earlier pass (no hidden ordering
+  assumptions);
+* passes share one :class:`AnalysisContext` per bytecode, so a product
+  is computed exactly once however many downstream passes read it;
+* each pass carries its own **schema version**.  What a pass *means*
+  determines what the engine may prune and what a cached recovery
+  contains, so the per-pass versions are folded into the persistent
+  cache / function-memo fingerprint (:func:`pass_versions`,
+  :mod:`repro.sigrec.cache`) — bumping one pass invalidates exactly the
+  results that could depend on it;
+* every pass runs under a :func:`repro.obs.phase_span`
+  (``analysis.<name>`` spans and ``phase.seconds`` histograms), so a
+  trace shows where static-analysis time goes per pass, not as one
+  opaque blob.
+
+The default pipeline (:data:`DEFAULT_PIPELINE`) is::
+
+    cfg ──► jumps ──► stack
+              ├─────► dispatcher ──► storage
+              └─────────┴────────────┴──► lint
+
+Adding a pass is three steps: write ``run(ctx)`` reading its inputs via
+``ctx["name"]``, wrap it in an :class:`AnalysisPass` with a version and
+its requirements, and insert it into the pipeline (tests:
+``tests/analysis/test_framework.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, SpanTracer, phase_span
+
+
+class AnalysisContext:
+    """Shared per-bytecode state: the input bytes plus pass products."""
+
+    __slots__ = ("bytecode", "products")
+
+    def __init__(self, bytecode: bytes) -> None:
+        self.bytecode = bytecode
+        self.products: Dict[str, object] = {}
+
+    def __getitem__(self, name: str) -> object:
+        try:
+            return self.products[name]
+        except KeyError:
+            raise KeyError(
+                f"analysis product {name!r} not available; was the pass "
+                "registered before its consumers?"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.products
+
+
+@dataclass(frozen=True)
+class AnalysisPass:
+    """One static-analysis pass.
+
+    ``version`` is the pass's schema version: bump it whenever the
+    pass's semantics change in a way that affects what the engine may
+    prune, what the linter reports, or what a profile contains.  The
+    per-pass versions reach the persistent result cache and the
+    function-body memo through :func:`pass_versions`, so a bump lands
+    cached recoveries in a fresh tree instead of silently reusing stale
+    ones.
+    """
+
+    name: str
+    version: int
+    run: Callable[[AnalysisContext], object]
+    requires: Tuple[str, ...] = ()
+
+
+class PipelineError(Exception):
+    """A malformed pipeline: duplicate names or unsatisfied requires."""
+
+
+class AnalysisPipeline:
+    """An ordered, dependency-checked sequence of analysis passes."""
+
+    def __init__(self, passes: Tuple[AnalysisPass, ...]) -> None:
+        seen: set = set()
+        for pass_ in passes:
+            if pass_.name in seen:
+                raise PipelineError(f"duplicate pass name {pass_.name!r}")
+            for requirement in pass_.requires:
+                if requirement not in seen:
+                    raise PipelineError(
+                        f"pass {pass_.name!r} requires {requirement!r}, "
+                        "which no earlier pass provides"
+                    )
+            seen.add(pass_.name)
+        self.passes: Tuple[AnalysisPass, ...] = tuple(passes)
+
+    def __iter__(self) -> Iterator[AnalysisPass]:
+        return iter(self.passes)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.passes)
+
+    def versions(self) -> Dict[str, int]:
+        """Pass name -> schema version, for cache fingerprints."""
+        return {p.name: p.version for p in self.passes}
+
+    def replace(self, **overrides: AnalysisPass) -> "AnalysisPipeline":
+        """A new pipeline with named passes swapped out (tests use this
+        to bump a single pass version or stub a pass)."""
+        unknown = set(overrides) - set(self.names())
+        if unknown:
+            raise PipelineError(f"no such pass to replace: {sorted(unknown)}")
+        return AnalysisPipeline(
+            tuple(overrides.get(p.name, p) for p in self.passes)
+        )
+
+    def run(
+        self,
+        bytecode: bytes,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> AnalysisContext:
+        """Run every pass in order over one shared context."""
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        tracer = tracer if tracer is not None else NULL_TRACER
+        context = AnalysisContext(bytecode)
+        observing = metrics is not NULL_REGISTRY or tracer is not NULL_TRACER
+        for pass_ in self.passes:
+            if observing:
+                with phase_span(metrics, tracer, f"analysis.{pass_.name}"):
+                    context.products[pass_.name] = pass_.run(context)
+                metrics.counter(
+                    "analysis.pass_runs", **{"pass": pass_.name}
+                ).inc()
+            else:
+                context.products[pass_.name] = pass_.run(context)
+        return context
+
+
+# ----------------------------------------------------------------------
+# The default passes.  Import order matters: the pass bodies live in
+# their own modules; this module only declares the wiring.
+
+def _run_cfg(ctx: AnalysisContext):
+    from repro.evm.cfg import build_cfg
+
+    return build_cfg(ctx.bytecode)
+
+
+def _run_jumps(ctx: AnalysisContext):
+    from repro.analysis.dataflow import resolve_jumps
+
+    return resolve_jumps(ctx["cfg"])
+
+
+def _run_stack(ctx: AnalysisContext):
+    from repro.analysis.stackcheck import verify_stack
+
+    return verify_stack(ctx["jumps"])
+
+
+def _run_dispatcher(ctx: AnalysisContext):
+    from repro.analysis.dispatcher import extract_dispatch
+
+    return extract_dispatch(ctx["jumps"])
+
+
+def _run_storage(ctx: AnalysisContext):
+    from repro.analysis.storage import recover_storage_layout
+
+    return recover_storage_layout(ctx["jumps"], ctx["dispatcher"])
+
+
+def _run_lint(ctx: AnalysisContext):
+    from repro.analysis.lint import lint_findings
+
+    return lint_findings(
+        ctx.bytecode, ctx["jumps"], ctx["stack"], ctx["dispatcher"]
+    )
+
+
+#: The standard pass set, in dependency order.
+DEFAULT_PIPELINE = AnalysisPipeline((
+    AnalysisPass("cfg", 1, _run_cfg),
+    AnalysisPass("jumps", 1, _run_jumps, requires=("cfg",)),
+    AnalysisPass("stack", 1, _run_stack, requires=("jumps",)),
+    AnalysisPass("dispatcher", 1, _run_dispatcher, requires=("jumps",)),
+    AnalysisPass(
+        "storage", 1, _run_storage, requires=("jumps", "dispatcher")
+    ),
+    AnalysisPass(
+        "lint", 1, _run_lint, requires=("jumps", "stack", "dispatcher")
+    ),
+))
+
+#: The pre-profile pass set: exactly the work a recovery needs (the
+#: engine and memo consume cfg/jumps/stack/dispatcher only).  The
+#: overhead benchmark compares cold recovery under this pipeline vs the
+#: full default one to bound what the new passes cost.
+CORE_PIPELINE = AnalysisPipeline(DEFAULT_PIPELINE.passes[:4])
+
+
+def default_pipeline() -> AnalysisPipeline:
+    """The pipeline :func:`repro.analysis.analyze` runs.
+
+    A function (not the bare constant) so cache fingerprints and tests
+    observe monkeypatched pipelines; see ``pass_versions``.
+    """
+    return DEFAULT_PIPELINE
+
+
+def pass_versions() -> Dict[str, int]:
+    """Per-pass schema versions of the default pipeline.
+
+    This dict — not a single scalar — is what the persistent result
+    cache and the function-body memo fold into their options
+    fingerprints: bumping any one pass version invalidates every cached
+    recovery, because any of them could depend on that pass's output.
+    """
+    return default_pipeline().versions()
+
+
+def schema_aggregate() -> str:
+    """A stable scalar digest of the per-pass versions.
+
+    The derived aggregate replacing the old single
+    ``ANALYSIS_SCHEMA_VERSION`` constant wherever one value is wanted
+    (human-readable reports, profile documents).
+    """
+    versions = pass_versions()
+    return ";".join(f"{name}={versions[name]}" for name in sorted(versions))

@@ -1,9 +1,11 @@
 """Bytecode linting: the analysis passes as a single verifier verdict.
 
-``lint_bytecode`` runs :func:`repro.analysis.report.analyze` and folds
-its findings — plus a few linter-only checks (truncated trailing PUSH,
-unresolved jumps, unreachable code) — into one :class:`LintReport` with
-text and JSON renderings for the ``repro lint`` CLI command.
+:func:`lint_findings` is the **lint pass** of the analysis pipeline:
+it folds the stack/dispatcher findings with the linter-only checks
+(truncated trailing PUSH, unresolved jumps, unreachable code) into one
+sorted finding tuple.  ``lint_bytecode`` runs the pipeline and wraps
+the result in a :class:`LintReport` with text and JSON renderings for
+the ``repro lint`` CLI command.
 
 Severity semantics:
 
@@ -21,8 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.analysis.dataflow import ResolvedCFG
+from repro.analysis.dispatcher import DispatcherReport
 from repro.analysis.report import ContractAnalysis, analyze
-from repro.analysis.stackcheck import Finding
+from repro.analysis.stackcheck import Finding, StackReport
 
 
 @dataclass
@@ -80,19 +84,19 @@ class LintReport:
         }
 
 
-def _truncated_push(analysis: ContractAnalysis) -> List[Finding]:
+def _truncated_push(bytecode: bytes, rcfg: ResolvedCFG) -> List[Finding]:
     instructions = []
-    for block in analysis.cfg.blocks.values():
+    for block in rcfg.blocks.values():
         instructions.extend(block.instructions)
     if not instructions:
         return []
     last = max(instructions, key=lambda ins: ins.pc)
-    if last.op.is_push and last.pc + last.size > len(analysis.bytecode):
+    if last.op.is_push and last.pc + last.size > len(bytecode):
         return [
             Finding(
                 "truncated-push",
                 last.pc,
-                f"{last.op.name} immediate runs {last.pc + last.size - len(analysis.bytecode)} "
+                f"{last.op.name} immediate runs {last.pc + last.size - len(bytecode)} "
                 "byte(s) past the end of the code",
                 severity="warning",
             )
@@ -100,11 +104,20 @@ def _truncated_push(analysis: ContractAnalysis) -> List[Finding]:
     return []
 
 
-def lint_analysis(analysis: ContractAnalysis) -> LintReport:
-    """Fold an existing analysis into a lint verdict."""
-    findings: List[Finding] = list(analysis.findings)
-    findings.extend(_truncated_push(analysis))
-    for pc in sorted(analysis.cfg.unresolved_jumps):
+def lint_findings(
+    bytecode: bytes,
+    rcfg: ResolvedCFG,
+    stack: StackReport,
+    dispatcher: DispatcherReport,
+) -> Tuple[Finding, ...]:
+    """The lint pass: all findings for one bytecode, sorted by pc.
+
+    Takes the upstream pass products directly so the pipeline can run
+    it without a :class:`ContractAnalysis` wrapper.
+    """
+    findings: List[Finding] = list(stack.findings) + list(dispatcher.findings)
+    findings.extend(_truncated_push(bytecode, rcfg))
+    for pc in sorted(rcfg.unresolved_jumps):
         findings.append(
             Finding(
                 "unresolved-jump", pc,
@@ -113,7 +126,7 @@ def lint_analysis(analysis: ContractAnalysis) -> LintReport:
                 severity="info",
             )
         )
-    unreachable = analysis.dispatcher.unreachable
+    unreachable = dispatcher.unreachable
     if unreachable:
         first = min(unreachable)
         findings.append(
@@ -125,6 +138,20 @@ def lint_analysis(analysis: ContractAnalysis) -> LintReport:
             )
         )
     findings.sort(key=lambda f: (f.pc, f.kind))
+    return tuple(findings)
+
+
+def lint_analysis(analysis: ContractAnalysis) -> LintReport:
+    """Fold an existing analysis into a lint verdict.
+
+    Reuses the lint pass's product when the analysis carries one (the
+    default pipeline always does); re-derives it otherwise.
+    """
+    findings = analysis.lint_findings
+    if findings is None:
+        findings = lint_findings(
+            analysis.bytecode, analysis.cfg, analysis.stack, analysis.dispatcher
+        )
     return LintReport(analysis=analysis, findings=tuple(findings))
 
 

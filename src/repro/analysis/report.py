@@ -1,11 +1,13 @@
 """The combined static-analysis result for one contract.
 
-:func:`analyze` chains the passes — CFG construction, jump resolution,
-stack verification, dispatcher extraction — and the resulting
-:class:`ContractAnalysis` is both the linter's input and the TASE
-engine's pruning oracle.  ``analyze`` is *total*: it never raises on
-arbitrary byte strings (junk decodes to UNKNOWN instructions, which the
-passes treat as opaque path ends).
+:func:`analyze` runs the default :class:`~repro.analysis.framework.
+AnalysisPipeline` — CFG construction, jump resolution, stack
+verification, dispatcher extraction, storage-layout recovery, linting —
+and folds the pass products into a :class:`ContractAnalysis`, which is
+both the linter's input and the TASE engine's pruning oracle.
+``analyze`` is *total*: it never raises on arbitrary byte strings (junk
+decodes to UNKNOWN instructions, which the passes treat as opaque path
+ends).
 
 The engine-facing derived data is computed lazily:
 
@@ -17,27 +19,45 @@ The engine-facing derived data is computed lazily:
   region must not restrict the engine);
 * ``unique_jump_targets`` — jump sites the dataflow proved one-target,
   letting the engine continue where it would otherwise abandon a path.
+
+This module also defines the **contract profile**: the one-document
+description of everything the static layer and the recovery engine
+know about a bytecode (signatures + storage layout + dispatcher / CFG /
+lint facts), with deterministic JSON rendering — sorted keys, no
+timestamps — so profiles are byte-identical across runs, worker counts,
+and cache temperature.  ``repro profile`` surfaces it on the CLI.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.analysis.dataflow import ResolvedCFG, resolve_jumps
-from repro.analysis.dispatcher import (
-    DispatcherReport,
-    extract_dispatch,
-    region_preimage,
+from repro.analysis.dataflow import ResolvedCFG
+from repro.analysis.dispatcher import DispatcherReport, region_preimage
+from repro.analysis.framework import (
+    AnalysisPipeline,
+    default_pipeline,
+    pass_versions,
+    schema_aggregate,
 )
-from repro.analysis.stackcheck import Finding, StackReport, verify_stack
-from repro.evm.cfg import build_cfg
+from repro.analysis.stackcheck import Finding, StackReport
+from repro.analysis.storage import StorageLayout
+from repro.obs import MetricsRegistry, SpanTracer
 
-#: Bumped whenever pass semantics change in a way that affects what the
-#: engine may prune or the linter reports; part of the persistent result
-#: cache's fingerprint so stale cached recoveries never survive an
-#: analysis change.
-ANALYSIS_SCHEMA_VERSION = 1
+
+def _analysis_schema_version() -> str:
+    """Backward-compatible single scalar: the per-pass aggregate."""
+    return schema_aggregate()
+
+
+#: The derived aggregate of the per-pass schema versions.  Kept for
+#: importers of the old single constant; the cache fingerprint now
+#: folds the full per-pass dict (:func:`repro.analysis.framework.
+#: pass_versions`) so one pass bump invalidates precisely and visibly.
+ANALYSIS_SCHEMA_VERSION = _analysis_schema_version()
 
 #: Opcodes that can appear in a block provably free of TASE events.
 _SILENT_OPS = frozenset(
@@ -69,6 +89,11 @@ class ContractAnalysis:
     cfg: ResolvedCFG
     stack: StackReport
     dispatcher: DispatcherReport
+    #: Recovered storage layout; ``None`` when analyzed under a pipeline
+    #: without the storage pass (e.g. the core pre-profile pipeline).
+    storage: Optional[StorageLayout] = None
+    #: The lint pass's findings; ``None`` under a lint-less pipeline.
+    lint_findings: Optional[Tuple[Finding, ...]] = None
     _silent_halts: Optional[FrozenSet[int]] = field(default=None, repr=False)
     _closed_regions: Optional[Dict[int, FrozenSet[int]]] = field(
         default=None, repr=False
@@ -172,14 +197,30 @@ class ContractAnalysis:
         return self._unique_targets
 
 
-def analyze(bytecode: bytes) -> ContractAnalysis:
-    """Run all static passes over ``bytecode``."""
-    rcfg = resolve_jumps(build_cfg(bytecode))
+def analyze(
+    bytecode: bytes,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
+    pipeline: Optional[AnalysisPipeline] = None,
+) -> ContractAnalysis:
+    """Run the analysis pipeline over ``bytecode``.
+
+    With no ``pipeline`` argument, :func:`~repro.analysis.framework.
+    default_pipeline` runs (all passes); pass e.g. ``CORE_PIPELINE`` to
+    restrict to the recovery-critical subset.  ``metrics``/``tracer``
+    flow to per-pass phase spans.
+    """
+    if pipeline is None:
+        pipeline = default_pipeline()
+    context = pipeline.run(bytecode, metrics=metrics, tracer=tracer)
+    products = context.products
     return ContractAnalysis(
         bytecode=bytecode,
-        cfg=rcfg,
-        stack=verify_stack(rcfg),
-        dispatcher=extract_dispatch(rcfg),
+        cfg=products["jumps"],
+        stack=products["stack"],
+        dispatcher=products["dispatcher"],
+        storage=products.get("storage"),
+        lint_findings=products.get("lint"),
     )
 
 
@@ -213,3 +254,197 @@ def cross_check(analysis: ContractAnalysis, tase_selectors) -> Tuple[Diagnostic,
             )
         )
     return tuple(diagnostics)
+
+
+# ----------------------------------------------------------------------
+# The contract profile.
+
+#: Profile document schema version (the document *shape*; pass-semantic
+#: changes are carried by the per-pass versions inside the document).
+PROFILE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ContractProfile:
+    """Everything recovered about one bytecode, as one document.
+
+    Deterministic by construction: every field derives from the
+    bytecode alone (plus engine options), values are sorted, and
+    nothing time- or machine-dependent is admitted — ``to_json`` output
+    is byte-identical across runs, worker counts, and cache hits.
+    """
+
+    bytecode_sha256: str
+    code_size: int
+    #: Per-pass schema versions of the pipeline that produced this.
+    passes: Tuple[Tuple[str, int], ...]
+    #: Recovered signatures (sorted by selector); empty when the
+    #: profile was built without running recovery.
+    signatures: Tuple[dict, ...]
+    storage: dict
+    dispatcher: dict
+    cfg: dict
+    lint: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "profile_schema": PROFILE_SCHEMA_VERSION,
+            "bytecode_sha256": self.bytecode_sha256,
+            "code_size": self.code_size,
+            "passes": {name: version for name, version in self.passes},
+            "signatures": list(self.signatures),
+            "storage": self.storage,
+            "dispatcher": self.dispatcher,
+            "cfg": self.cfg,
+            "lint": self.lint,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON: sorted keys, stable separators."""
+        if indent is None:
+            return json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ContractProfile":
+        """Rehydrate a profile document (e.g. from the result cache).
+
+        Round-trip exact: ``from_dict(p.to_dict()).to_json() ==
+        p.to_json()`` — cached and freshly built profiles render
+        byte-identically.
+        """
+        return cls(
+            bytecode_sha256=data["bytecode_sha256"],
+            code_size=data["code_size"],
+            passes=tuple(sorted(
+                (name, version) for name, version in data["passes"].items()
+            )),
+            signatures=tuple(data["signatures"]),
+            storage=data["storage"],
+            dispatcher=data["dispatcher"],
+            cfg=data["cfg"],
+            lint=data["lint"],
+        )
+
+    def render_text(self) -> str:
+        lines = [
+            f"contract {self.bytecode_sha256[:16]}…  "
+            f"({self.code_size} bytes, "
+            f"{self.cfg['blocks']} blocks, "
+            f"{len(self.dispatcher['selectors'])} selector(s))"
+        ]
+        if self.signatures:
+            lines.append("functions:")
+            for signature in self.signatures:
+                params = ",".join(signature["param_types"])
+                lines.append(
+                    f"  {signature['selector']}({params})"
+                    f"  [{signature['language']}]"
+                )
+        elif self.dispatcher["selectors"]:
+            lines.append(
+                "functions (selectors only, recovery not run): "
+                + ", ".join(self.dispatcher["selectors"])
+            )
+        storage = self.storage
+        variables = storage.get("variables", [])
+        lines.append(
+            f"storage: {len(variables)} variable(s), "
+            f"{storage.get('resolved_sites', 0)}"
+            f"/{storage.get('resolved_sites', 0) + storage.get('unresolved_sites', 0)}"
+            " access sites resolved"
+        )
+        for variable in variables:
+            where = f"slot {variable['slot']}"
+            if variable["kind"] == "value" and variable["width"] != 32:
+                end = variable["offset"] + variable["width"] - 1
+                where += f" bytes {variable['offset']}..{end}"
+            lines.append(
+                f"  {where}: {variable['type']}  "
+                f"({variable['reads']} reads, {variable['writes']} writes)"
+            )
+        lint = self.lint
+        lines.append(
+            ("lint: OK" if lint["ok"] else "lint: FAIL")
+            + f" ({lint['errors']} errors, {lint['warnings']} warnings, "
+            + f"{lint['notes']} notes)"
+        )
+        return "\n".join(lines)
+
+
+def _signature_facts(signatures: Sequence) -> Tuple[dict, ...]:
+    """Deterministic signature dicts (no ``elapsed_seconds``: timing is
+    machine-dependent and reads 0.0 on cache hits)."""
+    facts: List[dict] = []
+    for signature in signatures:
+        facts.append({
+            "selector": f"0x{signature.selector:08x}",
+            "param_types": list(signature.param_types),
+            "language": signature.language,
+            "confidences": list(signature.confidences),
+            "fired_rules": sorted(signature.fired_rules),
+        })
+    facts.sort(key=lambda fact: fact["selector"])
+    return tuple(facts)
+
+
+def build_profile(
+    analysis: ContractAnalysis,
+    signatures: Sequence = (),
+) -> ContractProfile:
+    """Fold an analysis (and optional recovered signatures) into a
+    :class:`ContractProfile`."""
+    from repro.analysis.lint import lint_analysis
+
+    bytecode = analysis.bytecode
+    cfg = analysis.cfg
+    dispatcher = analysis.dispatcher
+    storage = analysis.storage if analysis.storage is not None else StorageLayout()
+    lint = lint_analysis(analysis)
+    counts = lint.counts()
+    versions = pass_versions()
+    return ContractProfile(
+        bytecode_sha256=hashlib.sha256(bytecode).hexdigest(),
+        code_size=len(bytecode),
+        passes=tuple(sorted(versions.items())),
+        signatures=_signature_facts(signatures),
+        storage=storage.to_dict(),
+        dispatcher={
+            "selectors": [f"0x{s:08x}" for s in dispatcher.selectors],
+            "entries": {
+                f"0x{selector:08x}": entry
+                for selector, entry in sorted(dispatcher.entries.items())
+            },
+            "dispatcher_blocks": sorted(dispatcher.dispatcher_blocks),
+            "unreachable_blocks": sorted(dispatcher.unreachable),
+        },
+        cfg={
+            "blocks": len(cfg.blocks),
+            "resolved_jumps": len(cfg.resolved_targets),
+            "unresolved_jumps": sorted(cfg.unresolved_jumps),
+            "invalid_jumps": sorted(cfg.invalid_targets),
+            "incomplete": bool(cfg.incomplete),
+        },
+        lint={
+            "ok": lint.ok,
+            "errors": counts["error"],
+            "warnings": counts["warning"],
+            "notes": counts["info"],
+            "findings": [
+                {
+                    "kind": f.kind,
+                    "pc": f.pc,
+                    "severity": f.severity,
+                    "detail": f.detail,
+                }
+                for f in lint.findings
+            ],
+        },
+    )
+
+
+def profile_bytecode(bytecode: bytes, signatures: Sequence = ()) -> ContractProfile:
+    """Analyze ``bytecode`` and build its profile in one call."""
+    return build_profile(analyze(bytecode), signatures)

@@ -1,0 +1,122 @@
+"""A minimal JSON-Schema subset validator for profile documents.
+
+CI validates every ``repro profile --json`` document against the
+checked-in ``docs/profile.schema.json``.  The container deliberately
+carries no third-party ``jsonschema`` package, so this module
+implements exactly the subset of draft-07 the profile schema uses:
+
+``type`` (scalar or list), ``properties``, ``patternProperties``,
+``required``, ``additionalProperties`` (boolean), ``items`` (single
+schema), ``enum``, ``pattern``, ``minimum``, ``maximum``, ``const``.
+
+Unknown keywords are *errors*, not silently ignored — a typo in the
+schema must fail CI, not validate everything vacuously.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List
+
+_KNOWN_KEYWORDS = frozenset([
+    "$schema", "$id", "title", "description",
+    "type", "properties", "patternProperties", "required",
+    "additionalProperties", "items", "enum", "pattern",
+    "minimum", "maximum", "const",
+])
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """The schema itself is malformed (unsupported keyword, bad type)."""
+
+
+def _check_type(value: Any, expected: str) -> bool:
+    python_type = _TYPES.get(expected)
+    if python_type is None:
+        raise SchemaError(f"unsupported type {expected!r}")
+    if expected in ("integer", "number") and isinstance(value, bool):
+        return False  # bool is an int subclass; JSON says it is not
+    return isinstance(value, python_type)
+
+
+def validate(instance: Any, schema: dict, path: str = "$") -> List[str]:
+    """All violations of ``schema`` by ``instance`` (empty = valid)."""
+    unknown = set(schema) - _KNOWN_KEYWORDS
+    if unknown:
+        raise SchemaError(
+            f"{path}: unsupported schema keyword(s): {sorted(unknown)}"
+        )
+    errors: List[str] = []
+
+    expected_type = schema.get("type")
+    if expected_type is not None:
+        allowed = (
+            expected_type if isinstance(expected_type, list) else [expected_type]
+        )
+        if not any(_check_type(instance, t) for t in allowed):
+            errors.append(
+                f"{path}: expected {'/'.join(allowed)}, "
+                f"got {type(instance).__name__}"
+            )
+            return errors  # structure checks below would just cascade
+
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']!r}")
+    if "pattern" in schema and isinstance(instance, str):
+        if re.search(schema["pattern"], instance) is None:
+            errors.append(
+                f"{path}: {instance!r} does not match /{schema['pattern']}/"
+            )
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+        if "maximum" in schema and instance > schema["maximum"]:
+            errors.append(f"{path}: {instance} > maximum {schema['maximum']}")
+
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        pattern_properties = schema.get("patternProperties", {})
+        additional_ok = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            child = f"{path}.{key}"
+            matched = False
+            if key in properties:
+                matched = True
+                errors.extend(validate(value, properties[key], child))
+            for pattern, subschema in pattern_properties.items():
+                if re.search(pattern, key):
+                    matched = True
+                    errors.extend(validate(value, subschema, child))
+            if not matched and additional_ok is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+
+    if isinstance(instance, list) and "items" in schema:
+        item_schema = schema["items"]
+        for index, item in enumerate(instance):
+            errors.extend(validate(item, item_schema, f"{path}[{index}]"))
+
+    return errors
+
+
+def validate_or_raise(instance: Any, schema: dict) -> None:
+    """Raise ``ValueError`` listing every violation, or return silently."""
+    errors = validate(instance, schema)
+    if errors:
+        raise ValueError(
+            f"{len(errors)} schema violation(s):\n" + "\n".join(errors)
+        )

@@ -15,6 +15,9 @@ lint      Statically verify bytecode: stack discipline, jump targets,
           dispatcher sanity (text or ``--json``).
 inspect   Show the static analysis of a contract: the selector → entry
           map, per-function regions and an annotated disassembly.
+profile   Emit the unified contract profile: recovered signatures,
+          storage layout, dispatcher/CFG/lint facts — deterministic
+          JSON with ``--json``.
 lift      Lift bytecode to three-address IR; ``--plus`` enhances the IR
           with recovered signatures (Erays+).
 check     Validate a transaction's call data against the signatures
@@ -287,6 +290,23 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Emit the unified contract profile (signatures + storage + facts)."""
+    bytecode = _read_hex(args.bytecode)
+    tool = SigRec()
+    if args.static_only:
+        profile = tool.profile(bytecode, signatures=[])
+    else:
+        profile = tool.profile(bytecode)
+    if args.json:
+        # ``to_json`` is the canonical deterministic rendering: sorted
+        # keys, no timestamps — byte-identical across runs and machines.
+        print(profile.to_json(indent=2))
+    else:
+        print(profile.render_text())
+    return 0
+
+
 def _cmd_lift(args: argparse.Namespace) -> int:
     bytecode = _read_hex(args.bytecode)
     if args.structured:
@@ -536,6 +556,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--disasm", action="store_true",
                    help="append an annotated disassembly listing")
     p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser(
+        "profile",
+        help="unified contract profile: signatures + storage layout + "
+        "dispatcher/CFG/lint facts",
+    )
+    p.add_argument("bytecode")
+    p.add_argument("--json", action="store_true",
+                   help="deterministic JSON document (sorted keys)")
+    p.add_argument("--static-only", action="store_true",
+                   help="skip signature recovery (static facts only)")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("lift", help="lift bytecode to three-address IR")
     p.add_argument("bytecode")

@@ -17,7 +17,12 @@ from repro.compiler.options import (
     solidity_versions,
     vyper_versions,
 )
-from repro.compiler.contract import CompiledContract, compile_contract
+from repro.compiler.contract import (
+    CompiledContract,
+    FunctionSpec,
+    compile_contract,
+)
+from repro.compiler.storage import StorageVariableSpec
 
 __all__ = [
     "CodegenOptions",
@@ -25,5 +30,7 @@ __all__ = [
     "solidity_versions",
     "vyper_versions",
     "CompiledContract",
+    "FunctionSpec",
+    "StorageVariableSpec",
     "compile_contract",
 ]

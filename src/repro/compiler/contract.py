@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.abi.signature import FunctionSignature, Language
 from repro.compiler.options import CodegenOptions, DispatcherStyle
 from repro.compiler.solidity import SolidityCodegen
+from repro.compiler.storage import emit_storage_ops, storage_ground_truth
 from repro.compiler.vyper import VyperCodegen
 from repro.evm.asm import Assembler
 
@@ -36,12 +37,18 @@ class FunctionSpec:
     ``no_byte_access`` — the body never touches an individual byte of a
     ``bytes`` value, leaving it indistinguishable from ``string``
     (case 5).
+
+    ``storage_ops`` — ``("read" | "write", StorageVariableSpec)`` pairs
+    emitted after the parameter accesses, giving the layout-recovery
+    pass ground-truth storage traffic (keys come from CALLER, never
+    call data, so signature recovery is unaffected).
     """
 
     sig: FunctionSignature
     body_params: Optional[Tuple] = None
     const_index: bool = False
     no_byte_access: bool = False
+    storage_ops: Tuple = ()
 
 
 @dataclass
@@ -52,6 +59,7 @@ class CompiledContract:
     signatures: Tuple[FunctionSignature, ...]
     options: CodegenOptions
     quirks: Tuple[str, ...] = ()  # injected inaccuracy cases, per function
+    storage: Tuple[dict, ...] = ()  # expected layout, sorted by (slot, offset)
 
     @property
     def selector_map(self) -> Dict[int, FunctionSignature]:
@@ -157,6 +165,8 @@ def compile_contract(
             codegen.const_index = spec.const_index
             codegen.no_byte_access = spec.no_byte_access
             codegen.emit_function_body(body_sig)
+        if spec.storage_ops:
+            emit_storage_ops(asm, spec.storage_ops)
         asm.op("STOP")
 
     asm.label(revert_label).op("JUMPDEST")
@@ -170,4 +180,5 @@ def compile_contract(
             "case" if (spec.body_params or spec.const_index or spec.no_byte_access)
             else "" for spec in specs
         ),
+        storage=storage_ground_truth([spec.storage_ops for spec in specs]),
     )

@@ -1,0 +1,216 @@
+"""Storage-access code generation (solc idioms, executable).
+
+Emits the storage read/write shapes the layout-recovery pass
+(:mod:`repro.analysis.storage`) must recognize, instruction for
+instruction the way solc emits them:
+
+* whole-slot values: ``PUSH slot SLOAD`` / ``PUSH v PUSH slot SSTORE``;
+* packed sub-slot variables: shift-then-mask reads (``SHR k`` +
+  ``AND (2^m - 1)``, ``SIGNEXTEND`` for signed) and read-modify-write
+  stores (load, clear the field with the inverted mask, OR the new
+  bytes in, store back);
+* mappings: key at scratch memory 0x00, declaration slot at 0x20,
+  ``SHA3(0, 0x40)``; nested mappings chain the pattern with the
+  previous hash as the new slot.  Keys are ``CALLER`` — address-typed
+  and, crucially, *not* call data, so storage traffic never perturbs
+  the calldata taint that signature recovery observes;
+* dynamic arrays: length at the declaration slot, data at
+  ``SHA3(slot) + index`` via ``SHA3(0, 0x20)``.
+
+Every emitted sequence is executable: scratch memory below 0x40 is
+exactly the region solc's hashing idiom owns (the parameter-access
+codegen allocates from ``options.memory_base``, far above), and the
+concrete interpreter runs SLOAD/SSTORE/SHA3 natively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.evm.asm import Assembler
+
+_FULL = (1 << 256) - 1
+
+#: Storage-op kinds a :class:`StorageVariableSpec` can declare.
+KINDS = ("value", "packed", "mapping", "dynamic_array")
+
+
+@dataclass(frozen=True)
+class StorageVariableSpec:
+    """One declared storage variable for codegen + ground truth.
+
+    ``offset``/``width`` (bytes) only matter for ``packed``; ``depth``
+    only for ``mapping``; ``signed`` selects the SIGNEXTEND read idiom
+    for packed fields.
+    """
+
+    slot: int
+    kind: str  # one of KINDS
+    offset: int = 0
+    width: int = 32
+    depth: int = 1
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown storage kind {self.kind!r}")
+        if self.kind == "packed":
+            if not 1 <= self.width <= 32 or not 0 <= self.offset <= 31:
+                raise ValueError("packed field outside the slot")
+            if self.offset + self.width > 32:
+                raise ValueError("packed field straddles the slot end")
+
+    def expected_type(self) -> str:
+        """The type string the recovery pass should report."""
+        if self.kind == "mapping":
+            rendered = "uint256"
+            for _ in range(self.depth):
+                rendered = f"mapping(address => {rendered})"
+            return rendered
+        if self.kind == "dynamic_array":
+            return "uint256[]"
+        width = 32 if self.kind == "value" else self.width
+        if self.signed:
+            return f"int{width * 8}"
+        if width == 32:
+            return "uint256"
+        if width == 20:
+            return "address"
+        if width == 1:
+            return "uint8"
+        return f"uint{width * 8}"
+
+    def ground_truth(self) -> dict:
+        """The slot/offset/type facts recovery is scored against."""
+        return {
+            "slot": self.slot,
+            "offset": self.offset if self.kind == "packed" else 0,
+            "width": self.width if self.kind == "packed" else 32,
+            "kind": "value" if self.kind == "packed" else self.kind,
+            "type": self.expected_type(),
+            "depth": self.depth if self.kind == "mapping" else 0,
+        }
+
+
+#: One storage operation: ("read" | "write", variable).
+StorageOp = Tuple[str, StorageVariableSpec]
+
+
+def emit_storage_op(asm: Assembler, op: str, spec: StorageVariableSpec) -> None:
+    """Emit one executable storage access in the solc idiom."""
+    if op not in ("read", "write"):
+        raise ValueError(f"unknown storage op {op!r}")
+    if spec.kind == "value":
+        if op == "read":
+            asm.push(spec.slot).op("SLOAD").op("POP")
+        else:
+            asm.push(1).push(spec.slot).op("SSTORE")
+    elif spec.kind == "packed":
+        _emit_packed(asm, op, spec)
+    elif spec.kind == "mapping":
+        _emit_mapping(asm, op, spec)
+    else:  # dynamic_array
+        _emit_dynamic_array(asm, op, spec)
+
+
+def _emit_packed(asm: Assembler, op: str, spec: StorageVariableSpec) -> None:
+    shift_bits = 8 * spec.offset
+    width_bits = 8 * spec.width
+    if op == "read":
+        asm.push(spec.slot).op("SLOAD")
+        if shift_bits:
+            asm.push(shift_bits).op("SHR")
+        if spec.signed and spec.width < 32:
+            asm.push(spec.width - 1).op("SIGNEXTEND")
+        else:
+            asm.push((1 << width_bits) - 1, width=spec.width).op("AND")
+        asm.op("POP")
+        return
+    # Read-modify-write: clear the field, OR the new bytes in.
+    field_mask = ((1 << width_bits) - 1) << shift_bits
+    asm.push(spec.slot).op("SLOAD")
+    asm.push(_FULL ^ field_mask, width=32).op("AND")
+    asm.push(1 << shift_bits, width=32).op("OR")
+    asm.push(spec.slot).op("SSTORE")
+
+
+def _emit_hash_chain(asm: Assembler, spec: StorageVariableSpec) -> None:
+    """Leave ``keccak(CALLER . … . keccak(CALLER . slot))`` on the stack."""
+    asm.op("CALLER").push(0).op("MSTORE")
+    asm.push(spec.slot).push(0x20).op("MSTORE")
+    asm.push(0x40).push(0).op("SHA3")
+    for _ in range(spec.depth - 1):
+        asm.op("CALLER").push(0).op("MSTORE")
+        asm.push(0x20).op("MSTORE")  # previous hash becomes the slot word
+        asm.push(0x40).push(0).op("SHA3")
+
+
+def _emit_mapping(asm: Assembler, op: str, spec: StorageVariableSpec) -> None:
+    _emit_hash_chain(asm, spec)
+    if op == "read":
+        asm.op("SLOAD").op("POP")
+    else:
+        asm.push(1).op("SWAP1").op("SSTORE")
+
+
+def _emit_dynamic_array(
+    asm: Assembler, op: str, spec: StorageVariableSpec
+) -> None:
+    # Length word at the declaration slot.
+    asm.push(spec.slot).op("SLOAD").op("POP")
+    # Element 1 at keccak(slot) + 1.
+    asm.push(spec.slot).push(0).op("MSTORE")
+    asm.push(0x20).push(0).op("SHA3")
+    asm.push(1).op("ADD")
+    if op == "read":
+        asm.op("SLOAD").op("POP")
+    else:
+        asm.push(1).op("SWAP1").op("SSTORE")
+
+
+def emit_storage_ops(asm: Assembler, ops: Sequence[StorageOp]) -> None:
+    for op, spec in ops:
+        emit_storage_op(asm, op, spec)
+
+
+_KIND_RANK = {"value": 0, "dynamic_array": 1, "mapping": 2}
+
+
+def _merge_truth(a: dict, b: dict) -> dict:
+    """Merge two claims about one (slot, offset, width), mirroring the
+    recovery fold: mapping beats array beats value, deeper mapping wins,
+    a signed observation wins over an unsigned one."""
+    if _KIND_RANK[a["kind"]] != _KIND_RANK[b["kind"]]:
+        return max(a, b, key=lambda t: _KIND_RANK[t["kind"]])
+    if a["kind"] == "mapping":
+        return a if a["depth"] >= b["depth"] else b
+    if a["type"].startswith("int"):
+        return a
+    return b if b["type"].startswith("int") else a
+
+
+def storage_ground_truth(
+    all_ops: Sequence[Sequence[StorageOp]],
+) -> Tuple[dict, ...]:
+    """The deduplicated, sorted expected layout across every function.
+
+    Packed fields at distinct (offset, width) in one slot are distinct
+    variables.  Signedness is only claimed when some *read* uses the
+    SIGNEXTEND idiom — a read-modify-write store clears the field with
+    the same mask either way, so a write-only signed field is honestly
+    unobservable and the truth says unsigned.
+    """
+    from dataclasses import replace
+
+    merged: Dict[Tuple[int, int, int], dict] = {}
+    for ops in all_ops:
+        for op, spec in ops:
+            if spec.kind == "packed" and spec.signed and op != "read":
+                spec = replace(spec, signed=False)
+            truth = spec.ground_truth()
+            key = (truth["slot"], truth["offset"], truth["width"])
+            prev = merged.get(key)
+            merged[key] = truth if prev is None else _merge_truth(prev, truth)
+    out: List[dict] = [merged[key] for key in sorted(merged)]
+    return tuple(out)

@@ -13,6 +13,7 @@ from repro.corpus.datasets import (
     ContractCase,
     Corpus,
     build_clone_corpus,
+    build_storage_corpus,
     build_closed_source_corpus,
     build_open_source_corpus,
     build_synthesized_dataset,
@@ -28,6 +29,7 @@ __all__ = [
     "build_open_source_corpus",
     "build_closed_source_corpus",
     "build_clone_corpus",
+    "build_storage_corpus",
     "build_synthesized_dataset",
     "build_vyper_corpus",
 ]

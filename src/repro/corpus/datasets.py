@@ -21,6 +21,7 @@ from typing import Iterator, List, Optional, Tuple
 from repro.abi.signature import FunctionSignature, Language, Visibility
 from repro.compiler.contract import CompiledContract, FunctionSpec, compile_contract
 from repro.compiler.options import CodegenOptions, solidity_versions, vyper_versions
+from repro.compiler.storage import StorageVariableSpec
 from repro.corpus.quirks import QUIRK_NAMES, apply_quirk
 from repro.corpus.signatures import SignatureGenerator
 
@@ -64,29 +65,67 @@ def _weighted_version(rng: random.Random, catalog: List[CodegenOptions]) -> Code
     return rng.choices(catalog, weights=weights, k=1)[0]
 
 
+#: The storage shapes ``_random_storage_ops`` draws from; each maker
+#: gets a disjoint slot range so ground-truth layouts never conflict.
+_STORAGE_SHAPES = (
+    lambda base, rng: StorageVariableSpec(base, "value"),
+    lambda base, rng: StorageVariableSpec(
+        base + 1, "packed",
+        offset=rng.choice((0, 4, 20)),
+        width=rng.choice((1, 2, 8)),
+        signed=rng.random() < 0.3,
+    ),
+    lambda base, rng: StorageVariableSpec(
+        base + 2, "mapping", depth=rng.randint(1, 3)
+    ),
+    lambda base, rng: StorageVariableSpec(base + 3, "dynamic_array"),
+)
+
+
+def _random_storage_ops(
+    rng: random.Random, slot_base: int
+) -> Tuple[Tuple[str, StorageVariableSpec], ...]:
+    """1-3 read/write accesses over variables in this function's slots."""
+    ops = []
+    for _ in range(rng.randint(1, 3)):
+        spec = rng.choice(_STORAGE_SHAPES)(slot_base, rng)
+        ops.append((rng.choice(("read", "write")), spec))
+    return tuple(ops)
+
+
 def _build_contract_case(
     gen: SignatureGenerator,
     rng: random.Random,
     options: CodegenOptions,
     n_functions: int,
     quirk_rate: float,
+    storage_rate: float = 0.0,
 ) -> ContractCase:
     specs: List[FunctionSpec] = []
     declared: List[FunctionSignature] = []
     quirks: List[Optional[str]] = []
     force_optimize = False
-    for _ in range(n_functions):
+    for index in range(n_functions):
         sig = gen.signature()
+        # Guard on the rate BEFORE drawing so existing corpora (rate 0)
+        # consume the exact same RNG stream as before this knob existed.
+        storage_ops: Tuple = ()
+        if storage_rate and rng.random() < storage_rate:
+            storage_ops = _random_storage_ops(rng, index * 4)
         if rng.random() < quirk_rate:
             quirk = rng.choice(QUIRK_NAMES)
             spec = apply_quirk(sig, quirk, rng)
+            if storage_ops:
+                from dataclasses import replace as _spec_replace
+
+                spec = _spec_replace(spec, storage_ops=storage_ops)
             if spec.const_index:
                 force_optimize = True
             specs.append(spec)
             declared.append(spec.sig)
             quirks.append(quirk)
         else:
-            specs.append(FunctionSpec(sig))
+            specs.append(FunctionSpec(sig, storage_ops=storage_ops))
             declared.append(sig)
             quirks.append(None)
     if force_optimize and not options.optimize:
@@ -264,6 +303,7 @@ def build_clone_corpus(
     seed: int = 11,
     max_functions: int = 5,
     quirk_rate: float = 0.0,
+    storage_rate: float = 0.0,
 ) -> Corpus:
     """A proxy/factory-clone corpus: distinct bytecodes, shared bodies.
 
@@ -276,6 +316,12 @@ def build_clone_corpus(
     misses) while every function's dispatcher spine and code region is
     byte-identical (so the function-body memo hits).  With the default
     4 clones per family, 75% of function bodies are shared.
+
+    ``storage_rate`` makes that fraction of function bodies carry
+    real storage traffic (value slots, packed fields, mappings, dynamic
+    arrays), with the expected layout recorded on the compiled
+    contract.  It defaults to 0.0 so throughput baselines and memo-hit
+    gates keep their exact historical bytecodes.
     """
     from dataclasses import replace as _replace
 
@@ -286,7 +332,8 @@ def build_clone_corpus(
     for _ in range(n_families):
         options = _weighted_version(rng, catalog)
         base = _build_contract_case(
-            gen, rng, options, rng.randint(1, max_functions), quirk_rate
+            gen, rng, options, rng.randint(1, max_functions), quirk_rate,
+            storage_rate=storage_rate,
         )
         corpus.cases.append(base)
         for clone in range(1, clones_per_family):
@@ -297,4 +344,64 @@ def build_clone_corpus(
             corpus.cases.append(
                 ContractCase(padded, options, base.declared, base.quirks)
             )
+    return corpus
+
+
+def build_storage_corpus(
+    n_contracts: int = 12,
+    seed: int = 21,
+    max_functions: int = 4,
+) -> Corpus:
+    """A storage-heavy corpus for evaluating layout recovery.
+
+    Every function body carries storage traffic, and the first three
+    contracts are fixed archetypes exercising the shapes the
+    layout-recovery pass must nail: a fully packed slot (four fields,
+    one signed), a mapping-of-mapping bank, and a dynamic-array queue.
+    The rest draw random shapes at ``storage_rate=1.0``.  Expected
+    layouts live on ``case.contract.storage``.
+    """
+    rng = random.Random(seed)
+    gen = SignatureGenerator(seed=seed + 1)
+    catalog = solidity_versions()
+    corpus = Corpus(language=Language.SOLIDITY)
+
+    archetypes: List[Tuple[Tuple[str, StorageVariableSpec], ...]] = [
+        (  # packed slot: address + uint16 + int8 + uint8 in slot 0
+            ("read", StorageVariableSpec(0, "packed", offset=0, width=20)),
+            ("read", StorageVariableSpec(0, "packed", offset=20, width=2)),
+            ("read", StorageVariableSpec(0, "packed", offset=22, width=1,
+                                         signed=True)),
+            ("write", StorageVariableSpec(0, "packed", offset=23, width=1)),
+            ("write", StorageVariableSpec(1, "value")),
+        ),
+        (  # bank: balances + nested allowances + a plain total
+            ("read", StorageVariableSpec(0, "mapping", depth=1)),
+            ("write", StorageVariableSpec(1, "mapping", depth=2)),
+            ("read", StorageVariableSpec(2, "mapping", depth=3)),
+            ("read", StorageVariableSpec(3, "value")),
+        ),
+        (  # queue: two dynamic arrays + a cursor
+            ("read", StorageVariableSpec(0, "dynamic_array")),
+            ("write", StorageVariableSpec(1, "dynamic_array")),
+            ("write", StorageVariableSpec(2, "value")),
+        ),
+    ]
+    for ops in archetypes:
+        options = CodegenOptions(version="0.8.0")
+        sigs = gen.signatures(2)
+        specs = [FunctionSpec(sig, storage_ops=ops) for sig in sigs]
+        contract = compile_contract(specs, options)
+        corpus.cases.append(
+            ContractCase(contract, options, tuple(sigs), (None,) * len(sigs))
+        )
+
+    for _ in range(max(0, n_contracts - len(archetypes))):
+        options = _weighted_version(rng, catalog)
+        corpus.cases.append(
+            _build_contract_case(
+                gen, rng, options, rng.randint(1, max_functions),
+                quirk_rate=0.0, storage_rate=1.0,
+            )
+        )
     return corpus

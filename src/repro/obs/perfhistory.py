@@ -8,7 +8,9 @@ against the previous entry on any tracked tier:
 
 * ``tase.steps_per_second`` — cold single-core symbolic throughput,
 * ``sharded_memo.speedup`` — warm-memo speedup (a ratio),
-* ``throughput.contracts_per_second`` — batch recovery throughput.
+* ``throughput.contracts_per_second`` — batch recovery throughput,
+* ``analysis.throughput_ratio`` — full-pipeline vs core-pass recovery
+  throughput (bounds what the storage/lint passes cost).
 
 Absolute rates are machine-dependent, so each snapshot stores a
 ``calibration`` figure — the ops/s of a fixed pure-Python workload
@@ -41,6 +43,9 @@ TIERS: Tuple[Tuple[str, str, bool], ...] = (
     ("tase", "steps_per_second", True),
     ("sharded_memo", "speedup", False),
     ("throughput", "contracts_per_second", True),
+    # Full-pipeline recovery throughput relative to the core passes: a
+    # drop means the framework's added analysis passes got slower.
+    ("analysis", "throughput_ratio", False),
 )
 
 _CALIBRATION_N = 200_000

@@ -30,6 +30,12 @@ from repro.sigrec.selectors import extract_selectors
 #: not re-run TASE from scratch.
 _RESULT_MEMO_SIZE = 8
 
+#: How many static analyses one SigRec instance keeps.  ``recover``,
+#: ``explain``, ``profile`` and sharded re-runs all need the same
+#: per-bytecode analysis; the memo makes it one CFG/dispatcher walk
+#: per bytecode per instance instead of one per call.
+_ANALYSIS_MEMO_SIZE = 16
+
 
 def _passes(
     selector: int, only: Optional[FrozenSet[int]], exclude: FrozenSet[int]
@@ -149,6 +155,11 @@ class SigRec:
         # Recent engine results, keyed by bytecode digest: ``recover``
         # deposits here and ``explain`` reuses instead of re-running TASE.
         self._result_memo: "OrderedDict[bytes, TASEResult]" = OrderedDict()
+        # Recent static analyses, same keying: every consumer goes
+        # through :meth:`_analyze` so one bytecode is walked once.
+        self._analysis_memo: "OrderedDict[bytes, ContractAnalysis]" = (
+            OrderedDict()
+        )
 
     def options(self) -> Dict[str, object]:
         """Everything needed to build an equivalent instance.
@@ -183,6 +194,29 @@ class SigRec:
     def set_function_memo(self, memo) -> None:
         """Inject a shared :class:`FunctionMemo` (batch workers)."""
         self._fn_memo = memo
+
+    def _analyze(self, bytecode: bytes) -> ContractAnalysis:
+        """The memoized static analysis for ``bytecode``.
+
+        The pipeline walk (CFG, jump fixpoint, stack check, dispatcher,
+        storage, lint) is pure in the bytecode, so one instance computes
+        it once per bytecode and every consumer — ``recover``'s shard
+        planner, the cross-check, ``profile`` — shares the result.  Only
+        a miss pays the walk (and records the ``static_analysis`` span).
+        """
+        digest = hashlib.sha256(bytecode).digest()
+        analysis = self._analysis_memo.get(digest)
+        if analysis is not None:
+            self._analysis_memo.move_to_end(digest)
+            return analysis
+        with phase_span(self.metrics, self.tracer, "static_analysis"):
+            analysis = analyze(
+                bytecode, metrics=self.metrics, tracer=self.tracer
+            )
+        self._analysis_memo[digest] = analysis
+        while len(self._analysis_memo) > _ANALYSIS_MEMO_SIZE:
+            self._analysis_memo.popitem(last=False)
+        return analysis
 
     def _run_engine(
         self, bytecode: bytes, analysis: Optional[ContractAnalysis] = None
@@ -232,8 +266,7 @@ class SigRec:
         ):
             analysis: Optional[ContractAnalysis] = None
             if self.static_check or self.prune or self.sharded:
-                with phase_span(self.metrics, self.tracer, "static_analysis"):
-                    analysis = analyze(bytecode)
+                analysis = self._analyze(bytecode)
             plan = self._shard_plan(analysis)
             if plan is not None:
                 self.last_strategy = "sharded"
@@ -462,6 +495,30 @@ class SigRec:
     def recover_map(self, bytecode: bytes) -> Dict[int, RecoveredSignature]:
         """Like :meth:`recover`, keyed by selector."""
         return {sig.selector: sig for sig in self.recover(bytecode)}
+
+    def profile(
+        self,
+        bytecode: bytes,
+        signatures: Optional[List[RecoveredSignature]] = None,
+    ):
+        """The contract profile: signatures + storage layout + static
+        facts as one deterministic document.
+
+        Runs a full recovery unless ``signatures`` (e.g. the result of
+        an earlier :meth:`recover` call, or an empty list for a
+        static-only profile) is given.  The static analysis is shared
+        with ``recover`` through the per-instance memo, so
+        ``recover`` + ``profile`` on the same bytecode walks the CFG
+        once.
+        """
+        from repro.analysis.report import ContractProfile, build_profile
+
+        if signatures is None:
+            signatures = self.recover(bytecode)
+        profile: ContractProfile = build_profile(
+            self._analyze(bytecode), signatures
+        )
+        return profile
 
     def recover_batch(
         self,

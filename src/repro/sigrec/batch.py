@@ -269,6 +269,42 @@ class BatchRecovery:
         ):
             return self._recover_all(bytecodes, deduplicate)
 
+    def profile_all(
+        self, bytecodes: Sequence[bytes], deduplicate: bool = True
+    ):
+        """One :class:`~repro.analysis.report.ContractProfile` per input.
+
+        Runs :meth:`recover_all` first (parallel, cache-backed), then
+        folds each unique bytecode's signatures and static analysis into
+        its profile.  Profiles ride in the result-cache entries: a warm
+        run rehydrates the stored document instead of re-analyzing, and
+        a cold run attaches the freshly built document to the entry it
+        just wrote.  Documents are deterministic, so serial, parallel
+        and cached runs all render byte-identically.
+        """
+        from repro.analysis.report import ContractProfile
+
+        results = self.recover_all(bytecodes, deduplicate=deduplicate)
+        profiles: Dict[bytes, ContractProfile] = {}
+        out = []
+        for code, signatures in zip(bytecodes, results):
+            profile = profiles.get(code)
+            if profile is None:
+                stored = (
+                    self.cache.get_profile(code)
+                    if self.cache is not None
+                    else None
+                )
+                if stored is not None:
+                    profile = ContractProfile.from_dict(stored)
+                else:
+                    profile = self.tool.profile(code, signatures)
+                    if self.cache is not None:
+                        self.cache.attach_profile(code, profile.to_dict())
+                profiles[code] = profile
+            out.append(profile)
+        return out
+
     def _units_for(self, job_index: int, code: bytes) -> List[_Unit]:
         """Split one cache-miss contract into scheduler units.
 

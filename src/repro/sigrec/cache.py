@@ -34,7 +34,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.report import ANALYSIS_SCHEMA_VERSION
+from repro.analysis.framework import pass_versions
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.sigrec.api import RecoveredSignature
 
@@ -46,15 +46,17 @@ SCHEMA_VERSION = 1
 def options_fingerprint(options: Dict[str, object]) -> str:
     """A short stable digest of the engine/inference options.
 
-    The static-analysis schema version is part of the payload: with
-    pruning or cross-checking enabled, what an analysis pass *means*
-    changes what the engine may skip, so an analysis-semantics bump
-    must land cached results in a fresh tree.
+    The *per-pass* analysis schema versions are part of the payload:
+    with pruning or cross-checking enabled, what an analysis pass
+    *means* changes what the engine may skip, so bumping any single
+    pass version (:func:`repro.analysis.framework.pass_versions`) lands
+    cached results — and every function-memo entry, which shares this
+    fingerprint — in a fresh tree.
     """
     payload = json.dumps(
         {
             "schema": SCHEMA_VERSION,
-            "analysis_schema": ANALYSIS_SCHEMA_VERSION,
+            "analysis_schema": pass_versions(),
             "options": options,
         },
         sort_keys=True,
@@ -159,11 +161,68 @@ class ResultCache:
         self.metrics.counter("cache.hits").inc()
         return signatures, rule_counts
 
+    def attach_profile(self, bytecode: bytes, profile: dict) -> bool:
+        """Add a profile document to an existing entry, atomically.
+
+        Rewrites the entry file with the profile attached, preserving
+        every other field (including the original elapsed timings).
+        Returns False when there is no valid entry to attach to — the
+        caller should ``put`` a full entry instead.
+        """
+        path = self._entry_path(bytecode)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if (
+                entry.get("schema") != SCHEMA_VERSION
+                or entry.get("fingerprint") != self.fingerprint
+            ):
+                return False
+        except (OSError, ValueError):
+            return False
+        entry["profile"] = profile
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_path, path)
+            self.metrics.counter("cache.writes").inc()
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return True
+
+    def get_profile(self, bytecode: bytes) -> Optional[dict]:
+        """The cached contract-profile document, or ``None``.
+
+        Profiles ride in the same entry file as the signatures; an
+        entry written before profiling (or by a partial recovery) has
+        none, and a stale/corrupt entry reads as absent.
+        """
+        try:
+            with open(self._entry_path(bytecode), "r", encoding="utf-8") as f:
+                entry = json.load(f)
+            if (
+                entry.get("schema") != SCHEMA_VERSION
+                or entry.get("fingerprint") != self.fingerprint
+            ):
+                return None
+            profile = entry.get("profile")
+            return profile if isinstance(profile, dict) else None
+        except (OSError, ValueError):
+            return None
+
     def put(
         self,
         bytecode: bytes,
         signatures: List[RecoveredSignature],
         rule_counts: Dict[str, int],
+        profile: Optional[dict] = None,
     ) -> None:
         path = self._entry_path(bytecode)
         os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -175,6 +234,8 @@ class ResultCache:
             # Only non-zero counters are stored; zeros are implied.
             "rule_counts": {r: c for r, c in rule_counts.items() if c},
         }
+        if profile is not None:
+            entry["profile"] = profile
         fd, tmp_path = tempfile.mkstemp(
             dir=os.path.dirname(path), suffix=".tmp"
         )

@@ -1,0 +1,144 @@
+"""The analysis pass manager: wiring, validation, versions, observability."""
+
+import pytest
+
+from repro.abi.signature import FunctionSignature
+from repro.analysis import analyze
+from repro.analysis import framework
+from repro.analysis.framework import (
+    CORE_PIPELINE,
+    DEFAULT_PIPELINE,
+    AnalysisContext,
+    AnalysisPass,
+    AnalysisPipeline,
+    PipelineError,
+    pass_versions,
+    schema_aggregate,
+)
+from repro.compiler import compile_contract
+from repro.obs import MetricsRegistry, SpanTracer
+
+
+def _code(signature="f(uint8)"):
+    return compile_contract([FunctionSignature.parse(signature)]).bytecode
+
+
+def test_default_pipeline_runs_all_passes():
+    context = DEFAULT_PIPELINE.run(_code())
+    assert DEFAULT_PIPELINE.names() == (
+        "cfg", "jumps", "stack", "dispatcher", "storage", "lint",
+    )
+    for name in DEFAULT_PIPELINE.names():
+        assert name in context
+    assert context["jumps"].blocks
+
+
+def test_core_pipeline_is_a_prefix():
+    assert CORE_PIPELINE.names() == DEFAULT_PIPELINE.names()[:4]
+
+
+def test_products_shared_not_recomputed():
+    calls = []
+
+    def provider(ctx):
+        calls.append("base")
+        return 41
+
+    def consumer_a(ctx):
+        return ctx["base"] + 1
+
+    def consumer_b(ctx):
+        return ctx["base"] + 2
+
+    pipeline = AnalysisPipeline((
+        AnalysisPass("base", 1, provider),
+        AnalysisPass("a", 1, consumer_a, requires=("base",)),
+        AnalysisPass("b", 1, consumer_b, requires=("base",)),
+    ))
+    context = pipeline.run(b"")
+    assert calls == ["base"]
+    assert context["a"] == 42 and context["b"] == 43
+
+
+def test_duplicate_pass_name_rejected():
+    p = AnalysisPass("x", 1, lambda ctx: None)
+    with pytest.raises(PipelineError, match="duplicate"):
+        AnalysisPipeline((p, p))
+
+
+def test_unsatisfied_requirement_rejected():
+    with pytest.raises(PipelineError, match="requires 'missing'"):
+        AnalysisPipeline((
+            AnalysisPass("x", 1, lambda ctx: None, requires=("missing",)),
+        ))
+
+
+def test_requirement_ordering_rejected():
+    early = AnalysisPass("late_user", 1, lambda ctx: None, requires=("late",))
+    late = AnalysisPass("late", 1, lambda ctx: None)
+    with pytest.raises(PipelineError):
+        AnalysisPipeline((early, late))
+    AnalysisPipeline((late, early))  # the valid order constructs fine
+
+
+def test_missing_product_raises_helpfully():
+    context = AnalysisContext(b"")
+    with pytest.raises(KeyError, match="not available"):
+        context["nothing"]
+
+
+def test_replace_swaps_one_pass():
+    bumped = DEFAULT_PIPELINE.replace(
+        storage=AnalysisPass(
+            "storage", 7, framework._run_storage,
+            requires=("jumps", "dispatcher"),
+        )
+    )
+    assert bumped.versions()["storage"] == 7
+    assert bumped.versions()["cfg"] == DEFAULT_PIPELINE.versions()["cfg"]
+    with pytest.raises(PipelineError, match="no such pass"):
+        DEFAULT_PIPELINE.replace(nope=AnalysisPass("nope", 1, lambda c: None))
+
+
+def test_pass_versions_follow_monkeypatched_pipeline(monkeypatch):
+    baseline = pass_versions()
+    aggregate = schema_aggregate()
+    assert aggregate == ";".join(
+        f"{name}={baseline[name]}" for name in sorted(baseline)
+    )
+    bumped = DEFAULT_PIPELINE.replace(
+        lint=AnalysisPass(
+            "lint", 9, framework._run_lint,
+            requires=("jumps", "stack", "dispatcher"),
+        )
+    )
+    monkeypatch.setattr(framework, "DEFAULT_PIPELINE", bumped)
+    assert pass_versions()["lint"] == 9
+    assert schema_aggregate() != aggregate
+
+
+def test_analyze_with_core_pipeline_omits_new_products():
+    analysis = analyze(_code(), pipeline=CORE_PIPELINE)
+    assert analysis.storage is None
+    assert analysis.lint_findings is None
+    assert analysis.dispatcher.selectors
+
+
+def test_analyze_default_carries_storage_and_lint():
+    analysis = analyze(_code())
+    assert analysis.storage is not None
+    assert analysis.lint_findings is not None
+
+
+def test_pass_spans_and_counters_when_observing():
+    metrics = MetricsRegistry()
+    tracer = SpanTracer()
+    DEFAULT_PIPELINE.run(_code(), metrics=metrics, tracer=tracer)
+    span_names = {
+        record["name"] for record in tracer.records
+        if record["type"] == "span_start"
+    }
+    for name in DEFAULT_PIPELINE.names():
+        assert f"analysis.{name}" in span_names
+    runs = metrics.counter("analysis.pass_runs", **{"pass": "storage"}).value
+    assert runs == 1

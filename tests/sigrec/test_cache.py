@@ -129,3 +129,76 @@ def test_recover_batch_cache_dir_round_trip(tmp_path):
     first = SigRec().recover_batch(codes, cache_dir=str(tmp_path))
     second = SigRec().recover_batch(codes, cache_dir=str(tmp_path))
     assert _essence(first) == _essence(second)
+
+
+def _bumped_pipeline():
+    """The default pipeline with the storage pass's schema version
+    bumped — semantics unchanged, version provenance changed."""
+    from repro.analysis import framework
+
+    storage = next(
+        p for p in framework.DEFAULT_PIPELINE if p.name == "storage"
+    )
+    return framework.DEFAULT_PIPELINE.replace(
+        storage=replace(storage, version=storage.version + 1)
+    )
+
+
+def test_pass_version_bump_invalidates_result_cache(tmp_path, monkeypatch):
+    from repro.analysis import framework
+
+    code = _code()
+    runner = BatchRecovery(tool=SigRec(), workers=0, cache_dir=str(tmp_path))
+    runner.recover_all([code])
+    assert runner.stats.cache_misses == 1
+
+    monkeypatch.setattr(framework, "DEFAULT_PIPELINE", _bumped_pipeline())
+    bumped = BatchRecovery(tool=SigRec(), workers=0, cache_dir=str(tmp_path))
+    bumped.recover_all([code])
+    assert bumped.stats.cache_hits == 0  # the bump landed in a fresh tree
+    assert bumped.stats.cache_misses == 1
+
+    again = BatchRecovery(tool=SigRec(), workers=0, cache_dir=str(tmp_path))
+    again.recover_all([code])
+    assert again.stats.cache_hits == 1  # stable within the bumped world
+
+
+def test_pass_version_bump_invalidates_function_memo(tmp_path, monkeypatch):
+    from repro.analysis import framework
+    from repro.sigrec.cache import FunctionMemo
+
+    options = SigRec().options()
+    before = FunctionMemo(options, directory=str(tmp_path))
+    monkeypatch.setattr(framework, "DEFAULT_PIPELINE", _bumped_pipeline())
+    after = FunctionMemo(options, directory=str(tmp_path))
+    assert before.fingerprint != after.fingerprint
+
+
+def test_analysis_memo_shares_one_walk_per_bytecode(monkeypatch):
+    import repro.sigrec.api as api_module
+
+    code = _code()
+    tool = SigRec()
+    first = tool._analyze(code)
+    assert tool._analyze(code) is first  # memo hit: same object
+
+    # recover() and profile() ride the same memo: no fresh analyze().
+    def boom(*args, **kwargs):
+        raise AssertionError("analyze() re-ran despite the memo")
+
+    monkeypatch.setattr(api_module, "analyze", boom)
+    tool.recover(code)
+    profile = tool.profile(code)
+    assert profile.signatures
+
+
+def test_analysis_memo_is_bounded():
+    from repro.sigrec.api import _ANALYSIS_MEMO_SIZE
+
+    tool = SigRec()
+    codes = [
+        _code(f"f{i}(uint8)") for i in range(_ANALYSIS_MEMO_SIZE + 4)
+    ]
+    for code in codes:
+        tool._analyze(code)
+    assert len(tool._analysis_memo) == _ANALYSIS_MEMO_SIZE

@@ -295,6 +295,56 @@ def test_lint_rejects_malformed(capsys):
     assert "stack-underflow" in out
 
 
+def test_profile_text(capsys):
+    from repro.compiler.contract import FunctionSpec
+    from repro.compiler.storage import StorageVariableSpec
+
+    contract = compile_contract([
+        FunctionSpec(
+            TRANSFER,
+            storage_ops=(
+                ("read", StorageVariableSpec(0, "mapping", depth=1)),
+                ("write", StorageVariableSpec(1, "value")),
+            ),
+        ),
+    ])
+    assert main(["profile", contract.bytecode.hex()]) == 0
+    out = capsys.readouterr().out
+    assert "0xa9059cbb(address,uint256)" in out
+    assert "mapping(address => uint256)" in out
+    assert "lint:" in out
+
+
+def test_profile_json_validates_and_is_deterministic(token_hex, capsys):
+    import json
+    import os
+
+    from repro.analysis.schema import validate
+
+    assert main(["profile", "--json", token_hex]) == 0
+    first = capsys.readouterr().out
+    assert main(["profile", "--json", token_hex]) == 0
+    assert capsys.readouterr().out == first
+
+    schema_path = os.path.join(
+        os.path.dirname(__file__), "..", "docs", "profile.schema.json"
+    )
+    with open(schema_path, encoding="utf-8") as handle:
+        schema = json.load(handle)
+    document = json.loads(first)
+    assert validate(document, schema) == []
+    assert "0xa9059cbb" in {s["selector"] for s in document["signatures"]}
+
+
+def test_profile_static_only_skips_recovery(token_hex, capsys):
+    import json
+
+    assert main(["profile", "--json", "--static-only", token_hex]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["signatures"] == []
+    assert document["dispatcher"]["selectors"]
+
+
 def test_inspect(token_hex, capsys):
     assert main(["inspect", token_hex]) == 0
     out = capsys.readouterr().out
