@@ -109,9 +109,10 @@ def record() -> Callable[[str, List[str]], None]:
 def bench_json() -> Callable[[str, Mapping], None]:
     """Merge one benchmark's numbers into ``BENCH_throughput.json``.
 
-    Each benchmark owns one top-level section; re-runs replace only
-    their own section so a partial benchmark invocation never clobbers
-    the other sections' numbers.
+    Payloads merge *within* their top-level section (several tests may
+    contribute keys to one section, e.g. accuracy and overhead both
+    feeding ``abi``); a partial benchmark invocation never clobbers the
+    other sections' numbers.
     """
 
     def _bench_json(section: str, payload: Mapping) -> None:
@@ -125,7 +126,10 @@ def bench_json() -> Callable[[str, Mapping], None]:
             except (OSError, ValueError):
                 pass
         doc["schema"] = "sigrec-bench:v1"
-        doc[section] = dict(payload)
+        merged = doc.get(section)
+        merged = dict(merged) if isinstance(merged, dict) else {}
+        merged.update(payload)
+        doc[section] = merged
         tmp = BENCH_JSON + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(doc, handle, indent=2, sort_keys=True)

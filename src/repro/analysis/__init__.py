@@ -15,6 +15,13 @@ shared per-bytecode context.  The default pipeline:
 * ``storage`` — storage-layout recovery from SLOAD/SSTORE slot shapes
   (:mod:`repro.analysis.storage`: mappings, dynamic arrays, packed
   sub-slot variables);
+* ``reach`` — per-selector reachable blocks/ops with a completeness
+  valve (:mod:`repro.analysis.reachability`);
+* ``mutability`` — payable/nonpayable/view/pure from the CALLVALUE
+  guard idiom plus reachable state ops
+  (:mod:`repro.analysis.mutability`);
+* ``returns`` — output type skeletons from RETURN-site head/tail
+  shapes (:mod:`repro.analysis.returns`);
 * ``lint`` — everything folded into one linter verdict
   (:mod:`repro.analysis.lint`).
 
@@ -39,6 +46,12 @@ from repro.analysis.framework import (
     schema_aggregate,
 )
 from repro.analysis.lint import LintReport, lint_analysis, lint_bytecode, lint_findings
+from repro.analysis.mutability import MutabilityReport, classify_mutability
+from repro.analysis.reachability import (
+    ReachabilityReport,
+    ReachableFunction,
+    compute_reachability,
+)
 from repro.analysis.report import (
     ANALYSIS_SCHEMA_VERSION,
     PROFILE_SCHEMA_VERSION,
@@ -50,6 +63,7 @@ from repro.analysis.report import (
     cross_check,
     profile_bytecode,
 )
+from repro.analysis.returns import FunctionReturns, ReturnsReport, recover_returns
 from repro.analysis.stackcheck import Finding, StackReport, verify_stack
 from repro.analysis.storage import (
     StorageAccess,
@@ -71,15 +85,22 @@ __all__ = [
     "Diagnostic",
     "DispatcherReport",
     "Finding",
+    "FunctionReturns",
     "LintReport",
+    "MutabilityReport",
     "PipelineError",
+    "ReachabilityReport",
+    "ReachableFunction",
     "ResolvedCFG",
+    "ReturnsReport",
     "StackReport",
     "StorageAccess",
     "StorageLayout",
     "StorageVariable",
     "analyze",
     "build_profile",
+    "classify_mutability",
+    "compute_reachability",
     "cross_check",
     "default_pipeline",
     "extract_dispatch",
@@ -88,6 +109,7 @@ __all__ = [
     "lint_findings",
     "pass_versions",
     "profile_bytecode",
+    "recover_returns",
     "recover_storage_layout",
     "resolve_bytecode",
     "resolve_jumps",

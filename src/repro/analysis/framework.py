@@ -27,7 +27,9 @@ The default pipeline (:data:`DEFAULT_PIPELINE`) is::
 
     cfg ──► jumps ──► stack
               ├─────► dispatcher ──► storage
-              └─────────┴────────────┴──► lint
+              │           ├────────► reach ──► mutability
+              │           │            └─────► returns
+              └───────────┴──────────┴─────────────────► lint
 
 Adding a pass is three steps: write ``run(ctx)`` reading its inputs via
 ``ctx["name"]``, wrap it in an :class:`AnalysisPass` with a version and
@@ -182,11 +184,30 @@ def _run_storage(ctx: AnalysisContext):
     return recover_storage_layout(ctx["jumps"], ctx["dispatcher"])
 
 
+def _run_reach(ctx: AnalysisContext):
+    from repro.analysis.reachability import compute_reachability
+
+    return compute_reachability(ctx["jumps"], ctx["dispatcher"])
+
+
+def _run_mutability(ctx: AnalysisContext):
+    from repro.analysis.mutability import classify_mutability
+
+    return classify_mutability(ctx["jumps"], ctx["dispatcher"], ctx["reach"])
+
+
+def _run_returns(ctx: AnalysisContext):
+    from repro.analysis.returns import recover_returns
+
+    return recover_returns(ctx["jumps"], ctx["dispatcher"], ctx["reach"])
+
+
 def _run_lint(ctx: AnalysisContext):
     from repro.analysis.lint import lint_findings
 
     return lint_findings(
-        ctx.bytecode, ctx["jumps"], ctx["stack"], ctx["dispatcher"]
+        ctx.bytecode, ctx["jumps"], ctx["stack"], ctx["dispatcher"],
+        storage=ctx["storage"],
     )
 
 
@@ -200,7 +221,20 @@ DEFAULT_PIPELINE = AnalysisPipeline((
         "storage", 1, _run_storage, requires=("jumps", "dispatcher")
     ),
     AnalysisPass(
-        "lint", 1, _run_lint, requires=("jumps", "stack", "dispatcher")
+        "reach", 1, _run_reach, requires=("jumps", "dispatcher")
+    ),
+    AnalysisPass(
+        "mutability", 1, _run_mutability,
+        requires=("jumps", "dispatcher", "reach"),
+    ),
+    AnalysisPass(
+        "returns", 1, _run_returns,
+        requires=("jumps", "dispatcher", "reach"),
+    ),
+    # v2: storage-unresolved blind spots surface as info findings.
+    AnalysisPass(
+        "lint", 2, _run_lint,
+        requires=("jumps", "stack", "dispatcher", "storage"),
     ),
 ))
 

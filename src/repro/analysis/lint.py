@@ -21,12 +21,13 @@ Severity semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.dataflow import ResolvedCFG
 from repro.analysis.dispatcher import DispatcherReport
 from repro.analysis.report import ContractAnalysis, analyze
 from repro.analysis.stackcheck import Finding, StackReport
+from repro.analysis.storage import StorageLayout, _selector_index
 
 
 @dataclass
@@ -104,19 +105,70 @@ def _truncated_push(bytecode: bytes, rcfg: ResolvedCFG) -> List[Finding]:
     return []
 
 
+def _storage_blind_spots(
+    rcfg: ResolvedCFG,
+    dispatcher: DispatcherReport,
+    storage: StorageLayout,
+) -> List[Finding]:
+    """Per-selector unresolved storage-access counts as info findings.
+
+    Sites whose slot expression stayed symbolic are exactly where the
+    recovered layout is blind; surfacing them on ``repro lint --json``
+    lets a consumer see *which* functions the blind spots live in.
+    """
+    unresolved_pcs = sorted({
+        access.pc for access in storage.accesses if access.expr is None
+    })
+    if not unresolved_pcs:
+        return []
+    selector_of_pc = _selector_index(rcfg, dispatcher)
+    per_selector: Dict[int, List[int]] = {}
+    unattributed: List[int] = []
+    for pc in unresolved_pcs:
+        selectors = selector_of_pc.get(pc, ())
+        if selectors:
+            for selector in selectors:
+                per_selector.setdefault(selector, []).append(pc)
+        else:
+            unattributed.append(pc)
+    findings = [
+        Finding(
+            "storage-unresolved", min(pcs),
+            f"{len(pcs)} storage access site(s) reachable from "
+            f"0x{selector:08x} have unresolved slot expressions",
+            severity="info",
+        )
+        for selector, pcs in sorted(per_selector.items())
+    ]
+    if unattributed:
+        findings.append(
+            Finding(
+                "storage-unresolved", unattributed[0],
+                f"{len(unattributed)} storage access site(s) outside any "
+                "dispatched function have unresolved slot expressions",
+                severity="info",
+            )
+        )
+    return findings
+
+
 def lint_findings(
     bytecode: bytes,
     rcfg: ResolvedCFG,
     stack: StackReport,
     dispatcher: DispatcherReport,
+    storage: Optional[StorageLayout] = None,
 ) -> Tuple[Finding, ...]:
     """The lint pass: all findings for one bytecode, sorted by pc.
 
     Takes the upstream pass products directly so the pipeline can run
-    it without a :class:`ContractAnalysis` wrapper.
+    it without a :class:`ContractAnalysis` wrapper.  ``storage`` (when
+    available) adds per-selector unresolved-site blind-spot notes.
     """
     findings: List[Finding] = list(stack.findings) + list(dispatcher.findings)
     findings.extend(_truncated_push(bytecode, rcfg))
+    if storage is not None:
+        findings.extend(_storage_blind_spots(rcfg, dispatcher, storage))
     for pc in sorted(rcfg.unresolved_jumps):
         findings.append(
             Finding(
@@ -150,7 +202,8 @@ def lint_analysis(analysis: ContractAnalysis) -> LintReport:
     findings = analysis.lint_findings
     if findings is None:
         findings = lint_findings(
-            analysis.bytecode, analysis.cfg, analysis.stack, analysis.dispatcher
+            analysis.bytecode, analysis.cfg, analysis.stack,
+            analysis.dispatcher, storage=analysis.storage,
         )
     return LintReport(analysis=analysis, findings=tuple(findings))
 

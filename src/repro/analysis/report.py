@@ -43,6 +43,9 @@ from repro.analysis.framework import (
     pass_versions,
     schema_aggregate,
 )
+from repro.analysis.mutability import MutabilityReport
+from repro.analysis.reachability import ReachabilityReport
+from repro.analysis.returns import ReturnsReport
 from repro.analysis.stackcheck import Finding, StackReport
 from repro.analysis.storage import StorageLayout
 from repro.obs import MetricsRegistry, SpanTracer
@@ -94,6 +97,11 @@ class ContractAnalysis:
     storage: Optional[StorageLayout] = None
     #: The lint pass's findings; ``None`` under a lint-less pipeline.
     lint_findings: Optional[Tuple[Finding, ...]] = None
+    #: Per-selector reachability facts (``None`` under e.g. the core
+    #: pipeline), and the ABI-completion products built on them.
+    reach: Optional[ReachabilityReport] = None
+    mutability: Optional[MutabilityReport] = None
+    returns: Optional[ReturnsReport] = None
     _silent_halts: Optional[FrozenSet[int]] = field(default=None, repr=False)
     _closed_regions: Optional[Dict[int, FrozenSet[int]]] = field(
         default=None, repr=False
@@ -221,6 +229,9 @@ def analyze(
         dispatcher=products["dispatcher"],
         storage=products.get("storage"),
         lint_findings=products.get("lint"),
+        reach=products.get("reach"),
+        mutability=products.get("mutability"),
+        returns=products.get("returns"),
     )
 
 
@@ -261,7 +272,8 @@ def cross_check(analysis: ContractAnalysis, tase_selectors) -> Tuple[Diagnostic,
 
 #: Profile document schema version (the document *shape*; pass-semantic
 #: changes are carried by the per-pass versions inside the document).
-PROFILE_SCHEMA_VERSION = 1
+#: v2: the ``abi`` section (per-selector mutability + return shapes).
+PROFILE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -282,6 +294,10 @@ class ContractProfile:
     #: profile was built without running recovery.
     signatures: Tuple[dict, ...]
     storage: dict
+    #: Per-selector ABI completion facts: ``{"0x...": {"mutability":
+    #: str, "returns": [types] | None}}``; empty when the pipeline ran
+    #: without the mutability/returns passes.
+    abi: dict
     dispatcher: dict
     cfg: dict
     lint: dict
@@ -294,6 +310,7 @@ class ContractProfile:
             "passes": {name: version for name, version in self.passes},
             "signatures": list(self.signatures),
             "storage": self.storage,
+            "abi": self.abi,
             "dispatcher": self.dispatcher,
             "cfg": self.cfg,
             "lint": self.lint,
@@ -323,6 +340,7 @@ class ContractProfile:
             )),
             signatures=tuple(data["signatures"]),
             storage=data["storage"],
+            abi=data["abi"],
             dispatcher=data["dispatcher"],
             cfg=data["cfg"],
             lint=data["lint"],
@@ -348,6 +366,18 @@ class ContractProfile:
                 "functions (selectors only, recovery not run): "
                 + ", ".join(self.dispatcher["selectors"])
             )
+        if self.abi:
+            lines.append("abi:")
+            for selector in sorted(self.abi):
+                entry = self.abi[selector]
+                returns = entry.get("returns")
+                shown = (
+                    "unknown" if returns is None
+                    else "(" + ",".join(returns) + ")"
+                )
+                lines.append(
+                    f"  {selector}: {entry['mutability']}, returns {shown}"
+                )
         storage = self.storage
         variables = storage.get("variables", [])
         lines.append(
@@ -405,12 +435,30 @@ def build_profile(
     lint = lint_analysis(analysis)
     counts = lint.counts()
     versions = pass_versions()
+    abi: Dict[str, dict] = {}
+    if analysis.mutability is not None or analysis.returns is not None:
+        mutability = analysis.mutability
+        returns = analysis.returns
+        for selector in dispatcher.selectors:
+            verdict = "unknown"
+            if mutability is not None:
+                verdict = mutability.functions.get(selector, "unknown")
+            shape = None
+            if returns is not None:
+                recovered = returns.functions.get(selector)
+                if recovered is not None and recovered.shape is not None:
+                    shape = list(recovered.shape)
+            abi[f"0x{selector:08x}"] = {
+                "mutability": verdict,
+                "returns": shape,
+            }
     return ContractProfile(
         bytecode_sha256=hashlib.sha256(bytecode).hexdigest(),
         code_size=len(bytecode),
         passes=tuple(sorted(versions.items())),
         signatures=_signature_facts(signatures),
         storage=storage.to_dict(),
+        abi=abi,
         dispatcher={
             "selectors": [f"0x{s:08x}" for s in dispatcher.selectors],
             "entries": {

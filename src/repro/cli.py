@@ -18,6 +18,10 @@ inspect   Show the static analysis of a contract: the selector → entry
 profile   Emit the unified contract profile: recovered signatures,
           storage layout, dispatcher/CFG/lint facts — deterministic
           JSON with ``--json``.
+abi       Emit a standard Solidity ABI JSON array recovered from the
+          bytecode alone (inputs, outputs, stateMutability).
+passes    List the registered analysis pipeline passes with versions
+          and dependency edges (what the cache fingerprints fold in).
 lift      Lift bytecode to three-address IR; ``--plus`` enhances the IR
           with recovered signatures (Erays+).
 check     Validate a transaction's call data against the signatures
@@ -160,16 +164,44 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 else DEFAULT_UNIT_SIZE
             ),
         )
-        results = runner.recover_all(bytecodes)
+        if args.profiles_out:
+            # profile_all runs recover_all internally (cache-backed),
+            # then builds one deterministic profile per input.
+            profiles = runner.profile_all(bytecodes)
+        else:
+            profiles = None
+            results = runner.recover_all(bytecodes)
     finally:
         if tracer is not None:
             tracer.close()
             trace_file.close()
-    for index, recovered in enumerate(results):
-        signatures = " ".join(
-            f"{sig.selector_hex}({sig.param_list})" for sig in recovered
+    if profiles is not None:
+        for index, profile in enumerate(profiles):
+            signatures = " ".join(
+                f"{fact['selector']}({','.join(fact['param_types'])})"
+                for fact in profile.signatures
+            )
+            print(
+                f"contract {index}: {signatures or '(no public functions)'}"
+            )
+    else:
+        for index, recovered in enumerate(results):
+            signatures = " ".join(
+                f"{sig.selector_hex}({sig.param_list})" for sig in recovered
+            )
+            print(f"contract {index}: {signatures or '(no public functions)'}")
+    if profiles is not None:
+        os.makedirs(args.profiles_out, exist_ok=True)
+        for index, profile in enumerate(profiles):
+            name = f"{index:04d}_{profile.bytecode_sha256[:12]}.json"
+            path = os.path.join(args.profiles_out, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(profile.to_json(indent=2))
+                handle.write("\n")
+        print(
+            f"profiles: wrote {len(profiles)} to {args.profiles_out}",
+            file=sys.stderr,
         )
-        print(f"contract {index}: {signatures or '(no public functions)'}")
     if args.metrics_out:
         from repro.obs import dump_metrics
 
@@ -304,6 +336,44 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(profile.to_json(indent=2))
     else:
         print(profile.render_text())
+    return 0
+
+
+def _cmd_abi(args: argparse.Namespace) -> int:
+    """Emit a standard Solidity ABI JSON array from bytecode alone."""
+    import json
+
+    bytecode = _read_hex(args.bytecode)
+    tool = SigRec()
+    entries = tool.abi(bytecode)
+    if args.pretty:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+    else:
+        print(json.dumps(entries, sort_keys=True, separators=(",", ":")))
+    return 0
+
+
+def _cmd_passes(args: argparse.Namespace) -> int:
+    """List the registered pipeline passes, versions, and edges."""
+    from repro.analysis import default_pipeline
+
+    pipeline = default_pipeline()
+    if args.json:
+        import json
+
+        payload = [
+            {
+                "name": pass_.name,
+                "version": pass_.version,
+                "requires": list(pass_.requires),
+            }
+            for pass_ in pipeline
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    for pass_ in pipeline:
+        edges = " <- " + ", ".join(pass_.requires) if pass_.requires else ""
+        print(f"{pass_.name} v{pass_.version}{edges}")
     return 0
 
 
@@ -517,6 +587,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-memo", dest="memo", action="store_false", default=True,
         help="disable the function-body memo tier",
     )
+    p.add_argument(
+        "--profiles-out", default=None, metavar="DIR",
+        help="write one contract-profile JSON per input to DIR",
+    )
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
@@ -568,6 +642,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--static-only", action="store_true",
                    help="skip signature recovery (static facts only)")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "abi",
+        help="standard Solidity ABI JSON recovered from bytecode alone",
+    )
+    p.add_argument("bytecode")
+    p.add_argument("--pretty", action="store_true",
+                   help="indented JSON instead of one compact line")
+    p.set_defaults(func=_cmd_abi)
+
+    p = sub.add_parser(
+        "passes",
+        help="list analysis pipeline passes, versions, dependency edges",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable list")
+    p.set_defaults(func=_cmd_passes)
 
     p = sub.add_parser("lift", help="lift bytecode to three-address IR")
     p.add_argument("bytecode")

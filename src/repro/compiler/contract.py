@@ -13,6 +13,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.abi.signature import FunctionSignature, Language
+from repro.compiler.effects import (
+    emit_effect_marker,
+    emit_mutability_prologue,
+    emit_returns,
+    mutability_ground_truth,
+    returns_skeleton,
+)
 from repro.compiler.options import CodegenOptions, DispatcherStyle
 from repro.compiler.solidity import SolidityCodegen
 from repro.compiler.storage import emit_storage_ops, storage_ground_truth
@@ -42,6 +49,17 @@ class FunctionSpec:
     emitted after the parameter accesses, giving the layout-recovery
     pass ground-truth storage traffic (keys come from CALLER, never
     call data, so signature recovery is unaffected).
+
+    ``mutability`` — ``None`` keeps the legacy emission (no guard; the
+    honest ABI truth is ``payable``).  One of ``"payable"`` /
+    ``"nonpayable"`` / ``"view"`` / ``"pure"`` emits the matching
+    CALLVALUE-guard prologue and effect markers
+    (:mod:`repro.compiler.effects`) so the declared mutability is
+    statically recoverable.  Declaring ``"pure"`` alongside
+    ``storage_ops`` is a build error — the ops would contradict it.
+
+    ``returns`` — declared output types; non-empty replaces the
+    ``STOP`` epilogue with an ABI-encoded RETURN buffer.
     """
 
     sig: FunctionSignature
@@ -49,6 +67,8 @@ class FunctionSpec:
     const_index: bool = False
     no_byte_access: bool = False
     storage_ops: Tuple = ()
+    mutability: Optional[str] = None
+    returns: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -60,6 +80,11 @@ class CompiledContract:
     options: CodegenOptions
     quirks: Tuple[str, ...] = ()  # injected inaccuracy cases, per function
     storage: Tuple[dict, ...] = ()  # expected layout, sorted by (slot, offset)
+    #: Per-function ABI ground truth, parallel to ``signatures``:
+    #: the stateMutability each body exhibits, and the output skeleton
+    #: (``uint256``/``bytes`` words) its RETURN buffer encodes.
+    mutability: Tuple[str, ...] = ()
+    returns: Tuple[Tuple[str, ...], ...] = ()
 
     @property
     def selector_map(self) -> Dict[int, FunctionSignature]:
@@ -152,7 +177,18 @@ def compile_contract(
     revert_label = "revert_all"
     for i, spec in enumerate(specs):
         sig = spec.sig
+        if spec.mutability == "pure" and spec.storage_ops:
+            raise ContractBuildError(
+                f"{sig}: pure functions cannot carry storage_ops"
+            )
+        if spec.mutability == "view" and any(
+            kind == "write" for kind, _v in spec.storage_ops
+        ):
+            raise ContractBuildError(
+                f"{sig}: view functions cannot carry storage writes"
+            )
         asm.label(f"body_{i}").op("JUMPDEST").op("POP")  # drop the id copy
+        emit_mutability_prologue(asm, spec.mutability, options, revert_label)
         body_sig = sig
         if spec.body_params is not None:
             body_sig = FunctionSignature(
@@ -167,7 +203,11 @@ def compile_contract(
             codegen.emit_function_body(body_sig)
         if spec.storage_ops:
             emit_storage_ops(asm, spec.storage_ops)
-        asm.op("STOP")
+        emit_effect_marker(asm, spec.mutability)
+        if spec.returns:
+            emit_returns(asm, spec.returns)
+        else:
+            asm.op("STOP")
 
     asm.label(revert_label).op("JUMPDEST")
     asm.push(0).push(0).op("REVERT")
@@ -181,4 +221,8 @@ def compile_contract(
             else "" for spec in specs
         ),
         storage=storage_ground_truth([spec.storage_ops for spec in specs]),
+        mutability=tuple(
+            mutability_ground_truth(spec.mutability) for spec in specs
+        ),
+        returns=tuple(returns_skeleton(spec.returns) for spec in specs),
     )

@@ -1,0 +1,133 @@
+"""Mutability guards and RETURN-buffer emission, with ground truth.
+
+The analysis layer recovers ``stateMutability`` and output shapes from
+two compiler idioms; this module is where the code generators emit
+them, so every corpus contract carries checkable ground truth (the same
+contract the storage pass has with ``repro.compiler.storage``):
+
+* **the CALLVALUE guard** — every non-payable function's prologue
+  rejects attached value.  Plain form (solc)::
+
+      CALLVALUE DUP1 ISZERO PUSH <ok> JUMPI
+      PUSH1 0 DUP1 REVERT
+      <ok>: JUMPDEST POP
+
+  obfuscated form (older compilers / optimizers): ``CALLVALUE
+  PUSH <revert> JUMPI`` straight into the shared revert block.
+  A declared-``payable`` function instead *reads* the value
+  (``CALLVALUE POP``) without branching on it — presence of the opcode
+  alone must not read as a guard;
+
+* **effect markers** — a declared mutability is only recoverable if the
+  body actually exhibits it, so ``nonpayable`` bodies write a marker
+  slot and ``view`` bodies read one.  The slot sits far above every
+  ground-truth layout slot so storage-accuracy scoring is unaffected;
+
+* **the RETURN buffer** — declared outputs are ABI-encoded at a high
+  memory base: static head words hold a runtime value (``CALLER``, so
+  the word is *not* constant), dynamic heads hold the constant tail
+  offset, each tail is a length word plus one data word.
+
+``FunctionSpec.mutability is None`` keeps the legacy emission — no
+guard, no markers — whose honest ground truth is ``payable`` (exactly
+what pre-0.4.x Solidity was).  ``FunctionSpec.returns == ()`` keeps the
+``STOP`` epilogue (no outputs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.compiler.options import CodegenOptions
+from repro.evm.asm import Assembler
+
+#: Marker slot for effect markers: far above every slot the storage
+#: ground truth allocates (corpus layouts stay below ~0x20).
+MARKER_SLOT = 0xA0
+
+#: Return buffers start here — above the code generators' memory
+#: allocations, so body stores never alias the encoded outputs.
+RETURN_BASE = 0x8000
+
+#: Declared types whose ABI encoding is a dynamic head/tail pair.
+_DYNAMIC = ("bytes", "string")
+
+#: Bytes per tail in the synthetic encoding: a length word (32) plus
+#: one padded data word.
+_TAIL_BYTES = 64
+
+
+def is_dynamic_return(rendered: str) -> bool:
+    return rendered in _DYNAMIC
+
+
+def returns_skeleton(returns: Sequence[str]) -> Tuple[str, ...]:
+    """Declared output types -> the word-granular skeleton the returns
+    pass can actually recover (static word = ``uint256``, any dynamic
+    tail = ``bytes``)."""
+    return tuple(
+        "bytes" if is_dynamic_return(t) else "uint256" for t in returns
+    )
+
+
+def mutability_ground_truth(mutability: Optional[str]) -> str:
+    """The ABI ``stateMutability`` a spec's emission exhibits."""
+    return "payable" if mutability is None else mutability
+
+
+def emit_mutability_prologue(
+    asm: Assembler,
+    mutability: Optional[str],
+    options: CodegenOptions,
+    revert_label: str,
+) -> None:
+    """Emit the value guard (or the payable value read) for one body."""
+    if mutability in ("nonpayable", "view", "pure"):
+        if options.obfuscate:
+            asm.op("CALLVALUE").push_label(revert_label).op("JUMPI")
+        else:
+            ok = asm.fresh_label("value_ok")
+            asm.op("CALLVALUE").op("DUP1").op("ISZERO")
+            asm.push_label(ok).op("JUMPI")
+            asm.push(0).op("DUP1").op("REVERT")
+            asm.label(ok).op("JUMPDEST").op("POP")
+    elif mutability == "payable":
+        # Reads msg.value without guarding on it: the recognizer must
+        # not mistake opcode presence for the guard idiom.
+        asm.op("CALLVALUE").op("POP")
+
+
+def emit_effect_marker(asm: Assembler, mutability: Optional[str]) -> None:
+    """Make the declared mutability observable in the reachable ops."""
+    if mutability == "nonpayable":
+        asm.push(1).push(MARKER_SLOT).op("SSTORE")
+    elif mutability == "view":
+        asm.push(MARKER_SLOT).op("SLOAD").op("POP")
+    # pure / payable / legacy: nothing — pure must stay free of state
+    # reads, and payable's verdict never depends on the op set.
+
+
+def emit_returns(asm: Assembler, returns: Sequence[str]) -> None:
+    """ABI-encode the declared outputs at ``RETURN_BASE`` and RETURN.
+
+    Static words are ``CALLER`` (a runtime value: the recovered word
+    must read as non-constant); dynamic heads are constant tail
+    offsets; every tail is ``length=32`` plus one ``CALLER`` data word.
+    """
+    head_words = len(returns)
+    tail_cursor = head_words * 32
+    for index, rendered in enumerate(returns):
+        if is_dynamic_return(rendered):
+            asm.push(tail_cursor)
+            tail_cursor += _TAIL_BYTES
+        else:
+            asm.op("CALLER")
+        asm.push(RETURN_BASE + 32 * index).op("MSTORE")
+    tail_cursor = head_words * 32
+    for rendered in returns:
+        if is_dynamic_return(rendered):
+            asm.push(32).push(RETURN_BASE + tail_cursor).op("MSTORE")
+            asm.op("CALLER")
+            asm.push(RETURN_BASE + tail_cursor + 32).op("MSTORE")
+            tail_cursor += _TAIL_BYTES
+    asm.push(tail_cursor).push(RETURN_BASE).op("RETURN")

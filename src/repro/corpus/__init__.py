@@ -12,6 +12,7 @@ from repro.corpus.quirks import QUIRK_NAMES, apply_quirk
 from repro.corpus.datasets import (
     ContractCase,
     Corpus,
+    build_abi_corpus,
     build_clone_corpus,
     build_storage_corpus,
     build_closed_source_corpus,
@@ -26,6 +27,7 @@ __all__ = [
     "apply_quirk",
     "ContractCase",
     "Corpus",
+    "build_abi_corpus",
     "build_open_source_corpus",
     "build_closed_source_corpus",
     "build_clone_corpus",

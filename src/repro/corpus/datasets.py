@@ -15,7 +15,7 @@
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator, List, Optional, Tuple
 
 from repro.abi.signature import FunctionSignature, Language, Visibility
@@ -93,6 +93,28 @@ def _random_storage_ops(
     return tuple(ops)
 
 
+_MUTABILITIES = ("payable", "nonpayable", "view", "pure")
+_RETURN_TYPES = ("uint256", "address", "bool", "bytes", "string")
+
+
+def _reconcile_mutability(
+    mutability: str, storage_ops: Tuple
+) -> str:
+    """Downgrade a drawn mutability so it never contradicts the body.
+
+    ``pure`` with storage traffic and ``view`` with storage writes are
+    build errors; resolve them deterministically (no RNG draws) so the
+    knobs stay stream-stable.
+    """
+    if mutability == "pure" and storage_ops:
+        mutability = "view"
+    if mutability == "view" and any(
+        kind == "write" for kind, _v in storage_ops
+    ):
+        mutability = "nonpayable"
+    return mutability
+
+
 def _build_contract_case(
     gen: SignatureGenerator,
     rng: random.Random,
@@ -100,6 +122,8 @@ def _build_contract_case(
     n_functions: int,
     quirk_rate: float,
     storage_rate: float = 0.0,
+    mutability_rate: float = 0.0,
+    returns_rate: float = 0.0,
 ) -> ContractCase:
     specs: List[FunctionSpec] = []
     declared: List[FunctionSignature] = []
@@ -116,18 +140,26 @@ def _build_contract_case(
             quirk = rng.choice(QUIRK_NAMES)
             spec = apply_quirk(sig, quirk, rng)
             if storage_ops:
-                from dataclasses import replace as _spec_replace
-
-                spec = _spec_replace(spec, storage_ops=storage_ops)
+                spec = replace(spec, storage_ops=storage_ops)
             if spec.const_index:
                 force_optimize = True
-            specs.append(spec)
-            declared.append(spec.sig)
-            quirks.append(quirk)
         else:
-            specs.append(FunctionSpec(sig, storage_ops=storage_ops))
-            declared.append(sig)
-            quirks.append(None)
+            spec = FunctionSpec(sig, storage_ops=storage_ops)
+            quirk = None
+        if mutability_rate and rng.random() < mutability_rate:
+            mutability = _reconcile_mutability(
+                rng.choice(_MUTABILITIES), storage_ops
+            )
+            spec = replace(spec, mutability=mutability)
+        if returns_rate and rng.random() < returns_rate:
+            shape = tuple(
+                rng.choice(_RETURN_TYPES)
+                for _ in range(rng.randint(1, 3))
+            )
+            spec = replace(spec, returns=shape)
+        specs.append(spec)
+        declared.append(spec.sig)
+        quirks.append(quirk)
     if force_optimize and not options.optimize:
         options = CodegenOptions(
             language=options.language,
@@ -402,6 +434,75 @@ def build_storage_corpus(
             _build_contract_case(
                 gen, rng, options, rng.randint(1, max_functions),
                 quirk_rate=0.0, storage_rate=1.0,
+            )
+        )
+    return corpus
+
+
+def build_abi_corpus(
+    n_contracts: int = 14,
+    seed: int = 23,
+    max_functions: int = 4,
+) -> Corpus:
+    """An ABI-completeness corpus for mutability/returns recovery.
+
+    The first three contracts are fixed archetypes: one function per
+    mutability (CALLVALUE-guard prologue for everything but payable), a
+    return-shape sampler (single word, single dynamic tail, mixed
+    three-word head, string+word), and the same guard set compiled with
+    the obfuscating codegen (raw-polarity CALLVALUE JUMPI).  The rest
+    draw random mutabilities and return shapes at full rate on top of
+    moderate storage traffic, so the declared mutability survives the
+    deterministic downgrade rules (pure never alongside storage ops,
+    view never alongside writes).  Ground truth lives on
+    ``case.contract.mutability`` / ``case.contract.returns``.
+    """
+    rng = random.Random(seed)
+    gen = SignatureGenerator(seed=seed + 1)
+    catalog = solidity_versions()
+    corpus = Corpus(language=Language.SOLIDITY)
+
+    mutability_archetype = [
+        FunctionSpec(gen.signature(), mutability=m) for m in _MUTABILITIES
+    ]
+    returns_archetype = [
+        FunctionSpec(gen.signature(), mutability="nonpayable",
+                     returns=shape)
+        for shape in (
+            ("uint256",),
+            ("bytes",),
+            ("uint256", "bytes", "bool"),
+            ("string", "uint256"),
+        )
+    ]
+    obfuscated_archetype = [
+        FunctionSpec(gen.signature(), mutability=m,
+                     returns=("uint256",) if m in ("view", "pure") else ())
+        for m in _MUTABILITIES
+    ]
+    fixtures = [
+        (mutability_archetype, CodegenOptions(version="0.8.0")),
+        (returns_archetype, CodegenOptions(version="0.8.0")),
+        (obfuscated_archetype,
+         CodegenOptions(version="0.8.0", obfuscate=True)),
+    ]
+    for specs, options in fixtures:
+        contract = compile_contract(specs, options)
+        corpus.cases.append(
+            ContractCase(
+                contract, options,
+                tuple(spec.sig for spec in specs),
+                (None,) * len(specs),
+            )
+        )
+
+    for _ in range(max(0, n_contracts - len(fixtures))):
+        options = _weighted_version(rng, catalog)
+        corpus.cases.append(
+            _build_contract_case(
+                gen, rng, options, rng.randint(1, max_functions),
+                quirk_rate=0.0, storage_rate=0.3,
+                mutability_rate=1.0, returns_rate=0.7,
             )
         )
     return corpus

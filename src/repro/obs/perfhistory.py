@@ -46,6 +46,9 @@ TIERS: Tuple[Tuple[str, str, bool], ...] = (
     # Full-pipeline recovery throughput relative to the core passes: a
     # drop means the framework's added analysis passes got slower.
     ("analysis", "throughput_ratio", False),
+    # ABI-completion overhead: full pipeline vs core passes on the ABI
+    # corpus; a drop means mutability/returns recovery got slower.
+    ("abi", "throughput_ratio", False),
 )
 
 _CALIBRATION_N = 200_000

@@ -520,6 +520,59 @@ class SigRec:
         )
         return profile
 
+    def abi(
+        self,
+        bytecode: bytes,
+        signatures: Optional[List[RecoveredSignature]] = None,
+    ) -> List[dict]:
+        """A standard Solidity ABI JSON array, from the bytecode alone.
+
+        Inputs come from signature recovery (run here unless
+        ``signatures`` is supplied), ``stateMutability`` from the
+        mutability pass, and ``outputs`` from the returns pass's
+        word-granular skeletons (static words as ``uint256``, dynamic
+        tails as ``bytes``).  The static verdicts never guess, but the
+        ABI format cannot express uncertainty, so ``unknown``
+        mutability degrades to ``nonpayable`` (the weakest claim) and
+        an unknown return shape degrades to no declared outputs — the
+        profile document (:meth:`profile`) keeps the honest verdicts.
+
+        Functions are named ``func_<selector hex>``; entries are sorted
+        by selector.  The array validates against
+        ``docs/abi.schema.json``.
+        """
+        if signatures is None:
+            signatures = self.recover(bytecode)
+        analysis = self._analyze(bytecode)
+        by_selector = {sig.selector: sig for sig in signatures}
+        mutability = analysis.mutability
+        returns = analysis.returns
+        entries: List[dict] = []
+        for selector in sorted(set(analysis.selectors) | set(by_selector)):
+            sig = by_selector.get(selector)
+            inputs = [
+                {"name": f"arg{i}", "type": rendered}
+                for i, rendered in enumerate(sig.param_types)
+            ] if sig is not None else []
+            verdict = "unknown"
+            if mutability is not None:
+                verdict = mutability.functions.get(selector, "unknown")
+            if verdict == "unknown":
+                verdict = "nonpayable"
+            shape: tuple = ()
+            if returns is not None:
+                recovered = returns.functions.get(selector)
+                if recovered is not None and recovered.shape is not None:
+                    shape = recovered.shape
+            entries.append({
+                "type": "function",
+                "name": f"func_{selector:08x}",
+                "inputs": inputs,
+                "outputs": [{"name": "", "type": t} for t in shape],
+                "stateMutability": verdict,
+            })
+        return entries
+
     def recover_batch(
         self,
         bytecodes: List[bytes],

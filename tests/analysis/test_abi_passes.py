@@ -1,0 +1,195 @@
+"""The ABI-completion passes: reachability, mutability, returns."""
+
+import json
+import os
+
+import pytest
+
+from repro.abi.signature import FunctionSignature
+from repro.analysis import analyze
+from repro.analysis.schema import validate
+from repro.compiler import compile_contract
+from repro.compiler.contract import ContractBuildError, FunctionSpec
+from repro.compiler.options import CodegenOptions
+from repro.compiler.storage import StorageVariableSpec
+from repro.evm.asm import Assembler
+from repro.sigrec.api import SigRec
+
+_DOCS = os.path.join(os.path.dirname(__file__), "..", "..", "docs")
+
+
+def _selector(sig):
+    return int.from_bytes(sig.selector, "big")
+
+
+def _compile(specs, **options):
+    return compile_contract(specs, CodegenOptions(**options))
+
+
+@pytest.mark.parametrize("obfuscate", [False, True])
+@pytest.mark.parametrize(
+    "mutability", ["payable", "nonpayable", "view", "pure"]
+)
+def test_mutability_recovered_per_declaration(mutability, obfuscate):
+    sig = FunctionSignature.parse("f(uint256)")
+    contract = _compile(
+        [FunctionSpec(sig, mutability=mutability)], obfuscate=obfuscate
+    )
+    analysis = analyze(contract.bytecode)
+    report = analysis.mutability.functions
+    assert report[_selector(sig)] == mutability
+
+
+def test_legacy_emission_reads_as_payable_with_no_outputs():
+    sig = FunctionSignature.parse("f(uint8)")
+    contract = _compile([FunctionSpec(sig)])
+    analysis = analyze(contract.bytecode)
+    selector = _selector(sig)
+    assert analysis.mutability.functions[selector] == "payable"
+    assert analysis.returns.functions[selector].shape == ()
+
+
+def test_payable_value_read_is_not_a_guard():
+    # `CALLVALUE POP` uses the opcode without branching on it — the
+    # recognizer must not read presence as the guard idiom.
+    sig = FunctionSignature.parse("deposit()")
+    contract = _compile([FunctionSpec(sig, mutability="payable")])
+    analysis = analyze(contract.bytecode)
+    assert analysis.mutability.functions[_selector(sig)] == "payable"
+
+
+def test_storage_traffic_forces_nonpayable_over_view():
+    read = ("read", StorageVariableSpec(0, "value"))
+    write = ("write", StorageVariableSpec(1, "value"))
+    viewer = FunctionSpec(
+        FunctionSignature.parse("peek()"), mutability="view",
+        storage_ops=(read,),
+    )
+    writer = FunctionSpec(
+        FunctionSignature.parse("poke()"), mutability="nonpayable",
+        storage_ops=(write,),
+    )
+    analysis = analyze(_compile([viewer, writer]).bytecode)
+    assert analysis.mutability.functions[_selector(viewer.sig)] == "view"
+    assert analysis.mutability.functions[_selector(writer.sig)] == "nonpayable"
+
+
+def test_contradictory_declarations_are_build_errors():
+    read = ("read", StorageVariableSpec(0, "value"))
+    write = ("write", StorageVariableSpec(1, "value"))
+    with pytest.raises(ContractBuildError, match="pure"):
+        _compile([
+            FunctionSpec(FunctionSignature.parse("f()"), mutability="pure",
+                         storage_ops=(read,))
+        ])
+    with pytest.raises(ContractBuildError, match="view"):
+        _compile([
+            FunctionSpec(FunctionSignature.parse("f()"), mutability="view",
+                         storage_ops=(write,))
+        ])
+
+
+@pytest.mark.parametrize("shape", [
+    ("uint256",),
+    ("uint256", "uint256"),
+    ("bytes",),
+    ("string",),
+    ("uint256", "bytes", "bool"),
+    ("string", "uint256"),
+])
+def test_return_shapes_recovered(shape):
+    from repro.compiler.effects import returns_skeleton
+
+    sig = FunctionSignature.parse("f(uint8)")
+    contract = _compile(
+        [FunctionSpec(sig, mutability="nonpayable", returns=shape)]
+    )
+    analysis = analyze(contract.bytecode)
+    recovered = analysis.returns.functions[_selector(sig)]
+    assert recovered.shape == returns_skeleton(shape)
+    assert recovered.sites
+
+
+def test_reachability_regions_are_disjoint_on_bodies():
+    a = FunctionSpec(FunctionSignature.parse("a(uint8)"), mutability="pure")
+    b = FunctionSpec(
+        FunctionSignature.parse("b(uint8)"), mutability="nonpayable"
+    )
+    analysis = analyze(_compile([a, b]).bytecode)
+    reach = analysis.reach
+    assert not reach.incomplete
+    fa = reach.functions[_selector(a.sig)]
+    fb = reach.functions[_selector(b.sig)]
+    assert fa.complete and fb.complete
+    # Different effect markers land in different regions: only b SSTOREs.
+    assert "SSTORE" not in fa.ops
+    assert "SSTORE" in fb.ops
+
+
+def _unresolved_region_bytecode():
+    """A dispatcher whose single body ends in a calldata-derived JUMP —
+    the one shape the dataflow pass can never resolve."""
+    asm = Assembler()
+    asm.push(0).op("CALLDATALOAD").push(0xE0).op("SHR")
+    asm.op("DUP1").push(0xA9059CBB, width=4).op("EQ")
+    asm.push_label("body").op("JUMPI")
+    asm.label("fallback").op("JUMPDEST").op("STOP")
+    asm.label("body").op("JUMPDEST").op("POP")
+    asm.push(4).op("CALLDATALOAD").op("JUMP")
+    return asm.assemble()
+
+
+def test_incomplete_region_degrades_to_unknown_not_a_guess():
+    analysis = analyze(_unresolved_region_bytecode())
+    assert analysis.cfg.unresolved_jumps
+    function = analysis.reach.functions[0xA9059CBB]
+    assert not function.complete
+    assert analysis.mutability.functions[0xA9059CBB] == "unknown"
+    assert analysis.returns.functions[0xA9059CBB].shape is None
+
+
+def test_profile_abi_section_keeps_honest_verdicts():
+    sig = FunctionSignature.parse("f(uint8)")
+    contract = _compile(
+        [FunctionSpec(sig, mutability="view", returns=("uint256",))]
+    )
+    profile = SigRec().profile(contract.bytecode)
+    entry = profile.abi[f"0x{_selector(sig):08x}"]
+    assert entry == {"mutability": "view", "returns": ["uint256"]}
+
+    schema = json.load(open(os.path.join(_DOCS, "profile.schema.json")))
+    assert validate(profile.to_dict(), schema) == []
+
+
+def test_profile_abi_honest_unknown_for_unresolved_region():
+    profile = SigRec().profile(_unresolved_region_bytecode())
+    entry = profile.abi["0xa9059cbb"]
+    assert entry == {"mutability": "unknown", "returns": None}
+
+
+def test_sigrec_abi_is_valid_standard_abi_json():
+    specs = [
+        FunctionSpec(FunctionSignature.parse("pay(uint256)"),
+                     mutability="payable"),
+        FunctionSpec(FunctionSignature.parse("get()"), mutability="view",
+                     returns=("uint256",)),
+        FunctionSpec(FunctionSignature.parse("name()"), mutability="pure",
+                     returns=("string",)),
+    ]
+    abi = SigRec().abi(_compile(specs).bytecode)
+    schema = json.load(open(os.path.join(_DOCS, "abi.schema.json")))
+    assert validate(abi, schema) == []
+    by_mutability = {e["stateMutability"] for e in abi}
+    assert by_mutability == {"payable", "view", "pure"}
+    named = {e["name"]: e for e in abi}
+    get = named[f"func_{_selector(specs[1].sig):08x}"]
+    assert [o["type"] for o in get["outputs"]] == ["uint256"]
+    pay = named[f"func_{_selector(specs[0].sig):08x}"]
+    assert [i["type"] for i in pay["inputs"]] == ["uint256"]
+
+
+def test_sigrec_abi_degrades_unknown_to_nonpayable():
+    abi = SigRec().abi(_unresolved_region_bytecode())
+    entry = next(e for e in abi if e["name"] == "func_a9059cbb")
+    assert entry["stateMutability"] == "nonpayable"
+    assert entry["outputs"] == []

@@ -26,7 +26,8 @@ def _code(signature="f(uint8)"):
 def test_default_pipeline_runs_all_passes():
     context = DEFAULT_PIPELINE.run(_code())
     assert DEFAULT_PIPELINE.names() == (
-        "cfg", "jumps", "stack", "dispatcher", "storage", "lint",
+        "cfg", "jumps", "stack", "dispatcher", "storage",
+        "reach", "mutability", "returns", "lint",
     )
     for name in DEFAULT_PIPELINE.names():
         assert name in context
@@ -109,7 +110,7 @@ def test_pass_versions_follow_monkeypatched_pipeline(monkeypatch):
     bumped = DEFAULT_PIPELINE.replace(
         lint=AnalysisPass(
             "lint", 9, framework._run_lint,
-            requires=("jumps", "stack", "dispatcher"),
+            requires=("jumps", "stack", "dispatcher", "storage"),
         )
     )
     monkeypatch.setattr(framework, "DEFAULT_PIPELINE", bumped)
@@ -121,6 +122,9 @@ def test_analyze_with_core_pipeline_omits_new_products():
     analysis = analyze(_code(), pipeline=CORE_PIPELINE)
     assert analysis.storage is None
     assert analysis.lint_findings is None
+    assert analysis.reach is None
+    assert analysis.mutability is None
+    assert analysis.returns is None
     assert analysis.dispatcher.selectors
 
 
@@ -128,6 +132,9 @@ def test_analyze_default_carries_storage_and_lint():
     analysis = analyze(_code())
     assert analysis.storage is not None
     assert analysis.lint_findings is not None
+    assert analysis.reach is not None
+    assert analysis.mutability is not None
+    assert analysis.returns is not None
 
 
 def test_pass_spans_and_counters_when_observing():

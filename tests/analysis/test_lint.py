@@ -58,3 +58,45 @@ def test_findings_sorted_by_pc():
     report = lint_bytecode(a.assemble())
     pcs = [f.pc for f in report.findings]
     assert pcs == sorted(pcs)
+
+
+def test_unresolved_storage_sites_surface_as_info_findings():
+    """A symbolic slot (calldata-derived) is a layout blind spot: the
+    lint pass must attribute it to the dispatched function."""
+    from repro.analysis import analyze
+
+    asm = Assembler()
+    asm.push(0).op("CALLDATALOAD").push(0xE0).op("SHR")
+    asm.op("DUP1").push(0xA9059CBB, width=4).op("EQ")
+    asm.push_label("body").op("JUMPI")
+    asm.label("fallback").op("JUMPDEST").op("STOP")
+    asm.label("body").op("JUMPDEST").op("POP")
+    asm.push(4).op("CALLDATALOAD").op("SLOAD").op("POP").op("STOP")
+    analysis = analyze(asm.assemble())
+
+    assert analysis.storage.unresolved == 1
+    blind = [
+        f for f in analysis.lint_findings if f.kind == "storage-unresolved"
+    ]
+    assert len(blind) == 1
+    assert blind[0].severity == "info"
+    assert "0xa9059cbb" in blind[0].detail
+    assert "1 storage access site(s)" in blind[0].detail
+
+
+def test_resolved_storage_traffic_raises_no_blind_spot_findings():
+    from repro.analysis import analyze
+    from repro.compiler.contract import FunctionSpec
+    from repro.compiler.storage import StorageVariableSpec
+
+    contract = compile_contract([
+        FunctionSpec(
+            FunctionSignature.parse("f(uint8)"),
+            storage_ops=(("read", StorageVariableSpec(0, "value")),),
+        )
+    ])
+    analysis = analyze(contract.bytecode)
+    assert analysis.storage.unresolved == 0
+    assert not [
+        f for f in analysis.lint_findings if f.kind == "storage-unresolved"
+    ]

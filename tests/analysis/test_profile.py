@@ -15,7 +15,11 @@ from repro.analysis.report import (
 )
 from repro.analysis.schema import SchemaError, validate, validate_or_raise
 from repro.compiler import CodegenOptions, compile_contract
-from repro.corpus.datasets import build_clone_corpus, build_open_source_corpus
+from repro.corpus.datasets import (
+    build_abi_corpus,
+    build_clone_corpus,
+    build_open_source_corpus,
+)
 from repro.sigrec.api import SigRec
 from repro.sigrec.batch import BatchRecovery
 
@@ -51,6 +55,10 @@ def _variant_bytecodes():
     out.extend(
         case.contract.bytecode
         for case in build_open_source_corpus(n_contracts=4, seed=1).cases
+    )
+    out.extend(
+        case.contract.bytecode
+        for case in build_abi_corpus(n_contracts=4, seed=23).cases
     )
     return out
 

@@ -1,0 +1,122 @@
+"""Error paths of the subset JSON-schema validator.
+
+The happy path runs constantly (CI validates every profile and ABI
+document); these tests pin the *rejection* behaviour — each supported
+keyword must produce a violation message anchored at the right path,
+and malformed schemas must raise rather than validate vacuously.
+"""
+
+import pytest
+
+from repro.analysis.schema import SchemaError, validate, validate_or_raise
+
+
+def test_type_mismatch_reports_expected_and_actual():
+    errors = validate("five", {"type": "integer"})
+    assert errors == ["$: expected integer, got str"]
+
+
+def test_type_mismatch_stops_cascading_structure_checks():
+    # A non-object can't be missing properties: exactly one violation.
+    schema = {"type": "object", "required": ["a"], "properties": {"a": {}}}
+    errors = validate([1, 2], schema)
+    assert len(errors) == 1
+    assert "expected object" in errors[0]
+
+
+def test_bool_is_not_an_integer():
+    assert validate(True, {"type": "integer"})
+    assert validate(True, {"type": "boolean"}) == []
+
+
+def test_type_union_accepts_either_branch():
+    schema = {"type": ["array", "null"]}
+    assert validate(None, schema) == []
+    assert validate([], schema) == []
+    assert validate("nope", schema) == ["$: expected array/null, got str"]
+
+
+def test_missing_required_key_names_the_property():
+    schema = {
+        "type": "object",
+        "required": ["mutability", "returns"],
+        "properties": {"mutability": {}, "returns": {}},
+    }
+    errors = validate({"mutability": "view"}, schema)
+    assert errors == ["$: missing required property 'returns'"]
+
+
+def test_unexpected_additional_property_rejected():
+    schema = {
+        "type": "object",
+        "properties": {"known": {}},
+        "additionalProperties": False,
+    }
+    errors = validate({"known": 1, "extra": 2}, schema)
+    assert errors == ["$: unexpected property 'extra'"]
+
+
+def test_pattern_properties_count_as_matched():
+    schema = {
+        "type": "object",
+        "patternProperties": {"^0x[0-9a-f]{8}$": {"type": "integer"}},
+        "additionalProperties": False,
+    }
+    assert validate({"0xa9059cbb": 7}, schema) == []
+    errors = validate({"0xZZ": 7}, schema)
+    assert errors == ["$: unexpected property '0xZZ'"]
+    errors = validate({"0xa9059cbb": "seven"}, schema)
+    assert errors == ["$.0xa9059cbb: expected integer, got str"]
+
+
+def test_nested_array_item_failure_is_indexed():
+    schema = {
+        "type": "array",
+        "items": {
+            "type": "object",
+            "required": ["name"],
+            "properties": {
+                "name": {"type": "string"},
+                "tags": {"type": "array", "items": {"type": "string"}},
+            },
+        },
+    }
+    instance = [
+        {"name": "ok", "tags": ["a"]},
+        {"name": "bad", "tags": ["a", 3]},
+        {"tags": []},
+    ]
+    errors = validate(instance, schema)
+    assert "$[1].tags[1]: expected string, got int" in errors
+    assert "$[2]: missing required property 'name'" in errors
+    assert len(errors) == 2
+
+
+def test_enum_const_pattern_and_bounds():
+    assert validate("maybe", {"enum": ["yes", "no"]})
+    assert validate(3, {"const": 2})
+    assert validate("xyz", {"pattern": "^[0-9]+$"})
+    assert validate(1, {"minimum": 2})
+    assert validate(3, {"maximum": 2})
+    assert validate(2, {"minimum": 2, "maximum": 2}) == []
+
+
+def test_unknown_schema_keyword_raises_not_ignores():
+    with pytest.raises(SchemaError, match="unsupported schema keyword"):
+        validate({}, {"typo_keyword": True})
+
+
+def test_unsupported_type_name_raises():
+    with pytest.raises(SchemaError, match="unsupported type"):
+        validate(1, {"type": "decimal"})
+
+
+def test_validate_or_raise_lists_every_violation():
+    schema = {
+        "type": "object",
+        "required": ["a", "b"],
+        "properties": {"a": {}, "b": {}},
+    }
+    with pytest.raises(ValueError, match="2 schema violation"):
+        validate_or_raise({}, schema)
+    validate_or_raise({"a": 1, "b": 2}, schema)  # silent on success

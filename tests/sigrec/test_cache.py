@@ -4,6 +4,8 @@ import json
 import os
 from dataclasses import replace
 
+import pytest
+
 from repro.abi.signature import FunctionSignature
 from repro.compiler import compile_contract
 from repro.sigrec.api import RecoveredSignature, SigRec
@@ -131,16 +133,16 @@ def test_recover_batch_cache_dir_round_trip(tmp_path):
     assert _essence(first) == _essence(second)
 
 
-def _bumped_pipeline():
-    """The default pipeline with the storage pass's schema version
-    bumped — semantics unchanged, version provenance changed."""
+def _bumped_pipeline(name="storage"):
+    """The default pipeline with one pass's schema version bumped —
+    semantics unchanged, version provenance changed."""
     from repro.analysis import framework
 
-    storage = next(
-        p for p in framework.DEFAULT_PIPELINE if p.name == "storage"
+    bumped = next(
+        p for p in framework.DEFAULT_PIPELINE if p.name == name
     )
     return framework.DEFAULT_PIPELINE.replace(
-        storage=replace(storage, version=storage.version + 1)
+        **{name: replace(bumped, version=bumped.version + 1)}
     )
 
 
@@ -172,6 +174,25 @@ def test_pass_version_bump_invalidates_function_memo(tmp_path, monkeypatch):
     monkeypatch.setattr(framework, "DEFAULT_PIPELINE", _bumped_pipeline())
     after = FunctionMemo(options, directory=str(tmp_path))
     assert before.fingerprint != after.fingerprint
+
+
+@pytest.mark.parametrize("name", ["reach", "mutability", "returns"])
+def test_abi_pass_version_bumps_invalidate_both_tiers(
+    tmp_path, monkeypatch, name
+):
+    """Each new ABI pass's version flows into the result-cache and
+    function-memo fingerprints, exactly like the storage pass."""
+    from repro.analysis import framework
+    from repro.sigrec.cache import FunctionMemo
+
+    options = SigRec().options()
+    cold_fingerprint = options_fingerprint(options)
+    memo_before = FunctionMemo(options, directory=str(tmp_path))
+
+    monkeypatch.setattr(framework, "DEFAULT_PIPELINE", _bumped_pipeline(name))
+    assert options_fingerprint(options) != cold_fingerprint
+    memo_after = FunctionMemo(options, directory=str(tmp_path))
+    assert memo_before.fingerprint != memo_after.fingerprint
 
 
 def test_analysis_memo_shares_one_walk_per_bytecode(monkeypatch):

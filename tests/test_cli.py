@@ -453,3 +453,70 @@ def test_stats_renders_metrics_document(token_hex, tmp_path, capsys):
 def test_stats_rejects_missing_document(tmp_path):
     with pytest.raises(SystemExit):
         main(["stats", str(tmp_path / "absent.json")])
+
+
+def test_abi_command_emits_standard_abi_json(capsys):
+    import json
+
+    from repro.compiler.contract import FunctionSpec
+
+    contract = compile_contract([
+        FunctionSpec(FunctionSignature.parse("get()"), mutability="view",
+                     returns=("uint256",)),
+        FunctionSpec(FunctionSignature.parse("pay(uint256)"),
+                     mutability="payable"),
+    ])
+    assert main(["abi", contract.bytecode.hex()]) == 0
+    compact = capsys.readouterr().out
+    assert compact.count("\n") == 1  # one compact line
+    entries = json.loads(compact)
+    assert {e["stateMutability"] for e in entries} == {"view", "payable"}
+
+    assert main(["abi", "--pretty", contract.bytecode.hex()]) == 0
+    pretty = capsys.readouterr().out
+    assert json.loads(pretty) == entries
+    assert pretty.count("\n") > 1
+
+
+def test_passes_command_lists_pipeline(capsys):
+    import json
+
+    assert main(["passes"]) == 0
+    out = capsys.readouterr().out
+    assert "cfg v1" in out
+    assert "mutability v1 <- jumps, dispatcher, reach" in out
+
+    assert main(["passes", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    names = [entry["name"] for entry in doc]
+    assert names == [
+        "cfg", "jumps", "stack", "dispatcher", "storage",
+        "reach", "mutability", "returns", "lint",
+    ]
+    assert all(entry["version"] >= 1 for entry in doc)
+
+
+def test_batch_profiles_out_writes_one_document_per_contract(
+    token_hex, tmp_path, capsys
+):
+    import json
+    import os
+
+    corpus = tmp_path / "corpus.txt"
+    corpus.write_text(f"{token_hex}\n{token_hex}\n")
+    out_dir = tmp_path / "profiles"
+    assert main([
+        "batch", str(corpus), "--workers", "0",
+        "--profiles-out", str(out_dir),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "profiles: wrote 2" in captured.err
+    assert "contract 0: " in captured.out
+    names = sorted(os.listdir(out_dir))
+    assert len(names) == 2
+    assert names[0].startswith("0000_") and names[1].startswith("0001_")
+    docs = [json.loads((out_dir / name).read_text()) for name in names]
+    # Identical bytecode -> byte-identical profile documents.
+    assert docs[0] == docs[1]
+    assert docs[0]["profile_schema"] == 2
+    assert "0xa9059cbb" in docs[0]["abi"]
