@@ -1,30 +1,47 @@
-"""Null-backend observability overhead on the serial recovery path.
+"""Observability overhead gates on the recovery path.
 
-Every layer of the recovery pipeline now carries instrumentation hooks
-(engine tallies, phase spans, per-recover counters), all guarded by an
-identity check against the shared null singletons.  This benchmark
-bounds what those guards cost when observability is *off*: a fully
-instrumented ``SigRec.recover`` with the default null backends must
-stay within 3% of a hand-rolled engine+inference loop that bypasses
-the instrumented wrapper entirely, over the same 80-contract corpus
-the pruning benchmark uses.
+Two bounds, two configurations:
+
+* **disabled** — every layer carries instrumentation hooks (engine
+  tallies, phase spans, per-recover counters), all guarded by an
+  identity check against the shared null singletons.  A fully
+  instrumented ``SigRec.recover`` with the default null backends must
+  stay within 3% of a hand-rolled engine+inference loop that bypasses
+  the instrumented wrapper entirely, over the same 80-contract corpus
+  the pruning benchmark uses.
+* **ledger-enabled** — turning the run ledger on (which auto-creates a
+  real registry for phase attribution) must cost under 5% on a serial
+  batch over the throughput corpus.  The instrumented pass also feeds
+  the ``phases`` section of ``BENCH_throughput.json``, the baseline
+  ``repro report --check-perf`` uses to name the phase whose share of
+  wall time moved when a tier regresses.
 """
 
 import time
 
+from repro.compiler import compile_contract
 from repro.corpus.datasets import (
     build_closed_source_corpus,
     build_obfuscated_corpus,
     build_vyper_corpus,
 )
-from repro.obs import NULL_REGISTRY, NULL_TRACER
+from repro.corpus.signatures import SignatureGenerator
+from repro.obs import NULL_REGISTRY, NULL_TRACER, RunLedger
 from repro.sigrec.api import SigRec
+from repro.sigrec.batch import BatchRecovery
 from repro.sigrec.engine import TASEEngine
 from repro.sigrec.inference import infer_function
 from repro.sigrec.rules import RuleTracker
 
 OVERHEAD_LIMIT = 1.03
 ROUNDS = 9
+
+LEDGER_OVERHEAD_LIMIT = 1.05
+LEDGER_ROUNDS = 7
+
+#: The non-overlapping top-level pipeline phases (``analysis.*`` nests
+#: inside ``static_analysis``; ``recover`` is the outer span).
+_TOP_PHASES = ("disasm", "static_analysis", "tase", "inference")
 
 
 def _bytecodes():
@@ -55,8 +72,11 @@ def _instrumented_pass(bytecodes):
     recovered = 0
     for code in bytecodes:
         # Fresh tool per contract (the batch-worker pattern) so the
-        # result memo never short-circuits the engine.
-        tool = SigRec(static_check=False)
+        # result memo never short-circuits the engine, and the same
+        # monolithic strategy as the bare loop — sharded exploration
+        # runs one engine per selector, which would make the ratio
+        # measure strategy cost instead of instrumentation guards.
+        tool = SigRec(static_check=False, sharded=False, memo=False)
         assert tool.metrics is NULL_REGISTRY and tool.tracer is NULL_TRACER
         recovered += len(tool.recover(code))
     return recovered
@@ -111,5 +131,87 @@ def test_null_backend_overhead_under_three_percent(benchmark, record):
     assert best_ratio < OVERHEAD_LIMIT, (
         f"null-backend overhead {best_ratio:.4f} exceeds {OVERHEAD_LIMIT} "
         f"in every round (per-round ratios: "
+        f"{', '.join(f'{r:.3f}' for r in ratios)})"
+    )
+
+
+def _throughput_corpus():
+    """60 unique contracts, the steps-per-second benchmark's recipe."""
+    codes = []
+    for seed in (7, 11, 23):
+        gen = SignatureGenerator(seed=seed, struct_weight=2, nested_weight=2)
+        codes.extend(
+            compile_contract(gen.signatures(6)).bytecode for _ in range(20)
+        )
+    return codes
+
+
+def _plain_batch(codes):
+    runner = BatchRecovery(tool=SigRec(), workers=0)
+    return sum(len(r) for r in runner.recover_all(codes))
+
+
+def _ledgered_batch(codes):
+    """The full bookkeeping path: ledger + auto-created registry."""
+    ledger = RunLedger()
+    tool = SigRec(ledger=ledger)
+    runner = BatchRecovery(tool=tool, workers=0)
+    n = sum(len(r) for r in runner.recover_all(codes))
+    return n, ledger, tool.metrics
+
+
+def test_ledger_enabled_batch_overhead_under_five_percent(
+    benchmark, record, bench_json
+):
+    codes = _throughput_corpus()
+
+    def run():
+        # Untimed warmup on both sides (see the null-backend gate).
+        _plain_batch(codes)
+        _ledgered_batch(codes)
+        ratios = []
+        plain_n = ledgered_n = 0
+        ledger = registry = None
+        for _round in range(LEDGER_ROUNDS):
+            start = time.process_time()
+            plain_n = _plain_batch(codes)
+            plain_elapsed = time.process_time() - start
+            start = time.process_time()
+            ledgered_n, ledger, registry = _ledgered_batch(codes)
+            ledgered_elapsed = time.process_time() - start
+            ratios.append(ledgered_elapsed / plain_elapsed)
+        return ratios, plain_n, ledgered_n, ledger, registry
+
+    ratios, plain_n, ledgered_n, ledger, registry = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert ledgered_n == plain_n > 0
+    assert len(ledger.all_records()) == len(codes)
+
+    # Publish the phase-share baseline for report's mover attribution.
+    sums = registry.histogram_sums("phase.seconds", "phase")
+    top = {p: sums[p][0] for p in _TOP_PHASES if p in sums}
+    total = sum(top.values())
+    shares = {p: round(s / total, 6) for p, s in top.items()} if total else {}
+    bench_json("phases", shares)
+
+    best_ratio = min(ratios)
+    median_ratio = sorted(ratios)[len(ratios) // 2]
+    record(
+        "obs_ledger_overhead",
+        [
+            "Run-ledger overhead (serial batch, throughput corpus)",
+            f"contracts: {len(codes)} | functions: {plain_n}",
+            f"paired rounds: {LEDGER_ROUNDS} (plain vs ledgered CPU time)",
+            f"overhead ratio: best {best_ratio:.4f}, "
+            f"median {median_ratio:.4f} (limit {LEDGER_OVERHEAD_LIMIT})",
+            "phase shares: " + ", ".join(
+                f"{p} {s:.1%}" for p, s in shares.items()
+            ),
+        ],
+    )
+    assert best_ratio < LEDGER_OVERHEAD_LIMIT, (
+        f"ledger-enabled overhead {best_ratio:.4f} exceeds "
+        f"{LEDGER_OVERHEAD_LIMIT} in every round (per-round ratios: "
         f"{', '.join(f'{r:.3f}' for r in ratios)})"
     )

@@ -5,10 +5,20 @@ Commands
 
 recover   Recover function signatures from runtime bytecode (hex).
 batch     Recover many contracts (parallel workers + persistent cache);
-          ``--metrics-out``/``--trace-out`` capture telemetry.
+          ``--metrics-out``/``--trace-out`` capture telemetry,
+          ``--ledger-out``/``--slowlog-out``/``--profile-hotspots`` the
+          deep-observability payloads, and ``--serve-metrics PORT``
+          exposes live ``/metrics`` + ``/healthz`` + ``/ledger/summary``
+          while the batch runs.
 stats     Render a ``--metrics-out`` document for humans (top rules,
           prune/cache ratios, slowest contracts; ``--prometheus`` for
           the text exposition).
+report    One document over every telemetry source: phase-time
+          attribution, tier hit rates, hotspots, slowest exemplars and
+          the perf-history trajectory (``--json`` for machines).
+serve-metrics
+          Standalone telemetry endpoint over saved ``--metrics-out`` /
+          ``--ledger-out`` documents.
 ids       Extract function ids only (static scan).
 disasm    Disassemble runtime bytecode.
 lint      Statically verify bytecode: stack discipline, jump targets,
@@ -136,8 +146,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     ):
         raise SystemExit(f"error: --cache-dir {args.cache_dir} is not a directory")
     bytecodes = _read_batch_source(args.source)
-    metrics = tracer = trace_file = None
-    if args.metrics_out:
+    metrics = tracer = trace_file = ledger = profiler = slowlog = None
+    server = None
+    if args.metrics_out or args.serve_metrics is not None:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry()
@@ -146,6 +157,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
         trace_file = open(args.trace_out, "w", encoding="utf-8")
         tracer = SpanTracer(trace_file)
+    if args.ledger_out or args.serve_metrics is not None:
+        from repro.obs import RunLedger
+
+        # ``--serve-metrics`` without ``--ledger-out`` keeps the ledger
+        # in memory purely for the ``/ledger/summary`` endpoint.
+        ledger = RunLedger(args.ledger_out or None)
+    if args.profile_hotspots:
+        from repro.obs import HotLoopProfiler
+
+        profiler = HotLoopProfiler(mode=args.profile_hotspots)
+    if args.slowlog_out:
+        from repro.obs import SlowLog
+
+        slowlog = SlowLog(k=args.slowlog_k)
     try:
         tool = SigRec(
             prune=args.prune,
@@ -153,6 +178,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             memo=args.memo,
             metrics=metrics,
             tracer=tracer,
+            ledger=ledger,
+            profiler=profiler,
         )
         runner = BatchRecovery(
             tool=tool,
@@ -163,7 +190,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 if args.unit_size is not None
                 else DEFAULT_UNIT_SIZE
             ),
+            slowlog=slowlog,
         )
+        if args.serve_metrics is not None:
+            from repro.obs.httpexp import TelemetryServer
+
+            server = TelemetryServer(
+                registry=metrics, ledger=ledger, port=args.serve_metrics
+            ).start()
+            print(f"serving telemetry on {server.url()}", file=sys.stderr)
         if args.profiles_out:
             # profile_all runs recover_all internally (cache-backed),
             # then builds one deterministic profile per input.
@@ -171,7 +206,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         else:
             profiles = None
             results = runner.recover_all(bytecodes)
+        if server is not None and args.serve_hold > 0:
+            import time
+
+            print(
+                f"holding the endpoint for {args.serve_hold:g}s",
+                file=sys.stderr,
+            )
+            time.sleep(args.serve_hold)
     finally:
+        if server is not None:
+            server.stop()
         if tracer is not None:
             tracer.close()
             trace_file.close()
@@ -210,6 +255,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         # the file to start fresh.
         dump_metrics(metrics, args.metrics_out)
         print(f"metrics: {args.metrics_out}", file=sys.stderr)
+    if args.ledger_out:
+        print(
+            f"ledger: {args.ledger_out} ({ledger.written} records)",
+            file=sys.stderr,
+        )
+    if args.slowlog_out:
+        slowlog.dump(args.slowlog_out)
+        print(f"slowlog: {args.slowlog_out}", file=sys.stderr)
+    if profiler is not None:
+        sys.stderr.write(profiler.render_table())
     if args.time:
         print(f"batch: {runner.stats.summary()}", file=sys.stderr)
     return 0
@@ -227,6 +282,86 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         return 0
     trace_records = read_trace(args.trace) if args.trace else None
     sys.stdout.write(render_stats(doc, trace_records, top=args.top))
+    return 0
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    """Standalone telemetry endpoint over saved documents."""
+    from repro.obs.httpexp import TelemetryServer
+
+    if not args.metrics and not args.ledger:
+        raise SystemExit("error: need --metrics and/or --ledger to serve")
+    server = TelemetryServer(
+        metrics_path=args.metrics,
+        ledger_path=args.ledger,
+        host=args.host,
+        port=args.port,
+    )
+    print(f"serving telemetry on {server.url()}", file=sys.stderr)
+    if args.hold is not None:
+        import time
+
+        server.start()
+        time.sleep(args.hold)
+        server.stop()
+        return 0
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """One document over every telemetry source this run produced."""
+    import json
+
+    from repro.obs import load_metrics
+    from repro.obs.report import (
+        build_report,
+        perf_history_section,
+        render_report,
+    )
+
+    metrics_doc = ledger_records = slowlog = perf = None
+    if args.metrics:
+        metrics_doc = load_metrics(args.metrics)
+        if metrics_doc is None:
+            raise SystemExit(
+                f"error: {args.metrics} is not a metrics document"
+            )
+    if args.ledger:
+        from repro.obs import read_ledger
+
+        ledger_records = read_ledger(args.ledger)
+    if args.slowlog:
+        from repro.obs import SlowLog
+
+        try:
+            slowlog = SlowLog.load(args.slowlog)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: cannot read {args.slowlog}: {exc}")
+    if args.check_perf:
+        perf = perf_history_section(args.bench, args.history)
+    if metrics_doc is None and ledger_records is None and slowlog is None \
+            and perf is None:
+        raise SystemExit(
+            "error: nothing to report — give --metrics, --ledger, "
+            "--slowlog and/or --check-perf"
+        )
+    report = build_report(
+        metrics_doc=metrics_doc,
+        ledger_records=ledger_records,
+        slowlog=slowlog,
+        perf=perf,
+        top=args.top,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_report(report, top=args.top))
+    if perf is not None and perf.get("status") == "regressed":
+        return 1
     return 0
 
 
@@ -591,6 +726,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--profiles-out", default=None, metavar="DIR",
         help="write one contract-profile JSON per input to DIR",
     )
+    p.add_argument(
+        "--ledger-out", default=None, metavar="FILE",
+        help="append one run-ledger JSONL record per recovery to FILE",
+    )
+    p.add_argument(
+        "--slowlog-out", default=None, metavar="FILE",
+        help="write the K slowest units (span trees + diagnostics) to FILE",
+    )
+    p.add_argument(
+        "--slowlog-k", type=int, default=10, metavar="K",
+        help="how many slow exemplars --slowlog-out keeps (default 10)",
+    )
+    p.add_argument(
+        "--profile-hotspots", choices=["count", "sample"], default=None,
+        help="attribute TASE steps to superblock entry pcs "
+        "(count = exact, sample = cheap every-Nth-step)",
+    )
+    p.add_argument(
+        "--serve-metrics", type=int, default=None, metavar="PORT",
+        help="serve live /metrics, /healthz and /ledger/summary on PORT "
+        "(0 = ephemeral) while the batch runs",
+    )
+    p.add_argument(
+        "--serve-hold", type=float, default=0.0, metavar="SECONDS",
+        help="keep the --serve-metrics endpoint up SECONDS after the "
+        "batch finishes (for scrapers)",
+    )
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
@@ -604,6 +766,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prometheus", action="store_true",
                    help="emit the Prometheus text exposition instead")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "report",
+        help="phase attribution, tier hit rates, hotspots, slow "
+        "exemplars and the perf-history trajectory in one document",
+    )
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="metrics JSON written by batch --metrics-out")
+    p.add_argument("--ledger", default=None, metavar="FILE",
+                   help="run-ledger JSONL written by batch --ledger-out")
+    p.add_argument("--slowlog", default=None, metavar="FILE",
+                   help="slow-exemplar JSON written by batch --slowlog-out")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report document")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows per ranking section")
+    p.add_argument("--check-perf", action="store_true",
+                   help="include the perf-history check; exit 1 when a "
+                   "tier regressed")
+    p.add_argument("--bench", default="BENCH_throughput.json",
+                   metavar="FILE", help="current benchmark document")
+    p.add_argument("--history", default="benchmarks/history", metavar="DIR",
+                   help="perf-history snapshot directory")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "serve-metrics",
+        help="standalone /metrics + /healthz + /ledger/summary endpoint "
+        "over saved telemetry documents",
+    )
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="metrics JSON to expose (re-read per scrape)")
+    p.add_argument("--ledger", default=None, metavar="FILE",
+                   help="run-ledger JSONL to summarize (re-read per scrape)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9464)
+    p.add_argument("--hold", type=float, default=None, metavar="SECONDS",
+                   help="serve for SECONDS then exit (default: run forever)")
+    p.set_defaults(func=_cmd_serve_metrics)
 
     p = sub.add_parser("ids", help="extract function ids only")
     p.add_argument("bytecode")

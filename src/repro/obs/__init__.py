@@ -8,7 +8,13 @@ Three pieces, all process-local and dependency-free:
 * :mod:`repro.obs.trace` — a :class:`SpanTracer` emitting structured
   JSONL span/event records (:data:`NULL_TRACER` when disabled);
 * :mod:`repro.obs.prom` / :mod:`repro.obs.stats` — the Prometheus text
-  exposition and the human ``repro stats`` rendering of a document.
+  exposition and the human ``repro stats`` rendering of a document;
+* :mod:`repro.obs.ledger` — the append-only per-recovery run ledger;
+* :mod:`repro.obs.profiler` — superblock hot-loop step attribution;
+* :mod:`repro.obs.slowlog` — the K slowest batch units with evidence;
+* :mod:`repro.obs.httpexp` / :mod:`repro.obs.report` — the live
+  ``/metrics`` endpoint and the ``repro report`` document (imported
+  lazily; not re-exported here to keep this package import cheap).
 
 :func:`phase_span` is the one-liner instrumented code uses at phase
 boundaries: it opens a tracer span and, on exit, observes the duration
@@ -22,6 +28,11 @@ from __future__ import annotations
 import time
 from typing import Any
 
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    read_ledger,
+)
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
     METRICS_SCHEMA_VERSION,
@@ -36,7 +47,9 @@ from repro.obs.metrics import (
     metric_key,
     parse_key,
 )
-from repro.obs.prom import render_prometheus
+from repro.obs.profiler import HotLoopProfiler
+from repro.obs.prom import render_prometheus, validate_exposition
+from repro.obs.slowlog import SlowLog
 from repro.obs.stats import render_stats
 from repro.obs.trace import (
     NULL_TRACER,
@@ -47,24 +60,30 @@ from repro.obs.trace import (
 
 __all__ = [
     "DEFAULT_TIME_BUCKETS",
+    "LEDGER_SCHEMA_VERSION",
     "METRICS_SCHEMA_VERSION",
     "Counter",
     "Gauge",
     "Histogram",
+    "HotLoopProfiler",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "RunLedger",
+    "SlowLog",
     "SpanTracer",
     "dump_metrics",
     "load_metrics",
     "metric_key",
     "parse_key",
     "phase_span",
+    "read_ledger",
     "read_trace",
     "render_prometheus",
     "render_stats",
+    "validate_exposition",
 ]
 
 

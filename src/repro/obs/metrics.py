@@ -33,6 +33,11 @@ import tempfile
 from bisect import bisect_left
 from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 #: Version of the serialized metrics document layout.
 METRICS_SCHEMA_VERSION = 1
 
@@ -215,6 +220,22 @@ class MetricsRegistry:
         """Plain ``key -> value`` view of every counter (for tests)."""
         return {k: c.value for k, c in self._counters.items()}
 
+    def histogram_sums(
+        self, name: str, label: str
+    ) -> Dict[str, Tuple[float, int]]:
+        """``label value -> (sum, count)`` across every ``name`` series.
+
+        The run ledger snapshots this for ``phase.seconds`` before and
+        after each ``recover`` call; the deltas are the per-record phase
+        attribution and reconcile exactly with the histogram totals.
+        """
+        out: Dict[str, Tuple[float, int]] = {}
+        for key, histogram in self._histograms.items():
+            base, labels = parse_key(key)
+            if base == name and label in labels:
+                out[labels[label]] = (histogram.sum, histogram.count)
+        return out
+
 
 # ----------------------------------------------------------------------
 # The null backend
@@ -306,26 +327,43 @@ def dump_metrics(
     runs accumulate like Prometheus counters — a cold run's cache
     misses and the warm rerun's hits end up in one document.  Delete
     the file to reset.
+
+    The load+merge+replace sequence is guarded by an advisory ``fcntl``
+    lock on a ``<path>.lock`` sidecar, so two processes finishing at
+    the same moment serialize instead of one silently overwriting the
+    other's merge.  The sidecar (not the data file) is locked because
+    ``os.replace`` swaps the data file's inode out from under any lock
+    held on it.  On platforms without ``fcntl`` the lock degrades to a
+    no-op — the pre-lock (single-writer) behavior.
     """
-    combined = MetricsRegistry()
-    if merge_existing:
-        existing = load_metrics(path)
-        if existing is not None:
-            combined.merge(existing)
-    combined.merge(registry)
-    doc = combined.to_dict()
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    lock_handle = None
+    if fcntl is not None:
+        lock_handle = open(path + ".lock", "a")
+        fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(doc, handle, indent=2)
-            handle.write("\n")
-        os.replace(tmp_path, path)
-    except BaseException:
+        combined = MetricsRegistry()
+        if merge_existing:
+            existing = load_metrics(path)
+            if existing is not None:
+                combined.merge(existing)
+        combined.merge(registry)
+        doc = combined.to_dict()
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=2)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+    finally:
+        if lock_handle is not None:
+            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+            lock_handle.close()
     return doc

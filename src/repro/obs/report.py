@@ -1,0 +1,370 @@
+"""``repro report`` — one document over every telemetry source.
+
+Builds a structured report (and its human rendering) from any subset
+of: a metrics document (``--metrics-out``), a run ledger, a slowlog,
+and the perf-history trajectory.  Sections:
+
+* **phases** — per-phase time attribution from the ``phase.seconds``
+  histograms, with each phase's share of the attributable wall time
+  (the ``recover`` span nests the others and is excluded from shares);
+* **tiers** — result-cache / function-memo hit rates from the
+  counters, plus the per-record tier outcome counts from the ledger;
+* **hotspots** — profiler step attribution aggregated across ledger
+  records;
+* **slowest** — the slowest ledger records and, when a slowlog is
+  given, the kept exemplars with their span trees;
+* **perf_history** — ``benchmarks/perf_history.py check`` outcome and,
+  when a tier regressed and both sides carry a ``phases`` section in
+  the bench document, the phase whose share of wall time moved most.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.obs.metrics import parse_key
+from repro.obs.ledger import summarize, top_by_elapsed
+from repro.obs.profiler import render_hotspots, top_hotspots
+from repro.obs.slowlog import SlowLog, span_tree_lines
+
+__all__ = [
+    "build_report",
+    "perf_history_section",
+    "render_report",
+]
+
+#: The non-overlapping top-level pipeline phases: shares are computed
+#: over these four only.  ``recover`` nests all of them and the
+#: ``analysis.*`` passes nest inside ``static_analysis``, so folding
+#: either into the denominator would double-count wall time.
+_TOP_PHASES = ("disasm", "static_analysis", "tase", "inference")
+
+
+def _phase_section(doc: Mapping) -> Dict[str, dict]:
+    """Per-phase seconds/count/share from a metrics document."""
+    phases: Dict[str, dict] = {}
+    for key, payload in doc.get("histograms", {}).items():
+        name, labels = parse_key(key)
+        if name != "phase.seconds" or "phase" not in labels:
+            continue
+        phases[labels["phase"]] = {
+            "seconds": float(payload.get("sum", 0.0)),
+            "count": int(payload.get("count", 0)),
+        }
+    attributable = sum(
+        entry["seconds"]
+        for phase, entry in phases.items()
+        if phase in _TOP_PHASES
+    )
+    for phase, entry in phases.items():
+        if phase in _TOP_PHASES and attributable > 0:
+            entry["share"] = entry["seconds"] / attributable
+    return dict(sorted(phases.items()))
+
+
+def _tier_section(doc: Mapping) -> dict:
+    """Cache/memo hit-rate breakdown from the counters."""
+    counters = doc.get("counters", {})
+
+    def value(key: str) -> int:
+        return int(counters.get(key, 0))
+
+    cache_hits = value("cache.hits")
+    cache_misses = value("cache.misses")
+    memo_memory = value("memo.hits{tier=memory}")
+    memo_disk = value("memo.hits{tier=disk}")
+    memo_misses = value("memo.misses")
+    cache_probes = cache_hits + cache_misses
+    memo_probes = memo_memory + memo_disk + memo_misses
+    return {
+        "result_cache": {
+            "hits": cache_hits,
+            "misses": cache_misses,
+            "invalidations": value("cache.invalidations"),
+            "hit_rate": cache_hits / cache_probes if cache_probes else None,
+        },
+        "function_memo": {
+            "hits_memory": memo_memory,
+            "hits_disk": memo_disk,
+            "misses": memo_misses,
+            "hit_rate": (
+                (memo_memory + memo_disk) / memo_probes
+                if memo_probes else None
+            ),
+        },
+    }
+
+
+def _aggregate_hotspots(records: Iterable[Mapping]) -> Dict[int, int]:
+    """Sum per-record ``hotspots`` tables across the ledger."""
+    counts: Dict[int, int] = {}
+    for record in records:
+        for entry in record.get("hotspots", []) or []:
+            pc, steps = int(entry[0]), int(entry[1])
+            counts[pc] = counts.get(pc, 0) + steps
+    return counts
+
+
+def _dominant_phase(record: Mapping) -> Optional[str]:
+    phases = record.get("phases")
+    if not isinstance(phases, Mapping) or not phases:
+        return None
+    candidates = {
+        phase: seconds
+        for phase, seconds in phases.items()
+        if phase in _TOP_PHASES
+    } or dict(phases)
+    return max(candidates.items(), key=lambda item: item[1])[0]
+
+
+def _slowest_section(records: List[Mapping], top: int) -> List[dict]:
+    out = []
+    for record in top_by_elapsed(records, top):
+        out.append({
+            "code_sha256": str(record.get("code_sha256", "?"))[:16],
+            "elapsed_seconds": float(record.get("elapsed_seconds", 0.0)),
+            "strategy": record.get("strategy"),
+            "tier": record.get("tier"),
+            "functions": record.get("functions"),
+            "dominant_phase": _dominant_phase(record),
+        })
+    return out
+
+
+def perf_history_section(
+    bench_path: str, history_dir: str, threshold: float = 0.2
+) -> dict:
+    """The trajectory check plus phase-share attribution.
+
+    Runs :func:`repro.obs.perfhistory.check_regression`; when a tier
+    regressed, compares the current bench document's ``phases`` section
+    (per-phase shares of attributable wall time, written by the
+    observability benchmark) against the newest history snapshot's to
+    name the phase whose share moved most.
+    """
+    from repro.obs.perfhistory import check_regression, history_entries
+
+    entries = history_entries(history_dir)
+    if not entries or not os.path.exists(bench_path):
+        return {"status": "no-history", "failures": []}
+    failures = check_regression(bench_path, history_dir, threshold=threshold)
+    section: dict = {
+        "status": "regressed" if failures else "ok",
+        "failures": failures,
+        "baseline_entry": entries[-1][0],
+        "threshold": threshold,
+    }
+    with open(bench_path, encoding="utf-8") as handle:
+        current = json.load(handle)
+    current_shares = current.get("phases")
+    previous_shares = entries[-1][1].get("bench", {}).get("phases")
+    if isinstance(current_shares, Mapping) and isinstance(
+        previous_shares, Mapping
+    ):
+        shifts = {}
+        for phase in sorted(set(current_shares) | set(previous_shares)):
+            cur = current_shares.get(phase)
+            prev = previous_shares.get(phase)
+            if not isinstance(cur, (int, float)) or not isinstance(
+                prev, (int, float)
+            ):
+                continue
+            shifts[phase] = round(float(cur) - float(prev), 6)
+        section["phase_shares"] = {
+            "current": dict(current_shares),
+            "previous": dict(previous_shares),
+            "shifts": shifts,
+        }
+        if shifts:
+            mover = max(shifts.items(), key=lambda item: abs(item[1]))
+            section["phase_shares"]["mover"] = mover[0]
+    elif failures:
+        # Regressed but unattributable: one side predates the phases
+        # section of the bench document.
+        section["phase_shares"] = None
+    return section
+
+
+def build_report(
+    metrics_doc: Optional[Mapping] = None,
+    ledger_records: Optional[List[Mapping]] = None,
+    slowlog: Optional[SlowLog] = None,
+    perf: Optional[Mapping] = None,
+    top: int = 10,
+) -> dict:
+    """Assemble the report document from whatever sources are given."""
+    report: dict = {"schema": 1}
+    if metrics_doc is not None:
+        report["phases"] = _phase_section(metrics_doc)
+        report["tiers"] = _tier_section(metrics_doc)
+    if ledger_records is not None:
+        report["ledger"] = summarize(ledger_records)
+        hotspots = _aggregate_hotspots(ledger_records)
+        if hotspots:
+            report["hotspots"] = [
+                [pc, steps] for pc, steps in top_hotspots(hotspots, top)
+            ]
+        report["slowest"] = _slowest_section(list(ledger_records), top)
+    if slowlog is not None:
+        report["exemplars"] = slowlog.to_dict()
+    if perf is not None:
+        report["perf_history"] = dict(perf)
+    return report
+
+
+def _render_phases(report: dict, lines: List[str]) -> None:
+    phases = report.get("phases")
+    ledger = report.get("ledger")
+    if not phases:
+        return
+    lines.append("phase time attribution")
+    ledger_phases = (
+        ledger.get("phase_seconds", {}) if isinstance(ledger, Mapping) else {}
+    )
+    for phase, entry in phases.items():
+        share = entry.get("share")
+        share_note = f"  {share:6.1%}" if share is not None else "        "
+        note = ""
+        if phase in ledger_phases:
+            note = f"  [ledger {ledger_phases[phase]:.3f}s]"
+        lines.append(
+            f"  {phase:<16} {entry['seconds']:>9.3f}s{share_note}"
+            f"  ({entry['count']} spans){note}"
+        )
+    lines.append("")
+
+
+def _render_tiers(report: dict, lines: List[str]) -> None:
+    tiers = report.get("tiers")
+    ledger = report.get("ledger")
+    if tiers:
+        lines.append("tier hit rates")
+        cache = tiers["result_cache"]
+        rate = cache["hit_rate"]
+        lines.append(
+            f"  result cache    {cache['hits']} hits / "
+            f"{cache['misses']} misses"
+            + (f"  ({rate:.0%} hit rate)" if rate is not None else "")
+        )
+        memo = tiers["function_memo"]
+        rate = memo["hit_rate"]
+        lines.append(
+            f"  function memo   {memo['hits_memory']} memory + "
+            f"{memo['hits_disk']} disk hits / {memo['misses']} misses"
+            + (f"  ({rate:.0%} hit rate)" if rate is not None else "")
+        )
+    if isinstance(ledger, Mapping) and ledger.get("tiers"):
+        rendered = ", ".join(
+            f"{tier} {count}" for tier, count in ledger["tiers"].items()
+        )
+        lines.append(f"  ledger outcomes {rendered}")
+    if tiers or (isinstance(ledger, Mapping) and ledger.get("tiers")):
+        lines.append("")
+
+
+def _render_ledger(report: dict, lines: List[str]) -> None:
+    ledger = report.get("ledger")
+    if not isinstance(ledger, Mapping):
+        return
+    lines.append(
+        f"run ledger: {ledger.get('records', 0)} records, "
+        f"{ledger.get('functions', 0)} functions, "
+        f"{ledger.get('truncated', 0)} truncated"
+    )
+    strategies = ledger.get("strategies", {})
+    if strategies:
+        rendered = ", ".join(
+            f"{name} {count}" for name, count in strategies.items()
+        )
+        lines.append(f"  strategies: {rendered}")
+    lines.append("")
+
+
+def _render_slowest(report: dict, lines: List[str], top: int) -> None:
+    slowest = report.get("slowest")
+    if slowest:
+        lines.append("slowest recoveries")
+        for entry in slowest[:top]:
+            dominant = entry.get("dominant_phase")
+            note = f"  mostly {dominant}" if dominant else ""
+            lines.append(
+                f"  {entry['code_sha256']}  "
+                f"{entry['elapsed_seconds']:.3f}s  "
+                f"{entry.get('strategy')}/{entry.get('tier')}{note}"
+            )
+        lines.append("")
+    exemplars = report.get("exemplars")
+    if isinstance(exemplars, Mapping) and exemplars.get("entries"):
+        lines.append("slow exemplars (with span trees)")
+        for entry in exemplars["entries"][:top]:
+            unit = entry.get("unit")
+            unit_note = f" unit {unit[0]}/{unit[1]}" if unit else ""
+            lines.append(
+                f"  {entry.get('contract')}{unit_note}  "
+                f"{entry.get('elapsed_seconds', 0.0):.3f}s"
+            )
+            for line in span_tree_lines(entry.get("spans", [])):
+                lines.append(f"    {line}")
+            for diagnostic in entry.get("diagnostics", []):
+                lines.append(
+                    f"    ! {diagnostic.get('kind')}: "
+                    f"{diagnostic.get('detail')}"
+                )
+        lines.append("")
+
+
+def _render_perf(report: dict, lines: List[str]) -> None:
+    perf = report.get("perf_history")
+    if not isinstance(perf, Mapping):
+        return
+    status = perf.get("status")
+    if status == "no-history":
+        lines.append("perf history: no snapshots to compare against")
+        lines.append("")
+        return
+    if status == "ok":
+        lines.append(
+            "perf history: OK — no tier regressed more than "
+            f"{perf.get('threshold', 0.2):.0%} vs entry "
+            f"{perf.get('baseline_entry')}"
+        )
+    else:
+        lines.append("perf history: REGRESSED")
+        for failure in perf.get("failures", []):
+            lines.append(f"  {failure}")
+    shares = perf.get("phase_shares")
+    if isinstance(shares, Mapping) and shares.get("mover"):
+        mover = shares["mover"]
+        shift = shares["shifts"].get(mover, 0.0)
+        previous = shares["previous"].get(mover)
+        current = shares["current"].get(mover)
+        lines.append(
+            f"  phase share moved most: {mover} "
+            f"({previous:.1%} -> {current:.1%}, {shift:+.1%})"
+        )
+    elif status == "regressed" and shares is None:
+        lines.append(
+            "  (no phase-share baseline in the bench history — rerun "
+            "the observability benchmark to record one)"
+        )
+    lines.append("")
+
+
+def render_report(report: dict, top: int = 10) -> str:
+    """The human rendering of :func:`build_report`'s document."""
+    lines: List[str] = []
+    _render_phases(report, lines)
+    _render_tiers(report, lines)
+    _render_ledger(report, lines)
+    hotspots = report.get("hotspots")
+    if hotspots:
+        counts = {int(pc): int(steps) for pc, steps in hotspots}
+        lines.append(render_hotspots(counts, n=top).rstrip("\n"))
+        lines.append("")
+    _render_slowest(report, lines, top)
+    _render_perf(report, lines)
+    while lines and not lines[-1]:
+        lines.pop()
+    return ("\n".join(lines) + "\n") if lines else "(empty report)\n"

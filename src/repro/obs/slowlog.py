@@ -1,0 +1,192 @@
+"""Slow-exemplar log: the K slowest batch units, with evidence.
+
+A regression on a 100k-contract batch shows up first as a shifted
+``contract.seconds`` histogram — which names no contract.  The slowlog
+keeps the K slowest (contract, selector-group) units *with their span
+trees and diagnostics*, so the report comes with concrete reproducers:
+which contract, which unit, which phase dominated, and what the
+cross-check had to say about it.
+
+:class:`SlowLog` is a bounded min-heap keyed by elapsed seconds;
+:meth:`offer` is O(log K) and drops fast units immediately, so feeding
+every unit of a chain-scale batch through it is cheap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "SLOWLOG_SCHEMA_VERSION",
+    "SlowLog",
+    "span_tree_lines",
+]
+
+SLOWLOG_SCHEMA_VERSION = 1
+
+
+def span_tree_lines(spans: Iterable[Mapping]) -> List[str]:
+    """Render span records (``span_start``/``span_end`` dicts) as an
+    indented duration tree, e.g.::
+
+        recover 0.101s
+          static_analysis 0.012s
+          tase 0.080s
+          inference 0.007s
+    """
+    starts: Dict[int, Mapping] = {}
+    order: List[int] = []
+    durations: Dict[int, float] = {}
+    children: Dict[Optional[int], List[int]] = {}
+    for record in spans:
+        kind = record.get("type")
+        if kind == "span_start":
+            span_id = record.get("id")
+            if span_id is None:
+                continue
+            starts[span_id] = record
+            order.append(span_id)
+        elif kind == "span_end":
+            span_id = record.get("id")
+            if span_id is not None:
+                durations[span_id] = float(record.get("dur", 0.0))
+    for span_id in order:
+        parent = starts[span_id].get("parent")
+        if parent not in starts:
+            parent = None
+        children.setdefault(parent, []).append(span_id)
+
+    lines: List[str] = []
+
+    def walk(span_id: int, depth: int) -> None:
+        record = starts[span_id]
+        duration = durations.get(span_id)
+        note = f" {duration:.3f}s" if duration is not None else ""
+        lines.append(f"{'  ' * depth}{record.get('name', '?')}{note}")
+        for child in children.get(span_id, []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return lines
+
+
+class SlowLog:
+    """Keeps the ``k`` slowest units offered to it."""
+
+    def __init__(self, k: int = 10) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.offered = 0
+        # Min-heap of (elapsed, sequence, entry): the fastest kept unit
+        # is at the root and is evicted first.  The sequence breaks
+        # elapsed ties so entries never compare.
+        self._heap: List[Tuple[float, int, dict]] = []
+        self._sequence = 0
+
+    def offer(
+        self,
+        elapsed: float,
+        contract: str,
+        unit: Optional[Tuple[int, int]] = None,
+        spans: Optional[List[Mapping]] = None,
+        diagnostics: Optional[List[Mapping]] = None,
+        **extra: Any,
+    ) -> bool:
+        """Consider one finished unit; returns True when it was kept."""
+        self.offered += 1
+        if len(self._heap) >= self.k and elapsed <= self._heap[0][0]:
+            return False
+        entry = {
+            "elapsed_seconds": round(float(elapsed), 9),
+            "contract": contract,
+            "unit": list(unit) if unit is not None else None,
+            "spans": [dict(span) for span in spans] if spans else [],
+            "diagnostics": (
+                [dict(diag) for diag in diagnostics] if diagnostics else []
+            ),
+        }
+        entry.update(extra)
+        heapq.heappush(self._heap, (float(elapsed), self._sequence, entry))
+        self._sequence += 1
+        if len(self._heap) > self.k:
+            heapq.heappop(self._heap)
+        return True
+
+    def entries(self) -> List[dict]:
+        """The kept exemplars, slowest first."""
+        ranked = sorted(self._heap, key=lambda item: (-item[0], item[1]))
+        return [entry for _elapsed, _sequence, entry in ranked]
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SLOWLOG_SCHEMA_VERSION,
+            "k": self.k,
+            "offered": self.offered,
+            "entries": self.entries(),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "SlowLog":
+        log = cls(k=int(doc.get("k", 10)))
+        entries = doc.get("entries", [])
+        # Feed oldest-slowest last so heap state matches a live log.
+        for entry in reversed(list(entries)):
+            payload = dict(entry)
+            elapsed = payload.pop("elapsed_seconds", 0.0)
+            contract = payload.pop("contract", "?")
+            unit = payload.pop("unit", None)
+            spans = payload.pop("spans", None)
+            diagnostics = payload.pop("diagnostics", None)
+            log.offer(
+                elapsed,
+                contract,
+                unit=tuple(unit) if unit else None,
+                spans=spans,
+                diagnostics=diagnostics,
+                **payload,
+            )
+        log.offered = int(doc.get("offered", log.offered))
+        return log
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "SlowLog":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    # -- rendering -----------------------------------------------------
+
+    def render_text(self, limit: Optional[int] = None) -> str:
+        entries = self.entries()
+        if limit is not None:
+            entries = entries[:limit]
+        lines = [
+            f"slowest units ({len(entries)} kept of {self.offered} offered)"
+        ]
+        for entry in entries:
+            unit = entry.get("unit")
+            unit_note = (
+                f" unit {unit[0]}/{unit[1]}" if unit else ""
+            )
+            lines.append(
+                f"  {entry['contract']}{unit_note}  "
+                f"{entry['elapsed_seconds']:.3f}s"
+            )
+            for line in span_tree_lines(entry.get("spans", [])):
+                lines.append(f"    {line}")
+            for diagnostic in entry.get("diagnostics", []):
+                lines.append(
+                    f"    ! {diagnostic.get('kind')}: "
+                    f"{diagnostic.get('detail')}"
+                )
+        return "\n".join(lines) + "\n"

@@ -19,7 +19,17 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.report import ContractAnalysis, Diagnostic, analyze, cross_check
-from repro.obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, SpanTracer, phase_span
+from repro.obs import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    HotLoopProfiler,
+    MetricsRegistry,
+    RunLedger,
+    SpanTracer,
+    phase_span,
+)
+from repro.obs.ledger import phase_delta, phase_snapshot
+from repro.obs.profiler import top_hotspots
 from repro.sigrec.engine import TASEEngine, TASEResult, merge_tase_results
 from repro.sigrec.inference import infer_function
 from repro.sigrec.rules import RuleTracker
@@ -98,14 +108,23 @@ class SigRec:
         memo_dir: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
+        ledger: Optional[RunLedger] = None,
+        profiler: Optional[HotLoopProfiler] = None,
     ) -> None:
         self.tracker = RuleTracker()
         # Observability backends: ``None`` means the shared null
-        # singletons, whose instruments swallow everything.  Neither is
-        # part of :meth:`options` — telemetry wiring never changes what
-        # is recovered, so it must not perturb cache fingerprints.
+        # singletons, whose instruments swallow everything.  None of
+        # these are part of :meth:`options` — telemetry wiring never
+        # changes what is recovered, so it must not perturb cache
+        # fingerprints.
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.ledger = ledger
+        self.profiler = profiler
+        if ledger is not None and self.metrics is NULL_REGISTRY:
+            # Ledger records attribute per-phase seconds as deltas of the
+            # ``phase.seconds`` histograms, which need a real registry.
+            self.metrics = MetricsRegistry()
         self.semantic_idioms = semantic_idioms
         self.coarse_only = coarse_only
         # ``static_check`` cross-validates TASE's selector set against
@@ -132,6 +151,14 @@ class SigRec:
         #: "sharded" or "monolithic": which exploration strategy the
         #: most recent ``recover`` call actually used.
         self.last_strategy: str = "monolithic"
+        #: Cache-tier outcome of the most recent ``recover`` call:
+        #: "cold" (everything explored), "memo" (every wanted selector
+        #: replayed from the function memo) or "memo-partial".  The
+        #: "result-cache" tier is recorded by the batch parent, which
+        #: never calls ``recover`` for those contracts.
+        self._last_tier: str = "cold"
+        #: (memo hits, memo misses) of the most recent ``recover``.
+        self._last_memo: Tuple[int, int] = (0, 0)
         #: Structured static/TASE divergence reports from the most
         #: recent ``recover`` call (empty when they agree, or when
         #: ``static_check`` is off).
@@ -227,6 +254,7 @@ class SigRec:
                 bytecode,
                 analysis=analysis if self.prune else None,
                 metrics=self.metrics,
+                profiler=self.profiler,
                 **self._engine_opts,
             )
         with phase_span(self.metrics, self.tracer, "tase"):
@@ -261,6 +289,16 @@ class SigRec:
         fired_before = dict(self.tracker.counts) if publish else {}
         conflicts_before = dict(self.tracker.conflicts) if publish else {}
         partial = only is not None or bool(exclude)
+        phases_before: Optional[Dict[str, float]] = None
+        hot_before: Optional[Dict[int, int]] = None
+        started = 0.0
+        if self.ledger is not None:
+            phases_before = phase_snapshot(self.metrics)
+            if self.profiler is not None:
+                hot_before = self.profiler.snapshot()
+            started = time.perf_counter()
+        self._last_tier = "cold"
+        self._last_memo = (0, 0)
         with phase_span(
             self.metrics, self.tracer, "recover", bytes=len(bytecode)
         ):
@@ -291,7 +329,72 @@ class SigRec:
             self._publish_recover_metrics(
                 recovered, fired_before, conflicts_before
             )
+        if self.ledger is not None:
+            self.ledger.append(
+                self._ledger_record(
+                    bytecode,
+                    recovered,
+                    result,
+                    phases_before or {},
+                    hot_before,
+                    time.perf_counter() - started,
+                    partial,
+                )
+            )
         return recovered
+
+    def _ledger_record(
+        self,
+        bytecode: bytes,
+        recovered: List[RecoveredSignature],
+        result: TASEResult,
+        phases_before: Dict[str, float],
+        hot_before: Optional[Dict[int, int]],
+        elapsed: float,
+        partial: bool,
+    ) -> dict:
+        """One run-ledger record for the ``recover`` call just finished."""
+        from repro.sigrec.cache import options_fingerprint
+
+        memo_hits, memo_misses = self._last_memo
+        record = {
+            "code_sha256": hashlib.sha256(bytecode).hexdigest(),
+            "bytes": len(bytecode),
+            "fingerprint": options_fingerprint(self.options()),
+            "strategy": self.last_strategy,
+            "tier": self._last_tier,
+            "partial": partial,
+            "functions": len(recovered),
+            "elapsed_seconds": round(elapsed, 9),
+            "phases": {
+                phase: round(seconds, 9)
+                for phase, seconds in sorted(
+                    phase_delta(
+                        phases_before, phase_snapshot(self.metrics)
+                    ).items()
+                )
+            },
+            "memo": {"hits": memo_hits, "misses": memo_misses},
+            "tase": {
+                "steps": result.total_steps,
+                "paths": result.paths_explored,
+                "forks": result.forks_taken,
+                "forks_suppressed": result.pruned_forks,
+                "budget_exhaustions": result.budget_exhaustions,
+                "truncated_paths": result.truncated_paths,
+                "truncated_steps": result.truncated_steps,
+                "abandoned_states": result.abandoned_states,
+            },
+            "diagnostics": [
+                {"kind": d.kind, "detail": d.detail}
+                for d in self.last_diagnostics
+            ],
+        }
+        if self.profiler is not None and hot_before is not None:
+            hotspots = top_hotspots(self.profiler.delta(hot_before), 16)
+            if hotspots:
+                record["hotspots"] = [list(pair) for pair in hotspots]
+        return record
 
     def _shard_plan(self, analysis: Optional[ContractAnalysis]):
         """The sorted selector list to shard on, or None → monolithic.
@@ -330,6 +433,7 @@ class SigRec:
                 bytecode,
                 analysis=analysis if self.prune else None,
                 metrics=self.metrics,
+                profiler=self.profiler,
                 **self._engine_opts,
             )
         with phase_span(self.metrics, self.tracer, "tase"):
@@ -355,6 +459,7 @@ class SigRec:
             result.selectors = sorted(set(result.functions) | set(hits))
             engine.publish_metrics(result)
         recovered: List[RecoveredSignature] = []
+        fresh_inferred = 0
         with phase_span(self.metrics, self.tracer, "inference"):
             for selector in result.selectors:
                 if not _passes(selector, only, exclude):
@@ -368,6 +473,7 @@ class SigRec:
                         self.tracker.conflict(rule_id, count)
                     recovered.append(record.to_signature())
                     continue
+                fresh_inferred += 1
                 local = RuleTracker()
                 start = time.perf_counter()
                 inferred = infer_function(
@@ -402,6 +508,9 @@ class SigRec:
                             conflicts=dict(local.conflicts),
                         ),
                     )
+        self._last_memo = (len(hits), len(miss_keys))
+        if hits:
+            self._last_tier = "memo" if fresh_inferred == 0 else "memo-partial"
         if not hits:
             # Every function was actually explored, so the merged result
             # is a complete event map ``explain`` may reuse; with memo

@@ -41,7 +41,16 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry
+from repro.obs import (
+    LEDGER_SCHEMA_VERSION,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    HotLoopProfiler,
+    MetricsRegistry,
+    SpanTracer,
+)
+from repro.obs.ledger import RunLedger
+from repro.obs.slowlog import SlowLog
 from repro.sigrec.api import RecoveredSignature, SigRec
 from repro.sigrec.cache import FunctionMemo, ResultCache
 from repro.sigrec.selectors import extract_selectors
@@ -88,9 +97,10 @@ def _analyze_unit(
     collect_metrics: bool,
     memo_dir: Optional[str],
     token: str,
+    obs_opts: Dict[str, object],
     unit: _Unit,
 ) -> Tuple[int, int, List[RecoveredSignature], Dict[str, int],
-           Optional[dict], float, int, Tuple[int, int]]:
+           Optional[dict], float, int, Tuple[int, int], Optional[dict]]:
     """Worker entry point: one scheduler unit, a fresh tool, delta counts.
 
     Top-level so it pickles for the process pool; also used verbatim by
@@ -103,10 +113,26 @@ def _analyze_unit(
     ride along for trace events, steal accounting and the batch stats —
     the memo numbers come from the memo's own counters so they survive
     metrics-free runs.
+
+    ``obs_opts`` flags the deep-observability payloads: ``"ledger"``
+    (run-ledger records), ``"spans"`` (the unit's span tree, for the
+    slowlog) and ``"profiler"`` (a mode string enabling hot-loop
+    attribution).  Whatever is enabled rides home in the final tuple
+    slot as plain lists/dicts, merged additively by the parent — the
+    same ship-the-document pattern as the metrics registry.
     """
     job_index, unit_index, bytecode, only, exclude = unit
     registry = MetricsRegistry() if collect_metrics else None
-    tool = SigRec(metrics=registry, **options)
+    ledger = RunLedger() if obs_opts.get("ledger") else None
+    tracer = SpanTracer() if obs_opts.get("spans") else None
+    profiler_mode = obs_opts.get("profiler")
+    profiler = (
+        HotLoopProfiler(mode=profiler_mode) if profiler_mode else None
+    )
+    tool = SigRec(
+        metrics=registry, tracer=tracer, ledger=ledger, profiler=profiler,
+        **options,
+    )
     memo = None
     probed_before = (0, 0)
     if tool.memo:
@@ -125,8 +151,19 @@ def _analyze_unit(
         probed = (memo.hits - probed_before[0], memo.misses - probed_before[1])
     counts = {r: c for r, c in tool.tracker.counts.items() if c}
     doc = registry.to_dict() if registry is not None else None
+    obs: Optional[dict] = None
+    if ledger is not None or tracer is not None or profiler is not None:
+        obs = {
+            "ledger": ledger.records if ledger is not None else [],
+            "spans": tracer.records if tracer is not None else [],
+            "profile": profiler.counts if profiler is not None else {},
+            "diagnostics": [
+                {"kind": d.kind, "detail": d.detail}
+                for d in tool.last_diagnostics
+            ],
+        }
     return (job_index, unit_index, signatures, counts, doc, elapsed,
-            os.getpid(), probed)
+            os.getpid(), probed, obs)
 
 
 @dataclass
@@ -230,13 +267,20 @@ class BatchRecovery:
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
         unit_size: int = DEFAULT_UNIT_SIZE,
+        slowlog: Optional[SlowLog] = None,
     ) -> None:
         self.tool = tool if tool is not None else SigRec()
         # Telemetry flows through the tool's backends: worker documents
-        # merge into ``metrics`` and per-contract records go to
-        # ``tracer``, so batch and serial runs aggregate identically.
+        # merge into ``metrics``, per-contract records go to ``tracer``,
+        # worker run-ledger records append to ``ledger`` and worker
+        # hot-loop tallies fold into ``profiler`` — so batch and serial
+        # runs aggregate identically.  ``slowlog`` additionally keeps
+        # the K slowest units with their span trees and diagnostics.
         self.metrics = self.tool.metrics
         self.tracer = self.tool.tracer
+        self.ledger = self.tool.ledger
+        self.profiler = self.tool.profiler
+        self.slowlog = slowlog
         if workers is None:
             workers = os.cpu_count() or 1
         self.workers = max(0, workers)
@@ -366,6 +410,21 @@ class BatchRecovery:
                 signatures, counts = cached
                 finished[index] = signatures
                 self.tool.tracker.merge(counts)
+                if self.ledger is not None:
+                    # A cache hit never calls ``recover``, so the parent
+                    # writes its ledger record: the "result-cache" tier.
+                    self.ledger.append({
+                        "schema": LEDGER_SCHEMA_VERSION,
+                        "code_sha256": hashlib.sha256(code).hexdigest(),
+                        "bytes": len(code),
+                        "strategy": "cached",
+                        "tier": "result-cache",
+                        "partial": False,
+                        "functions": len(signatures),
+                        "elapsed_seconds": 0.0,
+                        "phases": {},
+                        "job": index,
+                    })
                 if observing:
                     self.tracer.event(
                         "contract",
@@ -389,12 +448,20 @@ class BatchRecovery:
             units.extend(job_units)
         stats.units = len(units)
 
+        obs_opts: Dict[str, object] = {
+            "ledger": self.ledger is not None,
+            "spans": self.slowlog is not None,
+            "profiler": (
+                self.profiler.mode if self.profiler is not None else None
+            ),
+        }
         analyze = partial(
             _analyze_unit,
             self.tool.options(),
             self.metrics is not NULL_REGISTRY,
             self.memo_dir,
             os.urandom(8).hex(),  # memory-tier scope: this run only
+            obs_opts,
         )
         if units:
             if self.workers and len(units) > 1:
@@ -476,8 +543,8 @@ class BatchRecovery:
         partial_sigs: Dict[int, List[RecoveredSignature]] = {}
         partial_counts: Dict[int, Dict[str, int]] = {}
         partial_elapsed: Dict[int, float] = {}
-        for (job_index, _unit_index, signatures, counts, doc, elapsed,
-             _pid, _memo) in outcomes:
+        for (job_index, unit_index, signatures, counts, doc, elapsed,
+             _pid, _memo, obs) in outcomes:
             partial_sigs.setdefault(job_index, []).extend(signatures)
             merged = partial_counts.setdefault(job_index, {})
             for rule, count in counts.items():
@@ -487,6 +554,29 @@ class BatchRecovery:
             )
             if doc is not None:
                 self.metrics.merge(doc)
+            if obs is not None:
+                # Outcomes arrive in unit-submission order, so the
+                # merged ledger/profiles are deterministic for a given
+                # corpus regardless of worker count.
+                if self.ledger is not None:
+                    for record in obs["ledger"]:
+                        record["job"] = job_index
+                        record["unit"] = unit_index
+                    self.ledger.extend(obs["ledger"])
+                if self.profiler is not None and obs["profile"]:
+                    self.profiler.merge(
+                        {int(pc): c for pc, c in obs["profile"].items()}
+                    )
+                if self.slowlog is not None:
+                    self.slowlog.offer(
+                        elapsed,
+                        contract=hashlib.sha256(
+                            jobs[job_index]
+                        ).hexdigest()[:16],
+                        unit=(job_index, unit_index),
+                        spans=obs["spans"],
+                        diagnostics=obs["diagnostics"],
+                    )
         for job_index, signatures in partial_sigs.items():
             # Units cover disjoint selector sets, so sorting restores
             # exactly the order a whole-contract recovery returns.

@@ -45,6 +45,7 @@ if TYPE_CHECKING:
     from repro.analysis.report import ContractAnalysis
 from repro.evm.semantics import HALT, Domain
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.profiler import HotLoopProfiler
 from repro.sigrec import expr as E
 from repro.sigrec.events import (
     CalldataCopyEvent,
@@ -838,6 +839,7 @@ class TASEEngine:
         step_hook: Optional[Callable] = None,
         analysis: Optional["ContractAnalysis"] = None,
         metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[HotLoopProfiler] = None,
         scheduler: str = "priority",
         driver: str = "superblock",
     ) -> None:
@@ -846,6 +848,10 @@ class TASEEngine:
         # ``run()`` — the hot loop keeps plain ints and never reads a
         # clock, so disabled observability costs one identity check.
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        # Hot-loop step attribution, superblock driver only: charged
+        # once per block transition, so the per-step path never sees it
+        # and the disabled cost is one ``is not None`` per superblock.
+        self.profiler = profiler
         self.max_total_steps = max_total_steps
         self.max_paths = max_paths
         self.fork_bound = fork_bound
@@ -1006,6 +1012,7 @@ class TASEEngine:
         """
         block_of = self._program.block
         hook = self.step_hook
+        prof = self.profiler
         max_total = self.max_total_steps
         max_path = self.max_path_steps
         aconst = self.arena.const
@@ -1022,6 +1029,10 @@ class TASEEngine:
             domain.bind(state)
             stack = state.stack
             steps = state.steps
+            # Profiler attribution unit: steps charged since ``mark``
+            # belong to the superblock entered at ``bpc``.
+            bpc = state.pc
+            mark = total
             block = block_of(state.pc)
             while True:
                 if block is None:
@@ -1121,12 +1132,21 @@ class TASEEngine:
                 except IndexError:
                     break  # stack underflow: malformed path
                 if control is None:
-                    block = block_of(block.fall_pc)
+                    next_pc = block.fall_pc
                 elif control is HALT:
                     break
                 else:
-                    block = block_of(control)
+                    next_pc = control
+                if prof is not None:
+                    prof.record_block(bpc, total - mark)
+                    mark = total
+                    bpc = next_pc
+                block = block_of(next_pc)
             state.steps = steps
+            if prof is not None and total != mark:
+                # The tail of the path: the steps charged after the last
+                # block transition (HALT, truncation, underflow, probe).
+                prof.record_block(bpc, total - mark)
         return total
 
     def _drive_legacy(

@@ -1,6 +1,7 @@
 """Metrics registry: instruments, keys, serialization, merging, null."""
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -124,3 +125,36 @@ def test_load_metrics_rejects_garbage(tmp_path):
 
 def test_default_buckets_are_sorted():
     assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+
+
+def test_histogram_sums_extracts_one_label_family():
+    registry = MetricsRegistry()
+    registry.histogram("phase.seconds", phase="tase").observe(0.3)
+    registry.histogram("phase.seconds", phase="tase").observe(0.2)
+    registry.histogram("phase.seconds", phase="disasm").observe(0.01)
+    registry.histogram("other.seconds", phase="tase").observe(9.0)
+    sums = registry.histogram_sums("phase.seconds", "phase")
+    assert sums["tase"] == (pytest.approx(0.5), 2)
+    assert sums["disasm"] == (pytest.approx(0.01), 1)
+    assert set(sums) == {"tase", "disasm"}
+
+
+def _dump_worker(args):
+    # Module-level so the pool can pickle it.
+    path, rounds = args
+    for _ in range(rounds):
+        registry = MetricsRegistry()
+        registry.counter("race.total").inc()
+        dump_metrics(registry, path)
+    return rounds
+
+
+def test_dump_metrics_merge_is_atomic_across_processes(tmp_path):
+    path = str(tmp_path / "m.json")
+    workers, rounds = 4, 25
+    with multiprocessing.Pool(workers) as pool:
+        done = pool.map(_dump_worker, [(path, rounds)] * workers)
+    assert done == [rounds] * workers
+    # Without the advisory lock concurrent read-merge-replace cycles
+    # lose increments; with it the final count is exact.
+    assert load_metrics(path)["counters"]["race.total"] == workers * rounds

@@ -1,0 +1,192 @@
+"""``repro report`` tests: sections, parity, perf-history attribution."""
+
+import json
+
+import pytest
+
+from repro.abi.signature import FunctionSignature
+from repro.compiler import compile_contract
+from repro.obs import MetricsRegistry, RunLedger, SlowLog
+from repro.obs.report import (
+    build_report,
+    perf_history_section,
+    render_report,
+)
+from repro.sigrec.api import SigRec
+
+
+def _bytecode(*sigs):
+    return compile_contract(
+        [FunctionSignature.parse(s) for s in sigs]
+    ).bytecode
+
+
+@pytest.fixture()
+def run_sources():
+    """One instrumented recovery run: (metrics doc, ledger records)."""
+    registry = MetricsRegistry()
+    ledger = RunLedger()
+    tool = SigRec(metrics=registry, ledger=ledger)
+    tool.recover(_bytecode("transfer(address,uint256)", "balanceOf(address)"))
+    tool.recover(_bytecode("approve(address,uint256)"))
+    return registry.to_dict(), ledger.all_records()
+
+
+def test_phase_section_reproduces_histogram_seconds(run_sources):
+    doc, records = run_sources
+    report = build_report(metrics_doc=doc, ledger_records=records)
+    phases = report["phases"]
+    for key, payload in doc["histograms"].items():
+        if not key.startswith("phase.seconds{"):
+            continue
+        phase = key[len("phase.seconds{phase="):-1]
+        assert phases[phase]["seconds"] == pytest.approx(payload["sum"])
+        assert phases[phase]["count"] == payload["count"]
+    # Shares exist for the top-level pipeline phases only and sum to 1.
+    shared = [p for p, entry in phases.items() if "share" in entry]
+    assert sorted(shared) == [
+        "disasm", "inference", "static_analysis", "tase",
+    ]
+    assert sum(phases[p]["share"] for p in shared) == pytest.approx(1.0)
+    assert "share" not in phases["recover"]
+
+
+def test_ledger_section_matches_summarize(run_sources):
+    doc, records = run_sources
+    report = build_report(metrics_doc=doc, ledger_records=records)
+    assert report["ledger"]["records"] == 2
+    # The acceptance cross-check: ledger phase sums reproduce the
+    # registry's per-phase seconds within rounding.
+    for phase, entry in report["phases"].items():
+        assert report["ledger"]["phase_seconds"][phase] == pytest.approx(
+            entry["seconds"], rel=1e-6, abs=1e-9
+        )
+
+
+def test_tier_section_hit_rates():
+    doc = {
+        "counters": {
+            "cache.hits": 6, "cache.misses": 2,
+            "memo.hits{tier=memory}": 3, "memo.hits{tier=disk}": 1,
+            "memo.misses": 4,
+        },
+        "gauges": {}, "histograms": {},
+    }
+    tiers = build_report(metrics_doc=doc)["tiers"]
+    assert tiers["result_cache"]["hit_rate"] == pytest.approx(0.75)
+    assert tiers["function_memo"]["hit_rate"] == pytest.approx(0.5)
+    empty = build_report(metrics_doc={"counters": {}})["tiers"]
+    assert empty["result_cache"]["hit_rate"] is None
+
+
+def test_hotspots_aggregate_across_records():
+    records = [
+        {"hotspots": [[16, 100], [32, 50]]},
+        {"hotspots": [[16, 25]]},
+        {},
+    ]
+    report = build_report(ledger_records=records)
+    assert report["hotspots"] == [[16, 125], [32, 50]]
+
+
+def test_slowest_section_names_the_dominant_phase():
+    records = [
+        {"code_sha256": "a" * 64, "elapsed_seconds": 2.0,
+         "strategy": "sharded", "tier": "cold", "functions": 3,
+         "phases": {"recover": 2.0, "tase": 1.5, "inference": 0.2}},
+        {"code_sha256": "b" * 64, "elapsed_seconds": 0.5,
+         "strategy": "cached", "tier": "result-cache", "functions": 1,
+         "phases": {}},
+    ]
+    slowest = build_report(ledger_records=records)["slowest"]
+    assert slowest[0]["code_sha256"] == "a" * 16
+    assert slowest[0]["dominant_phase"] == "tase"  # not the outer span
+    assert slowest[1]["dominant_phase"] is None
+
+
+def test_render_report_has_every_section(run_sources):
+    doc, records = run_sources
+    slowlog = SlowLog(k=2)
+    slowlog.offer(0.4, contract="abcd", unit=(0, 0))
+    text = render_report(
+        build_report(metrics_doc=doc, ledger_records=records,
+                     slowlog=slowlog,
+                     perf={"status": "no-history", "failures": []})
+    )
+    assert "phase time attribution" in text
+    assert "tier hit rates" in text
+    assert "run ledger: 2 records" in text
+    assert "slowest recoveries" in text
+    assert "slow exemplars" in text
+    assert "perf history: no snapshots" in text
+
+
+def test_render_empty_report():
+    assert render_report({}) == "(empty report)\n"
+
+
+# ----------------------------------------------------------------------
+# perf-history section
+# ----------------------------------------------------------------------
+
+
+def _write(path, doc):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle)
+
+
+def test_perf_history_no_snapshots(tmp_path):
+    bench = tmp_path / "bench.json"
+    _write(str(bench), {"sharded_memo": {"speedup": 3.0}})
+    section = perf_history_section(str(bench), str(tmp_path / "none"))
+    assert section["status"] == "no-history"
+
+
+def test_perf_history_ok_and_regression_name_the_moving_phase(tmp_path):
+    history = tmp_path / "history"
+    history.mkdir()
+    baseline_phases = {"disasm": 0.05, "static_analysis": 0.25,
+                       "tase": 0.55, "inference": 0.15}
+    _write(str(history / "0001.json"), {
+        "sequence": 1, "calibration": 0.0,
+        "bench": {"sharded_memo": {"speedup": 3.0},
+                  "phases": baseline_phases},
+    })
+    bench = tmp_path / "bench.json"
+    # Same speedup -> ok.
+    _write(str(bench), {"sharded_memo": {"speedup": 3.0},
+                        "phases": baseline_phases})
+    section = perf_history_section(str(bench), str(history))
+    assert section["status"] == "ok"
+    assert section["baseline_entry"] == 1
+    # A 50% drop on a ratio tier -> regressed, and the phase whose
+    # share of wall time moved most is named.
+    moved = {"disasm": 0.05, "static_analysis": 0.15,
+             "tase": 0.70, "inference": 0.10}
+    _write(str(bench), {"sharded_memo": {"speedup": 1.4}, "phases": moved})
+    section = perf_history_section(str(bench), str(history))
+    assert section["status"] == "regressed"
+    assert any("sharded_memo.speedup" in f for f in section["failures"])
+    assert section["phase_shares"]["mover"] == "tase"
+    assert section["phase_shares"]["shifts"]["tase"] == pytest.approx(0.15)
+    rendered = render_report(build_report(perf=section))
+    assert "REGRESSED" in rendered
+    assert "phase share moved most: tase" in rendered
+
+
+def test_perf_history_regression_without_phase_baseline(tmp_path):
+    history = tmp_path / "history"
+    history.mkdir()
+    _write(str(history / "0001.json"), {
+        "sequence": 1, "calibration": 0.0,
+        "bench": {"sharded_memo": {"speedup": 3.0}},  # predates phases
+    })
+    bench = tmp_path / "bench.json"
+    _write(str(bench), {"sharded_memo": {"speedup": 1.0},
+                        "phases": {"tase": 1.0}})
+    section = perf_history_section(str(bench), str(history))
+    assert section["status"] == "regressed"
+    assert section["phase_shares"] is None
+    assert "no phase-share baseline" in render_report(
+        build_report(perf=section)
+    )

@@ -1,0 +1,80 @@
+"""Slow-exemplar log tests: bounded heap, span trees, round-trips."""
+
+import pytest
+
+from repro.obs import SlowLog
+from repro.obs.slowlog import span_tree_lines
+
+
+def test_keeps_only_the_k_slowest():
+    log = SlowLog(k=3)
+    for index, elapsed in enumerate([0.1, 0.9, 0.2, 0.5, 0.05, 0.7]):
+        log.offer(elapsed, contract=f"c{index}")
+    assert log.offered == 6
+    entries = log.entries()
+    assert [entry["elapsed_seconds"] for entry in entries] == [0.9, 0.7, 0.5]
+    assert [entry["contract"] for entry in entries] == ["c1", "c5", "c3"]
+
+
+def test_fast_units_are_rejected_without_allocation():
+    log = SlowLog(k=2)
+    assert log.offer(1.0, contract="slow-a")
+    assert log.offer(2.0, contract="slow-b")
+    assert not log.offer(0.5, contract="fast")
+    assert len(log.entries()) == 2
+
+
+def test_bad_k_rejected():
+    with pytest.raises(ValueError):
+        SlowLog(k=0)
+
+
+def test_span_tree_renders_nesting():
+    spans = [
+        {"type": "span_start", "id": 1, "parent": None, "name": "recover"},
+        {"type": "span_start", "id": 2, "parent": 1, "name": "tase"},
+        {"type": "span_end", "id": 2, "dur": 0.25},
+        {"type": "span_start", "id": 3, "parent": 1, "name": "inference"},
+        {"type": "span_end", "id": 3, "dur": 0.05},
+        {"type": "span_end", "id": 1, "dur": 0.5},
+    ]
+    lines = span_tree_lines(spans)
+    assert lines == [
+        "recover 0.500s",
+        "  tase 0.250s",
+        "  inference 0.050s",
+    ]
+
+
+def test_entry_carries_unit_spans_and_diagnostics():
+    log = SlowLog(k=1)
+    log.offer(
+        0.3,
+        contract="abcd",
+        unit=(4, 1),
+        spans=[{"type": "span_start", "id": 1, "name": "recover"}],
+        diagnostics=[{"kind": "tase-truncated-paths", "detail": "cap"}],
+    )
+    (entry,) = log.entries()
+    assert entry["unit"] == [4, 1]
+    assert entry["spans"][0]["name"] == "recover"
+    assert entry["diagnostics"][0]["kind"] == "tase-truncated-paths"
+    text = log.render_text()
+    assert "abcd unit 4/1" in text
+    assert "! tase-truncated-paths: cap" in text
+
+
+def test_dump_load_round_trip(tmp_path):
+    log = SlowLog(k=2)
+    log.offer(0.4, contract="aa", unit=(0, 0))
+    log.offer(0.8, contract="bb")
+    log.offer(0.1, contract="cc")
+    path = str(tmp_path / "slow.json")
+    log.dump(path)
+    loaded = SlowLog.load(path)
+    assert loaded.k == 2
+    assert loaded.offered == 3
+    assert loaded.entries() == log.entries()
+    # The reloaded heap still evicts correctly.
+    loaded.offer(0.6, contract="dd")
+    assert [entry["contract"] for entry in loaded.entries()] == ["bb", "dd"]

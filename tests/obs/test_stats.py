@@ -1,7 +1,7 @@
 """Rendering: ``repro stats`` text and Prometheus exposition."""
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.prom import render_prometheus
+from repro.obs.prom import _parse_sample, render_prometheus, validate_exposition
 from repro.obs.stats import render_stats
 
 
@@ -104,3 +104,58 @@ def test_prometheus_escapes_label_values():
     registry.counter("c", tag='quo"te').inc()
     text = render_prometheus(registry)
     assert 'tag="quo\\"te"' in text
+
+
+def test_prometheus_escapes_backslash_quote_and_newline():
+    registry = MetricsRegistry()
+    registry.counter("c", tag="back\\slash").inc()
+    registry.counter("d", tag="multi\nline").inc()
+    text = render_prometheus(registry)
+    assert 'tag="back\\\\slash"' in text
+    assert 'tag="multi\\nline"' in text
+    # The escaped newline keeps the exposition one-sample-per-line.
+    assert all(" 1" in line for line in text.splitlines() if line[0] != "#")
+    assert validate_exposition(text) == []
+    # Backslash and quote escapes round-trip through the parser.
+    name, labels, value = _parse_sample('c{tag="back\\\\sl\\"ash"} 4')
+    assert (name, labels, value) == ("c", {"tag": 'back\\sl"ash'}, 4.0)
+
+
+def test_prometheus_renders_non_finite_gauges():
+    registry = MetricsRegistry()
+    registry.gauge("g_nan").set(float("nan"))
+    registry.gauge("g_pos").set(float("inf"))
+    registry.gauge("g_neg").set(float("-inf"))
+    text = render_prometheus(registry)
+    assert "g_nan NaN" in text
+    assert "g_pos +Inf" in text
+    assert "g_neg -Inf" in text
+    # The spellings are the ones a scraper's float() accepts.
+    assert validate_exposition(text) == []
+
+
+def test_validate_exposition_accepts_renderer_output():
+    assert validate_exposition(render_prometheus(_sample_doc())) == []
+    assert validate_exposition("") == []
+
+
+def test_validate_exposition_flags_structural_breakage():
+    assert validate_exposition("bad-name 1\n")
+    assert validate_exposition("# TYPE x teapot\nx 1\n")
+    assert validate_exposition("x nope\n")
+    non_monotone = (
+        '# TYPE h histogram\n'
+        'h_bucket{le="0.5"} 3\n'
+        'h_bucket{le="1.0"} 2\n'
+        'h_bucket{le="+Inf"} 3\n'
+        "h_count 3\n"
+    )
+    assert any("not cumulative" in e for e in validate_exposition(non_monotone))
+    no_inf = '# TYPE h histogram\nh_bucket{le="0.5"} 1\nh_count 1\n'
+    assert any("+Inf" in e for e in validate_exposition(no_inf))
+    mismatch = (
+        '# TYPE h histogram\n'
+        'h_bucket{le="+Inf"} 2\n'
+        "h_count 3\n"
+    )
+    assert any("_count" in e for e in validate_exposition(mismatch))

@@ -55,6 +55,20 @@ def test_read_trace_skips_malformed_lines(tmp_path):
     assert read_trace(str(tmp_path / "absent.jsonl")) == []
 
 
+def test_read_trace_tolerates_final_line_truncated_mid_write(tmp_path):
+    buffer = io.StringIO()
+    tracer = SpanTracer(out=buffer)
+    with tracer.span("phase"):
+        tracer.event("mark")
+    tracer.close()
+    lines = buffer.getvalue().splitlines()
+    # Simulate the writer dying mid-record: the last line is cut short.
+    path = tmp_path / "t.jsonl"
+    path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+    records = read_trace(str(path))
+    assert [r["type"] for r in records] == ["span_start", "event"]
+
+
 def test_null_tracer_is_inert():
     with NULL_TRACER.span("anything", a=1) as span:
         NULL_TRACER.event("ignored")

@@ -496,6 +496,171 @@ def test_passes_command_lists_pipeline(capsys):
     assert all(entry["version"] >= 1 for entry in doc)
 
 
+def _free_port():
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _poll_http(url, deadline=5.0):
+    import time
+    import urllib.error
+    import urllib.request
+
+    end = time.monotonic() + deadline
+    while True:
+        try:
+            with urllib.request.urlopen(url, timeout=1) as response:
+                return response.status, response.read()
+        except (urllib.error.URLError, ConnectionError):
+            if time.monotonic() >= end:
+                raise
+            time.sleep(0.05)
+
+
+def test_batch_observability_outputs_feed_report(token_hex, tmp_path, capsys):
+    import json
+
+    corpus = tmp_path / "corpus.txt"
+    corpus.write_text(f"{token_hex}\n")
+    metrics_path = tmp_path / "m.json"
+    ledger_path = tmp_path / "ledger.jsonl"
+    slowlog_path = tmp_path / "slow.json"
+    assert main([
+        "batch", str(corpus), "--workers", "0",
+        "--metrics-out", str(metrics_path),
+        "--ledger-out", str(ledger_path),
+        "--slowlog-out", str(slowlog_path), "--slowlog-k", "3",
+        "--profile-hotspots", "count",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert f"ledger: {ledger_path} (1 records)" in captured.err
+    assert f"slowlog: {slowlog_path}" in captured.err
+    assert "hot superblocks" in captured.err
+
+    with open(ledger_path, encoding="utf-8") as handle:
+        (record,) = [json.loads(line) for line in handle if line.strip()]
+    assert record["tier"] == "cold" and record["hotspots"]
+
+    assert main([
+        "report", "--metrics", str(metrics_path),
+        "--ledger", str(ledger_path), "--slowlog", str(slowlog_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "phase time attribution" in out
+    assert "run ledger: 1 records" in out
+    assert "hot superblocks" in out
+    assert "slow exemplars" in out
+
+    assert main(["report", "--ledger", str(ledger_path), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ledger"]["records"] == 1
+
+
+def test_report_requires_a_source():
+    with pytest.raises(SystemExit):
+        main(["report"])
+
+
+def test_report_check_perf_sets_the_exit_code(tmp_path, capsys):
+    import json
+
+    history = tmp_path / "history"
+    history.mkdir()
+    (history / "0001.json").write_text(json.dumps({
+        "sequence": 1, "calibration": 0.0,
+        "bench": {"sharded_memo": {"speedup": 3.0}},
+    }))
+    bench = tmp_path / "bench.json"
+    bench.write_text(json.dumps({"sharded_memo": {"speedup": 3.1}}))
+    args = ["report", "--check-perf", "--bench", str(bench),
+            "--history", str(history)]
+    assert main(args) == 0
+    assert "perf history: OK" in capsys.readouterr().out
+    bench.write_text(json.dumps({"sharded_memo": {"speedup": 1.0}}))
+    assert main(args) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_serve_metrics_requires_a_source():
+    with pytest.raises(SystemExit):
+        main(["serve-metrics"])
+
+
+def test_serve_metrics_command_serves_saved_documents(
+    token_hex, tmp_path, capsys
+):
+    import threading
+
+    corpus = tmp_path / "corpus.txt"
+    corpus.write_text(f"{token_hex}\n")
+    metrics_path = tmp_path / "m.json"
+    ledger_path = tmp_path / "ledger.jsonl"
+    assert main([
+        "batch", str(corpus), "--workers", "0",
+        "--metrics-out", str(metrics_path),
+        "--ledger-out", str(ledger_path),
+    ]) == 0
+    capsys.readouterr()
+    port = _free_port()
+    thread = threading.Thread(target=main, args=([
+        "serve-metrics", "--metrics", str(metrics_path),
+        "--ledger", str(ledger_path), "--port", str(port), "--hold", "3",
+    ],))
+    thread.start()
+    try:
+        status, body = _poll_http(f"http://127.0.0.1:{port}/healthz")
+        assert (status, body) == (200, b"ok\n")
+        status, body = _poll_http(f"http://127.0.0.1:{port}/metrics")
+        assert status == 200 and b"tase_paths" in body
+        from repro.obs import validate_exposition
+
+        assert validate_exposition(body.decode("utf-8")) == []
+        status, body = _poll_http(f"http://127.0.0.1:{port}/ledger/summary")
+        import json
+
+        assert json.loads(body)["records"] == 1
+    finally:
+        thread.join()
+
+
+def test_batch_serve_metrics_holds_a_live_endpoint(token_hex, tmp_path):
+    import threading
+
+    corpus = tmp_path / "corpus.txt"
+    corpus.write_text(f"{token_hex}\n")
+    port = _free_port()
+    thread = threading.Thread(target=main, args=([
+        "batch", str(corpus), "--workers", "0",
+        "--serve-metrics", str(port), "--serve-hold", "3",
+    ],))
+    thread.start()
+    try:
+        # The endpoint stays up through --serve-hold after the batch, so
+        # the scrape observes the completed run's counters and ledger.
+        status, body = _poll_http(f"http://127.0.0.1:{port}/metrics")
+        assert status == 200
+        deadline = 3.0
+        import json
+        import time
+
+        end = time.monotonic() + deadline
+        while b"recover_calls" not in body and time.monotonic() < end:
+            time.sleep(0.05)
+            _status, body = _poll_http(f"http://127.0.0.1:{port}/metrics")
+        assert b"recover_calls 1" in body
+        _status, summary = _poll_http(
+            f"http://127.0.0.1:{port}/ledger/summary"
+        )
+        assert json.loads(summary)["records"] == 1
+    finally:
+        thread.join()
+
+
 def test_batch_profiles_out_writes_one_document_per_contract(
     token_hex, tmp_path, capsys
 ):
