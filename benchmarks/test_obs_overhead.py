@@ -76,7 +76,13 @@ def _instrumented_pass(bytecodes):
         # monolithic strategy as the bare loop — sharded exploration
         # runs one engine per selector, which would make the ratio
         # measure strategy cost instead of instrumentation guards.
-        tool = SigRec(static_check=False, sharded=False, memo=False)
+        # The inference memo is off for the same reason: its event
+        # digest is real caching work (bounded by its own benchmark),
+        # not a null-backend guard.
+        tool = SigRec(
+            static_check=False, sharded=False, memo=False,
+            inference_memo=False,
+        )
         assert tool.metrics is NULL_REGISTRY and tool.tracer is NULL_TRACER
         recovered += len(tool.recover(code))
     return recovered

@@ -176,6 +176,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             prune=args.prune,
             sharded=args.shard,
             memo=args.memo,
+            inference_memo=args.inference_memo,
             metrics=metrics,
             tracer=tracer,
             ledger=ledger,
@@ -721,6 +722,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-memo", dest="memo", action="store_false", default=True,
         help="disable the function-body memo tier",
+    )
+    p.add_argument(
+        "--no-inference-memo", dest="inference_memo",
+        action="store_false", default=True,
+        help="disable the inference-memo tier (event-digest keyed)",
     )
     p.add_argument(
         "--profiles-out", default=None, metavar="DIR",

@@ -31,6 +31,7 @@ __all__ = [
     "TIERS",
     "append_snapshot",
     "calibrate",
+    "check_improvement",
     "check_regression",
     "history_entries",
     "main",
@@ -49,6 +50,12 @@ TIERS: Tuple[Tuple[str, str, bool], ...] = (
     # ABI-completion overhead: full pipeline vs core passes on the ABI
     # corpus; a drop means mutability/returns recovery got slower.
     ("abi", "throughput_ratio", False),
+    # Type-inference throughput (indexed event analysis): events
+    # consumed per second by the inference pass alone.
+    ("inference", "events_per_second", True),
+    # Indexed-vs-reference inference speedup (a ratio): a drop means
+    # the index/memoization layers stopped paying for themselves.
+    ("inference", "speedup_vs_baseline", False),
 )
 
 _CALIBRATION_N = 200_000
@@ -175,6 +182,53 @@ def check_regression(
                 + f" — more than the {threshold:.0%} budget"
             )
     return failures
+
+
+def check_improvement(
+    bench_path: str,
+    history_dir: str,
+    threshold: float = 0.2,
+    calibration: Optional[float] = None,
+) -> List[str]:
+    """The mirror of :func:`check_regression`: tiers that got *better*.
+
+    Returns one message per tier improving by more than ``threshold``
+    over the newest history snapshot.  Purely informational — ``repro
+    report --check-perf`` surfaces these as info lines so a successful
+    optimisation shows up in the report instead of passing silently.
+    """
+    entries = history_entries(history_dir)
+    if not entries:
+        return []
+    _, previous = entries[-1]
+    prev_bench = previous.get("bench", {})
+    prev_calibration = float(previous.get("calibration", 0) or 0)
+    current = _load(bench_path)
+    live_calibration = calibrate() if calibration is None else calibration
+
+    improvements: List[str] = []
+    for section, key, calibrated in TIERS:
+        prev_value = _tier_value(prev_bench, section, key)
+        cur_value = _tier_value(current, section, key)
+        if prev_value is None or cur_value is None:
+            continue
+        if calibrated:
+            if not prev_calibration or not live_calibration:
+                continue
+            prev_norm = prev_value / prev_calibration
+            cur_norm = cur_value / live_calibration
+        else:
+            prev_norm, cur_norm = prev_value, cur_value
+        if prev_norm <= 0:
+            continue
+        if cur_norm > prev_norm * (1.0 + threshold):
+            gain = cur_norm / prev_norm - 1.0
+            improvements.append(
+                f"{section}.{key}: {cur_value:,.2f} is {gain:.0%} above the "
+                f"previous entry's {prev_value:,.2f}"
+                + (" (calibrated)" if calibrated else "")
+            )
+    return improvements
 
 
 def main(argv: List[str], repo_root: Optional[str] = None) -> int:

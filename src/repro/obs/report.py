@@ -16,6 +16,8 @@ and the perf-history trajectory.  Sections:
 * **perf_history** — ``benchmarks/perf_history.py check`` outcome and,
   when a tier regressed and both sides carry a ``phases`` section in
   the bench document, the phase whose share of wall time moved most.
+  Tiers that *improved* past the threshold render as ``info:`` lines —
+  a successful optimisation is reported, not silently passed over.
 """
 
 from __future__ import annotations
@@ -76,8 +78,12 @@ def _tier_section(doc: Mapping) -> dict:
     memo_memory = value("memo.hits{tier=memory}")
     memo_disk = value("memo.hits{tier=disk}")
     memo_misses = value("memo.misses")
+    inf_memory = value("infmemo.hits{tier=memory}")
+    inf_disk = value("infmemo.hits{tier=disk}")
+    inf_misses = value("infmemo.misses")
     cache_probes = cache_hits + cache_misses
     memo_probes = memo_memory + memo_disk + memo_misses
+    inf_probes = inf_memory + inf_disk + inf_misses
     return {
         "result_cache": {
             "hits": cache_hits,
@@ -92,6 +98,15 @@ def _tier_section(doc: Mapping) -> dict:
             "hit_rate": (
                 (memo_memory + memo_disk) / memo_probes
                 if memo_probes else None
+            ),
+        },
+        "inference_memo": {
+            "hits_memory": inf_memory,
+            "hits_disk": inf_disk,
+            "misses": inf_misses,
+            "hit_rate": (
+                (inf_memory + inf_disk) / inf_probes
+                if inf_probes else None
             ),
         },
     }
@@ -144,15 +159,30 @@ def perf_history_section(
     observability benchmark) against the newest history snapshot's to
     name the phase whose share moved most.
     """
-    from repro.obs.perfhistory import check_regression, history_entries
+    from repro.obs.perfhistory import (
+        calibrate,
+        check_improvement,
+        check_regression,
+        history_entries,
+    )
 
     entries = history_entries(history_dir)
     if not entries or not os.path.exists(bench_path):
         return {"status": "no-history", "failures": []}
-    failures = check_regression(bench_path, history_dir, threshold=threshold)
+    # One shared calibration run: the regression and improvement checks
+    # must judge the same machine-speed figure or a noisy calibration
+    # could report a tier as both regressed and improved.
+    calibration = calibrate()
+    failures = check_regression(
+        bench_path, history_dir, threshold=threshold, calibration=calibration
+    )
+    improvements = check_improvement(
+        bench_path, history_dir, threshold=threshold, calibration=calibration
+    )
     section: dict = {
         "status": "regressed" if failures else "ok",
         "failures": failures,
+        "improvements": improvements,
         "baseline_entry": entries[-1][0],
         "threshold": threshold,
     }
@@ -255,6 +285,15 @@ def _render_tiers(report: dict, lines: List[str]) -> None:
             f"{memo['hits_disk']} disk hits / {memo['misses']} misses"
             + (f"  ({rate:.0%} hit rate)" if rate is not None else "")
         )
+        # Older report documents predate the inference-memo tier.
+        inf = tiers.get("inference_memo")
+        if inf is not None:
+            rate = inf["hit_rate"]
+            lines.append(
+                f"  inference memo  {inf['hits_memory']} memory + "
+                f"{inf['hits_disk']} disk hits / {inf['misses']} misses"
+                + (f"  ({rate:.0%} hit rate)" if rate is not None else "")
+            )
     if isinstance(ledger, Mapping) and ledger.get("tiers"):
         rendered = ", ".join(
             f"{tier} {count}" for tier, count in ledger["tiers"].items()
@@ -334,6 +373,10 @@ def _render_perf(report: dict, lines: List[str]) -> None:
         lines.append("perf history: REGRESSED")
         for failure in perf.get("failures", []):
             lines.append(f"  {failure}")
+    # Improvements are never silent: a successful optimisation should
+    # be as visible in the report as a regression would be.
+    for improvement in perf.get("improvements", []):
+        lines.append(f"  info: improved — {improvement}")
     shares = perf.get("phase_shares")
     if isinstance(shares, Mapping) and shares.get("mover"):
         mover = shares["mover"]
@@ -344,6 +387,13 @@ def _render_perf(report: dict, lines: List[str]) -> None:
             f"  phase share moved most: {mover} "
             f"({previous:.1%} -> {current:.1%}, {shift:+.1%})"
         )
+        for phase, phase_shift in sorted(shares["shifts"].items()):
+            if phase != mover and phase_shift < -0.01:
+                lines.append(
+                    f"  info: {phase} share down {phase_shift:+.1%} "
+                    f"({shares['previous'].get(phase, 0.0):.1%} -> "
+                    f"{shares['current'].get(phase, 0.0):.1%})"
+                )
     elif status == "regressed" and shares is None:
         lines.append(
             "  (no phase-share baseline in the bench history — rerun "

@@ -135,6 +135,24 @@ def render_stats(
             f"writes {counters.get('memo.writes', 0):,}"
         )
 
+    # -- inference memo ------------------------------------------------
+    inf_tiers = _labelled_counters(counters, "infmemo.hits", "tier")
+    inf_hits = sum(inf_tiers.values()) + counters.get("infmemo.hits", 0)
+    inf_misses = counters.get("infmemo.misses", 0)
+    if inf_hits or inf_misses:
+        tier_note = ""
+        if inf_tiers:
+            tier_note = " [" + ", ".join(
+                f"{tier}: {count:,}"
+                for tier, count in sorted(inf_tiers.items())
+            ) + "]"
+        lines.append("inference memo")
+        lines.append(
+            f"  hits {inf_hits:,}{tier_note} | misses {inf_misses:,} "
+            f"(hit rate {_ratio(inf_hits, inf_hits + inf_misses)}) | "
+            f"writes {counters.get('infmemo.writes', 0):,}"
+        )
+
     # -- batch scheduler -----------------------------------------------
     units = counters.get("batch.units", 0)
     if units:

@@ -31,7 +31,8 @@ from repro.obs import (
 from repro.obs.ledger import phase_delta, phase_snapshot
 from repro.obs.profiler import top_hotspots
 from repro.sigrec.engine import TASEEngine, TASEResult, merge_tase_results
-from repro.sigrec.inference import infer_function
+from repro.sigrec.events import events_digest
+from repro.sigrec.inference import PredicateMemo, infer_function
 from repro.sigrec.rules import RuleTracker
 from repro.sigrec.selectors import extract_selectors
 
@@ -106,6 +107,8 @@ class SigRec:
         sharded: bool = True,
         memo: bool = True,
         memo_dir: Optional[str] = None,
+        inference_memo: bool = True,
+        inference_memo_dir: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
         ledger: Optional[RunLedger] = None,
@@ -148,6 +151,16 @@ class SigRec:
         self.memo = memo
         self.memo_dir = memo_dir
         self._fn_memo = None
+        # ``inference_memo`` adds the third caching tier: inference
+        # products keyed by the canonical event-stream digest
+        # (:func:`repro.sigrec.events.events_digest`), so clones whose
+        # *bytecode* differs but whose event streams normalize
+        # identically skip rule inference entirely (TASE still runs).
+        # ``inference_memo_dir`` adds its persistent on-disk tier; like
+        # ``memo_dir`` it is wiring and not part of :meth:`options`.
+        self.inference_memo = inference_memo
+        self.inference_memo_dir = inference_memo_dir
+        self._inf_memo = None
         #: "sharded" or "monolithic": which exploration strategy the
         #: most recent ``recover`` call actually used.
         self.last_strategy: str = "monolithic"
@@ -159,6 +172,8 @@ class SigRec:
         self._last_tier: str = "cold"
         #: (memo hits, memo misses) of the most recent ``recover``.
         self._last_memo: Tuple[int, int] = (0, 0)
+        #: (inference-memo hits, misses) of the most recent ``recover``.
+        self._last_inference_memo: Tuple[int, int] = (0, 0)
         #: Structured static/TASE divergence reports from the most
         #: recent ``recover`` call (empty when they agree, or when
         #: ``static_check`` is off).
@@ -200,6 +215,7 @@ class SigRec:
         opts["prune"] = self.prune
         opts["sharded"] = self.sharded
         opts["memo"] = self.memo
+        opts["inference_memo"] = self.inference_memo
         return opts
 
     def function_memo(self):
@@ -221,6 +237,28 @@ class SigRec:
     def set_function_memo(self, memo) -> None:
         """Inject a shared :class:`FunctionMemo` (batch workers)."""
         self._fn_memo = memo
+
+    def inference_memo_tier(self):
+        """The inference memo, created on first use (or ``None``).
+
+        Exposed so the batch executor can share one per-process memo
+        across worker tools via :meth:`set_inference_memo`.
+        """
+        if not self.inference_memo:
+            return None
+        if self._inf_memo is None:
+            from repro.sigrec.cache import InferenceMemo
+
+            self._inf_memo = InferenceMemo(
+                self.options(),
+                directory=self.inference_memo_dir,
+                metrics=self.metrics,
+            )
+        return self._inf_memo
+
+    def set_inference_memo(self, memo) -> None:
+        """Inject a shared :class:`InferenceMemo` (batch workers)."""
+        self._inf_memo = memo
 
     def _analyze(self, bytecode: bytes) -> ContractAnalysis:
         """The memoized static analysis for ``bytecode``.
@@ -299,6 +337,7 @@ class SigRec:
             started = time.perf_counter()
         self._last_tier = "cold"
         self._last_memo = (0, 0)
+        self._last_inference_memo = (0, 0)
         with phase_span(
             self.metrics, self.tracer, "recover", bytes=len(bytecode)
         ):
@@ -315,13 +354,24 @@ class SigRec:
                 self.last_strategy = "monolithic"
                 result = self._run_engine(bytecode, analysis)
                 recovered = []
+                pred_memo = PredicateMemo()
                 with phase_span(self.metrics, self.tracer, "inference"):
                     for selector in result.selectors:
                         if not _passes(selector, only, exclude):
                             continue
                         recovered.append(
-                            self._infer_one(selector, result.functions[selector])
+                            self._infer_one(
+                                selector, result.functions[selector],
+                                pred_memo,
+                            )
                         )
+                inf_hits, inf_misses = self._last_inference_memo
+                if inf_hits:
+                    self._last_tier = (
+                        "inference-memo"
+                        if inf_misses == 0
+                        else "inference-memo-partial"
+                    )
             self.last_diagnostics = self._diagnose(
                 analysis, result, partial=partial
             )
@@ -375,6 +425,10 @@ class SigRec:
                 )
             },
             "memo": {"hits": memo_hits, "misses": memo_misses},
+            "inference_memo": {
+                "hits": self._last_inference_memo[0],
+                "misses": self._last_inference_memo[1],
+            },
             "tase": {
                 "steps": result.total_steps,
                 "paths": result.paths_explored,
@@ -421,11 +475,12 @@ class SigRec:
         exclude: FrozenSet[int],
     ) -> Tuple[List[RecoveredSignature], TASEResult]:
         """Per-selector shards + residual walk + function-body memo."""
-        from repro.sigrec.cache import FunctionRecord
+        from repro.sigrec.cache import FunctionRecord, InferenceRecord
 
         known = frozenset(plan)
         wanted = [s for s in plan if _passes(s, only, exclude)]
         memo = self.function_memo()
+        inf_memo = self.inference_memo_tier()
         hits: Dict[int, object] = {}
         miss_keys: Dict[int, str] = {}
         with phase_span(self.metrics, self.tracer, "disasm"):
@@ -460,6 +515,8 @@ class SigRec:
             engine.publish_metrics(result)
         recovered: List[RecoveredSignature] = []
         fresh_inferred = 0
+        inf_hits = inf_misses = 0
+        pred_memo = PredicateMemo()
         with phase_span(self.metrics, self.tracer, "inference"):
             for selector in result.selectors:
                 if not _passes(selector, only, exclude):
@@ -473,13 +530,37 @@ class SigRec:
                         self.tracker.conflict(rule_id, count)
                     recovered.append(record.to_signature())
                     continue
+                events = result.functions[selector]
+                inf_key = None
+                if inf_memo is not None:
+                    inf_key = inf_memo.key_for(events_digest(events))
+                    inf_record = inf_memo.get(inf_key)
+                    if inf_record is not None:
+                        # Inference-memo hit: TASE ran, inference is
+                        # replayed — counters exactly as a fresh run.
+                        inf_hits += 1
+                        self.tracker.merge(inf_record.rule_counts)
+                        for rule_id, count in inf_record.conflicts.items():
+                            self.tracker.conflict(rule_id, count)
+                        recovered.append(inf_record.to_signature(selector))
+                        # Backfill the function memo so the next run on
+                        # this exact body hits the cheaper tier (which
+                        # also skips TASE).
+                        key = miss_keys.get(selector)
+                        if memo is not None and key is not None:
+                            memo.put(
+                                key, inf_record.to_function_record(selector)
+                            )
+                        continue
+                    inf_misses += 1
                 fresh_inferred += 1
                 local = RuleTracker()
                 start = time.perf_counter()
                 inferred = infer_function(
-                    result.functions[selector], local,
+                    events, local,
                     semantic_idioms=self.semantic_idioms,
                     coarse_only=self.coarse_only,
+                    memo=pred_memo,
                 )
                 elapsed = time.perf_counter() - start
                 self.tracker.merge(local)
@@ -508,9 +589,32 @@ class SigRec:
                             conflicts=dict(local.conflicts),
                         ),
                     )
+                if inf_memo is not None and inf_key is not None:
+                    inf_memo.put(
+                        inf_key,
+                        InferenceRecord.from_inference(
+                            signature.param_types,
+                            signature.language,
+                            signature.fired_rules,
+                            signature.confidences,
+                            local.counts,
+                            local.conflicts,
+                        ),
+                    )
         self._last_memo = (len(hits), len(miss_keys))
+        self._last_inference_memo = (inf_hits, inf_misses)
         if hits:
-            self._last_tier = "memo" if fresh_inferred == 0 else "memo-partial"
+            self._last_tier = (
+                "memo"
+                if fresh_inferred == 0 and inf_hits == 0
+                else "memo-partial"
+            )
+        elif inf_hits:
+            self._last_tier = (
+                "inference-memo"
+                if fresh_inferred == 0
+                else "inference-memo-partial"
+            )
         if not hits:
             # Every function was actually explored, so the merged result
             # is a complete event map ``explain`` may reuse; with memo
@@ -519,17 +623,42 @@ class SigRec:
         return recovered, result
 
     def _infer_one(
-        self, selector: int, events
+        self, selector: int, events, pred_memo: Optional[PredicateMemo] = None
     ) -> RecoveredSignature:
-        """Monolithic-path inference for one function (shared tracker)."""
+        """Monolithic-path inference for one function.
+
+        Probes the inference memo first (the monolithic walk has no
+        function-body preimage, so the event digest is its only memo
+        key); a fresh inference runs against a local tracker merged
+        into the shared one, so its counts are replayable on a later
+        hit — the same Fig.-19 parity discipline as the sharded path.
+        """
+        from repro.sigrec.cache import InferenceRecord
+
+        inf_memo = self.inference_memo_tier()
+        inf_key = None
+        if inf_memo is not None:
+            inf_key = inf_memo.key_for(events_digest(events))
+            inf_record = inf_memo.get(inf_key)
+            hits, misses = self._last_inference_memo
+            if inf_record is not None:
+                self._last_inference_memo = (hits + 1, misses)
+                self.tracker.merge(inf_record.rule_counts)
+                for rule_id, count in inf_record.conflicts.items():
+                    self.tracker.conflict(rule_id, count)
+                return inf_record.to_signature(selector)
+            self._last_inference_memo = (hits, misses + 1)
+        local = RuleTracker()
         start = time.perf_counter()
         inferred = infer_function(
-            events, self.tracker,
+            events, local,
             semantic_idioms=self.semantic_idioms,
             coarse_only=self.coarse_only,
+            memo=pred_memo,
         )
         elapsed = time.perf_counter() - start
-        return RecoveredSignature(
+        self.tracker.merge(local)
+        signature = RecoveredSignature(
             selector=selector,
             param_types=tuple(inferred.param_types),
             language=inferred.language,
@@ -537,6 +666,19 @@ class SigRec:
             fired_rules=tuple(inferred.fired_rules),
             confidences=tuple(inferred.confidences),
         )
+        if inf_memo is not None and inf_key is not None:
+            inf_memo.put(
+                inf_key,
+                InferenceRecord.from_inference(
+                    signature.param_types,
+                    signature.language,
+                    signature.fired_rules,
+                    signature.confidences,
+                    local.counts,
+                    local.conflicts,
+                ),
+            )
+        return signature
 
     def _diagnose(
         self,

@@ -15,6 +15,10 @@ across cores.  :class:`BatchRecovery` composes four layers:
    :class:`~repro.sigrec.cache.FunctionMemo` (plus an on-disk tier
    under ``<cache_dir>/fnmemo``), so clone-heavy corpora analyze each
    shared function body once per process / once per cache directory.
+   An :class:`~repro.sigrec.cache.InferenceMemo` rides alongside it
+   (disk tier under ``<cache_dir>/infmemo``): when a body's preimage
+   differs but its canonical event stream matches, TASE still runs yet
+   the type-inference pass is replayed from the memo.
 4. **Work-stealing scheduler** — cache misses become (contract,
    selector-group) *units* on one shared queue drained by a
    ``ProcessPoolExecutor`` via ``submit``/``as_completed``: a free
@@ -52,7 +56,7 @@ from repro.obs import (
 from repro.obs.ledger import RunLedger
 from repro.obs.slowlog import SlowLog
 from repro.sigrec.api import RecoveredSignature, SigRec
-from repro.sigrec.cache import FunctionMemo, ResultCache
+from repro.sigrec.cache import FunctionMemo, InferenceMemo, ResultCache
 from repro.sigrec.selectors import extract_selectors
 
 #: Default selector count above which one contract splits into several
@@ -79,6 +83,14 @@ _WORKER_MEMOS: Dict[
     Tuple[str, Optional[str]], Tuple[str, FunctionMemo]
 ] = {}
 
+#: Per-process shared inference memos, with the same (fingerprint,
+#: directory) keying and run-token scoping as :data:`_WORKER_MEMOS`.
+#: Kept separate because the two memos have independent directories and
+#: one can be disabled without the other.
+_WORKER_INF_MEMOS: Dict[
+    Tuple[str, Optional[str]], Tuple[str, InferenceMemo]
+] = {}
+
 
 def _worker_memo(
     options: Dict[str, object], memo_dir: Optional[str], token: str
@@ -92,15 +104,29 @@ def _worker_memo(
     return memo
 
 
+def _worker_inf_memo(
+    options: Dict[str, object], inf_memo_dir: Optional[str], token: str
+) -> InferenceMemo:
+    memo = InferenceMemo(options, directory=inf_memo_dir)
+    key = (memo.fingerprint, inf_memo_dir)
+    held = _WORKER_INF_MEMOS.get(key)
+    if held is not None and held[0] == token:
+        return held[1]
+    _WORKER_INF_MEMOS[key] = (token, memo)
+    return memo
+
+
 def _analyze_unit(
     options: Dict[str, object],
     collect_metrics: bool,
     memo_dir: Optional[str],
+    inf_memo_dir: Optional[str],
     token: str,
     obs_opts: Dict[str, object],
     unit: _Unit,
 ) -> Tuple[int, int, List[RecoveredSignature], Dict[str, int],
-           Optional[dict], float, int, Tuple[int, int], Optional[dict]]:
+           Optional[dict], float, int, Tuple[int, int, int, int],
+           Optional[dict]]:
     """Worker entry point: one scheduler unit, a fresh tool, delta counts.
 
     Top-level so it pickles for the process pool; also used verbatim by
@@ -109,9 +135,10 @@ def _analyze_unit(
     returns the serialized document, which the parent merges — counters
     are additive, so the aggregate equals a serial run's (the same
     pattern as the per-unit :class:`RuleTracker` merge).  The elapsed
-    wall time, worker pid and the unit's (memo hits, memo misses) delta
-    ride along for trace events, steal accounting and the batch stats —
-    the memo numbers come from the memo's own counters so they survive
+    wall time, worker pid and the unit's (memo hits, memo misses,
+    inference-memo hits, inference-memo misses) delta ride along for
+    trace events, steal accounting and the batch stats — the memo
+    numbers come from the memos' own counters so they survive
     metrics-free runs.
 
     ``obs_opts`` flags the deep-observability payloads: ``"ledger"``
@@ -142,13 +169,31 @@ def _analyze_unit(
         # The shared memo reports into whichever unit is running; a
         # worker processes one unit at a time, so this is race-free.
         memo.metrics = registry if registry is not None else NULL_REGISTRY
+    inf_memo = None
+    inf_before = (0, 0)
+    if tool.inference_memo:
+        inf_memo = _worker_inf_memo(tool.options(), inf_memo_dir, token)
+        tool.set_inference_memo(inf_memo)
+        inf_before = (inf_memo.hits, inf_memo.misses)
+        inf_memo.metrics = (
+            registry if registry is not None else NULL_REGISTRY
+        )
     start = time.perf_counter()
     signatures = tool.recover(bytecode, only=only, exclude=exclude)
     elapsed = time.perf_counter() - start
-    probed = (0, 0)
+    fn_delta = (0, 0)
     if memo is not None:
         memo.metrics = NULL_REGISTRY
-        probed = (memo.hits - probed_before[0], memo.misses - probed_before[1])
+        fn_delta = (
+            memo.hits - probed_before[0], memo.misses - probed_before[1]
+        )
+    inf_delta = (0, 0)
+    if inf_memo is not None:
+        inf_memo.metrics = NULL_REGISTRY
+        inf_delta = (
+            inf_memo.hits - inf_before[0], inf_memo.misses - inf_before[1]
+        )
+    probed = fn_delta + inf_delta
     counts = {r: c for r, c in tool.tracker.counts.items() if c}
     doc = registry.to_dict() if registry is not None else None
     obs: Optional[dict] = None
@@ -182,6 +227,8 @@ class BatchStats:
     steals: int = 0  # units that ran off their pre-shard slot
     memo_hits: int = 0  # function-body memo probes across all units
     memo_misses: int = 0
+    inference_memo_hits: int = 0  # inference-memo probes across all units
+    inference_memo_misses: int = 0
 
     @property
     def unique_ratio(self) -> float:
@@ -196,6 +243,11 @@ class BatchStats:
     def memo_hit_rate(self) -> float:
         probed = self.memo_hits + self.memo_misses
         return self.memo_hits / probed if probed else 0.0
+
+    @property
+    def inference_memo_hit_rate(self) -> float:
+        probed = self.inference_memo_hits + self.inference_memo_misses
+        return self.inference_memo_hits / probed if probed else 0.0
 
     @property
     def contracts_per_second(self) -> float:
@@ -245,6 +297,12 @@ class BatchStats:
                 f"memo {self.memo_hits} hits / {self.memo_misses} misses "
                 f"({self.memo_hit_rate:.0%} hit rate)"
             )
+        if self.inference_memo_hits or self.inference_memo_misses:
+            parts.append(
+                f"infmemo {self.inference_memo_hits} hits / "
+                f"{self.inference_memo_misses} misses "
+                f"({self.inference_memo_hit_rate:.0%} hit rate)"
+            )
         return " | ".join(parts)
 
 
@@ -256,7 +314,8 @@ class BatchRecovery:
     is the process-pool size (``None`` means ``os.cpu_count()``; ``0``
     means serial in-process).  ``cache_dir`` enables the persistent
     result cache plus the on-disk function-body memo tier (under
-    ``<cache_dir>/fnmemo``).  ``unit_size`` is the selector count above
+    ``<cache_dir>/fnmemo``) and the on-disk inference-memo tier (under
+    ``<cache_dir>/infmemo``).  ``unit_size`` is the selector count above
     which one contract splits into several scheduler units (``0``
     disables splitting).
     """
@@ -292,6 +351,11 @@ class BatchRecovery:
         )
         self.memo_dir: Optional[str] = (
             os.path.join(cache_dir, "fnmemo") if cache_dir is not None else None
+        )
+        self.inf_memo_dir: Optional[str] = (
+            os.path.join(cache_dir, "infmemo")
+            if cache_dir is not None
+            else None
         )
         self.stats = BatchStats()
 
@@ -460,6 +524,7 @@ class BatchRecovery:
             self.tool.options(),
             self.metrics is not NULL_REGISTRY,
             self.memo_dir,
+            self.inf_memo_dir,
             os.urandom(8).hex(),  # memory-tier scope: this run only
             obs_opts,
         )
@@ -471,6 +536,8 @@ class BatchRecovery:
             for outcome in outcomes:
                 stats.memo_hits += outcome[7][0]
                 stats.memo_misses += outcome[7][1]
+                stats.inference_memo_hits += outcome[7][2]
+                stats.inference_memo_misses += outcome[7][3]
             self._assemble(jobs, units, outcomes, finished, observing)
 
         if deduplicate:

@@ -42,6 +42,12 @@ from repro.sigrec.api import RecoveredSignature
 #: or inference-rule changes).
 SCHEMA_VERSION = 1
 
+#: Schema of the inference-memo tier (the canonical event digest, the
+#: :class:`InferenceRecord` layout, and the replay semantics).  Folded
+#: into :func:`options_fingerprint`, so a bump relocates *every* tier —
+#: the function memo and result cache store inference products too.
+INFERENCE_MEMO_SCHEMA_VERSION = 1
+
 
 def options_fingerprint(options: Dict[str, object]) -> str:
     """A short stable digest of the engine/inference options.
@@ -51,12 +57,15 @@ def options_fingerprint(options: Dict[str, object]) -> str:
     *means* changes what the engine may skip, so bumping any single
     pass version (:func:`repro.analysis.framework.pass_versions`) lands
     cached results — and every function-memo entry, which shares this
-    fingerprint — in a fresh tree.
+    fingerprint — in a fresh tree.  The inference-memo schema version
+    rides along for the same reason: changing the event digest or the
+    replay format must invalidate every caching tier at once.
     """
     payload = json.dumps(
         {
             "schema": SCHEMA_VERSION,
             "analysis_schema": pass_versions(),
+            "inference_memo_schema": INFERENCE_MEMO_SCHEMA_VERSION,
             "options": options,
         },
         sort_keys=True,
@@ -425,6 +434,217 @@ class FunctionMemo:
             raise
 
     def _remember(self, key: str, record: FunctionRecord) -> None:
+        self._memory[key] = record
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.hits_memory + self.hits_disk
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+# ----------------------------------------------------------------------
+# Inference memoization (the third cache tier).
+#
+# The function memo above keys on the *bytecode preimage* of a function
+# body, so it only helps when the dispatcher spine and closed region
+# bytes repeat exactly.  Clone-heavy corpora routinely defeat that —
+# constants, metadata, and region ids differ while the recorded *event
+# stream* is equivalent.  The inference memo sits one layer deeper: it
+# keys an :class:`InferenceRecord` by the canonical, selector-independent
+# digest of ``FunctionEvents`` (:func:`repro.sigrec.events.events_digest`),
+# so any two functions whose event streams normalize identically share
+# one inference, even across unrelated contracts.  TASE still runs; only
+# the rule-inference step is skipped, with its rule/conflict counters
+# replayed exactly (the Fig.-19 parity invariant).
+
+
+@dataclass(frozen=True)
+class InferenceRecord:
+    """One memoized inference product, minus the selector.
+
+    The event digest is selector-independent (two different selectors
+    with equivalent bodies share an entry), so the selector is supplied
+    at replay time by :meth:`to_signature`.
+    """
+
+    param_types: Tuple[str, ...]
+    language: str
+    fired_rules: Tuple[str, ...]
+    confidences: Tuple[str, ...]  # "high" / "medium" / "low" per param
+    rule_counts: Dict[str, int]
+    conflicts: Dict[str, int]
+
+    def to_signature(self, selector: int) -> RecoveredSignature:
+        # elapsed_seconds=0.0 for the same reason as the other tiers:
+        # a memo hit does no inference work.
+        return RecoveredSignature(
+            selector=selector,
+            param_types=tuple(self.param_types),
+            language=self.language,
+            elapsed_seconds=0.0,
+            fired_rules=tuple(self.fired_rules),
+            confidences=tuple(self.confidences),
+        )
+
+    def to_function_record(self, selector: int) -> FunctionRecord:
+        """Re-materialize a function-memo record from this entry."""
+        return FunctionRecord(
+            selector=selector,
+            param_types=tuple(self.param_types),
+            language=self.language,
+            fired_rules=tuple(self.fired_rules),
+            confidences=tuple(self.confidences),
+            rule_counts=dict(self.rule_counts),
+            conflicts=dict(self.conflicts),
+        )
+
+    @classmethod
+    def from_inference(
+        cls,
+        param_types,
+        language: str,
+        fired_rules,
+        confidences,
+        rule_counts: Dict[str, int],
+        conflicts: Dict[str, int],
+    ) -> "InferenceRecord":
+        return cls(
+            param_types=tuple(param_types),
+            language=str(language),
+            fired_rules=tuple(fired_rules),
+            confidences=tuple(confidences),
+            rule_counts={r: c for r, c in rule_counts.items() if c},
+            conflicts={r: c for r, c in conflicts.items() if c},
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "param_types": list(self.param_types),
+            "language": self.language,
+            "fired_rules": list(self.fired_rules),
+            "confidences": list(self.confidences),
+            "rule_counts": {r: c for r, c in self.rule_counts.items() if c},
+            "conflicts": {r: c for r, c in self.conflicts.items() if c},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InferenceRecord":
+        return cls(
+            param_types=tuple(str(t) for t in data["param_types"]),
+            language=str(data["language"]),
+            fired_rules=tuple(str(r) for r in data["fired_rules"]),
+            confidences=tuple(str(c) for c in data["confidences"]),
+            rule_counts={
+                str(r): int(c) for r, c in data.get("rule_counts", {}).items()
+            },
+            conflicts={
+                str(r): int(c) for r, c in data.get("conflicts", {}).items()
+            },
+        )
+
+
+class InferenceMemo:
+    """Two-tier (in-process LRU + optional on-disk) inference memo.
+
+    The layout mirrors :class:`FunctionMemo`: keys fold the options
+    fingerprint (:meth:`key_for`), disk entries live under
+    ``<dir>/inf-<fingerprint>/<key[:2]>/<key>.json``, writes are atomic
+    (tmp + rename), and corrupt or stale entries read as misses.
+    Metrics are published under the ``infmemo.*`` names so the function
+    memo's ``memo.*`` series stay comparable across versions.
+    """
+
+    def __init__(
+        self,
+        options: Dict[str, object],
+        directory: Optional[str] = None,
+        capacity: int = 65536,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.fingerprint = options_fingerprint(dict(options))
+        self.directory = directory
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._memory: "OrderedDict[str, InferenceRecord]" = OrderedDict()
+        self.hits_memory = 0
+        self.hits_disk = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+
+    def key_for(self, events_digest: str) -> str:
+        """The memo key for one canonical event-stream digest."""
+        digest = hashlib.sha256()
+        digest.update(self.fingerprint.encode("ascii"))
+        digest.update(b"\x00")
+        digest.update(events_digest.encode("ascii"))
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(
+            self.directory, f"inf-{self.fingerprint}", key[:2], f"{key}.json"
+        )
+
+    def get(self, key: str) -> Optional[InferenceRecord]:
+        record = self._memory.get(key)
+        if record is not None:
+            self._memory.move_to_end(key)
+            self.hits_memory += 1
+            self.metrics.counter("infmemo.hits", tier="memory").inc()
+            return record
+        if self.directory is not None:
+            try:
+                with open(self._entry_path(key), "r", encoding="utf-8") as f:
+                    entry = json.load(f)
+                if entry.get("schema") != SCHEMA_VERSION:
+                    raise ValueError("stale inference-memo entry")
+                record = InferenceRecord.from_dict(entry["record"])
+            except (OSError, ValueError, KeyError, TypeError):
+                record = None
+            if record is not None:
+                self._remember(key, record)
+                self.hits_disk += 1
+                self.metrics.counter("infmemo.hits", tier="disk").inc()
+                return record
+        self.misses += 1
+        self.metrics.counter("infmemo.misses").inc()
+        return None
+
+    def put(self, key: str, record: InferenceRecord) -> None:
+        self._remember(key, record)
+        self.writes += 1
+        self.metrics.counter("infmemo.writes").inc()
+        if self.directory is None:
+            return
+        path = self._entry_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {"schema": SCHEMA_VERSION, "record": record.to_dict()}
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def _remember(self, key: str, record: InferenceRecord) -> None:
         self._memory[key] = record
         self._memory.move_to_end(key)
         while len(self._memory) > self.capacity:

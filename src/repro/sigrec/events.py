@@ -9,8 +9,9 @@ comparisons, byte extraction, arithmetic).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.sigrec.expr import Expr, Label
 
@@ -106,16 +107,58 @@ class CalldataLoadEvent:
         )
 
 
-@dataclass(frozen=True)
 class CalldataCopyEvent:
-    """CALLDATACOPY(dst, src, length), under ``guards``."""
+    """CALLDATACOPY(dst, src, length), under ``guards``.
 
-    pc: int
-    dst: Expr
-    src: Expr
-    length: Expr
-    region_id: int = -1
-    guards: Tuple[Guard, ...] = ()
+    A plain slotted record rather than a frozen dataclass, matching
+    :class:`CalldataLoadEvent`: copy events are deduplicated through a
+    set keyed on their field tuple, and the slotted form avoids the
+    per-instance ``__dict__``.  Treat instances as immutable.
+    """
+
+    __slots__ = ("pc", "dst", "src", "length", "region_id", "guards", "_hash")
+
+    def __init__(
+        self,
+        pc: int,
+        dst: Expr,
+        src: Expr,
+        length: Expr,
+        region_id: int = -1,
+        guards: Tuple[Guard, ...] = (),
+    ) -> None:
+        self.pc = pc
+        self.dst = dst
+        self.src = src
+        self.length = length
+        self.region_id = region_id
+        self.guards = guards
+        self._hash = hash((pc, dst, src, length, region_id, guards))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, CalldataCopyEvent):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.pc == other.pc
+            and self.region_id == other.region_id
+            and self.dst == other.dst
+            and self.src == other.src
+            and self.length == other.length
+            and self.guards == other.guards
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CalldataCopyEvent(pc={self.pc!r}, dst={self.dst!r}, "
+            f"src={self.src!r}, length={self.length!r}, "
+            f"region_id={self.region_id!r}, guards={self.guards!r})"
+        )
 
 
 class UseEvent:
@@ -209,3 +252,201 @@ class FunctionEvents:
         self._load_set = set()
         self._copy_set = set()
         self._use_set = set()
+
+
+# ----------------------------------------------------------------------
+# Canonical event-stream digest (the inference-memo key)
+# ----------------------------------------------------------------------
+
+def unwrapped_comparison(cond: "Expr") -> Optional["Expr"]:
+    """The lt/gt comparison inside a (possibly ISZERO'd) guard condition.
+
+    This is the *only* part of a guard type inference can observe —
+    dispatch ``eq`` checks, selector range splits and the ``taken``
+    flag never reach a rule — so both the inference engine and the
+    event digest must share one definition of "visible comparison".
+    """
+    while cond.op == "iszero":
+        cond = cond.args[0]
+    if cond.op in ("lt", "gt", "slt", "sgt"):
+        return cond
+    return None
+
+
+def events_digest(events: "FunctionEvents") -> str:
+    """Canonical, selector-independent digest of one function's events.
+
+    Inference is a deterministic function of the event stream, so two
+    functions whose streams are *equivalent up to incidental per-contract
+    numbering* must produce identical recoveries — and may share one
+    inference-memo entry.  The digest therefore normalizes everything
+    inference cannot observe while keeping everything it can:
+
+    * **pcs** — positive pcs (load, copy, and guard sites) are replaced
+      by their dense rank (1, 2, ...) in sorted order; non-positive
+      sentinels (``Guard``'s default ``-1``, the ``0`` floor used by
+      guard attribution) are kept verbatim.  Ranking preserves every
+      order relation the attribution-window logic compares.
+    * **memory region ids** — renumbered by first appearance in the
+      deterministic serialization walk (loads, then copies, then uses;
+      post-order within one expression tree), so clones whose global
+      region counter started elsewhere still collide.
+    * **excluded fields** — the selector, ``hit_path_limit``, copy
+      ``dst`` expressions, use-event pcs, guard ``taken`` flags, and
+      any guard whose condition carries no lt/gt comparison (dispatch
+      ``eq`` checks embed the selector constant): inference never
+      reads them — see :func:`unwrapped_comparison` — so they must
+      not split the key space.
+
+    Expression trees are digested per node (op, normalized value,
+    sorted normalized label set, child digests), memoized by object
+    identity within one call — short node serializations are embedded
+    verbatim (they always contain a separator byte, so they cannot
+    collide with a hex digest) and only larger ones are collapsed to a
+    sha256; non-structural ``mem`` provenance labels are serialized
+    explicitly, so structurally equal trees with different taint stay
+    distinct.
+    """
+    pcs: Set[int] = set()
+    for load in events.loads:
+        if load.pc > 0:
+            pcs.add(load.pc)
+        for guard in load.guards:
+            if guard.pc > 0 and unwrapped_comparison(guard.condition) is not None:
+                pcs.add(guard.pc)
+    for copy in events.copies:
+        if copy.pc > 0:
+            pcs.add(copy.pc)
+        for guard in copy.guards:
+            if guard.pc > 0 and unwrapped_comparison(guard.condition) is not None:
+                pcs.add(guard.pc)
+    pc_rank = {pc: rank for rank, pc in enumerate(sorted(pcs), start=1)}
+
+    regions: Dict[int, int] = {}
+    node_memo: Dict[int, str] = {}
+
+    def _norm_pc(pc: int) -> int:
+        return pc_rank[pc] if pc > 0 else pc
+
+    def _norm_label(label: Label) -> str:
+        kind, key = label
+        if kind == "cdc":
+            return f"cdc:{regions[key]}"
+        if isinstance(key, Expr):
+            return f"cd:e{node_memo.get(id(key), 'self')}"
+        return f"cd:{key}"
+
+    def _node_digest(root: Expr) -> str:
+        cached = node_memo.get(id(root))
+        if cached is not None:
+            return cached
+        stack = [root]
+        while stack:
+            node = stack[-1]
+            if id(node) in node_memo:
+                stack.pop()
+                continue
+            deps = [arg for arg in node.args if id(arg) not in node_memo]
+            nested = [
+                key
+                for kind, key in node.labels
+                if kind == "cd"
+                and isinstance(key, Expr)
+                and key is not node
+                and id(key) not in node_memo
+            ]
+            if nested:
+                # Sorted push order keeps the post-order (and with it
+                # the region numbering below) independent of frozenset
+                # iteration order, which varies with hash randomization.
+                nested.sort(key=repr)
+                deps.extend(nested)
+            if deps:
+                stack.extend(deps)
+                continue
+            stack.pop()
+            # Region ids are numbered by first appearance in this
+            # deterministic post-order walk (a single pass, fused with
+            # serialization), in sorted raw-key order within one node.
+            if node.op == "mem":
+                regions.setdefault(node.val, len(regions))  # type: ignore[arg-type]
+            copied = [key for kind, key in node.labels if kind == "cdc"]
+            if copied:
+                copied.sort()
+                for rid in copied:
+                    regions.setdefault(rid, len(regions))
+            parts: List[str] = [node.op]
+            if node.op == "const":
+                parts.append(format(node.val, "x"))  # type: ignore[arg-type]
+            elif node.op == "mem":
+                parts.append(str(regions[node.val]))  # type: ignore[index]
+            elif node.val is not None:
+                parts.append(str(node.val))
+            parts.extend(node_memo[id(arg)] for arg in node.args)
+            parts.append(",".join(sorted(_norm_label(l) for l in node.labels)))
+            payload = "\x1f".join(parts)
+            if len(payload) <= 96:
+                # Embed short serializations verbatim: they always
+                # contain a \x1f separator, so they can never collide
+                # with a 64-char hex digest, and skipping the hash
+                # halves the digest cost on leaf-heavy trees.
+                node_memo[id(node)] = payload
+            else:
+                node_memo[id(node)] = hashlib.sha256(
+                    payload.encode("utf-8")
+                ).hexdigest()
+        return node_memo[id(root)]
+
+    guard_memo: Dict[int, str] = {}
+
+    def _guards_part(guards: Tuple[Guard, ...]) -> str:
+        # Only the inference-visible view of a guard is digested: its
+        # unwrapped lt/gt comparison and the comparison site.  Dispatch
+        # ``eq`` checks (which embed the selector constant) and the
+        # ``taken`` flag never reach a rule, so they must not split
+        # the key space — dropping them is what lets clone fleets with
+        # different selectors share one entry.
+        out = []
+        for guard in guards:
+            part = guard_memo.get(id(guard))
+            if part is None:
+                cmp_expr = unwrapped_comparison(guard.condition)
+                part = (
+                    ""
+                    if cmp_expr is None
+                    else f"{_norm_pc(guard.pc)}:{_node_digest(cmp_expr)}"
+                )
+                guard_memo[id(guard)] = part
+            if part:
+                out.append(part)
+        return ";".join(out)
+
+    parts: List[str] = ["sigrec-events:v1"]
+    for load in events.loads:
+        parts.append(
+            f"L{_norm_pc(load.pc)}:{_node_digest(load.loc)}:"
+            f"{_node_digest(load.result)}:{_guards_part(load.guards)}"
+        )
+    for copy in events.copies:
+        region = regions.setdefault(copy.region_id, len(regions))
+        parts.append(
+            f"C{_norm_pc(copy.pc)}:{_node_digest(copy.src)}:"
+            f"{_node_digest(copy.length)}:{region}:"
+            f"{_guards_part(copy.guards)}"
+        )
+    for use in events.uses:
+        for rid in sorted(key for kind, key in use.labels if kind == "cdc"):
+            regions.setdefault(rid, len(regions))
+        for sub in sorted(
+            (
+                key
+                for kind, key in use.labels
+                if kind == "cd" and isinstance(key, Expr)
+            ),
+            key=repr,
+        ):
+            _node_digest(sub)
+        labels = ",".join(sorted(_norm_label(l) for l in use.labels))
+        parts.append(f"U{use.kind}:{use.operand}:{labels}")
+    parts.append(f"V{1 if events.vyper_markers > 0 else 0}")
+    return hashlib.sha256("\x1e".join(parts).encode("utf-8")).hexdigest()

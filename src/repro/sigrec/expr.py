@@ -65,7 +65,8 @@ class Expr:
     eager scheme.
     """
 
-    __slots__ = ("op", "args", "val", "labels", "_hash", "_const_memo")
+    __slots__ = ("op", "args", "val", "labels", "_hash", "_const_memo",
+                 "_node_set", "_repr")
 
     def __init__(
         self,
@@ -134,6 +135,21 @@ class Expr:
         """Structural containment: does ``sub`` occur anywhere in self?"""
         return any(node == sub for node in self.iter_nodes())
 
+    def node_set(self) -> FrozenSet["Expr"]:
+        """The structural node set, materialized lazily and cached.
+
+        ``sub in expr.node_set()`` answers :meth:`contains` in O(1)
+        after the first call — the indexed inference path batches its
+        derivation queries through this instead of re-walking the tree
+        per probe.
+        """
+        try:
+            return self._node_set
+        except AttributeError:
+            nodes = frozenset(self.iter_nodes())
+            _setattr(self, "_node_set", nodes)
+            return nodes
+
     def const_term(self) -> int:
         """The constant addend of a sum expression (0 when none).
 
@@ -146,14 +162,28 @@ class Expr:
         return 0
 
     def __repr__(self) -> str:
+        # Cached on the node: reprs recurse structurally, and the event
+        # digest sorts nested label expressions by repr, so an uncached
+        # repr re-walks shared subtrees once per ancestor.
+        try:
+            return self._repr
+        except AttributeError:
+            pass
         if self.op == "const":
-            return f"{self.value:#x}"
-        if self.op == "env":
-            return f"env({self.val})"
-        if self.op == "mem":
-            return f"mem({self.val},{self.args[0]!r})" if self.args else f"mem({self.val})"
-        inner = ",".join(repr(a) for a in self.args)
-        return f"{self.op}({inner})"
+            text = f"{self.value:#x}"
+        elif self.op == "env":
+            text = f"env({self.val})"
+        elif self.op == "mem":
+            text = (
+                f"mem({self.val},{self.args[0]!r})"
+                if self.args
+                else f"mem({self.val})"
+            )
+        else:
+            inner = ",".join(repr(a) for a in self.args)
+            text = f"{self.op}({inner})"
+        _setattr(self, "_repr", text)
+        return text
 
 
 # ----------------------------------------------------------------------

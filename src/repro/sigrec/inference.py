@@ -38,6 +38,7 @@ from repro.sigrec.events import (
     FunctionEvents,
     Guard,
     UseEvent,
+    unwrapped_comparison,
 )
 from repro.sigrec.rules import RuleTracker
 
@@ -63,18 +64,39 @@ class InferredFunction:
         return ",".join(self.param_types)
 
 
-@dataclass
 class _Cluster:
-    """One parameter candidate: all accesses sharing a call-data base."""
+    """One parameter candidate: all accesses sharing a call-data base.
 
-    position: int  # head offset in the call data (>= 4)
-    family: str  # "basic" | "static" | "dynamic" | "blob" | "struct" | ...
-    type_str: str = "uint256"
-    labels: Set[Tuple[str, object]] = field(default_factory=set)
-    # Labels of the parameter's *data* (array items, blob bytes) only —
-    # excludes the offset and num fields, whose incidental arithmetic
-    # must not influence item-type refinement.
-    item_labels: Set[Tuple[str, object]] = field(default_factory=set)
+    A plain slotted record (one instance per recovered parameter, but
+    thousands of parameters per batch): ``labels`` covers every access
+    of the parameter; ``item_labels`` covers only the parameter's
+    *data* (array items, blob bytes) — excluding the offset and num
+    fields, whose incidental arithmetic must not influence item-type
+    refinement.  ``_suffix`` carries the array-dimension suffix from
+    coarse classification to item refinement (``None`` for
+    non-array families).
+    """
+
+    __slots__ = ("position", "family", "type_str", "labels", "item_labels",
+                 "_suffix")
+
+    def __init__(
+        self,
+        position: int,  # head offset in the call data (>= 4)
+        family: str,  # "basic" | "static" | "dynamic" | "blob" | ...
+        type_str: str = "uint256",
+    ) -> None:
+        self.position = position
+        self.family = family
+        self.type_str = type_str
+        self.labels: Set[Tuple[str, object]] = set()
+        self.item_labels: Set[Tuple[str, object]] = set()
+        self._suffix: Optional[str] = None
+
+
+def _dims_suffix(dims) -> str:
+    """Render dimension sizes as an array-type suffix: ``[2][8]``."""
+    return "".join(f"[{d}]" for d in dims)
 
 
 def _cd_key(loc: E.Expr) -> object:
@@ -87,13 +109,9 @@ def _cd_key(loc: E.Expr) -> object:
     return loc.value if loc.is_const else loc
 
 
-def _unwrap_cmp(cond: E.Expr) -> Optional[E.Expr]:
-    """Extract the lt/gt comparison inside a (possibly ISZERO'd) guard."""
-    while cond.op == "iszero":
-        cond = cond.args[0]
-    if cond.op in ("lt", "gt", "slt", "sgt"):
-        return cond
-    return None
+# The one definition of "what inference can see of a guard" is shared
+# with the inference-memo event digest — see events.unwrapped_comparison.
+_unwrap_cmp = unwrapped_comparison
 
 
 def _guard_levels(guards: Sequence[Guard]) -> List[Tuple[int, E.Expr]]:
@@ -156,8 +174,69 @@ def _has_stride_mul_strict(loc: E.Expr) -> bool:
     return False
 
 
+def _has_calldatasize(node: E.Expr) -> bool:
+    """Does the expression mention CALLDATASIZE anywhere?"""
+    return any(n.op == "calldatasize" for n in node.iter_nodes())
+
+
+class PredicateMemo:
+    """Per-engine-run memo for structural expression predicates.
+
+    All memoized predicates are pure functions of node structure, so
+    one memo can safely outlive a single :class:`TypeInference` and be
+    shared across every function of one ``recover()`` call — interned
+    nodes (the PR 6 arena) are classified once per run, not once per
+    rule probe.  Keys are the expression nodes themselves: their
+    structural hash is computed once and cached, so a probe costs one
+    dict lookup even across functions that rebuilt equal trees.
+
+    The semantic-idiom and strict (ablation) predicate variants keep
+    separate tables, so a run that mixes modes (``explain``, ablation
+    benchmarks) cannot cross-contaminate.
+    """
+
+    __slots__ = ("stride", "stride_strict", "bound_view", "bound_view_strict",
+                 "unwrap", "has_cds", "guard_levels", "cd_key")
+
+    def __init__(self) -> None:
+        self.stride: Dict[E.Expr, bool] = {}
+        self.stride_strict: Dict[E.Expr, bool] = {}
+        self.bound_view: Dict[E.Expr, object] = {}
+        self.bound_view_strict: Dict[E.Expr, object] = {}
+        self.unwrap: Dict[E.Expr, Optional[E.Expr]] = {}
+        self.has_cds: Dict[E.Expr, bool] = {}
+        self.guard_levels: Dict[Tuple[Guard, ...], List[Tuple[int, E.Expr]]] = {}
+        self.cd_key: Dict[E.Expr, object] = {}
+
+
+def _memoized(cache: Dict, fn):
+    """Wrap a pure single-argument predicate with a dict memo."""
+
+    def probe(node):
+        try:
+            return cache[node]
+        except KeyError:
+            result = fn(node)
+            cache[node] = result
+            return result
+
+    return probe
+
+
 class TypeInference:
-    """Runs steps 1-4 for one function's events."""
+    """Runs steps 1-4 for one function's events.
+
+    Two execution paths produce byte-identical results:
+
+    * ``indexed=True`` (default) — ``__init__`` builds the load/copy
+      **derivation graph** (which loads' results feed which other
+      accesses' location expressions) and a **label inverted index**
+      over use events once, and memoizes structural predicates in a
+      :class:`PredicateMemo`; every rule probe is then an index lookup.
+    * ``indexed=False`` — the retained reference path: the original
+      quadratic rescans, kept verbatim as the differential-testing
+      oracle (``tests/sigrec/test_inference_equivalence.py``).
+    """
 
     def __init__(
         self,
@@ -165,19 +244,127 @@ class TypeInference:
         tracker: RuleTracker,
         semantic_idioms: bool = True,
         coarse_only: bool = False,
+        memo: Optional[PredicateMemo] = None,
+        indexed: bool = True,
     ) -> None:
         self.events = events
         self.tracker = tracker
         self.fired: List[str] = []
         self.is_vyper = events.vyper_markers > 0
         self.coarse_only = coarse_only
-        self._bound_view = _bound_view if semantic_idioms else _bound_view_strict
-        self._stride_test = (
-            _has_stride_mul if semantic_idioms else _has_stride_mul_strict
-        )
+        self._indexed = indexed
         self._loads = list(events.loads)
         self._copies = list(events.copies)
         self._uses = list(events.uses)
+        stride_raw = _has_stride_mul if semantic_idioms else _has_stride_mul_strict
+        bound_raw = _bound_view if semantic_idioms else _bound_view_strict
+        if indexed:
+            self._memo = memo if memo is not None else PredicateMemo()
+            self._stride_test = _memoized(
+                self._memo.stride if semantic_idioms
+                else self._memo.stride_strict,
+                stride_raw,
+            )
+            self._bound_view = _memoized(
+                self._memo.bound_view if semantic_idioms
+                else self._memo.bound_view_strict,
+                bound_raw,
+            )
+            self._unwrap = _memoized(self._memo.unwrap, _unwrap_cmp)
+            self._has_cds = _memoized(self._memo.has_cds, _has_calldatasize)
+            self._cd_key = _memoized(self._memo.cd_key, _cd_key)
+            self._build_indexes()
+        else:
+            self._memo = None
+            self._stride_test = stride_raw
+            self._bound_view = bound_raw
+            self._unwrap = _unwrap_cmp
+            self._has_cds = _has_calldatasize
+            self._cd_key = _cd_key
+        self._bound_rights: Optional[Set[E.Expr]] = None
+
+    def _build_indexes(self) -> None:
+        """One pass over the events; every later probe is a lookup.
+
+        ``_deriving_loads[i]`` / ``_deriving_copies[i]`` list, in event
+        order, the loads (copies) whose location (source or length)
+        structurally contains load *i*'s result — the derivation edges
+        the reference path rediscovers with a containment rescan per
+        probe.  Lists are keyed by load index; loads with structurally
+        equal results share entries exactly as the structural rescans
+        would find them.
+        """
+        loads = self._loads
+        result_to_idxs: Dict[E.Expr, List[int]] = {}
+        for i, load in enumerate(loads):
+            result_to_idxs.setdefault(load.result, []).append(i)
+        deriving_loads: List[List[int]] = [[] for _ in loads]
+        for j, load in enumerate(loads):
+            for node in load.loc.node_set():
+                idxs = result_to_idxs.get(node)
+                if idxs:
+                    for i in idxs:
+                        if i != j:
+                            deriving_loads[i].append(j)
+        deriving_copies: List[List[int]] = [[] for _ in loads]
+        for k, copy in enumerate(self._copies):
+            nodes = copy.src.node_set() | copy.length.node_set()
+            for node in nodes:
+                idxs = result_to_idxs.get(node)
+                if idxs:
+                    for i in idxs:
+                        deriving_copies[i].append(k)
+        self._deriving_loads = deriving_loads
+        self._deriving_copies = deriving_copies
+        self._load_index = {id(load): i for i, load in enumerate(loads)}
+        uses_by_label: Dict[Tuple[str, object], List[int]] = {}
+        for u, use in enumerate(self._uses):
+            for label in use.labels:
+                uses_by_label.setdefault(label, []).append(u)
+        self._uses_by_label = uses_by_label
+
+    # -- derivation queries (index lookup vs. reference rescan) ---------
+
+    def _loads_deriving(self, idx: int) -> List[int]:
+        """Indexes of loads whose loc contains load ``idx``'s result."""
+        if self._indexed:
+            return self._deriving_loads[idx]
+        base = self._loads[idx].result
+        return [
+            j
+            for j, other in enumerate(self._loads)
+            if j != idx and other.loc.contains(base)
+        ]
+
+    def _copies_deriving(self, idx: int) -> List[int]:
+        """Indexes of copies whose src/length contain load ``idx``'s result."""
+        if self._indexed:
+            return self._deriving_copies[idx]
+        base = self._loads[idx].result
+        return [
+            k
+            for k, copy in enumerate(self._copies)
+            if copy.src.contains(base) or copy.length.contains(base)
+        ]
+
+    def _has_dependents(self, load: CalldataLoadEvent) -> bool:
+        """Does any *other* load's loc contain this load's result?"""
+        if self._indexed:
+            return bool(self._deriving_loads[self._load_index[id(load)]])
+        return any(
+            other.loc.contains(load.result)
+            for other in self._loads
+            if other is not load
+        )
+
+    def _dependents_of(self, load: CalldataLoadEvent) -> List[int]:
+        if self._indexed:
+            return self._deriving_loads[self._load_index[id(load)]]
+        return [
+            j
+            for j, other in enumerate(self._loads)
+            if other is not load and other.loc.contains(load.result)
+        ]
 
     # ------------------------------------------------------------------
 
@@ -247,7 +434,10 @@ class TypeInference:
           exactly the paper's case-5 shadows, and score low.
         """
         labels = cluster.item_labels or cluster.labels
-        has_use = any(use.labels & labels for use in self._uses)
+        if self._indexed:
+            has_use = any(label in self._uses_by_label for label in labels)
+        else:
+            has_use = any(use.labels & labels for use in self._uses)
         if cluster.family in ("static", "struct"):
             return "high" if has_use else "medium"
         if cluster.family == "dynamic":
@@ -283,16 +473,7 @@ class TypeInference:
         """Head loads whose result feeds another call-data access (R1)."""
         result = []
         for loc_value, idx in head_loads:
-            base = self._loads[idx].result
-            derived = any(
-                other.loc.contains(base)
-                for j, other in enumerate(self._loads)
-                if j != idx
-            ) or any(
-                copy.src.contains(base) or copy.length.contains(base)
-                for copy in self._copies
-            )
-            if derived:
+            if self._loads_deriving(idx) or self._copies_deriving(idx):
                 result.append((loc_value, idx))
         return result
 
@@ -314,24 +495,23 @@ class TypeInference:
         num_expr = E.calldata(E.binop("add", E.const(4), base))
         num_idx = None
         derived_loads: List[int] = []
-        for j, load in enumerate(self._loads):
-            if j == load_idx or not load.loc.contains(base):
-                continue
+        for j in self._loads_deriving(load_idx):
+            load = self._loads[j]
             derived_loads.append(j)
             consumed_loads.add(j)
-            key = ("cd", _cd_key(load.loc))
+            key = ("cd", self._cd_key(load.loc))
             cluster.labels.add(key)
             if load.result == num_expr:
                 num_idx = j
             else:
                 cluster.item_labels.add(key)
         derived_copies: List[int] = []
-        for k, copy in enumerate(self._copies):
-            if copy.src.contains(base) or copy.length.contains(base):
-                derived_copies.append(k)
-                consumed_copies.add(k)
-                cluster.labels.add(("cdc", copy.region_id))
-                cluster.item_labels.add(("cdc", copy.region_id))
+        for k in self._copies_deriving(load_idx):
+            copy = self._copies[k]
+            derived_copies.append(k)
+            consumed_copies.add(k)
+            cluster.labels.add(("cdc", copy.region_id))
+            cluster.item_labels.add(("cdc", copy.region_id))
 
         self._fire("R1")
 
@@ -408,11 +588,10 @@ class TypeInference:
             self._fire("R7")
         else:
             self._fire("R10" if (concrete_bounds or inner_dims) else "R7")
-        suffix = "".join(f"[{d}]" for d in inner_dims)
-        suffix += "".join(f"[{b}]" for b in reversed(concrete_bounds))
+        suffix = _dims_suffix(inner_dims) + _dims_suffix(reversed(concrete_bounds))
         cluster.family = "dynamic"
         cluster.type_str = "uint256" + suffix + "[]"
-        cluster._suffix = suffix + "[]"  # type: ignore[attr-defined]
+        cluster._suffix = suffix + "[]"
         return cluster
 
     # -- external mode (CALLDATALOAD on demand) --------------------------
@@ -443,11 +622,7 @@ class TypeInference:
         # component's own offset field, not a num field.
         inner_offsets = []
         for load in item_loads + ([num_load] if num_load is not None else []):
-            if any(
-                other.loc.contains(load.result)
-                for other in self._loads
-                if other is not load
-            ):
+            if self._has_dependents(load):
                 inner_offsets.append(load)
 
         strided = [l for l in item_loads if self._stride_test(l.loc)]
@@ -466,14 +641,7 @@ class TypeInference:
         # The num value bounds a loop iff some guard compares an index
         # *against exactly it* — an inner array's num merely containing
         # it (through the offset chain) means a struct component.
-        num_used_as_bound = any(
-            view is not None and view[1] == num_expr
-            for load in self._loads
-            for guard in load.guards
-            for cmp_expr in (_unwrap_cmp(guard.condition),)
-            if cmp_expr is not None
-            for view in (self._bound_view(cmp_expr),)
-        )
+        num_used_as_bound = self._is_bound_right(num_expr)
 
         struct_loads = item_loads + ([num_load] if num_load is not None else [])
 
@@ -496,9 +664,9 @@ class TypeInference:
                 num_expr=num_expr,
             )
             cluster.family = "dynamic"
-            suffix = "".join(f"[{d}]" for d in reversed(const_dims)) + "[]"
+            suffix = _dims_suffix(reversed(const_dims)) + "[]"
             cluster.type_str = "uint256" + suffix
-            cluster._suffix = suffix  # type: ignore[attr-defined]
+            cluster._suffix = suffix
             return cluster
 
         if raw_term:
@@ -516,7 +684,7 @@ class TypeInference:
             self._fire("R2")
             cluster.family = "dynamic"
             cluster.type_str = "uint256[]"
-            cluster._suffix = "[]"  # type: ignore[attr-defined]
+            cluster._suffix = "[]"
             return cluster
 
         # Only the num field was read: a dynamic value whose items were
@@ -541,16 +709,16 @@ class TypeInference:
         # bounds a loop; a dynamic struct's components sit at fixed slots.
         # Inner offset and num fields must not pollute item refinement.
         for load in inner_offsets:
-            cluster.item_labels.discard(("cd", _cd_key(load.loc)))
+            cluster.item_labels.discard(("cd", self._cd_key(load.loc)))
         if num_idx is not None and num_used_as_bound:
             # Nested array (R22): depth = offset levels + 1.
             self._fire("R22")
             depth = 1 + self._offset_chain_depth(inner_offsets)
             static_dims = self._static_dims_below(inner_offsets, num_expr)
             cluster.family = "dynamic"
-            suffix = "".join(f"[{d}]" for d in static_dims) + "[]" * depth
+            suffix = _dims_suffix(static_dims) + "[]" * depth
             cluster.type_str = "uint256" + suffix
-            cluster._suffix = suffix  # type: ignore[attr-defined]
+            cluster._suffix = suffix
             return cluster
         # Struct containing dynamic components (R21; R19 when a component
         # is itself a nested array).
@@ -597,25 +765,20 @@ class TypeInference:
                 # component; default to uint256[] (deep refinement of
                 # struct internals is the paper's weak spot too).
                 inner = loads[0]
-                deref_locs = [
-                    o for o in self._loads if o is not inner and o.loc.contains(inner.result)
-                ]
+                deref_locs = [self._loads[j] for j in self._dependents_of(inner)]
                 strided_derefs = [d for d in deref_locs if self._stride_test(d.loc)]
                 if strided_derefs:
                     # Depth: a component whose dereferences are again
                     # offset fields is a nested array inside the struct.
                     depth = max(1, self._offset_chain_depth([inner]) )
                     leaf_keys = {
-                        ("cd", _cd_key(d.loc))
+                        ("cd", self._cd_key(d.loc))
                         for d in strided_derefs
-                        if not any(
-                            o.loc.contains(d.result)
-                            for o in self._loads
-                            if o is not d
-                        )
+                        if not self._has_dependents(d)
                     }
                     item = self._refine_labelled_basic(
-                        leaf_keys or {("cd", _cd_key(d.loc)) for d in strided_derefs}
+                        leaf_keys
+                        or {("cd", self._cd_key(d.loc)) for d in strided_derefs}
                     )
                     components.append(item + "[]" * depth)
                 elif any(not d.loc.is_const for d in deref_locs):
@@ -624,7 +787,7 @@ class TypeInference:
                     components.append("uint256[]")
             else:
                 refined = self._refine_labelled_basic(
-                    {("cd", _cd_key(loads[0].loc))}
+                    {("cd", self._cd_key(loads[0].loc))}
                 )
                 components.append(refined)
         return components
@@ -636,14 +799,9 @@ class TypeInference:
         for _ in range(4):  # bounded: arrays deeper than 5 are unseen
             next_level = []
             for load in current:
-                for other in self._loads:
-                    if other is not load and other.loc.contains(load.result):
-                        if any(
-                            third.loc.contains(other.result)
-                            for third in self._loads
-                            if third is not other
-                        ):
-                            next_level.append(other)
+                for j in self._dependents_of(load):
+                    if self._has_dependents(self._loads[j]):
+                        next_level.append(self._loads[j])
             if not next_level:
                 break
             depth += 1
@@ -688,11 +846,9 @@ class TypeInference:
             cluster = _Cluster(position=srcs[0], family="static")
             cluster.labels.add(("cdc", pc))
             cluster.item_labels.add(("cdc", pc))
-            suffix = f"[{inner_dim}]" + "".join(
-                f"[{b}]" for b in reversed(concrete_bounds)
-            )
+            suffix = f"[{inner_dim}]" + _dims_suffix(reversed(concrete_bounds))
             cluster.type_str = "uint256" + suffix
-            cluster._suffix = suffix  # type: ignore[attr-defined]
+            cluster._suffix = suffix
             clusters.append(cluster)
         return clusters
 
@@ -744,12 +900,12 @@ class TypeInference:
             )
             cluster = _Cluster(position=position, family="static")
             for idx in idxs:
-                key = ("cd", _cd_key(self._loads[idx].loc))
+                key = ("cd", self._cd_key(self._loads[idx].loc))
                 cluster.labels.add(key)
                 cluster.item_labels.add(key)
-            suffix = "".join(f"[{b}]" for b in reversed(bounds)) if bounds else "[1]"
+            suffix = _dims_suffix(reversed(bounds)) if bounds else "[1]"
             cluster.type_str = "uint256" + suffix
-            cluster._suffix = suffix  # type: ignore[attr-defined]
+            cluster._suffix = suffix
             clusters.append(cluster)
         return clusters
 
@@ -781,18 +937,63 @@ class TypeInference:
             self._event_pcs_cache = pcs
         return pcs
 
+    def _guard_levels_of(self, guards: Sequence[Guard]) -> List[Tuple[int, E.Expr]]:
+        """Memoized :func:`_guard_levels` — guard tuples repeat heavily."""
+        if not self._indexed:
+            return _guard_levels(guards)
+        guards = tuple(guards)
+        cache = self._memo.guard_levels
+        try:
+            return cache[guards]
+        except KeyError:
+            seen: Set[int] = set()
+            levels: List[Tuple[int, E.Expr]] = []
+            for guard in guards:
+                cmp_expr = self._unwrap(guard.condition)
+                if cmp_expr is None or guard.pc in seen:
+                    continue
+                seen.add(guard.pc)
+                levels.append((guard.pc, cmp_expr))
+            cache[guards] = levels
+            return levels
+
+    def _is_bound_right(self, num_expr: E.Expr) -> bool:
+        """Is ``num_expr`` the bound side of any guard's comparison?"""
+        if not self._indexed:
+            return any(
+                view is not None and view[1] == num_expr
+                for load in self._loads
+                for guard in load.guards
+                for cmp_expr in (_unwrap_cmp(guard.condition),)
+                if cmp_expr is not None
+                for view in (self._bound_view(cmp_expr),)
+            )
+        rights = self._bound_rights
+        if rights is None:
+            rights = set()
+            for load in self._loads:
+                for guard in load.guards:
+                    cmp_expr = self._unwrap(guard.condition)
+                    if cmp_expr is None:
+                        continue
+                    view = self._bound_view(cmp_expr)
+                    if view is not None:
+                        rights.add(view[1])
+            self._bound_rights = rights
+        return num_expr in rights
+
     def _own_check_pcs(self, load: CalldataLoadEvent) -> Tuple[int, ...]:
         """Bound-check comparison sites in this load's attribution window."""
         prev_pc = self._prev_foreign_pc({load.pc})
         pcs = []
-        for pc, cmp_expr in _guard_levels(load.guards):
+        for pc, cmp_expr in self._guard_levels_of(load.guards):
             view = self._bound_view(cmp_expr)
             if view is None:
                 continue
             left, right = view
             if left.labels or not right.is_const:
                 continue
-            if any(n.op == "calldatasize" for n in left.iter_nodes()):
+            if self._has_cds(left):
                 continue
             if prev_pc < pc < load.pc:
                 pcs.append(pc)
@@ -838,19 +1039,23 @@ class TypeInference:
         """
         prev_pc = self._prev_foreign_pc(own_pcs)
         levels: List[Optional[int]] = []
-        for pc, cmp_expr in _guard_levels(guards):
+        for pc, cmp_expr in self._guard_levels_of(guards):
             view = self._bound_view(cmp_expr)
             if view is None:
                 continue
             left, right = view
             if left.labels:
                 continue  # a value clamp, not an index check
-            if any(n.op == "calldatasize" for n in left.iter_nodes()):
+            if self._has_cds(left):
                 continue
             is_dynamic = num_expr is not None and right == num_expr
             relevant = is_dynamic
             if not relevant and loc is not None and not left.is_const:
-                relevant = loc.contains(left)
+                relevant = (
+                    left in loc.node_set()
+                    if self._indexed
+                    else loc.contains(left)
+                )
             if not relevant and prev_pc < pc < event_pc:
                 relevant = True
             if not relevant:
@@ -880,7 +1085,12 @@ class TypeInference:
     # ------------------------------------------------------------------
 
     def _uses_for(self, labels: Set[Tuple[str, object]]) -> List[UseEvent]:
-        return [use for use in self._uses if use.labels & labels]
+        if not self._indexed:
+            return [use for use in self._uses if use.labels & labels]
+        idxs: Set[int] = set()
+        for label in labels:
+            idxs.update(self._uses_by_label.get(label, ()))
+        return [self._uses[i] for i in sorted(idxs)]
 
     def _has_use_kind(self, cluster: _Cluster, kinds: Tuple[str, ...]) -> bool:
         labels = cluster.item_labels or cluster.labels
@@ -975,7 +1185,7 @@ class TypeInference:
 
     def _refine_array_items(self, cluster: _Cluster) -> str:
         """Fix the item type of an array cluster from item-value uses."""
-        suffix = getattr(cluster, "_suffix", None)
+        suffix = cluster._suffix
         if suffix is None:
             return cluster.type_str
         labels = cluster.item_labels or cluster.labels
@@ -995,6 +1205,16 @@ def infer_function(
     tracker: RuleTracker,
     semantic_idioms: bool = True,
     coarse_only: bool = False,
+    memo: Optional[PredicateMemo] = None,
+    indexed: bool = True,
 ) -> InferredFunction:
-    """Recover one function's parameter list from its TASE events."""
-    return TypeInference(events, tracker, semantic_idioms, coarse_only).run()
+    """Recover one function's parameter list from its TASE events.
+
+    ``memo`` shares one :class:`PredicateMemo` across the functions of
+    an engine run; ``indexed=False`` selects the retained reference
+    path (the differential-testing oracle).
+    """
+    return TypeInference(
+        events, tracker, semantic_idioms, coarse_only, memo=memo,
+        indexed=indexed,
+    ).run()

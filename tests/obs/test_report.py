@@ -190,3 +190,59 @@ def test_perf_history_regression_without_phase_baseline(tmp_path):
     assert "no phase-share baseline" in render_report(
         build_report(perf=section)
     )
+
+
+def test_tier_section_includes_inference_memo():
+    doc = {
+        "counters": {
+            "infmemo.hits{tier=memory}": 3, "infmemo.hits{tier=disk}": 1,
+            "infmemo.misses": 4,
+        },
+        "gauges": {}, "histograms": {},
+    }
+    report = build_report(metrics_doc=doc)
+    assert report["tiers"]["inference_memo"]["hit_rate"] == pytest.approx(0.5)
+    text = render_report(report)
+    assert "inference memo  3 memory + 1 disk hits / 4 misses" in text
+    # Reports built before the tier existed still render.
+    legacy = {"tiers": {
+        "result_cache": {"hits": 0, "misses": 0, "invalidations": 0,
+                         "hit_rate": None},
+        "function_memo": {"hits_memory": 0, "hits_disk": 0, "misses": 0,
+                          "hit_rate": None},
+    }}
+    assert "inference memo" not in render_report(legacy)
+
+
+def test_perf_history_reports_improvements_as_info_lines(tmp_path):
+    history = tmp_path / "history"
+    history.mkdir()
+    baseline_phases = {"disasm": 0.05, "static_analysis": 0.10,
+                       "tase": 0.15, "inference": 0.70}
+    _write(str(history / "0001.json"), {
+        "sequence": 1, "calibration": 0.0,
+        "bench": {"sharded_memo": {"speedup": 3.0},
+                  "inference": {"speedup_vs_baseline": 4.0},
+                  "phases": baseline_phases},
+    })
+    bench = tmp_path / "bench.json"
+    # The inference speedup jumped 5x and its phase share collapsed:
+    # the report must say so instead of printing a bare "OK".
+    improved_phases = {"disasm": 0.10, "static_analysis": 0.25,
+                       "tase": 0.45, "inference": 0.20}
+    _write(str(bench), {"sharded_memo": {"speedup": 3.0},
+                        "inference": {"speedup_vs_baseline": 20.0},
+                        "phases": improved_phases})
+    section = perf_history_section(str(bench), str(history))
+    assert section["status"] == "ok"
+    assert any(
+        "inference.speedup_vs_baseline" in line
+        for line in section["improvements"]
+    )
+    rendered = render_report(build_report(perf=section))
+    assert "info: improved" in rendered
+    assert "inference.speedup_vs_baseline" in rendered
+    # The inference share dropped 50 points: it is the mover, and the
+    # rendering names it with a negative shift.
+    assert section["phase_shares"]["mover"] == "inference"
+    assert "-50.0%" in rendered

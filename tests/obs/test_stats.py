@@ -159,3 +159,23 @@ def test_validate_exposition_flags_structural_breakage():
         "h_count 3\n"
     )
     assert any("_count" in e for e in validate_exposition(mismatch))
+
+
+def test_render_stats_memo_tiers():
+    registry = MetricsRegistry()
+    registry.counter("memo.hits", tier="memory").inc(3)
+    registry.counter("memo.hits", tier="disk").inc(1)
+    registry.counter("memo.misses").inc(4)
+    registry.counter("memo.writes").inc(4)
+    registry.counter("infmemo.hits", tier="memory").inc(5)
+    registry.counter("infmemo.hits", tier="disk").inc(1)
+    registry.counter("infmemo.misses").inc(2)
+    registry.counter("infmemo.writes").inc(2)
+    text = render_stats(registry.to_dict())
+    assert "function memo" in text
+    assert "inference memo" in text
+    assert "hits 6 [disk: 1, memory: 5] | misses 2 (hit rate 75.0%)" in text
+    # A document without inference-memo activity omits the section.
+    silent = MetricsRegistry()
+    silent.counter("memo.hits", tier="memory").inc(1)
+    assert "inference memo" not in render_stats(silent.to_dict())

@@ -1,0 +1,219 @@
+"""Indexed inference == reference inference, on everything we can emit.
+
+The indexed path (derivation graph + label inverted index + memoized
+predicates) is a pure lookup rewrite of the reference path's structural
+rescans — it must be *byte-identical*, not merely accuracy-equivalent:
+same parameter types, same confidences, same fired-rule multisets and
+the same rule/conflict counters, on every input.  The reference path
+(``indexed=False``) is retained in :mod:`repro.sigrec.inference`
+precisely to serve as the oracle here.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abi.signature import FunctionSignature
+from repro.compiler import compile_contract
+from repro.compiler.contract import CodegenOptions, DispatcherStyle, Language
+from repro.corpus.datasets import (
+    build_closed_source_corpus,
+    build_obfuscated_corpus,
+    build_struct_nested_corpus,
+    build_vyper_corpus,
+)
+from repro.corpus.signatures import SignatureGenerator
+from repro.sigrec import expr as E
+from repro.sigrec.engine import TASEEngine, _cmp
+from repro.sigrec.events import (
+    CalldataCopyEvent,
+    CalldataLoadEvent,
+    FunctionEvents,
+    Guard,
+    UseEvent,
+)
+from repro.sigrec.inference import PredicateMemo, infer_function
+from repro.sigrec.rules import RuleTracker
+
+
+def _run(events, indexed, memo=None):
+    tracker = RuleTracker()
+    inferred = infer_function(events, tracker, indexed=indexed, memo=memo)
+    return inferred, tracker
+
+
+def _assert_equivalent(events, memo=None):
+    """One function's events through both paths; everything must match."""
+    indexed, indexed_tracker = _run(events, True, memo=memo)
+    reference, reference_tracker = _run(events, False)
+    assert indexed.param_types == reference.param_types
+    assert indexed.confidences == reference.confidences
+    assert indexed.fired_rules == reference.fired_rules
+    assert indexed.language == reference.language
+    assert indexed_tracker.counts == reference_tracker.counts
+    assert indexed_tracker.conflicts == reference_tracker.conflicts
+    return indexed
+
+
+def _assert_contract_equivalent(bytecode):
+    result = TASEEngine(bytecode).run()
+    memo = PredicateMemo()  # shared across the contract, like the API
+    for selector in sorted(result.functions):
+        _assert_equivalent(result.functions[selector], memo=memo)
+
+
+# -- synthetic events: the event vocabulary, randomized ----------------
+
+
+def _head(pc, slot, guards=()):
+    loc = E.const(slot)
+    return CalldataLoadEvent(pc, loc, E.calldata(loc), tuple(guards))
+
+
+def _dyn_load(pc, loc, guards=()):
+    return CalldataLoadEvent(pc, loc, E.calldata(loc), tuple(guards))
+
+
+@st.composite
+def _function_events(draw):
+    """Randomized but well-formed FunctionEvents: a mix of basic
+    parameters, masked uses, offset/num pairs, strided item loads and
+    rounded-length copies — the shapes the rules actually dispatch on,
+    with randomized pcs, widths, order and duplication."""
+    events = FunctionEvents(selector=draw(st.integers(1, 0xFFFFFFFF)))
+    n_params = draw(st.integers(1, 4))
+    pc = draw(st.integers(0x10, 0x40))
+    for position in range(n_params):
+        slot = 4 + 32 * position
+        kind = draw(st.sampled_from(
+            ["basic", "masked", "bool", "string", "array", "copy"]
+        ))
+        head = _head(pc, slot)
+        events.add_load(head)
+        pc += draw(st.integers(2, 8))
+        if kind == "masked":
+            width = draw(st.sampled_from([0xFF, 0xFFFF, 0xFFFFFFFF]))
+            events.add_use(
+                UseEvent(pc, "and_mask", head.result.labels, width)
+            )
+        elif kind == "bool":
+            events.add_use(UseEvent(pc, "bool_mask", head.result.labels))
+        elif kind in ("string", "array", "copy"):
+            num_loc = E.binop("add", E.const(4), head.result)
+            num_load = _dyn_load(pc, num_loc)
+            events.add_load(num_load)
+            pc += draw(st.integers(2, 8))
+            if kind == "array":
+                index = E.env("i")
+                guard = Guard(
+                    _cmp("lt", index, num_load.result),
+                    draw(st.booleans()),
+                    pc,
+                )
+                item_loc = E.binop(
+                    "add", E.const(36 + 32 * position),
+                    E.binop(
+                        "add", E.binop("mul", E.const(32), index),
+                        head.result,
+                    ),
+                )
+                events.add_load(_dyn_load(pc, item_loc, (guard,)))
+            elif kind == "copy":
+                rounded = E.binop(
+                    "and", E.bit_not(E.const(31)),
+                    E.binop("add", E.const(31), num_load.result),
+                )
+                events.add_copy(CalldataCopyEvent(
+                    pc, E.const(0x80),
+                    E.binop("add", E.const(36), head.result),
+                    rounded, pc,
+                ))
+                if draw(st.booleans()):
+                    data = E.mem_read(pc, E.const(0x80), frozenset())
+                    events.add_use(UseEvent(pc + 1, "byte", data.labels))
+        pc += draw(st.integers(2, 8))
+    if draw(st.booleans()):
+        # Duplicate re-reads of an existing head: the dedup in
+        # FunctionEvents and the index construction must agree.
+        events.add_load(_head(pc, 4))
+    events.vyper_markers = draw(st.integers(0, 3))
+    return events
+
+
+@settings(max_examples=120, deadline=None)
+@given(events=_function_events())
+def test_indexed_equals_reference_on_random_events(events):
+    _assert_equivalent(events)
+
+
+@settings(max_examples=120, deadline=None)
+@given(events=_function_events())
+def test_shared_predicate_memo_never_changes_results(events):
+    # One PredicateMemo shared across many *different* functions (the
+    # per-engine-run sharing the API does) must be invisible.
+    memo = PredicateMemo()
+    _assert_equivalent(events, memo=memo)
+    _assert_equivalent(events, memo=memo)
+
+
+# -- real pipelines: compiled contracts through TASE -------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    optimize=st.booleans(),
+    n_functions=st.integers(1, 4),
+)
+def test_indexed_equals_reference_on_random_contracts(
+    seed, optimize, n_functions
+):
+    gen = SignatureGenerator(seed=seed, struct_weight=1, nested_weight=1)
+    contract = compile_contract(
+        gen.signatures(n_functions), CodegenOptions(optimize=optimize)
+    )
+    _assert_contract_equivalent(contract.bytecode)
+
+
+VARIANTS = [
+    CodegenOptions(dispatcher=style, optimize=optimize, obfuscate=obfuscate)
+    for style in DispatcherStyle
+    for optimize in (False, True)
+    for obfuscate in (False, True)
+] + [
+    CodegenOptions(language=Language.VYPER, version="0.2.8"),
+]
+
+SIGS = [
+    FunctionSignature.parse("transfer(address,uint256)"),
+    FunctionSignature.parse("setData(bytes,uint256[3])"),
+    FunctionSignature.parse("flag()"),
+]
+
+
+@pytest.mark.parametrize(
+    "options", VARIANTS,
+    ids=[
+        f"{o.language.value}-{o.dispatcher.value}"
+        f"{'-opt' if o.optimize else ''}{'-obf' if o.obfuscate else ''}"
+        for o in VARIANTS
+    ],
+)
+def test_indexed_equals_reference_on_every_codegen_variant(options):
+    contract = compile_contract(SIGS, options)
+    _assert_contract_equivalent(contract.bytecode)
+
+
+def test_indexed_equals_reference_on_45_contract_corpus():
+    """The differential corpus: 45 contracts across four builders."""
+    checked = 0
+    for corpus in (
+        build_closed_source_corpus(n_contracts=15, seed=7),
+        build_vyper_corpus(n_contracts=10, seed=5),
+        build_obfuscated_corpus(n_contracts=10, seed=9),
+        build_struct_nested_corpus(n_contracts=10, seed=3),
+    ):
+        for case in corpus.cases:
+            _assert_contract_equivalent(case.contract.bytecode)
+            checked += 1
+    assert checked == 45
